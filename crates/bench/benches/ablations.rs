@@ -1,0 +1,136 @@
+//! Ablations of the design choices called out in DESIGN.md. These are
+//! printed studies (simulated-cycle results) wrapped in a Criterion
+//! harness so `cargo bench` runs them; the interesting output is the
+//! eprintln'd tables.
+//!
+//! 1. **G-line latency** — the paper's "longer latency G-lines"
+//!    alternative for big meshes: barrier latency vs. line latency.
+//! 2. **Space vs. time multiplexing** — wires vs. latency for multiple
+//!    concurrent barriers (the paper's future work, both halves).
+//! 3. **Mesh aspect ratio** — the G-line count formula 2×(rows+1) makes
+//!    wide meshes cheaper in wires than tall ones at equal core count.
+//! 4. **NoC link width** — how much of the software barrier's cost is
+//!    serialization vs. protocol round trips.
+//! 5. **Energy** — GL vs DSW interconnect energy on the synthetic
+//!    benchmark (the paper's §5 claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gline_core::{BarrierHw, BarrierNetwork, TdmBarrierNetwork};
+use sim_base::config::{CmpConfig, GlineConfig};
+use sim_base::Mesh2D;
+use sim_cmp::runtime::BarrierKind;
+use sim_cmp::EnergyModel;
+use workloads::synthetic;
+
+fn ablation_gline_latency() {
+    eprintln!("\n[ablation 1] barrier latency vs G-line latency (10x10 mesh, repeatered lines)");
+    for lat in [1u32, 2, 3, 4] {
+        // Budget relaxed so only the latency varies across the sweep.
+        let cfg =
+            GlineConfig { line_latency: lat, max_transmitters: 9, ..GlineConfig::default() };
+        let mesh = Mesh2D::new(10, 10);
+        let mut net = BarrierNetwork::new(mesh, cfg);
+        let cycles = net.run_single_barrier(&vec![0; 100]);
+        eprintln!("  line latency {lat} cycles → barrier {cycles} cycles");
+    }
+}
+
+fn ablation_space_vs_time() {
+    eprintln!("\n[ablation 2] 4 concurrent barriers on a 4x8 mesh: wires vs latency");
+    let mesh = Mesh2D::new(4, 8);
+    let spatial = BarrierNetwork::new(mesh, GlineConfig { contexts: 4, ..GlineConfig::default() });
+    let mut one = BarrierNetwork::new(mesh, GlineConfig { contexts: 4, ..GlineConfig::default() });
+    let lat_spatial = one.run_single_barrier(&vec![0; 32]);
+    eprintln!(
+        "  space-multiplexed: {} G-lines, {} cycles/barrier",
+        spatial.num_glines(),
+        lat_spatial
+    );
+    let mut tdm = TdmBarrierNetwork::new(mesh, GlineConfig::default(), 4);
+    let lat_tdm = tdm.run_single_barrier(&vec![0; 32]);
+    eprintln!("  time-multiplexed:  {} G-lines, {} cycles/barrier", tdm.num_glines(), lat_tdm);
+}
+
+fn ablation_aspect_ratio() {
+    eprintln!("\n[ablation 3] 32 cores, mesh aspect ratio: wires and latency");
+    for (r, c) in [(4u16, 8u16), (8, 4), (2, 16), (16, 2)] {
+        let mesh = Mesh2D::new(r, c);
+        let cfg = GlineConfig { max_transmitters: 15, ..GlineConfig::default() };
+        let mut net = BarrierNetwork::new(mesh, cfg);
+        let lat = net.run_single_barrier(&vec![0; 32]);
+        eprintln!(
+            "  {r:>2}x{c:<2}: {:>2} G-lines, {lat} cycles (budget relaxed to 15 tx/line)",
+            net.num_glines()
+        );
+    }
+}
+
+fn ablation_link_width() {
+    eprintln!("\n[ablation 4] DSW barrier cost vs NoC link width (16 cores, 10 barriers)");
+    for link in [19u32, 38, 75] {
+        let mut cfg = CmpConfig::icpp2010_with_cores(16);
+        cfg.noc.link_bytes = link;
+        let w = synthetic::build(16, BarrierKind::Dsw, 10);
+        let mut sys = w.into_system(cfg);
+        let cycles = sys.run(1_000_000_000).unwrap();
+        eprintln!(
+            "  {link:>2}-byte links: {:>7.1} cycles/barrier",
+            synthetic::cycles_per_barrier(cycles, 10)
+        );
+    }
+}
+
+fn ablation_issue_width() {
+    eprintln!("\n[ablation 6] core issue width: Kernel 2 execution time (8 cores, GL)");
+    for width in [1u8, 2, 4] {
+        let mut cfg = CmpConfig::icpp2010_with_cores(8);
+        cfg.core.issue_width = width;
+        let w = workloads::livermore::kernel2(
+            8,
+            BarrierKind::Gl,
+            workloads::livermore::KernelParams::scaled(512, 10),
+        );
+        let mut sys = w.into_system(cfg);
+        let cycles = sys.run(1_000_000_000).unwrap();
+        eprintln!("  {width}-wide issue: {cycles} cycles");
+    }
+}
+
+fn ablation_energy() {
+    eprintln!("\n[ablation 5] interconnect energy, 32 cores, 20 synthetic barriers");
+    let model = EnergyModel::nominal_45nm();
+    for kind in BarrierKind::ALL {
+        let w = synthetic::build(32, kind, 5);
+        let mut sys = w.into_system(CmpConfig::icpp2010());
+        sys.run(1_000_000_000).unwrap();
+        let e = model.estimate(&sys.report());
+        eprintln!(
+            "  {:<4} NoC {:>12.1} nJ + G-lines {:>8.3} nJ = {:>12.1} nJ",
+            kind.label(),
+            e.noc_nj,
+            e.gline_nj,
+            e.interconnect_nj()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_gline_latency();
+    ablation_space_vs_time();
+    ablation_aspect_ratio();
+    ablation_link_width();
+    ablation_issue_width();
+    ablation_energy();
+    // A token Criterion measurement so the harness reports something.
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("flat_barrier_4x8", |b| {
+        let mut net = BarrierNetwork::new(Mesh2D::new(4, 8), GlineConfig::default());
+        let arrivals = vec![0u64; 32];
+        b.iter(|| net.run_single_barrier(&arrivals))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

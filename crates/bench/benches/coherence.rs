@@ -1,0 +1,70 @@
+//! Memory-hierarchy microbenchmarks: L1 hit throughput, remote-miss
+//! round trips, invalidation storms, and atomic ping-pong — the costs
+//! that make software barriers slow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_base::config::CmpConfig;
+use sim_base::CoreId;
+use sim_isa::inst::AmoOp;
+use sim_mem::{CoreReq, MemorySystem};
+
+fn complete(sys: &mut MemorySystem, core: CoreId) {
+    loop {
+        if sys.poll(core).is_some() {
+            return;
+        }
+        sys.tick();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coherence");
+    g.bench_function("l1_hit_load", |b| {
+        let mut sys = MemorySystem::new(&CmpConfig::icpp2010_with_cores(4));
+        sys.request(CoreId(0), CoreReq::Load { addr: 0 });
+        complete(&mut sys, CoreId(0));
+        b.iter(|| {
+            sys.request(CoreId(0), CoreReq::Load { addr: 0 });
+            complete(&mut sys, CoreId(0));
+        })
+    });
+    g.bench_function("remote_l2_hit_load", |b| {
+        let mut sys = MemorySystem::new(&CmpConfig::icpp2010_with_cores(32));
+        // Warm line 9 into L2 of its home, shared by core 0.
+        sys.request(CoreId(0), CoreReq::Load { addr: 9 * 64 });
+        complete(&mut sys, CoreId(0));
+        let mut flip = 0u64;
+        b.iter(|| {
+            // Alternate readers so the L1 never keeps it long.
+            let core = CoreId::from(1 + (flip % 30) as usize);
+            flip += 1;
+            sys.request(core, CoreReq::Load { addr: 9 * 64 });
+            complete(&mut sys, core);
+        })
+    });
+    g.bench_function("amo_pingpong_2cores", |b| {
+        let mut sys = MemorySystem::new(&CmpConfig::icpp2010_with_cores(32));
+        let mut turn = 0usize;
+        b.iter(|| {
+            let core = CoreId::from(if turn.is_multiple_of(2) { 0 } else { 31 });
+            turn += 1;
+            sys.request(core, CoreReq::Amo { addr: 0x200, op: AmoOp::Add, operand: 1 });
+            complete(&mut sys, core);
+        })
+    });
+    g.bench_function("invalidation_storm_31_sharers", |b| {
+        let mut sys = MemorySystem::new(&CmpConfig::icpp2010_with_cores(32));
+        b.iter(|| {
+            for cidx in 0..31 {
+                sys.request(CoreId(cidx), CoreReq::Load { addr: 0x300 });
+                complete(&mut sys, CoreId(cidx));
+            }
+            sys.request(CoreId(31), CoreReq::Store { addr: 0x300, value: 1 });
+            complete(&mut sys, CoreId(31));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure-5 benchmark: cycles per barrier on the simulated CMP under the
+//! three barrier implementations, swept over core counts. The Criterion
+//! measurement is host wall-time per simulated episode batch; the
+//! *simulated* cycles per barrier are printed alongside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_base::config::CmpConfig;
+use sim_cmp::runtime::BarrierKind;
+use workloads::synthetic;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_barrier_latency");
+    g.sample_size(10);
+    let iters = 10;
+    for &cores in &[4usize, 16, 32] {
+        for kind in BarrierKind::ALL {
+            // Report the simulated latency once per configuration.
+            let w = synthetic::build(cores, kind, iters);
+            let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(cores));
+            let cycles = sys.run(1_000_000_000).unwrap();
+            eprintln!(
+                "[fig5] {:>3} cores {}: {:>9.1} simulated cycles/barrier",
+                cores,
+                kind.label(),
+                synthetic::cycles_per_barrier(cycles, iters)
+            );
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), cores),
+                &cores,
+                |b, &cores| {
+                    b.iter(|| {
+                        let w = synthetic::build(cores, kind, iters);
+                        let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(cores));
+                        sys.run(1_000_000_000).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

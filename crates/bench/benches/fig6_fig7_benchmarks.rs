@@ -1,0 +1,33 @@
+//! Whole-benchmark runs under DSW vs GL (the Figure 6/7 experiments),
+//! measured as host wall-time; the simulated cycle ratios are printed so
+//! the paper's reductions can be read off a `cargo bench` run.
+
+use bench::experiments::{benchmarks, run_workload, BENCH_CORES};
+use bench::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_cmp::runtime::BarrierKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_fig7");
+    g.sample_size(10);
+    for (name, build) in benchmarks(Scale::Quick) {
+        let dsw = run_workload(&build(BENCH_CORES, BarrierKind::Dsw), BENCH_CORES);
+        let gl = run_workload(&build(BENCH_CORES, BarrierKind::Gl), BENCH_CORES);
+        eprintln!(
+            "[fig6/7] {name:<14} GL/DSW time {:.3}  traffic {:.3}",
+            gl.normalized_time(&dsw),
+            gl.normalized_traffic(&dsw)
+        );
+        for kind in [BarrierKind::Dsw, BarrierKind::Gl] {
+            g.bench_with_input(
+                BenchmarkId::new(name.replace(' ', "_"), kind.label()),
+                &kind,
+                |b, &kind| b.iter(|| run_workload(&build(BENCH_CORES, kind), BENCH_CORES).cycles),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

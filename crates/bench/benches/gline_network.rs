@@ -1,0 +1,77 @@
+//! Microbenchmarks of the G-line barrier network model itself: how fast
+//! the simulator can turn barrier episodes, flat vs clustered, and with
+//! multiple contexts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gline_core::{BarrierHw, BarrierNetwork, ClusteredBarrierNetwork, TdmBarrierNetwork};
+use sim_base::config::GlineConfig;
+use sim_base::Mesh2D;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gline_network");
+    for &(rows, cols) in &[(2u16, 2u16), (4, 8), (8, 8)] {
+        let mesh = Mesh2D::new(rows, cols);
+        g.bench_with_input(
+            BenchmarkId::new("flat_episode", format!("{rows}x{cols}")),
+            &mesh,
+            |b, &mesh| {
+                let mut net = BarrierNetwork::new(mesh, GlineConfig::default());
+                let arrivals = vec![0u64; mesh.num_tiles()];
+                b.iter(|| net.run_single_barrier(&arrivals))
+            },
+        );
+    }
+    for &(rows, cols) in &[(16u16, 16u16), (32, 32)] {
+        let mesh = Mesh2D::new(rows, cols);
+        g.bench_with_input(
+            BenchmarkId::new("clustered_episode", format!("{rows}x{cols}")),
+            &mesh,
+            |b, &mesh| {
+                let mut net = ClusteredBarrierNetwork::new(mesh, GlineConfig::default());
+                let arrivals = vec![0u64; mesh.num_tiles()];
+                b.iter(|| net.run_single_barrier(&arrivals))
+            },
+        );
+    }
+    // TDM: several logical barriers over one wire set.
+    for &v in &[2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("tdm_episode", v), &v, |b, &v| {
+            let mut net = TdmBarrierNetwork::new(Mesh2D::new(4, 8), GlineConfig::default(), v);
+            let arrivals = vec![0u64; 32];
+            b.iter(|| net.run_single_barrier(&arrivals))
+        });
+    }
+    // Masked context over half the cores.
+    g.bench_function("masked_half_episode", |b| {
+        let mesh = Mesh2D::new(4, 8);
+        let mask: Vec<bool> = mesh.coords().map(|c| c.col < 4).collect();
+        let mut net =
+            BarrierNetwork::with_members(mesh, GlineConfig::default(), vec![mask.clone()]);
+        b.iter(|| {
+            for (i, &m) in mask.iter().enumerate() {
+                if m {
+                    net.write_bar_reg(sim_base::CoreId::from(i), 0, 1);
+                }
+            }
+            while !net.all_released(0) {
+                net.tick();
+            }
+        })
+    });
+    // Ablation: multiple barrier contexts ticking together.
+    for &ctxs in &[1u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("contexts_tick", ctxs), &ctxs, |b, &ctxs| {
+            let cfg = GlineConfig { contexts: ctxs, ..GlineConfig::default() };
+            let mut net = BarrierNetwork::new(Mesh2D::new(4, 8), cfg);
+            b.iter(|| {
+                for _ in 0..100 {
+                    net.tick();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! ISA toolchain microbenchmarks: assembler throughput and reference
+//! interpreter speed (both sit on test/CI critical paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_isa::interp::RefCmp;
+use sim_isa::{assemble, disassemble};
+
+const KERNEL: &str = "
+    li r1, 0
+    li r2, 1000
+loop:
+    mul r3, r1, r1
+    add r4, r4, r3
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+";
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isa");
+    g.bench_function("assemble_small_kernel", |b| b.iter(|| assemble(KERNEL).unwrap()));
+    let prog = assemble(KERNEL).unwrap();
+    g.bench_function("disassemble_small_kernel", |b| b.iter(|| disassemble(&prog)));
+    g.bench_function("interpret_7k_insts", |b| {
+        b.iter(|| {
+            let mut cmp = RefCmp::new(1, 16);
+            cmp.run(&[&prog], 1_000_000).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! NoC microbenchmarks: uniform-random traffic drain time and idle tick
+//! overhead (the fast path matters because the full-system simulator
+//! ticks the NoC every cycle).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_base::config::NocConfig;
+use sim_base::rng::SplitMix64;
+use sim_base::stats::MsgClass;
+use sim_base::{CoreId, Mesh2D};
+use sim_noc::{Message, Noc};
+
+fn drain_uniform(n_msgs: usize) -> u64 {
+    let mesh = Mesh2D::new(4, 8);
+    let mut noc: Noc<u32> = Noc::new(mesh, NocConfig::default());
+    let mut rng = SplitMix64::new(42);
+    for i in 0..n_msgs {
+        let src = rng.next_below(32) as usize;
+        let mut dst = rng.next_below(32) as usize;
+        if dst == src {
+            dst = (dst + 1) % 32;
+        }
+        let class = MsgClass::ALL[i % 3];
+        noc.send(Message {
+            src: CoreId::from(src),
+            dst: CoreId::from(dst),
+            class,
+            payload_bytes: if i % 2 == 0 { 64 } else { 0 },
+            payload: i as u32,
+        });
+    }
+    while !noc.is_idle() {
+        noc.tick();
+    }
+    for t in 0..32 {
+        while noc.recv(CoreId(t)).is_some() {}
+    }
+    noc.now()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc");
+    for &msgs in &[32usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("uniform_drain", msgs), &msgs, |b, &msgs| {
+            b.iter(|| drain_uniform(msgs))
+        });
+    }
+    g.bench_function("idle_tick", |b| {
+        let mut noc: Noc<u32> = Noc::new(Mesh2D::new(4, 8), NocConfig::default());
+        b.iter(|| {
+            for _ in 0..1000 {
+                noc.tick();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! `figures` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! figures [--table1] [--table2] [--fig2] [--fig5] [--fig6] [--fig7]
+//!         [--all] [--full] [--json FILE]
+//! ```
+//!
+//! With no selection flags, `--all` is implied. `--full` runs the larger
+//! workload sizes; the default quick sizes finish in minutes. `--json`
+//! additionally writes the raw experiment data as JSON.
+
+use bench::experiments as exp;
+use bench::Scale;
+use serde::Serialize;
+use std::io::Write;
+
+#[derive(Default, Serialize)]
+struct JsonOut {
+    #[serde(skip_serializing_if = "Option::is_none")]
+    table2: Option<Vec<exp::Table2Row>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    fig5: Option<Vec<exp::Fig5Row>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    fig6_fig7: Option<Vec<exp::Fig67Row>>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let all = has("--all")
+        || !["--table1", "--table2", "--fig2", "--fig5", "--fig6", "--fig7"]
+            .iter()
+            .any(|f| has(f));
+    let scale = if has("--full") { Scale::Full } else { Scale::Quick };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut json = JsonOut::default();
+
+    println!(
+        "gline-cmp evaluation harness — scale: {scale:?} (use --full for larger runs)\n"
+    );
+
+    if all || has("--table1") {
+        println!("{}", exp::table1());
+    }
+    if all || has("--fig2") {
+        println!("{}", exp::figure2());
+    }
+    if all || has("--table2") {
+        eprintln!("[table2] running the benchmark suite under DSW…");
+        let rows = exp::table2(scale);
+        println!("{}", exp::render_table2(&rows));
+        json.table2 = Some(rows);
+    }
+    if all || has("--fig5") {
+        eprintln!("[fig5] sweeping core counts × barrier implementations…");
+        let rows = exp::fig5(scale);
+        println!("{}", exp::render_fig5(&rows));
+        json.fig5 = Some(rows);
+    }
+    if all || has("--fig6") || has("--fig7") {
+        eprintln!("[fig6/fig7] running the benchmark suite under DSW and GL…");
+        let rows = exp::fig6_fig7(scale);
+        if all || has("--fig6") {
+            println!("{}", exp::render_fig6(&rows));
+        }
+        if all || has("--fig7") {
+            println!("{}", exp::render_fig7(&rows));
+        }
+        json.fig6_fig7 = Some(rows);
+    }
+
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        f.write_all(serde_json::to_string_pretty(&json).expect("serialize").as_bytes())
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

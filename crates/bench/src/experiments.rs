@@ -1,0 +1,449 @@
+//! Experiment definitions: one function per table/figure of the paper.
+
+use serde::Serialize;
+use sim_base::config::CmpConfig;
+use sim_base::stats::{MsgClass, TimeCat};
+use sim_cmp::runtime::BarrierKind;
+use sim_cmp::SystemReport;
+use workloads::common::Workload;
+use workloads::{em3d, livermore, ocean, synthetic, unstructured};
+
+/// Core count used by the paper's Figure 6 / Figure 7 runs.
+pub const BENCH_CORES: usize = 32;
+
+/// How big to make the (scaled) workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale runs for CI and quick reproduction.
+    Quick,
+    /// Larger runs, closer to the paper's inputs (slow).
+    Full,
+}
+
+impl Scale {
+    fn factor(self) -> u64 {
+        match self {
+            Scale::Quick => 1,
+            Scale::Full => 8,
+        }
+    }
+}
+
+/// Runs a workload to completion on `n` cores and reports.
+pub fn run_workload(w: &Workload, n: usize) -> SystemReport {
+    let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(n));
+    sys.run(20_000_000_000).expect("workload completes");
+    sys.report()
+}
+
+/// A named workload factory: `(n_cores, barrier kind) → Workload`.
+pub type WorkloadFactory = Box<dyn Fn(usize, BarrierKind) -> Workload>;
+
+/// The benchmark list of Table 2 / Figures 6–7 (kernels first, then the
+/// applications, matching the paper's figure order).
+pub fn benchmarks(scale: Scale) -> Vec<(&'static str, WorkloadFactory)> {
+    let f = scale.factor();
+    vec![
+        (
+            "Kernel 2",
+            Box::new(move |n, kind| {
+                livermore::kernel2(n, kind, livermore::KernelParams::scaled(1024, 40 * f))
+            }),
+        ),
+        (
+            "Kernel 3",
+            Box::new(move |n, kind| {
+                livermore::kernel3(n, kind, livermore::KernelParams::scaled(1024, 40 * f))
+            }),
+        ),
+        (
+            "Kernel 6",
+            Box::new(move |n, kind| {
+                livermore::kernel6(n, kind, livermore::KernelParams::scaled(128, 2 * f.min(2)))
+            }),
+        ),
+        (
+            "UNSTRUCTURED",
+            Box::new(move |n, kind| {
+                unstructured::build(
+                    n,
+                    kind,
+                    unstructured::UnstructuredParams::scaled(256, 768, 8 * f),
+                )
+            }),
+        ),
+        (
+            "OCEAN",
+            Box::new(move |n, kind| {
+                ocean::build(n, kind, ocean::OceanParams::scaled(66, 6 * f))
+            }),
+        ),
+        (
+            "EM3D",
+            Box::new(move |n, kind| {
+                em3d::build(n, kind, em3d::Em3dParams::scaled(1024, 20 * f))
+            }),
+        ),
+    ]
+}
+
+/// Index of the first application (earlier entries are kernels).
+pub const FIRST_APP: usize = 3;
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// Renders Table 1 (the CMP baseline configuration).
+pub fn table1() -> String {
+    let c = CmpConfig::icpp2010();
+    let mut s = String::from("Table 1. CMP baseline configuration.\n");
+    let rows = [
+        ("Number of cores".to_string(), format!("{}", c.num_cores())),
+        (
+            "Core".to_string(),
+            format!("{} GHz, in-order {}-way model", c.core.freq_ghz, c.core.issue_width),
+        ),
+        ("Cache line size".to_string(), format!("{} Bytes", c.l1.line_bytes)),
+        (
+            "L1 I/D-Cache".to_string(),
+            format!("{}KB, {}-way, {} cycle", c.l1.size_bytes / 1024, c.l1.ways, c.l1.total_latency()),
+        ),
+        (
+            "L2 Cache (per core)".to_string(),
+            format!(
+                "{}KB, {}-way, {}+{} cycles",
+                c.l2.size_bytes / 1024,
+                c.l2.ways,
+                c.l2.hit_latency,
+                c.l2.extra_data_latency
+            ),
+        ),
+        ("Memory access time".to_string(), format!("{} cycles", c.mem.latency)),
+        ("Network configuration".to_string(), format!("2D-mesh ({}x{})", c.mesh.rows, c.mesh.cols)),
+        ("Link width".to_string(), format!("{} bytes", c.noc.link_bytes)),
+        ("G-lines per barrier".to_string(), format!("{}", c.glines_per_barrier())),
+    ];
+    for (k, v) in rows {
+        s.push_str(&format!("  {k:<24} {v}\n"));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------
+
+/// One Table 2 row: measured benchmark shape.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Dynamic barrier count of the run.
+    pub barriers: u64,
+    /// Average cycles between consecutive barriers (cycles / barriers),
+    /// measured under the best software barrier (DSW), like the paper's
+    /// baseline runs.
+    pub barrier_period: u64,
+    /// Total cycles of the run.
+    pub cycles: u64,
+}
+
+/// Regenerates Table 2: per-benchmark barrier counts and periods.
+pub fn table2(scale: Scale) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    // Synthetic first, like the paper.
+    {
+        let iters = 50 * scale.factor();
+        let w = synthetic::build(BENCH_CORES, BarrierKind::Dsw, iters);
+        let rep = run_workload(&w, BENCH_CORES);
+        rows.push(Table2Row {
+            benchmark: "Synthetic".into(),
+            barriers: w.total_barriers(),
+            barrier_period: rep.cycles / w.total_barriers(),
+            cycles: rep.cycles,
+        });
+    }
+    for (name, build) in benchmarks(scale) {
+        let w = build(BENCH_CORES, BarrierKind::Dsw);
+        let rep = run_workload(&w, BENCH_CORES);
+        rows.push(Table2Row {
+            benchmark: name.into(),
+            barriers: w.total_barriers(),
+            barrier_period: rep.cycles / w.total_barriers().max(1),
+            cycles: rep.cycles,
+        });
+    }
+    rows
+}
+
+/// Renders Table 2 rows.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut s =
+        String::from("Table 2. Benchmark configuration (measured on this reproduction).\n");
+    s.push_str(&format!(
+        "  {:<14} {:>10} {:>16} {:>12}\n",
+        "Benchmark", "#Barriers", "Barrier Period", "Cycles"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "  {:<14} {:>10} {:>16} {:>12}\n",
+            r.benchmark, r.barriers, r.barrier_period, r.cycles
+        ));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------
+
+/// Reproduces the Figure 2 walkthrough: a 2×2 mesh, all cores arriving
+/// at cycle 0, printed cycle by cycle (bar_regs + G-line signal count).
+pub fn figure2() -> String {
+    use gline_core::BarrierNetwork;
+    use sim_base::config::GlineConfig;
+    use sim_base::{CoreId, Mesh2D};
+
+    let mut net = BarrierNetwork::new(Mesh2D::new(2, 2), GlineConfig::default());
+    for i in 0..4 {
+        net.write_bar_reg(CoreId(i), 0, 1);
+    }
+    let mut s = String::from(
+        "Figure 2. Barrier on a 2x2 mesh, all cores arrive at cycle 0.\n  cycle | bar_reg[0..4] | G-line signals this cycle | stage\n",
+    );
+    let stages = [
+        "horizontal gather (SlaveH pulse, MasterH counts via S-CSMA)",
+        "vertical gather (SlaveV pulse, MasterV counts)",
+        "vertical release (MasterV drives MglineV)",
+        "horizontal release (MasterH drives MglineH, bar_regs reset)",
+    ];
+    let mut prev_signals = 0;
+    for cycle in 0..4 {
+        net.tick();
+        let regs: Vec<u64> = (0..4).map(|i| net.bar_reg(CoreId(i), 0)).collect();
+        let sig = net.stats(0).signals;
+        s.push_str(&format!(
+            "  {:>5} | {:?}  | {:>2}                         | {}\n",
+            cycle,
+            regs,
+            sig - prev_signals,
+            stages[cycle as usize]
+        ));
+        prev_signals = sig;
+    }
+    assert!(net.all_released(0), "barrier must complete in 4 cycles");
+    s.push_str("  => released at the end of cycle 3: 4 cycles total, as in the paper.\n");
+    s
+}
+
+// ---------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------
+
+/// One Figure 5 point: average cycles/barrier per implementation.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5Row {
+    /// Core count.
+    pub cores: usize,
+    /// Centralized software barrier.
+    pub csw: f64,
+    /// Combining-tree software barrier.
+    pub dsw: f64,
+    /// G-line hardware barrier.
+    pub gl: f64,
+}
+
+/// Regenerates Figure 5: the synthetic benchmark (loop of 4 consecutive
+/// barriers) swept over core counts.
+pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
+    let iters = 25 * scale.factor();
+    [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&n| {
+            let mut vals = [0.0f64; 3];
+            for (i, kind) in [BarrierKind::Csw, BarrierKind::Dsw, BarrierKind::Gl]
+                .into_iter()
+                .enumerate()
+            {
+                let w = synthetic::build(n, kind, iters);
+                let rep = run_workload(&w, n);
+                vals[i] = synthetic::cycles_per_barrier(rep.cycles, iters);
+            }
+            Fig5Row { cores: n, csw: vals[0], dsw: vals[1], gl: vals[2] }
+        })
+        .collect()
+}
+
+/// Renders Figure 5 rows.
+pub fn render_fig5(rows: &[Fig5Row]) -> String {
+    let mut s = String::from(
+        "Figure 5. Average cycles per barrier (synthetic benchmark, 4 barriers/iter).\n",
+    );
+    s.push_str(&format!("  {:>5} {:>12} {:>12} {:>12}\n", "cores", "CSW", "DSW", "GL"));
+    for r in rows {
+        s.push_str(&format!(
+            "  {:>5} {:>12.1} {:>12.1} {:>12.1}\n",
+            r.cores, r.csw, r.dsw, r.gl
+        ));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Figures 6 and 7
+// ---------------------------------------------------------------------
+
+/// One benchmark's Figure 6 + Figure 7 data: DSW baseline and GL,
+/// normalized to DSW.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig67Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Is it a kernel (vs application)?
+    pub kernel: bool,
+    /// Figure 6: DSW stacked bar (category, fraction-of-DSW-total).
+    pub time_dsw: Vec<(String, f64)>,
+    /// Figure 6: GL stacked bar, same normalization.
+    pub time_gl: Vec<(String, f64)>,
+    /// Normalized execution time of GL (1.0 = DSW).
+    pub norm_time_gl: f64,
+    /// Figure 7: DSW message classes (class, fraction-of-DSW-total).
+    pub traffic_dsw: Vec<(String, f64)>,
+    /// Figure 7: GL message classes, same normalization.
+    pub traffic_gl: Vec<(String, f64)>,
+    /// Normalized network messages of GL (1.0 = DSW).
+    pub norm_traffic_gl: f64,
+}
+
+/// Regenerates the data behind Figures 6 and 7 (one run per benchmark
+/// per barrier implementation on the 32-core machine).
+pub fn fig6_fig7(scale: Scale) -> Vec<Fig67Row> {
+    let mut rows = Vec::new();
+    for (i, (name, build)) in benchmarks(scale).into_iter().enumerate() {
+        let dsw = run_workload(&build(BENCH_CORES, BarrierKind::Dsw), BENCH_CORES);
+        let gl = run_workload(&build(BENCH_CORES, BarrierKind::Gl), BENCH_CORES);
+        let bars = |rep: &SystemReport| -> Vec<(String, f64)> {
+            rep.figure6_bar(&dsw).iter().map(|(c, v)| (c.label().to_string(), *v)).collect()
+        };
+        let traf = |rep: &SystemReport| -> Vec<(String, f64)> {
+            rep.figure7_bar(&dsw).iter().map(|(c, v)| (c.label().to_string(), *v)).collect()
+        };
+        rows.push(Fig67Row {
+            benchmark: name.into(),
+            kernel: i < FIRST_APP,
+            time_dsw: bars(&dsw),
+            time_gl: bars(&gl),
+            norm_time_gl: gl.normalized_time(&dsw),
+            traffic_dsw: traf(&dsw),
+            traffic_gl: traf(&gl),
+            norm_traffic_gl: gl.normalized_traffic(&dsw),
+        });
+    }
+    rows
+}
+
+/// Mean of `f` over the kernel or application subset.
+fn subset_mean(rows: &[Fig67Row], kernel: bool, f: impl Fn(&Fig67Row) -> f64) -> f64 {
+    let sel: Vec<f64> = rows.iter().filter(|r| r.kernel == kernel).map(f).collect();
+    sel.iter().sum::<f64>() / sel.len().max(1) as f64
+}
+
+/// Renders Figure 6 (normalized execution time, stacked by category).
+pub fn render_fig6(rows: &[Fig67Row]) -> String {
+    let mut s = String::from(
+        "Figure 6. Normalized execution time over a 32-core CMP (DSW = 1.00).\n",
+    );
+    s.push_str(&format!("  {:<14} {:>4}", "Benchmark", "impl"));
+    for c in TimeCat::ALL {
+        s.push_str(&format!(" {:>8}", c.label()));
+    }
+    s.push_str(&format!(" {:>8}\n", "TOTAL"));
+    for r in rows {
+        for (impl_name, bar, total) in [
+            ("DSW", &r.time_dsw, 1.0),
+            ("GL", &r.time_gl, r.norm_time_gl),
+        ] {
+            s.push_str(&format!("  {:<14} {:>4}", r.benchmark, impl_name));
+            for (_, v) in bar {
+                s.push_str(&format!(" {v:>8.3}"));
+            }
+            s.push_str(&format!(" {total:>8.3}\n"));
+        }
+    }
+    let avg_k = subset_mean(rows, true, |r| r.norm_time_gl);
+    let avg_a = subset_mean(rows, false, |r| r.norm_time_gl);
+    s.push_str(&format!(
+        "  AVG_K: GL = {:.3} of DSW (paper: 0.32, i.e. a 68% reduction)\n",
+        avg_k
+    ));
+    s.push_str(&format!(
+        "  AVG_A: GL = {:.3} of DSW (paper: 0.79, i.e. a 21% reduction)\n",
+        avg_a
+    ));
+    s
+}
+
+/// Renders Figure 7 (normalized network messages, stacked by class).
+pub fn render_fig7(rows: &[Fig67Row]) -> String {
+    let mut s = String::from(
+        "Figure 7. Normalized messages across the network over a 32-core CMP (DSW = 1.00).\n",
+    );
+    s.push_str(&format!("  {:<14} {:>4}", "Benchmark", "impl"));
+    for c in MsgClass::ALL {
+        s.push_str(&format!(" {:>10}", c.label()));
+    }
+    s.push_str(&format!(" {:>10}\n", "TOTAL"));
+    for r in rows {
+        for (impl_name, bar, total) in [
+            ("DSW", &r.traffic_dsw, 1.0),
+            ("GL", &r.traffic_gl, r.norm_traffic_gl),
+        ] {
+            s.push_str(&format!("  {:<14} {:>4}", r.benchmark, impl_name));
+            for (_, v) in bar {
+                s.push_str(&format!(" {v:>10.3}"));
+            }
+            s.push_str(&format!(" {total:>10.3}\n"));
+        }
+    }
+    let avg_k = subset_mean(rows, true, |r| r.norm_traffic_gl);
+    let avg_a = subset_mean(rows, false, |r| r.norm_traffic_gl);
+    s.push_str(&format!(
+        "  AVG_K: GL = {:.3} of DSW traffic (paper: 0.26, i.e. a 74% reduction)\n",
+        avg_k
+    ));
+    s.push_str(&format!(
+        "  AVG_A: GL = {:.3} of DSW traffic (paper: 0.82, i.e. an 18% reduction)\n",
+        avg_a
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_every_parameter() {
+        let t = table1();
+        for needle in ["32", "3 GHz", "64 Bytes", "32KB", "256KB", "6+2", "400 cycles", "75 bytes"]
+        {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn figure2_walkthrough_completes() {
+        let f = figure2();
+        assert!(f.contains("4 cycles total"));
+        // Signal counts per cycle on the 2×2: 2, 1, 1, 2.
+        assert!(f.contains("|  2 "), "{f}");
+    }
+
+    #[test]
+    fn benchmark_list_shape() {
+        let b = benchmarks(Scale::Quick);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b[FIRST_APP].0, "UNSTRUCTURED");
+    }
+}

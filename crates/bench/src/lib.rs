@@ -1,0 +1,13 @@
+//! # bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (§4, Tables 1–2, Figures 2 and 5–7) on the reproduction stack. The
+//! [`experiments`] module is shared by the `figures` binary and the
+//! Criterion benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+
+pub use experiments::{Scale, BENCH_CORES};

@@ -1,0 +1,376 @@
+//! Two-level G-line barrier network for meshes beyond the electrical
+//! limit of a single G-line (the paper's §5 future work: *"design
+//! efficient and scalable schemes to interconnect G-line-based networks,
+//! in order to overcome the limitation in the number of cores supported by
+//! this technology (a many-core CMP with more than 7×7 2D-mesh)"*).
+//!
+//! The global mesh is partitioned into clusters of at most
+//! `cluster_dim × cluster_dim` tiles (8×8 with the default 7-transmitter
+//! budget; 7×7 under the paper's strict 6-transmitter reading). Every cluster runs its own flat [`BarrierNetwork`] whose root
+//! release is **gated**: once a cluster has gathered all its cores, its
+//! root (the cluster's tile (0,0)) announces completion on a second-level
+//! G-line network spanning the cluster heads. When the second level
+//! completes, the release cascades back down and every cluster releases
+//! its cores.
+//!
+//! Latency: gather-to-root takes 2 cycles in each cluster, the
+//! second-level barrier takes 4 (its first cycle overlaps the root
+//! announcement), and the gated in-cluster release takes 2 more
+//! (release-column + release-row) — 7 cycles total once the last core
+//! arrives, constant in core count up to 64 clusters of 64 cores = 4096
+//! cores at the default budget.
+
+use crate::network::{BarrierHw, BarrierNetwork, CtxId};
+use crate::stats::GlineStats;
+use sim_base::config::GlineConfig;
+use sim_base::{CoreId, Coord, Cycle, Mesh2D};
+
+/// A cluster's place in the picture: its sub-network and its geometry.
+#[derive(Clone, Debug)]
+struct Cluster {
+    net: BarrierNetwork,
+    /// Per-context: has this cluster's completion been forwarded to the
+    /// second level (and not yet released)?
+    forwarded: Vec<bool>,
+}
+
+/// Two-level composition of G-line barrier networks.
+///
+/// Implements the same [`BarrierHw`] interface as the flat network, so it
+/// is a drop-in replacement for meshes the flat network cannot span.
+#[derive(Clone, Debug)]
+pub struct ClusteredBarrierNetwork {
+    mesh: Mesh2D,
+    grid: Mesh2D,
+    cluster_dim: u16,
+    clusters: Vec<Cluster>,
+    level2: BarrierNetwork,
+    num_contexts: usize,
+    now: Cycle,
+    // Episode bookkeeping per context.
+    arrived: Vec<u32>,
+    outstanding: Vec<u32>,
+    first_arrival: Vec<Cycle>,
+    last_arrival: Vec<Cycle>,
+    stats: Vec<GlineStats>,
+}
+
+impl ClusteredBarrierNetwork {
+    /// Builds a clustered network over `mesh`, with clusters of at most
+    /// `(max_transmitters + 1)²` tiles each.
+    ///
+    /// # Panics
+    /// Panics if the *grid of clusters* itself exceeds the budget (that
+    /// would need a third level; at the default budget this allows up to
+    /// 4096 cores).
+    pub fn new(mesh: Mesh2D, cfg: GlineConfig) -> ClusteredBarrierNetwork {
+        let dim = (cfg.max_transmitters + 1) as u16;
+        assert!(dim >= 1);
+        let grid = Mesh2D::new(mesh.rows.div_ceil(dim), mesh.cols.div_ceil(dim));
+        assert!(
+            grid.rows <= dim && grid.cols <= dim,
+            "{}×{} mesh needs more than two G-line levels",
+            mesh.rows,
+            mesh.cols
+        );
+        let clusters = grid
+            .coords()
+            .map(|g| {
+                let rows = (mesh.rows - g.row * dim).min(dim);
+                let cols = (mesh.cols - g.col * dim).min(dim);
+                Cluster {
+                    net: BarrierNetwork::with_gated_root(Mesh2D::new(rows, cols), cfg, true),
+                    forwarded: vec![false; cfg.contexts as usize],
+                }
+            })
+            .collect();
+        let n_ctx = cfg.contexts as usize;
+        ClusteredBarrierNetwork {
+            mesh,
+            grid,
+            cluster_dim: dim,
+            clusters,
+            level2: BarrierNetwork::new(grid, cfg),
+            num_contexts: n_ctx,
+            now: 0,
+            arrived: vec![0; n_ctx],
+            outstanding: vec![0; n_ctx],
+            first_arrival: vec![0; n_ctx],
+            last_arrival: vec![0; n_ctx],
+            stats: vec![GlineStats::default(); n_ctx],
+        }
+    }
+
+    /// The global mesh this network spans.
+    pub fn mesh(&self) -> Mesh2D {
+        self.mesh
+    }
+
+    /// The mesh of clusters (each entry is one flat sub-network).
+    pub fn cluster_grid(&self) -> Mesh2D {
+        self.grid
+    }
+
+    /// Total number of G-lines across both levels.
+    pub fn num_glines(&self) -> u32 {
+        self.clusters.iter().map(|c| c.net.num_glines()).sum::<u32>() + self.level2.num_glines()
+    }
+
+    /// Statistics for context `ctx`, with the energy proxy aggregated
+    /// across both levels.
+    pub fn stats(&self, ctx: CtxId) -> GlineStats {
+        let mut s = self.stats[ctx].clone();
+        s.signals = self
+            .clusters
+            .iter()
+            .map(|c| c.net.stats(ctx).signals)
+            .sum::<u64>()
+            + self.level2.stats(ctx).signals;
+        s
+    }
+
+    /// Maps a global core id to (cluster index, local core id).
+    fn locate(&self, core: CoreId) -> (usize, CoreId) {
+        let Coord { row, col } = self.mesh.coord_of(core);
+        let g = Coord::new(row / self.cluster_dim, col / self.cluster_dim);
+        let cluster = self.grid.id_of(g).index();
+        let local = Coord::new(row % self.cluster_dim, col % self.cluster_dim);
+        let local_id = self.clusters[cluster].net.mesh().id_of(local);
+        (cluster, local_id)
+    }
+}
+
+impl BarrierHw for ClusteredBarrierNetwork {
+    fn num_cores(&self) -> usize {
+        self.mesh.num_tiles()
+    }
+
+    fn num_contexts(&self) -> usize {
+        self.num_contexts
+    }
+
+    fn stats(&self, ctx: CtxId) -> GlineStats {
+        ClusteredBarrierNetwork::stats(self, ctx)
+    }
+
+    fn write_bar_reg(&mut self, core: CoreId, ctx: CtxId, value: u64) {
+        let (cluster, local) = self.locate(core);
+        let was_zero = self.clusters[cluster].net.bar_reg(local, ctx) == 0;
+        self.clusters[cluster].net.write_bar_reg(local, ctx, value);
+        if was_zero {
+            if self.arrived[ctx] == 0 {
+                self.first_arrival[ctx] = self.now;
+            }
+            self.arrived[ctx] += 1;
+            self.outstanding[ctx] += 1;
+            self.last_arrival[ctx] = self.now;
+        }
+    }
+
+    fn bar_reg(&self, core: CoreId, ctx: CtxId) -> u64 {
+        let (cluster, local) = self.locate(core);
+        self.clusters[cluster].net.bar_reg(local, ctx)
+    }
+
+    fn all_released(&self, ctx: CtxId) -> bool {
+        self.clusters.iter().all(|c| c.net.all_released(ctx))
+    }
+
+    fn tick(&mut self) {
+        // Snapshot per-context outstanding before the tick to detect the
+        // cores released during this cycle.
+        let before: Vec<usize> = (0..self.num_contexts)
+            .map(|ctx| {
+                self.clusters
+                    .iter()
+                    .map(|c| {
+                        c.net
+                            .mesh()
+                            .tiles()
+                            .filter(|&t| c.net.bar_reg(t, ctx) != 0)
+                            .count()
+                    })
+                    .sum()
+            })
+            .collect();
+
+        // Level-1 networks advance first.
+        for c in &mut self.clusters {
+            c.net.tick();
+        }
+        // Cluster roots that completed announce on the second level (a
+        // register wire between the cluster root and its level-2 slave
+        // controller, so it lands in the same cycle's level-2 tick).
+        for (i, c) in self.clusters.iter_mut().enumerate() {
+            for ctx in 0..self.num_contexts {
+                if !c.forwarded[ctx] && c.net.root_ready(ctx) {
+                    c.forwarded[ctx] = true;
+                    self.level2.write_bar_reg(CoreId::from(i), ctx, 1);
+                }
+            }
+        }
+        self.level2.tick();
+        // Second-level release fans the release back into the clusters.
+        for (i, c) in self.clusters.iter_mut().enumerate() {
+            for ctx in 0..self.num_contexts {
+                if c.forwarded[ctx] && self.level2.bar_reg(CoreId::from(i), ctx) == 0 {
+                    c.forwarded[ctx] = false;
+                    c.net.trigger_release(ctx);
+                }
+            }
+        }
+
+        // Episode accounting.
+        #[allow(clippy::needless_range_loop)] // ctx indexes several parallel arrays
+        for ctx in 0..self.num_contexts {
+            let after: usize = self
+                .clusters
+                .iter()
+                .map(|c| {
+                    c.net
+                        .mesh()
+                        .tiles()
+                        .filter(|&t| c.net.bar_reg(t, ctx) != 0)
+                        .count()
+                })
+                .sum();
+            let released = before[ctx].saturating_sub(after) as u32;
+            self.outstanding[ctx] = self.outstanding[ctx].saturating_sub(released);
+            if self.arrived[ctx] as usize == self.mesh.num_tiles() && self.outstanding[ctx] == 0 {
+                self.stats[ctx].record(self.first_arrival[ctx], self.last_arrival[ctx], self.now);
+                self.arrived[ctx] = 0;
+            }
+        }
+        self.now += 1;
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GlineConfig {
+        GlineConfig::default()
+    }
+
+    #[test]
+    fn sixteen_by_sixteen_synchronizes_constant_latency() {
+        let mesh = Mesh2D::new(16, 16);
+        let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
+        assert_eq!(net.cluster_grid(), Mesh2D::new(2, 2));
+        let lat = net.run_single_barrier(&vec![0; 256]);
+        // 2 (cluster gather) + 3 (level-2, overlapping 1) + 2 (release) = 7.
+        assert_eq!(lat, 7);
+    }
+
+    #[test]
+    fn single_cluster_degenerate_grid() {
+        // An 8×8 mesh fits in one cluster; the level-2 network is 1×1.
+        let mesh = Mesh2D::new(8, 8);
+        let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
+        assert_eq!(net.cluster_grid(), Mesh2D::new(1, 1));
+        assert_eq!(net.run_single_barrier(&vec![0; 64]), 7);
+    }
+
+    #[test]
+    fn latency_constant_across_large_meshes() {
+        let mut lats = Vec::new();
+        for (r, c) in [(9u16, 9u16), (10, 10), (14, 14), (16, 16), (21, 21), (24, 24)] {
+            let mesh = Mesh2D::new(r, c);
+            let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
+            lats.push(net.run_single_barrier(&vec![0; mesh.num_tiles()]));
+        }
+        assert!(lats.windows(2).all(|w| w[0] == w[1]), "latency not constant: {lats:?}");
+    }
+
+    #[test]
+    fn ragged_mesh_clusters() {
+        // 9×13 with 8×8 clusters → ragged 2×2 grid of clusters.
+        let mesh = Mesh2D::new(9, 13);
+        let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
+        assert_eq!(net.cluster_grid(), Mesh2D::new(2, 2));
+        let lat = net.run_single_barrier(&vec![0; mesh.num_tiles()]);
+        assert_eq!(lat, 7);
+        assert_eq!(net.stats(0).barriers_completed, 1);
+    }
+
+    #[test]
+    fn no_early_release_across_clusters() {
+        let mesh = Mesh2D::new(9, 9);
+        let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
+        // Every core except the last one arrives.
+        for i in 0..80 {
+            net.write_bar_reg(CoreId(i), 0, 1);
+        }
+        for _ in 0..100 {
+            net.tick();
+            assert!(!net.all_released(0));
+            for i in 0..80 {
+                assert_ne!(net.bar_reg(CoreId(i), 0), 0, "core {i} escaped");
+            }
+        }
+        net.write_bar_reg(CoreId(80), 0, 1);
+        for _ in 0..7 {
+            net.tick();
+        }
+        assert!(net.all_released(0));
+    }
+
+    #[test]
+    fn back_to_back_clustered_barriers() {
+        let mesh = Mesh2D::new(16, 16);
+        let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
+        for _ in 0..5 {
+            assert_eq!(net.run_single_barrier(&vec![0; 256]), 7);
+        }
+        assert_eq!(net.stats(0).barriers_completed, 5);
+        assert_eq!(net.stats(0).mean_latency(), 7.0);
+    }
+
+    #[test]
+    fn staggered_arrivals_stats() {
+        let mesh = Mesh2D::new(9, 9);
+        let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
+        let mut arr = vec![0u64; 81];
+        arr[17] = 50;
+        let lat = net.run_single_barrier(&arr);
+        assert_eq!(lat, 7);
+        assert_eq!(net.stats(0).episode.max(), Some(57));
+    }
+
+    #[test]
+    fn multi_context_clustered() {
+        let mesh = Mesh2D::new(9, 9);
+        let mut c = cfg();
+        c.contexts = 2;
+        let mut net = ClusteredBarrierNetwork::new(mesh, c);
+        for i in 0..81 {
+            net.write_bar_reg(CoreId(i), 1, 1);
+        }
+        for _ in 0..7 {
+            net.tick();
+        }
+        assert!(net.all_released(1));
+        // Context 0 was never used and must be untouched.
+        assert!(net.all_released(0));
+        assert_eq!(net.stats(0).barriers_completed, 0);
+        assert_eq!(net.stats(1).barriers_completed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than two G-line levels")]
+    fn three_level_meshes_rejected() {
+        let _ = ClusteredBarrierNetwork::new(Mesh2D::new(70, 70), cfg());
+    }
+
+    #[test]
+    fn gline_budget_counts() {
+        let net = ClusteredBarrierNetwork::new(Mesh2D::new(16, 16), cfg());
+        // Four 8×8 clusters: 2×(8+1)=18 lines each; level-2 2×2: 2×(2+1)=6.
+        assert_eq!(net.num_glines(), 4 * 18 + 6);
+    }
+}

@@ -1,0 +1,195 @@
+//! The G-line wire model with S-CSMA sensing.
+//!
+//! Electrically, a G-line is a differential low-swing global wire that
+//! crosses one chip dimension in a single clock. Krishna et al. (HOTI'08)
+//! showed that the receiver can recover not just the wired-OR value but the
+//! *number* of simultaneous transmitters (S-CSMA), for up to six
+//! transmitters per line. This module models exactly that contract:
+//!
+//! * transmitters call [`GLine::assert_tx`] during a cycle;
+//! * at the end of the cycle the simulator calls [`GLine::propagate`];
+//! * the (single) receiver then reads [`GLine::sensed`], observing the OR
+//!   value and the transmitter count — in the same cycle for the paper's
+//!   1-cycle lines, or `latency - 1` cycles later for the slow-line
+//!   variant of the paper's future work.
+
+use std::collections::VecDeque;
+
+/// What the receiver of a G-line observes at the end of a cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sensed {
+    /// Wired-OR of all transmitter signals.
+    pub value: bool,
+    /// S-CSMA transmitter count (how many asserted this observation).
+    pub count: u32,
+}
+
+/// One G-line: a 1-bit broadcast wire with a transmitter budget and a
+/// propagation latency in cycles.
+#[derive(Clone, Debug)]
+pub struct GLine {
+    /// Electrical transmitter budget (the paper assumes 6).
+    max_transmitters: u32,
+    /// Propagation latency in cycles; 1 means assertions are sensed at the
+    /// end of the same cycle.
+    latency: u32,
+    /// Transmitters asserted during the current (not yet propagated) cycle.
+    pending: u32,
+    /// In-flight values for latency > 1: front is the oldest.
+    pipeline: VecDeque<Sensed>,
+    /// What the receiver currently senses.
+    sensed: Sensed,
+    /// Total signal-cycles ever transmitted (energy proxy).
+    energy_signals: u64,
+}
+
+impl GLine {
+    /// Creates a line. `latency` must be at least 1.
+    ///
+    /// # Panics
+    /// Panics if `latency == 0` or `max_transmitters == 0`.
+    pub fn new(max_transmitters: u32, latency: u32) -> GLine {
+        assert!(latency >= 1, "a G-line needs at least one cycle of latency");
+        assert!(max_transmitters >= 1, "a G-line needs at least one transmitter");
+        GLine {
+            max_transmitters,
+            latency,
+            pending: 0,
+            pipeline: VecDeque::with_capacity(latency as usize),
+            sensed: Sensed::default(),
+            energy_signals: 0,
+        }
+    }
+
+    /// Asserts the line for the current cycle (one transmitter).
+    ///
+    /// # Panics
+    /// Panics if more than `max_transmitters` assert within one cycle —
+    /// that is an electrical violation the network wiring must prevent.
+    pub fn assert_tx(&mut self) {
+        self.pending += 1;
+        assert!(
+            self.pending <= self.max_transmitters,
+            "G-line transmitter budget exceeded: {} > {}",
+            self.pending,
+            self.max_transmitters
+        );
+        self.energy_signals += 1;
+    }
+
+    /// Ends the cycle: pushes the pending assertions through the latency
+    /// pipeline and updates the sensed value.
+    pub fn propagate(&mut self) {
+        let s = Sensed { value: self.pending > 0, count: self.pending };
+        self.pending = 0;
+        self.pipeline.push_back(s);
+        // After `latency` stages the value is observable; keep exactly
+        // latency-1 in-flight entries after popping.
+        self.sensed = if self.pipeline.len() >= self.latency as usize {
+            self.pipeline.pop_front().unwrap()
+        } else {
+            Sensed::default()
+        };
+    }
+
+    /// What the single receiver observes for the cycle just ended.
+    #[inline]
+    pub fn sensed(&self) -> Sensed {
+        self.sensed
+    }
+
+    /// Transmitter budget of this line.
+    pub fn max_transmitters(&self) -> u32 {
+        self.max_transmitters
+    }
+
+    /// Propagation latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Total number of signal-cycles transmitted on this line — the energy
+    /// proxy used by the evaluation harness.
+    pub fn energy_signals(&self) -> u64 {
+        self.energy_signals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_latency_senses_same_cycle() {
+        let mut l = GLine::new(6, 1);
+        l.assert_tx();
+        l.assert_tx();
+        l.propagate();
+        assert_eq!(l.sensed(), Sensed { value: true, count: 2 });
+        // Next cycle with no transmitters: line idle.
+        l.propagate();
+        assert_eq!(l.sensed(), Sensed { value: false, count: 0 });
+    }
+
+    #[test]
+    fn scsma_counts_up_to_budget() {
+        let mut l = GLine::new(6, 1);
+        for _ in 0..6 {
+            l.assert_tx();
+        }
+        l.propagate();
+        assert_eq!(l.sensed().count, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmitter budget exceeded")]
+    fn budget_violation_panics() {
+        let mut l = GLine::new(2, 1);
+        l.assert_tx();
+        l.assert_tx();
+        l.assert_tx();
+    }
+
+    #[test]
+    fn slow_line_delays_observation() {
+        let mut l = GLine::new(6, 3);
+        l.assert_tx();
+        l.propagate(); // cycle 0: in flight
+        assert_eq!(l.sensed(), Sensed::default());
+        l.propagate(); // cycle 1: still in flight
+        assert_eq!(l.sensed(), Sensed::default());
+        l.propagate(); // cycle 2: arrives
+        assert_eq!(l.sensed(), Sensed { value: true, count: 1 });
+        l.propagate(); // cycle 3: idle again
+        assert_eq!(l.sensed(), Sensed::default());
+    }
+
+    #[test]
+    fn slow_line_pipelines_back_to_back_signals() {
+        let mut l = GLine::new(6, 2);
+        l.assert_tx();
+        l.propagate(); // signal A in flight
+        l.assert_tx();
+        l.assert_tx();
+        l.propagate(); // A sensed, B in flight
+        assert_eq!(l.sensed().count, 1);
+        l.propagate(); // B sensed
+        assert_eq!(l.sensed().count, 2);
+    }
+
+    #[test]
+    fn energy_counts_every_assertion() {
+        let mut l = GLine::new(6, 1);
+        for _ in 0..5 {
+            l.assert_tx();
+            l.propagate();
+        }
+        assert_eq!(l.energy_signals(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn zero_latency_rejected() {
+        let _ = GLine::new(6, 0);
+    }
+}

@@ -1,0 +1,736 @@
+//! The complete G-line barrier network for an `R × C` mesh.
+//!
+//! Wiring (Figure 1 of the paper), per barrier context:
+//!
+//! * each row has a **gather** G-line (slaves → row master) and a
+//!   **release** G-line (row master → slaves);
+//! * the first column has a **gather** G-line (row masters of rows ≥ 1,
+//!   through their vertical-slave controllers → the vertical master at
+//!   tile (0,0)) and a **release** G-line (vertical master → vertical
+//!   slaves);
+//! * total: `2 × (rows + 1)` G-lines per context.
+//!
+//! Cores interact with the network only through their `bar_reg` register:
+//! writing a nonzero value announces arrival, and the register reads 0
+//! once every core has arrived (the release resets it in hardware). This
+//! matches the paper's programming idiom:
+//!
+//! ```text
+//! mov 1, bar_reg        # arrival
+//! loop: bnz bar_reg, loop   # wait
+//! ```
+
+use crate::controller::{MasterH, MasterV, SlaveH, SlaveV};
+use crate::line::GLine;
+use crate::stats::GlineStats;
+use sim_base::config::GlineConfig;
+use sim_base::{CoreId, Coord, Cycle, Mesh2D};
+
+/// Identifier of a barrier context (0-based). The baseline design of the
+/// paper has a single context; the future-work extension multiplexes
+/// several in space.
+pub type CtxId = usize;
+
+/// The pair of G-lines serving one row.
+#[derive(Clone, Debug)]
+struct RowNet {
+    gather: GLine,
+    release: GLine,
+}
+
+/// One independent barrier context: its own G-lines, controllers and
+/// `bar_reg` bank.
+#[derive(Clone, Debug)]
+struct Context {
+    /// Participation mask (the §5 "several barrier executions coexist"
+    /// extension: a context may synchronize only a subset of cores).
+    members: Vec<bool>,
+    /// Rows containing at least one member (only their controllers run).
+    row_active: Vec<bool>,
+    num_members: u32,
+    bar_reg: Vec<u64>,
+    /// Horizontal slaves, indexed by core; `None` in column 0.
+    slave_h: Vec<Option<SlaveH>>,
+    /// One horizontal master per row.
+    master_h: Vec<MasterH>,
+    /// Vertical slaves for rows `1..R` (index `row - 1`).
+    slave_v: Vec<SlaveV>,
+    master_v: MasterV,
+    rows: Vec<RowNet>,
+    v_gather: GLine,
+    v_release: GLine,
+    // Episode bookkeeping for statistics.
+    arrived: u32,
+    outstanding: u32,
+    first_arrival: Cycle,
+    last_arrival: Cycle,
+    stats: GlineStats,
+}
+
+impl Context {
+    fn new(mesh: Mesh2D, cfg: GlineConfig, root_gated: bool, members: Vec<bool>) -> Context {
+        assert_eq!(members.len(), mesh.num_tiles(), "one membership bit per core");
+        let num_members = members.iter().filter(|&&m| m).count() as u32;
+        assert!(num_members >= 1, "a barrier context needs at least one member");
+        let row_active: Vec<bool> = (0..mesh.rows)
+            .map(|r| (0..mesh.cols).any(|c| members[mesh.id_of(Coord::new(r, c)).index()]))
+            .collect();
+        let member_slaves_in_row = |r: u16| -> u32 {
+            (1..mesh.cols)
+                .filter(|&c| members[mesh.id_of(Coord::new(r, c)).index()])
+                .count() as u32
+        };
+        let (rows, cols) = (mesh.rows as u32, mesh.cols as u32);
+        let budget = |transmitters: u32| -> u32 {
+            if transmitters <= cfg.max_transmitters {
+                cfg.max_transmitters.max(1)
+            } else {
+                assert!(
+                    cfg.line_latency > 1,
+                    "{}×{} mesh exceeds the {}-transmitter G-line budget; use \
+                     ClusteredBarrierNetwork or line_latency > 1 (repeatered lines)",
+                    mesh.rows,
+                    mesh.cols,
+                    cfg.max_transmitters
+                );
+                transmitters
+            }
+        };
+        let row_nets = (0..rows)
+            .map(|_| RowNet {
+                gather: GLine::new(budget(cols.saturating_sub(1)), cfg.line_latency),
+                release: GLine::new(budget(1), cfg.line_latency),
+            })
+            .collect();
+        let num_cores = mesh.num_tiles();
+        let active_upper_rows =
+            (1..mesh.rows).filter(|&r| row_active[r as usize]).count() as u32;
+        Context {
+            bar_reg: vec![0; num_cores],
+            slave_h: mesh
+                .coords()
+                .map(|c| (c.col > 0 && members[mesh.id_of(c).index()]).then(SlaveH::new))
+                .collect(),
+            master_h: (0..mesh.rows)
+                .map(|r| {
+                    MasterH::new(
+                        member_slaves_in_row(r),
+                        members[mesh.id_of(Coord::new(r, 0)).index()],
+                    )
+                })
+                .collect(),
+            slave_v: (1..rows).map(|_| SlaveV::new()).collect(),
+            master_v: MasterV::new(active_upper_rows, root_gated, row_active[0]),
+            rows: row_nets,
+            members,
+            row_active,
+            num_members,
+            v_gather: GLine::new(budget(rows.saturating_sub(1)), cfg.line_latency),
+            v_release: GLine::new(budget(1), cfg.line_latency),
+            arrived: 0,
+            outstanding: 0,
+            first_arrival: 0,
+            last_arrival: 0,
+            stats: GlineStats::default(),
+        }
+    }
+
+    fn write_bar_reg(&mut self, core: CoreId, value: u64, now: Cycle) {
+        assert!(value != 0, "bar_reg arrival writes must be nonzero (paper §3.3)");
+        assert!(
+            self.members[core.index()],
+            "{core:?} is not a member of this barrier context"
+        );
+        let slot = &mut self.bar_reg[core.index()];
+        if *slot == 0 {
+            if self.arrived == 0 {
+                self.first_arrival = now;
+            }
+            self.arrived += 1;
+            self.outstanding += 1;
+            self.last_arrival = now;
+        }
+        *slot = value;
+    }
+
+    fn tick(&mut self, mesh: Mesh2D, now: Cycle) {
+        let nrows = mesh.rows as usize;
+
+        // --- latch: registered cross-controller commands become visible.
+        for mh in &mut self.master_h {
+            mh.latch();
+        }
+        self.master_v.latch();
+        // Snapshot MasterH flags: values produced up to the end of the
+        // previous cycle, as seen by co-located vertical controllers.
+        let mh_flags: Vec<bool> = self.master_h.iter().map(MasterH::flag).collect();
+
+        // --- transmit.
+        for core in mesh.tiles() {
+            let Coord { row, col } = mesh.coord_of(core);
+            if col > 0 {
+                if let Some(sh) = self.slave_h[core.index()].as_mut() {
+                    let arrived = self.bar_reg[core.index()] != 0;
+                    if sh.transmit(arrived) {
+                        self.rows[row as usize].gather.assert_tx();
+                    }
+                }
+            }
+        }
+        for r in 0..nrows {
+            if !self.row_active[r] {
+                continue;
+            }
+            if self.master_h[r].transmit() {
+                self.rows[r].release.assert_tx();
+                // The row master's own core is released by the master itself
+                // (if it participates).
+                let own = mesh.id_of(Coord::new(r as u16, 0));
+                if self.members[own.index()] {
+                    self.clear_bar_reg(own);
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // r indexes three parallel structures
+        for r in 1..nrows {
+            if self.row_active[r] && self.slave_v[r - 1].transmit(mh_flags[r]) {
+                self.v_gather.assert_tx();
+            }
+        }
+        if self.master_v.transmit() {
+            self.v_release.assert_tx();
+            // Row 0's master is co-located with the vertical master: it is
+            // commanded through a register, not through a G-line.
+            if self.row_active[0] {
+                self.master_h[0].command_release();
+            }
+        }
+
+        // --- propagate.
+        for rn in &mut self.rows {
+            rn.gather.propagate();
+            rn.release.propagate();
+        }
+        self.v_gather.propagate();
+        self.v_release.propagate();
+
+        // --- receive.
+        for core in mesh.tiles() {
+            let Coord { row, col } = mesh.coord_of(core);
+            if col > 0 {
+                let sensed = self.rows[row as usize].release.sensed();
+                if let Some(sh) = self.slave_h[core.index()].as_mut() {
+                    if sh.receive(sensed) {
+                        self.clear_bar_reg(core);
+                    }
+                }
+            }
+        }
+        for r in 0..nrows {
+            if !self.row_active[r] {
+                continue;
+            }
+            let own = mesh.id_of(Coord::new(r as u16, 0));
+            let arrived = self.members[own.index()] && self.bar_reg[own.index()] != 0;
+            let sensed = self.rows[r].gather.sensed();
+            self.master_h[r].receive(sensed, arrived);
+        }
+        for r in 1..nrows {
+            if self.row_active[r] && self.slave_v[r - 1].receive(self.v_release.sensed()) {
+                self.master_h[r].command_release();
+            }
+        }
+        self.master_v.receive(self.v_gather.sensed(), mh_flags[0]);
+
+        // --- episode accounting.
+        if self.arrived == self.num_members && self.outstanding == 0 {
+            self.stats.record(self.first_arrival, self.last_arrival, now);
+            self.arrived = 0;
+        }
+    }
+
+    fn clear_bar_reg(&mut self, core: CoreId) {
+        if self.bar_reg[core.index()] != 0 {
+            self.bar_reg[core.index()] = 0;
+            debug_assert!(self.outstanding > 0);
+            self.outstanding -= 1;
+        }
+    }
+
+    fn energy(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.gather.energy_signals() + r.release.energy_signals())
+            .sum::<u64>()
+            + self.v_gather.energy_signals()
+            + self.v_release.energy_signals()
+    }
+}
+
+/// A G-line barrier network for a mesh of cores, with one or more
+/// independent barrier contexts.
+///
+/// Integration contract with a cycle-level simulator:
+///
+/// 1. during a cycle, cores may call [`write_bar_reg`](Self::write_bar_reg)
+///    (arrival) and read [`bar_reg`](Self::bar_reg) (spin);
+/// 2. at the end of every cycle the simulator calls [`tick`](Self::tick)
+///    exactly once.
+#[derive(Clone, Debug)]
+pub struct BarrierNetwork {
+    mesh: Mesh2D,
+    cfg: GlineConfig,
+    contexts: Vec<Context>,
+    now: Cycle,
+}
+
+impl BarrierNetwork {
+    /// Builds the network. Panics if the mesh exceeds the G-line
+    /// transmitter budget at 1-cycle latency (8×8 at the default budget) — use
+    /// [`crate::ClusteredBarrierNetwork`] or a higher `line_latency`.
+    pub fn new(mesh: Mesh2D, cfg: GlineConfig) -> BarrierNetwork {
+        BarrierNetwork::with_gated_root(mesh, cfg, false)
+    }
+
+    /// Like [`BarrierNetwork::new`], but the release is gated at the root:
+    /// once all cores arrive the network parks in *root-ready* and waits
+    /// for [`trigger_release`](Self::trigger_release). Building block for
+    /// hierarchical composition.
+    pub fn with_gated_root(mesh: Mesh2D, cfg: GlineConfig, gated: bool) -> BarrierNetwork {
+        assert!(cfg.contexts >= 1, "at least one barrier context");
+        let contexts = (0..cfg.contexts)
+            .map(|_| Context::new(mesh, cfg, gated, vec![true; mesh.num_tiles()]))
+            .collect();
+        BarrierNetwork { mesh, cfg, contexts, now: 0 }
+    }
+
+    /// Builds the network with an explicit participation mask per
+    /// context (the paper's §5 coexisting-barriers extension: each
+    /// context synchronizes only its member cores). `masks.len()` must
+    /// equal `cfg.contexts`; every mask needs at least one member.
+    pub fn with_members(mesh: Mesh2D, cfg: GlineConfig, masks: Vec<Vec<bool>>) -> BarrierNetwork {
+        assert_eq!(masks.len(), cfg.contexts as usize, "one mask per context");
+        let contexts =
+            masks.into_iter().map(|m| Context::new(mesh, cfg, false, m)).collect();
+        BarrierNetwork { mesh, cfg, contexts, now: 0 }
+    }
+
+    /// The participation mask of a context.
+    pub fn members(&self, ctx: CtxId) -> &[bool] {
+        &self.contexts[ctx].members
+    }
+
+    /// Mesh this network spans.
+    pub fn mesh(&self) -> Mesh2D {
+        self.mesh
+    }
+
+    /// Configuration used to build the network.
+    pub fn config(&self) -> GlineConfig {
+        self.cfg
+    }
+
+    /// Number of independent barrier contexts.
+    pub fn num_contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Total G-lines in the network: `2 × (rows + 1)` per context.
+    pub fn num_glines(&self) -> u32 {
+        self.contexts.len() as u32 * 2 * (self.mesh.rows as u32 + 1)
+    }
+
+    /// The current cycle (number of [`tick`](Self::tick)s performed).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Core `core` announces arrival at barrier context `ctx` by writing a
+    /// nonzero value into its `bar_reg`.
+    pub fn write_bar_reg(&mut self, core: CoreId, ctx: CtxId, value: u64) {
+        let now = self.now;
+        self.contexts[ctx].write_bar_reg(core, value, now);
+    }
+
+    /// Reads core `core`'s `bar_reg` for context `ctx`. Cores spin on this
+    /// until it returns 0.
+    pub fn bar_reg(&self, core: CoreId, ctx: CtxId) -> u64 {
+        self.contexts[ctx].bar_reg[core.index()]
+    }
+
+    /// True iff every core has a cleared `bar_reg` in context `ctx`.
+    pub fn all_released(&self, ctx: CtxId) -> bool {
+        self.contexts[ctx].bar_reg.iter().all(|&v| v == 0)
+    }
+
+    /// True iff a gated-root context has gathered every core and is
+    /// waiting for [`trigger_release`](Self::trigger_release).
+    pub fn root_ready(&self, ctx: CtxId) -> bool {
+        self.contexts[ctx].master_v.root_ready()
+    }
+
+    /// Starts the release wave of a gated-root context (effective next
+    /// cycle). Panics if the context is not root-ready.
+    pub fn trigger_release(&mut self, ctx: CtxId) {
+        self.contexts[ctx].master_v.trigger_release();
+    }
+
+    /// Advances the network by one clock cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        for ctx in &mut self.contexts {
+            ctx.tick(self.mesh, now);
+        }
+        self.now += 1;
+    }
+
+    /// Statistics of context `ctx` (energy refreshed on read).
+    pub fn stats(&self, ctx: CtxId) -> GlineStats {
+        let c = &self.contexts[ctx];
+        let mut s = c.stats.clone();
+        s.signals = c.energy();
+        s
+    }
+
+}
+
+/// Common interface of barrier hardware: the flat [`BarrierNetwork`] and
+/// the two-level [`crate::ClusteredBarrierNetwork`] both implement it, so
+/// simulators and benchmarks can swap one for the other.
+pub trait BarrierHw {
+    /// Number of cores the hardware synchronizes.
+    fn num_cores(&self) -> usize;
+    /// Core announces arrival at context `ctx` (nonzero `value`).
+    fn write_bar_reg(&mut self, core: CoreId, ctx: CtxId, value: u64);
+    /// Reads a core's `bar_reg` for context `ctx` (0 = released).
+    fn bar_reg(&self, core: CoreId, ctx: CtxId) -> u64;
+    /// True iff every core's `bar_reg` is clear in context `ctx`.
+    fn all_released(&self, ctx: CtxId) -> bool;
+    /// Advances one clock cycle.
+    fn tick(&mut self);
+    /// Cycles ticked so far.
+    fn now(&self) -> Cycle;
+    /// Number of independent barrier contexts this hardware offers.
+    fn num_contexts(&self) -> usize;
+    /// Statistics of one context.
+    fn stats(&self, ctx: CtxId) -> GlineStats;
+
+    /// Convenience driver for tests and benchmarks: runs one complete
+    /// barrier on context 0 where core `i` arrives at `arrivals[i]`
+    /// (relative to the current cycle), and returns the cycle count from
+    /// the last arrival to the release (inclusive) — the paper's barrier
+    /// latency, ideally 4 for the flat network.
+    ///
+    /// Panics if the barrier does not complete within a generous deadline
+    /// (wiring-bug guard).
+    fn run_single_barrier(&mut self, arrivals: &[Cycle]) -> u64 {
+        assert_eq!(arrivals.len(), self.num_cores(), "one arrival time per core");
+        let last = *arrivals.iter().max().expect("at least one core");
+        let base = self.now();
+        let deadline = base + last + 1024;
+        loop {
+            for (i, &a) in arrivals.iter().enumerate() {
+                if base + a == self.now() && self.bar_reg(CoreId::from(i), 0) == 0 {
+                    self.write_bar_reg(CoreId::from(i), 0, 1);
+                }
+            }
+            self.tick();
+            if self.now() > base + last && self.all_released(0) {
+                return self.now() - (base + last);
+            }
+            assert!(self.now() < deadline, "barrier did not complete before the deadline");
+        }
+    }
+}
+
+impl BarrierHw for BarrierNetwork {
+    fn num_cores(&self) -> usize {
+        self.mesh.num_tiles()
+    }
+    fn num_contexts(&self) -> usize {
+        BarrierNetwork::num_contexts(self)
+    }
+    fn stats(&self, ctx: CtxId) -> GlineStats {
+        BarrierNetwork::stats(self, ctx)
+    }
+    fn write_bar_reg(&mut self, core: CoreId, ctx: CtxId, value: u64) {
+        BarrierNetwork::write_bar_reg(self, core, ctx, value);
+    }
+    fn bar_reg(&self, core: CoreId, ctx: CtxId) -> u64 {
+        BarrierNetwork::bar_reg(self, core, ctx)
+    }
+    fn all_released(&self, ctx: CtxId) -> bool {
+        BarrierNetwork::all_released(self, ctx)
+    }
+    fn tick(&mut self) {
+        BarrierNetwork::tick(self);
+    }
+    fn now(&self) -> Cycle {
+        BarrierNetwork::now(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GlineConfig {
+        GlineConfig::default()
+    }
+
+    fn all_zero(n: usize) -> Vec<Cycle> {
+        vec![0; n]
+    }
+
+    #[test]
+    fn four_cycles_on_2x2_matches_figure_2() {
+        let mut net = BarrierNetwork::new(Mesh2D::new(2, 2), cfg());
+        assert_eq!(net.run_single_barrier(&all_zero(4)), 4);
+    }
+
+    #[test]
+    fn four_cycles_on_paper_32_core_mesh() {
+        let mut net = BarrierNetwork::new(Mesh2D::new(4, 8), cfg());
+        assert_eq!(net.run_single_barrier(&all_zero(32)), 4);
+    }
+
+    #[test]
+    fn four_cycles_on_every_mesh_up_to_8x8() {
+        for r in 1..=8u16 {
+            for c in 1..=8u16 {
+                let mesh = Mesh2D::new(r, c);
+                let mut net = BarrierNetwork::new(mesh, cfg());
+                assert_eq!(
+                    net.run_single_barrier(&all_zero(mesh.num_tiles())),
+                    4,
+                    "latency wrong on {r}×{c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staggered_arrivals_release_after_last() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut net = BarrierNetwork::new(mesh, cfg());
+        // Core 3 is 100 cycles late.
+        let lat = net.run_single_barrier(&[0, 5, 2, 100]);
+        assert_eq!(lat, 4);
+        let s = net.stats(0);
+        assert_eq!(s.barriers_completed, 1);
+        assert_eq!(s.episode.max(), Some(104)); // first at 0, release at 103
+    }
+
+    #[test]
+    fn no_core_released_before_all_arrive() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut net = BarrierNetwork::new(mesh, cfg());
+        for i in 0..3 {
+            net.write_bar_reg(CoreId(i), 0, 1);
+        }
+        for _ in 0..50 {
+            net.tick();
+            for i in 0..3 {
+                assert_ne!(net.bar_reg(CoreId(i), 0), 0, "core {i} escaped early");
+            }
+        }
+        net.write_bar_reg(CoreId(3), 0, 1);
+        for _ in 0..4 {
+            net.tick();
+        }
+        assert!(net.all_released(0));
+    }
+
+    #[test]
+    fn back_to_back_barriers() {
+        let mesh = Mesh2D::new(2, 4);
+        let n = mesh.num_tiles();
+        let mut net = BarrierNetwork::new(mesh, cfg());
+        for episode in 0..10 {
+            assert_eq!(net.run_single_barrier(&all_zero(n)), 4, "episode {episode}");
+        }
+        assert_eq!(net.stats(0).barriers_completed, 10);
+        assert_eq!(net.stats(0).mean_latency(), 4.0);
+    }
+
+    #[test]
+    fn contexts_are_independent() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut gcfg = cfg();
+        gcfg.contexts = 2;
+        let mut net = BarrierNetwork::new(mesh, gcfg);
+        // All cores arrive in ctx 0; only some in ctx 1.
+        for i in 0..4 {
+            net.write_bar_reg(CoreId(i), 0, 1);
+        }
+        net.write_bar_reg(CoreId(0), 1, 1);
+        for _ in 0..8 {
+            net.tick();
+        }
+        assert!(net.all_released(0), "ctx 0 must complete");
+        assert_ne!(net.bar_reg(CoreId(0), 1), 0, "ctx 1 must still hold core 0");
+        // Finish ctx 1.
+        for i in 1..4 {
+            net.write_bar_reg(CoreId(i), 1, 1);
+        }
+        for _ in 0..4 {
+            net.tick();
+        }
+        assert!(net.all_released(1));
+    }
+
+    #[test]
+    fn masked_context_synchronizes_only_members() {
+        // 2×4 mesh: context 0 = left half, context 1 = right half.
+        let mesh = Mesh2D::new(2, 4);
+        let gcfg = GlineConfig { contexts: 2, ..cfg() };
+        let left: Vec<bool> = mesh.coords().map(|c| c.col < 2).collect();
+        let right: Vec<bool> = mesh.coords().map(|c| c.col >= 2).collect();
+        let mut net = BarrierNetwork::with_members(mesh, gcfg, vec![left.clone(), right]);
+        // All left members arrive in ctx 0; ctx 1 untouched.
+        for (i, &m) in left.iter().enumerate() {
+            if m {
+                net.write_bar_reg(CoreId::from(i), 0, 1);
+            }
+        }
+        for _ in 0..4 {
+            net.tick();
+        }
+        assert!(net.all_released(0), "left-half barrier must complete in 4 cycles");
+        assert_eq!(net.stats(0).barriers_completed, 1);
+        assert_eq!(net.stats(0).latency.max(), Some(4));
+        assert_eq!(net.stats(1).barriers_completed, 0);
+    }
+
+    #[test]
+    fn masked_context_with_empty_rows() {
+        // Members only in the bottom row: row 0 is inactive, the
+        // vertical master must complete without it.
+        let mesh = Mesh2D::new(3, 3);
+        let gcfg = GlineConfig { contexts: 1, ..cfg() };
+        let mask: Vec<bool> = mesh.coords().map(|c| c.row == 2).collect();
+        let mut net = BarrierNetwork::with_members(mesh, gcfg, vec![mask.clone()]);
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                net.write_bar_reg(CoreId::from(i), 0, 1);
+            }
+        }
+        for _ in 0..4 {
+            net.tick();
+        }
+        assert!(net.all_released(0));
+        assert_eq!(net.stats(0).barriers_completed, 1);
+    }
+
+    #[test]
+    fn masked_single_member_context() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut mask = vec![false; 4];
+        mask[3] = true;
+        let mut net = BarrierNetwork::with_members(mesh, cfg(), vec![mask]);
+        net.write_bar_reg(CoreId(3), 0, 1);
+        for _ in 0..4 {
+            net.tick();
+        }
+        assert!(net.all_released(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn non_member_arrival_rejected() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut mask = vec![true; 4];
+        mask[2] = false;
+        let mut net = BarrierNetwork::with_members(mesh, cfg(), vec![mask]);
+        net.write_bar_reg(CoreId(2), 0, 1);
+    }
+
+    #[test]
+    fn masked_back_to_back_episodes() {
+        let mesh = Mesh2D::new(2, 4);
+        let mask: Vec<bool> = mesh.coords().map(|c| (c.row + c.col) % 2 == 0).collect();
+        let mut net = BarrierNetwork::with_members(mesh, cfg(), vec![mask.clone()]);
+        for _ in 0..5 {
+            for (i, &m) in mask.iter().enumerate() {
+                if m {
+                    net.write_bar_reg(CoreId::from(i), 0, 1);
+                }
+            }
+            let mut guard = 0;
+            while !net.all_released(0) {
+                net.tick();
+                guard += 1;
+                assert!(guard < 10);
+            }
+        }
+        assert_eq!(net.stats(0).barriers_completed, 5);
+        assert_eq!(net.stats(0).mean_latency(), 4.0);
+    }
+
+    #[test]
+    fn gline_count_formula() {
+        let net = BarrierNetwork::new(Mesh2D::new(4, 4), cfg());
+        assert_eq!(net.num_glines(), 10); // paper: 10 for a 16-core CMP
+        let net = BarrierNetwork::new(Mesh2D::new(4, 8), cfg());
+        assert_eq!(net.num_glines(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "G-line budget")]
+    fn oversized_mesh_rejected_at_unit_latency() {
+        let _ = BarrierNetwork::new(Mesh2D::new(9, 9), cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "G-line budget")]
+    fn strict_paper_budget_rejects_4x8() {
+        // With the paper's literal 6-transmitter budget, its own 32-core
+        // 4×8 evaluation mesh does not fit (see GlineConfig docs).
+        let gcfg = GlineConfig { max_transmitters: 6, ..cfg() };
+        let _ = BarrierNetwork::new(Mesh2D::new(4, 8), gcfg);
+    }
+
+    #[test]
+    fn oversized_mesh_allowed_with_slow_lines() {
+        let mesh = Mesh2D::new(10, 10);
+        let gcfg = GlineConfig { line_latency: 2, ..cfg() };
+        let mut net = BarrierNetwork::new(mesh, gcfg);
+        let lat = net.run_single_barrier(&all_zero(100));
+        // Two-cycle lines double each of the 4 line traversals.
+        assert_eq!(lat, 8);
+    }
+
+    #[test]
+    fn gated_root_holds_until_triggered() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut net = BarrierNetwork::with_gated_root(mesh, cfg(), true);
+        for i in 0..4 {
+            net.write_bar_reg(CoreId(i), 0, 1);
+        }
+        for _ in 0..20 {
+            net.tick();
+        }
+        assert!(net.root_ready(0));
+        assert!(!net.all_released(0), "gated root must hold the release");
+        net.trigger_release(0);
+        for _ in 0..3 {
+            net.tick();
+        }
+        assert!(net.all_released(0));
+    }
+
+    #[test]
+    fn energy_counts_signals() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut net = BarrierNetwork::new(mesh, cfg());
+        net.run_single_barrier(&all_zero(4));
+        // 2 SlaveH pulses + 1 SlaveV pulse + 1 MglineV + 2 MglineH = 6.
+        assert_eq!(net.stats(0).signals, 6);
+    }
+
+    #[test]
+    fn single_core_mesh_still_synchronizes() {
+        let mut net = BarrierNetwork::new(Mesh2D::new(1, 1), cfg());
+        assert_eq!(net.run_single_barrier(&[0]), 4);
+    }
+}

@@ -1,0 +1,264 @@
+//! 2D-mesh geometry.
+//!
+//! The simulated CMP is a tiled design laid out as a `rows × cols` mesh.
+//! Tiles are numbered row-major, which is also the numbering the G-line
+//! barrier network uses: the *master* controllers sit in column 0, and the
+//! column-0 tile of row 0 hosts the vertical master.
+
+use crate::ids::CoreId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position in the mesh: `(row, col)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Row, `0..rows`.
+    pub row: u16,
+    /// Column, `0..cols`.
+    pub col: u16,
+}
+
+impl Coord {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(row: u16, col: u16) -> Coord {
+        Coord { row, col }
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// Direction of a mesh link, from the perspective of a router.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Dir {
+    /// Toward row - 1.
+    North,
+    /// Toward row + 1.
+    South,
+    /// Toward col + 1.
+    East,
+    /// Toward col - 1.
+    West,
+    /// The local tile port (ejection/injection).
+    Local,
+}
+
+impl Dir {
+    /// The four mesh directions, excluding `Local`.
+    pub const MESH: [Dir; 4] = [Dir::North, Dir::South, Dir::East, Dir::West];
+
+    /// All five router ports.
+    pub const ALL: [Dir; 5] = [Dir::North, Dir::South, Dir::East, Dir::West, Dir::Local];
+
+    /// The opposite direction (the port a neighbouring router receives on).
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+            Dir::Local => Dir::Local,
+        }
+    }
+
+    /// Dense index 0..5 for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Dir::North => 0,
+            Dir::South => 1,
+            Dir::East => 2,
+            Dir::West => 3,
+            Dir::Local => 4,
+        }
+    }
+}
+
+/// A `rows × cols` 2D mesh with row-major tile numbering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Mesh2D {
+    /// Number of rows.
+    pub rows: u16,
+    /// Number of columns.
+    pub cols: u16,
+}
+
+impl Mesh2D {
+    /// Creates a mesh; panics on an empty dimension.
+    pub fn new(rows: u16, cols: u16) -> Mesh2D {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be nonzero");
+        Mesh2D { rows, cols }
+    }
+
+    /// The squarest mesh holding exactly `n` tiles: prefers `r × c` with
+    /// `r <= c`, `r * c == n` and `c - r` minimal (e.g. 32 → 4×8, 16 → 4×4).
+    pub fn squarest(n: usize) -> Mesh2D {
+        assert!(n > 0 && n <= u16::MAX as usize);
+        let mut best = (1u16, n as u16);
+        let mut r = 1usize;
+        while r * r <= n {
+            if n.is_multiple_of(r) {
+                best = (r as u16, (n / r) as u16);
+            }
+            r += 1;
+        }
+        Mesh2D::new(best.0, best.1)
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn num_tiles(self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// Row-major tile id for a coordinate.
+    #[inline]
+    pub fn id_of(self, c: Coord) -> CoreId {
+        debug_assert!(c.row < self.rows && c.col < self.cols, "{c:?} outside {self:?}");
+        CoreId(c.row * self.cols + c.col)
+    }
+
+    /// Coordinate of a tile id.
+    #[inline]
+    pub fn coord_of(self, id: CoreId) -> Coord {
+        debug_assert!((id.index()) < self.num_tiles(), "{id:?} outside {self:?}");
+        Coord { row: id.0 / self.cols, col: id.0 % self.cols }
+    }
+
+    /// Iterator over all tile ids in row-major order.
+    pub fn tiles(self) -> impl Iterator<Item = CoreId> {
+        (0..self.num_tiles()).map(CoreId::from)
+    }
+
+    /// Iterator over all coordinates in row-major order.
+    pub fn coords(self) -> impl Iterator<Item = Coord> {
+        let cols = self.cols;
+        let rows = self.rows;
+        (0..rows).flat_map(move |r| (0..cols).map(move |c| Coord::new(r, c)))
+    }
+
+    /// The neighbouring coordinate in direction `d`, if it exists.
+    pub fn neighbor(self, c: Coord, d: Dir) -> Option<Coord> {
+        let (row, col) = (c.row as i32, c.col as i32);
+        let (nr, nc) = match d {
+            Dir::North => (row - 1, col),
+            Dir::South => (row + 1, col),
+            Dir::East => (row, col + 1),
+            Dir::West => (row, col - 1),
+            Dir::Local => return Some(c),
+        };
+        if nr < 0 || nc < 0 || nr >= self.rows as i32 || nc >= self.cols as i32 {
+            None
+        } else {
+            Some(Coord::new(nr as u16, nc as u16))
+        }
+    }
+
+    /// Manhattan distance between two coordinates (number of mesh hops
+    /// under dimension-ordered routing).
+    pub fn manhattan(self, a: Coord, b: Coord) -> u32 {
+        let dr = (a.row as i32 - b.row as i32).unsigned_abs();
+        let dc = (a.col as i32 - b.col as i32).unsigned_abs();
+        dr + dc
+    }
+
+    /// The next direction on the XY (column-first… actually X-then-Y:
+    /// correct column, then row) route from `from` toward `to`. Returns
+    /// `Dir::Local` when already there.
+    pub fn xy_next(self, from: Coord, to: Coord) -> Dir {
+        if from.col < to.col {
+            Dir::East
+        } else if from.col > to.col {
+            Dir::West
+        } else if from.row < to.row {
+            Dir::South
+        } else if from.row > to.row {
+            Dir::North
+        } else {
+            Dir::Local
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coord_round_trip() {
+        let m = Mesh2D::new(4, 8);
+        for id in m.tiles() {
+            assert_eq!(m.id_of(m.coord_of(id)), id);
+        }
+        assert_eq!(m.num_tiles(), 32);
+    }
+
+    #[test]
+    fn squarest_shapes() {
+        assert_eq!(Mesh2D::squarest(32), Mesh2D::new(4, 8));
+        assert_eq!(Mesh2D::squarest(16), Mesh2D::new(4, 4));
+        assert_eq!(Mesh2D::squarest(1), Mesh2D::new(1, 1));
+        assert_eq!(Mesh2D::squarest(2), Mesh2D::new(1, 2));
+        assert_eq!(Mesh2D::squarest(7), Mesh2D::new(1, 7));
+        assert_eq!(Mesh2D::squarest(12), Mesh2D::new(3, 4));
+    }
+
+    #[test]
+    fn neighbors_at_edges() {
+        let m = Mesh2D::new(2, 2);
+        let c00 = Coord::new(0, 0);
+        assert_eq!(m.neighbor(c00, Dir::North), None);
+        assert_eq!(m.neighbor(c00, Dir::West), None);
+        assert_eq!(m.neighbor(c00, Dir::South), Some(Coord::new(1, 0)));
+        assert_eq!(m.neighbor(c00, Dir::East), Some(Coord::new(0, 1)));
+        assert_eq!(m.neighbor(c00, Dir::Local), Some(c00));
+    }
+
+    #[test]
+    fn xy_route_reaches_destination() {
+        let m = Mesh2D::new(4, 8);
+        let from = Coord::new(3, 0);
+        let to = Coord::new(0, 7);
+        let mut cur = from;
+        let mut hops = 0;
+        loop {
+            let d = m.xy_next(cur, to);
+            if d == Dir::Local {
+                break;
+            }
+            cur = m.neighbor(cur, d).expect("route stays in mesh");
+            hops += 1;
+            assert!(hops <= 32, "route did not terminate");
+        }
+        assert_eq!(cur, to);
+        assert_eq!(hops, m.manhattan(from, to));
+    }
+
+    #[test]
+    fn xy_corrects_x_before_y() {
+        let m = Mesh2D::new(4, 4);
+        assert_eq!(m.xy_next(Coord::new(2, 1), Coord::new(0, 3)), Dir::East);
+        assert_eq!(m.xy_next(Coord::new(2, 3), Coord::new(0, 3)), Dir::North);
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn manhattan_symmetry() {
+        let m = Mesh2D::new(5, 5);
+        let a = Coord::new(1, 4);
+        let b = Coord::new(3, 0);
+        assert_eq!(m.manhattan(a, b), m.manhattan(b, a));
+        assert_eq!(m.manhattan(a, a), 0);
+        assert_eq!(m.manhattan(a, b), 6);
+    }
+}

@@ -1,0 +1,160 @@
+//! Strongly-typed identifiers used across the simulator.
+//!
+//! Using newtypes instead of bare integers makes it impossible to confuse a
+//! core index with a byte address or a cache-line number — bugs that are
+//! otherwise common in simulator code where everything is a `usize`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a core / tile. Tiles are numbered row-major over the mesh:
+/// tile `r * cols + c` sits at row `r`, column `c`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// Returns the raw index as a `usize`, for indexing per-core tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u16::MAX as usize, "core id {v} out of range");
+        CoreId(v as u16)
+    }
+}
+
+/// A byte address in the simulated physical address space.
+///
+/// The simulated machine is word-addressed at an 8-byte granularity for
+/// data accesses; `Addr` is nevertheless kept byte-granular so cache-line
+/// arithmetic matches real hardware.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Addr(pub u64);
+
+/// Number of bytes in a machine word (one register / one scalar element).
+pub const WORD_BYTES: u64 = 8;
+
+impl Addr {
+    /// Address of the `i`-th word.
+    #[inline]
+    pub fn of_word(i: u64) -> Addr {
+        Addr(i * WORD_BYTES)
+    }
+
+    /// The word index this address falls into.
+    #[inline]
+    pub fn word_index(self) -> u64 {
+        self.0 / WORD_BYTES
+    }
+
+    /// The cache line this address falls into, for a given line size.
+    #[inline]
+    pub fn line(self, line_bytes: u64) -> LineAddr {
+        debug_assert!(line_bytes.is_power_of_two());
+        LineAddr(self.0 / line_bytes)
+    }
+
+    /// Byte offset within its cache line.
+    #[inline]
+    pub fn line_offset(self, line_bytes: u64) -> u64 {
+        self.0 % line_bytes
+    }
+
+    /// Returns the address advanced by `words` machine words.
+    #[inline]
+    pub fn add_words(self, words: u64) -> Addr {
+        Addr(self.0 + words * WORD_BYTES)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A cache-line number (byte address divided by the line size).
+///
+/// All coherence-protocol state is keyed by `LineAddr`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Byte address of the first byte of the line.
+    #[inline]
+    pub fn base(self, line_bytes: u64) -> Addr {
+        Addr(self.0 * line_bytes)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_addressing_round_trips() {
+        for i in [0u64, 1, 7, 8, 1024, 123_456] {
+            assert_eq!(Addr::of_word(i).word_index(), i);
+        }
+    }
+
+    #[test]
+    fn line_math() {
+        let a = Addr(0x1234);
+        assert_eq!(a.line(64), LineAddr(0x1234 / 64));
+        assert_eq!(a.line_offset(64), 0x1234 % 64);
+        assert_eq!(a.line(64).base(64), Addr(0x1234 / 64 * 64));
+    }
+
+    #[test]
+    fn add_words_advances_bytes() {
+        assert_eq!(Addr(0).add_words(3), Addr(24));
+        assert_eq!(Addr(8).add_words(1), Addr(16));
+    }
+
+    #[test]
+    fn core_id_from_usize_and_index() {
+        let c = CoreId::from(17usize);
+        assert_eq!(c.index(), 17);
+        assert_eq!(format!("{c:?}"), "core17");
+        assert_eq!(format!("{c}"), "17");
+    }
+
+    #[test]
+    fn addr_debug_is_hex() {
+        assert_eq!(format!("{:?}", Addr(255)), "0xff");
+        assert_eq!(format!("{:?}", LineAddr(16)), "L0x10");
+    }
+
+    #[test]
+    fn same_line_words_share_line() {
+        // 64-byte lines hold 8 words.
+        let l0 = Addr::of_word(0).line(64);
+        for w in 0..8 {
+            assert_eq!(Addr::of_word(w).line(64), l0);
+        }
+        assert_ne!(Addr::of_word(8).line(64), l0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Foundations shared by every crate of the `gline-cmp` simulator.
+//!
+//! This crate deliberately has no knowledge of caches, networks or barriers.
+//! It provides the vocabulary the rest of the system speaks:
+//!
+//! * [`ids`] — strongly-typed identifiers for cores/tiles and memory
+//!   addresses (word- and line-granular).
+//! * [`geom`] — 2D-mesh geometry: coordinates, enumeration orders,
+//!   Manhattan distances and XY-routing hop counts.
+//! * [`clock`] — the global cycle counter type and a small clock helper.
+//! * [`config`] — every tunable of the simulated CMP, with the exact
+//!   ICPP 2010 Table 1 preset.
+//! * [`stats`] — counters, histograms and the execution-time /
+//!   network-traffic categories used by the paper's Figures 6 and 7.
+//! * [`rng`] — a tiny deterministic SplitMix64 generator so that core
+//!   simulator crates do not need an external RNG dependency.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod config;
+pub mod geom;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Clock, Cycle};
+pub use config::CmpConfig;
+pub use geom::{Coord, Mesh2D};
+pub use ids::{Addr, CoreId, LineAddr};

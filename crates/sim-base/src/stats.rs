@@ -1,0 +1,352 @@
+//! Statistics plumbing: the categories of Figures 6 and 7, counters and
+//! histograms.
+//!
+//! The paper breaks **execution time** into `Barrier`, `Write`, `Read`,
+//! `Lock` and `Busy` (Figure 6) and **network traffic** into `Coherence`,
+//! `Request` and `Reply` messages (Figure 7). These enums are shared by the
+//! memory system, the NoC and the reporting harness so every crate counts
+//! into the same buckets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{AddAssign, Index, IndexMut};
+
+/// Execution-time categories of Figure 6.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TimeCat {
+    /// Time in barrier notification + busy-wait + release (S1+S2+S3).
+    Barrier,
+    /// Stall cycles attributable to stores.
+    Write,
+    /// Stall cycles attributable to loads.
+    Read,
+    /// Time in lock acquisition/release.
+    Lock,
+    /// Computation (issue of ALU ops and non-stalled cycles).
+    Busy,
+}
+
+impl TimeCat {
+    /// All categories, in the paper's legend order.
+    pub const ALL: [TimeCat; 5] =
+        [TimeCat::Barrier, TimeCat::Write, TimeCat::Read, TimeCat::Lock, TimeCat::Busy];
+
+    /// Dense index for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TimeCat::Barrier => 0,
+            TimeCat::Write => 1,
+            TimeCat::Read => 2,
+            TimeCat::Lock => 3,
+            TimeCat::Busy => 4,
+        }
+    }
+
+    /// Display label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeCat::Barrier => "Barrier",
+            TimeCat::Write => "Write",
+            TimeCat::Read => "Read",
+            TimeCat::Lock => "Lock",
+            TimeCat::Busy => "Busy",
+        }
+    }
+}
+
+/// Network-traffic categories of Figure 7. Each maps to one virtual
+/// network in the NoC, which also gives protocol deadlock freedom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MsgClass {
+    /// Load/store/atomic requests travelling to an L2 home bank.
+    Request,
+    /// Data and acknowledgement replies.
+    Reply,
+    /// Protocol-generated traffic: invalidations, fetches, write-backs,
+    /// invalidation acks.
+    Coherence,
+}
+
+impl MsgClass {
+    /// All classes, in the paper's legend order (bottom-up in Fig. 7).
+    pub const ALL: [MsgClass; 3] = [MsgClass::Request, MsgClass::Reply, MsgClass::Coherence];
+
+    /// Dense index; also the virtual-network number.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MsgClass::Request => 0,
+            MsgClass::Reply => 1,
+            MsgClass::Coherence => 2,
+        }
+    }
+
+    /// Display label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Request => "Request",
+            MsgClass::Reply => "Reply",
+            MsgClass::Coherence => "Coherence",
+        }
+    }
+}
+
+/// Cycles accumulated per [`TimeCat`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    cycles: [u64; 5],
+}
+
+impl TimeBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> TimeBreakdown {
+        TimeBreakdown::default()
+    }
+
+    /// Adds `n` cycles to a category.
+    #[inline]
+    pub fn add(&mut self, cat: TimeCat, n: u64) {
+        self.cycles[cat.index()] += n;
+    }
+
+    /// Total cycles across all categories.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Fraction of the total in `cat` (0 when empty).
+    pub fn fraction(&self, cat: TimeCat) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self[cat] as f64 / t as f64
+        }
+    }
+}
+
+impl Index<TimeCat> for TimeBreakdown {
+    type Output = u64;
+    fn index(&self, cat: TimeCat) -> &u64 {
+        &self.cycles[cat.index()]
+    }
+}
+
+impl IndexMut<TimeCat> for TimeBreakdown {
+    fn index_mut(&mut self, cat: TimeCat) -> &mut u64 {
+        &mut self.cycles[cat.index()]
+    }
+}
+
+impl AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, rhs: TimeBreakdown) {
+        for i in 0..self.cycles.len() {
+            self.cycles[i] += rhs.cycles[i];
+        }
+    }
+}
+
+/// Message counts per [`MsgClass`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficBreakdown {
+    msgs: [u64; 3],
+}
+
+impl TrafficBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> TrafficBreakdown {
+        TrafficBreakdown::default()
+    }
+
+    /// Counts one message of class `c`.
+    #[inline]
+    pub fn add(&mut self, c: MsgClass, n: u64) {
+        self.msgs[c.index()] += n;
+    }
+
+    /// Total messages.
+    pub fn total(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+}
+
+impl Index<MsgClass> for TrafficBreakdown {
+    type Output = u64;
+    fn index(&self, c: MsgClass) -> &u64 {
+        &self.msgs[c.index()]
+    }
+}
+
+impl IndexMut<MsgClass> for TrafficBreakdown {
+    fn index_mut(&mut self, c: MsgClass) -> &mut u64 {
+        &mut self.msgs[c.index()]
+    }
+}
+
+impl AddAssign for TrafficBreakdown {
+    fn add_assign(&mut self, rhs: TrafficBreakdown) {
+        for i in 0..self.msgs.len() {
+            self.msgs[i] += rhs.msgs[i];
+        }
+    }
+}
+
+/// A simple power-of-two-bucketed latency histogram.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`, except bucket 0 which
+/// counts 0 and 1. Cheap enough to keep per message class.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = if v <= 1 { 0 } else { 64 - (v.leading_zeros() as usize) - 1 };
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        if self.count == 1 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCat::Busy, 100);
+        b.add(TimeCat::Barrier, 50);
+        b.add(TimeCat::Barrier, 25);
+        assert_eq!(b[TimeCat::Barrier], 75);
+        assert_eq!(b.total(), 175);
+        assert!((b.fraction(TimeCat::Busy) - 100.0 / 175.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_add_assign() {
+        let mut a = TimeBreakdown::new();
+        a.add(TimeCat::Read, 10);
+        let mut b = TimeBreakdown::new();
+        b.add(TimeCat::Read, 5);
+        b.add(TimeCat::Write, 7);
+        a += b;
+        assert_eq!(a[TimeCat::Read], 15);
+        assert_eq!(a[TimeCat::Write], 7);
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut t = TrafficBreakdown::new();
+        t.add(MsgClass::Request, 3);
+        t.add(MsgClass::Reply, 2);
+        t.add(MsgClass::Coherence, 1);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t[MsgClass::Request], 3);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn fraction_of_empty_is_zero() {
+        let b = TimeBreakdown::new();
+        assert_eq!(b.fraction(TimeCat::Lock), 0.0);
+    }
+
+    #[test]
+    fn category_indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for c in TimeCat::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        let mut seen = [false; 3];
+        for c in MsgClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+    }
+}

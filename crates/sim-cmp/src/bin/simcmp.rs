@@ -1,0 +1,177 @@
+//! `simcmp` — assemble and run programs on the simulated CMP.
+//!
+//! ```text
+//! simcmp PROGRAM.s [PROGRAM2.s …] [options]
+//!
+//!   One program file: every core runs it (SPMD).
+//!   N program files:  core i runs the i-th file; N must equal --cores.
+//!
+//! Options:
+//!   --cores N          number of cores (default 4; mesh is the squarest
+//!                      factorization)
+//!   --max-cycles N     deadlock guard (default 100_000_000)
+//!   --poke ADDR=VAL    pre-load a memory word (repeatable; hex or dec)
+//!   --peek ADDR        print a memory word after the run (repeatable)
+//!   --json             print the full report as JSON
+//!   --breakdown        print the per-category cycle breakdown
+//!   --progress N       print a status line every N cycles
+//! ```
+//!
+//! Exit code 0 on success, 1 on assembly errors, 2 on a run that does
+//! not halt.
+
+use sim_base::config::CmpConfig;
+use sim_base::stats::TimeCat;
+use sim_cmp::System;
+use sim_isa::{assemble, Program};
+
+fn parse_num(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("simcmp: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: simcmp PROGRAM.s [PROGRAM2.s …] [--cores N] [--max-cycles N]");
+        eprintln!("              [--poke ADDR=VAL]… [--peek ADDR]… [--json] [--breakdown]");
+        std::process::exit(if args.is_empty() { 1 } else { 0 });
+    }
+
+    let mut files = Vec::new();
+    let mut cores = 4usize;
+    let mut max_cycles = 100_000_000u64;
+    let mut pokes: Vec<(u64, u64)> = Vec::new();
+    let mut peeks: Vec<u64> = Vec::new();
+    let mut json = false;
+    let mut breakdown = false;
+    let mut progress: Option<u64> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cores" => {
+                cores = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--cores needs a number"));
+            }
+            "--max-cycles" => {
+                max_cycles = it
+                    .next()
+                    .and_then(|v| parse_num(&v))
+                    .unwrap_or_else(|| die("--max-cycles needs a number"));
+            }
+            "--poke" => {
+                let spec = it.next().unwrap_or_else(|| die("--poke needs ADDR=VAL"));
+                let (a, v) = spec.split_once('=').unwrap_or_else(|| die("--poke needs ADDR=VAL"));
+                pokes.push((
+                    parse_num(a).unwrap_or_else(|| die("bad poke address")),
+                    parse_num(v).unwrap_or_else(|| die("bad poke value")),
+                ));
+            }
+            "--peek" => {
+                let a = it.next().unwrap_or_else(|| die("--peek needs ADDR"));
+                peeks.push(parse_num(&a).unwrap_or_else(|| die("bad peek address")));
+            }
+            "--json" => json = true,
+            "--breakdown" => breakdown = true,
+            "--progress" => {
+                progress = Some(
+                    it.next()
+                        .and_then(|v| parse_num(&v))
+                        .unwrap_or_else(|| die("--progress needs a cycle count")),
+                );
+            }
+            f if !f.starts_with("--") => files.push(f.to_string()),
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    if files.is_empty() {
+        die("no program files given");
+    }
+
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| std::fs::read_to_string(f).unwrap_or_else(|e| die(&format!("{f}: {e}"))))
+        .collect();
+    let progs: Vec<Program> = sources
+        .iter()
+        .zip(&files)
+        .map(|(src, f)| match assemble(src) {
+            Ok(p) => p,
+            Err(e) => die(&format!("{f}: {e}")),
+        })
+        .collect();
+
+    let progs = if progs.len() == 1 {
+        vec![progs[0].clone(); cores]
+    } else if progs.len() == cores {
+        progs
+    } else {
+        die(&format!("{} program files but --cores {cores}", progs.len()));
+    };
+
+    let cfg = CmpConfig::icpp2010_with_cores(cores);
+    let mut sys = System::new(cfg, progs);
+    for (a, v) in pokes {
+        sys.poke_word(a, v);
+    }
+    let outcome = match progress {
+        Some(every) => sys.run_with_progress(max_cycles, every, |rep| {
+            eprintln!(
+                "[cycle {:>10}] {} instructions, {} NoC messages, {} GL barriers",
+                rep.cycles,
+                rep.instructions,
+                rep.traffic.total(),
+                rep.gl_barriers
+            );
+        }),
+        None => sys.run(max_cycles),
+    };
+    match outcome {
+        Ok(cycles) => {
+            let rep = sys.report();
+            if json {
+                println!("{}", serde_json::to_string_pretty(&rep).expect("serialize"));
+            } else {
+                eprintln!(
+                    "halted after {cycles} cycles ({} instructions, IPC {:.2})",
+                    rep.instructions,
+                    rep.instructions as f64 / (cycles.max(1) as f64 * cores as f64)
+                );
+                eprintln!(
+                    "L1: {} hits / {} misses; NoC messages: {}; GL barriers: {}",
+                    rep.l1_hits,
+                    rep.l1_misses,
+                    rep.traffic.total(),
+                    rep.gl_barriers
+                );
+                if breakdown {
+                    for cat in TimeCat::ALL {
+                        eprintln!(
+                            "  {:<8} {:>6.2}%",
+                            cat.label(),
+                            100.0 * rep.time_fraction(cat)
+                        );
+                    }
+                }
+            }
+            for a in peeks {
+                println!("[0x{a:x}] = {}", sys.peek_word(a));
+            }
+        }
+        Err(e) => {
+            eprintln!("simcmp: {e}");
+            std::process::exit(2);
+        }
+    }
+}

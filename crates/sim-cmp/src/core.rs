@@ -1,0 +1,445 @@
+//! The in-order core pipeline model.
+//!
+//! Issue model (Table 1: "in-order 2-way"): up to `issue_width` simple
+//! instructions retire per cycle; a data-memory instruction issues its
+//! request and blocks the core until the hierarchy answers; `busy n`
+//! occupies the pipeline for `n` cycles.
+//!
+//! Every non-halted core charges exactly one cycle per cycle to a
+//! Figure-6 category, decided by its architectural *region* (set by the
+//! runtime library's `region` markers) and its activity:
+//!
+//! * region `barrier` → `Barrier`, region `lock` → `Lock`;
+//! * otherwise: stalled on a load → `Read`, on a store/atomic → `Write`,
+//!   else `Busy`.
+
+use gline_core::BarrierHw;
+use sim_base::stats::{TimeBreakdown, TimeCat};
+use sim_base::{CoreId, Cycle};
+use sim_isa::inst::{Inst, Region};
+use sim_isa::reg::{Reg, NUM_REGS};
+use sim_isa::Program;
+use sim_mem::{CoreReq, CoreResp, MemorySystem};
+
+/// What the core is doing this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Can issue instructions.
+    Ready,
+    /// Waiting for the memory hierarchy; `rd` receives the result.
+    WaitMem {
+        /// Destination register for the response (r0 for stores).
+        rd: Reg,
+        /// Stall category while waiting.
+        cat: TimeCat,
+    },
+    /// Executing a `busy` block until the given cycle.
+    BusyUntil {
+        /// First cycle at which issue resumes.
+        until: Cycle,
+    },
+    /// `halt` executed.
+    Halted,
+}
+
+/// One simulated core.
+#[derive(Clone, Debug)]
+pub struct Core {
+    id: CoreId,
+    regs: [u64; NUM_REGS],
+    pc: usize,
+    status: Status,
+    region: Region,
+    issue_width: u8,
+    breakdown: TimeBreakdown,
+    retired: u64,
+    gl_barriers: u64,
+    /// Barrier context used by `barw`/`barr` (set by `barctx`).
+    bar_ctx: usize,
+}
+
+impl Core {
+    /// A reset core.
+    pub fn new(id: CoreId, issue_width: u8) -> Core {
+        assert!(issue_width >= 1);
+        Core {
+            id,
+            regs: [0; NUM_REGS],
+            pc: 0,
+            status: Status::Ready,
+            region: Region::Normal,
+            issue_width,
+            breakdown: TimeBreakdown::new(),
+            retired: 0,
+            gl_barriers: 0,
+            bar_ctx: 0,
+        }
+    }
+
+    /// The core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// True once `halt` has executed (or the program ran out).
+    pub fn halted(&self) -> bool {
+        self.status == Status::Halted
+    }
+
+    /// Figure-6 cycle breakdown so far.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        self.breakdown
+    }
+
+    /// Dynamic instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// `barw` arrivals executed (G-line barrier episodes entered).
+    pub fn gl_barriers(&self) -> u64 {
+        self.gl_barriers
+    }
+
+    /// Register read (`r0` is zero).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.index() == 0 {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Register write (`r0` ignored).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if r.index() != 0 {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// The category this core's current cycle belongs to.
+    fn category(&self) -> TimeCat {
+        match self.region {
+            Region::Barrier => TimeCat::Barrier,
+            Region::Lock => TimeCat::Lock,
+            Region::Normal => match self.status {
+                Status::WaitMem { cat, .. } => cat,
+                _ => TimeCat::Busy,
+            },
+        }
+    }
+
+    /// Runs one cycle. Interacts with the memory hierarchy and the
+    /// G-line barrier hardware (flat, clustered or TDM — anything
+    /// implementing [`BarrierHw`]); must be called before their `tick`s.
+    pub fn step<B: BarrierHw + ?Sized>(
+        &mut self,
+        prog: &Program,
+        mem: &mut MemorySystem,
+        gline: &mut B,
+        now: Cycle,
+    ) {
+        if self.halted() {
+            return;
+        }
+
+        // Charge this cycle by the status it *enters* with, so a 1-cycle
+        // L1 hit still attributes one cycle to Read/Write.
+        self.breakdown.add(self.category(), 1);
+
+        // Resolve a completed memory stall; the fill latency was already
+        // charged by the hierarchy, so issue resumes this cycle.
+        if let Status::WaitMem { rd, .. } = self.status {
+            if let Some(resp) = mem.poll(self.id) {
+                let v = match resp {
+                    CoreResp::LoadValue(v) | CoreResp::AmoOld(v) => v,
+                    CoreResp::StoreDone => 0,
+                };
+                self.set_reg(rd, v);
+                self.status = Status::Ready;
+            }
+        }
+        if let Status::BusyUntil { until } = self.status {
+            if now >= until {
+                self.status = Status::Ready;
+            }
+        }
+
+        if self.status != Status::Ready {
+            return;
+        }
+
+        let mut slots = self.issue_width;
+        while slots > 0 {
+            slots -= 1;
+            let Some(inst) = prog.fetch(self.pc) else {
+                self.status = Status::Halted;
+                return;
+            };
+            match inst {
+                Inst::Li { rd, imm } => {
+                    self.set_reg(rd, imm as u64);
+                    self.pc += 1;
+                }
+                Inst::Alu { op, rd, rs1, rs2 } => {
+                    let v = op.apply(self.reg(rs1), self.reg(rs2));
+                    self.set_reg(rd, v);
+                    self.pc += 1;
+                }
+                Inst::AluI { op, rd, rs1, imm } => {
+                    let v = op.apply(self.reg(rs1), imm as u64);
+                    self.set_reg(rd, v);
+                    self.pc += 1;
+                }
+                Inst::Branch { cond, rs1, rs2, target } => {
+                    if cond.taken(self.reg(rs1), self.reg(rs2)) {
+                        self.pc = target;
+                        // A taken branch redirects fetch: end the issue
+                        // group (no same-cycle issue past a taken branch).
+                        self.retired += 1;
+                        self.check_pc(prog);
+                        return;
+                    }
+                    self.pc += 1;
+                }
+                Inst::Jal { rd, target } => {
+                    self.set_reg(rd, (self.pc + 1) as u64);
+                    self.pc = target;
+                    self.retired += 1;
+                    self.check_pc(prog);
+                    return;
+                }
+                Inst::Jalr { rd, rs1 } => {
+                    let t = self.reg(rs1) as usize;
+                    self.set_reg(rd, (self.pc + 1) as u64);
+                    self.pc = t;
+                    self.retired += 1;
+                    self.check_pc(prog);
+                    return;
+                }
+                Inst::Ld { rd, rs1, off } => {
+                    let addr = self.reg(rs1).wrapping_add(off as u64);
+                    mem.request(self.id, CoreReq::Load { addr });
+                    self.status = Status::WaitMem { rd, cat: TimeCat::Read };
+                    self.pc += 1;
+                    self.retired += 1;
+                    return;
+                }
+                Inst::St { rs2, rs1, off } => {
+                    let addr = self.reg(rs1).wrapping_add(off as u64);
+                    let value = self.reg(rs2);
+                    mem.request(self.id, CoreReq::Store { addr, value });
+                    self.status = Status::WaitMem { rd: Reg::ZERO, cat: TimeCat::Write };
+                    self.pc += 1;
+                    self.retired += 1;
+                    return;
+                }
+                Inst::Amo { op, rd, rs1, rs2 } => {
+                    let addr = self.reg(rs1);
+                    let operand = self.reg(rs2);
+                    mem.request(self.id, CoreReq::Amo { addr, op, operand });
+                    self.status = Status::WaitMem { rd, cat: TimeCat::Write };
+                    self.pc += 1;
+                    self.retired += 1;
+                    return;
+                }
+                Inst::Busy { cycles } => {
+                    self.pc += 1;
+                    self.retired += 1;
+                    if cycles > 1 {
+                        // This cycle counts as the first of the block.
+                        self.status = Status::BusyUntil { until: now + cycles as u64 };
+                        return;
+                    }
+                    // busy 0/1: consumes this issue group only.
+                    return;
+                }
+                Inst::BarWrite { rs1 } => {
+                    let v = self.reg(rs1);
+                    assert!(v != 0, "core {}: barw with a zero value", self.id);
+                    gline.write_bar_reg(self.id, self.bar_ctx, v);
+                    self.gl_barriers += 1;
+                    self.pc += 1;
+                }
+                Inst::BarRead { rd } => {
+                    let v = gline.bar_reg(self.id, self.bar_ctx);
+                    self.set_reg(rd, v);
+                    self.pc += 1;
+                }
+                Inst::BarCtx { ctx } => {
+                    assert!(
+                        (ctx as usize) < gline.num_contexts(),
+                        "core {}: barctx {ctx} but the network has {} context(s)",
+                        self.id,
+                        gline.num_contexts()
+                    );
+                    self.bar_ctx = ctx as usize;
+                    self.pc += 1;
+                }
+                Inst::SetRegion { region } => {
+                    self.region = region;
+                    self.pc += 1;
+                }
+                Inst::Nop => {
+                    self.pc += 1;
+                }
+                Inst::Halt => {
+                    self.status = Status::Halted;
+                    self.retired += 1;
+                    return;
+                }
+            }
+            self.retired += 1;
+        }
+    }
+
+    fn check_pc(&mut self, prog: &Program) {
+        assert!(
+            self.pc <= prog.len(),
+            "core {}: control transfer to bad pc {}",
+            self.id,
+            self.pc
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_base::config::{CmpConfig, GlineConfig};
+    use sim_isa::assemble;
+
+    fn machine() -> (MemorySystem, gline_core::BarrierNetwork) {
+        let cfg = CmpConfig::icpp2010_with_cores(4);
+        (MemorySystem::new(&cfg), gline_core::BarrierNetwork::new(cfg.mesh, GlineConfig::default()))
+    }
+
+    fn run_one(src: &str, max: u64) -> (Core, MemorySystem) {
+        let prog = assemble(src).unwrap();
+        let (mut mem, mut gl) = machine();
+        let mut core = Core::new(CoreId(0), 2);
+        let mut now = 0;
+        while !core.halted() {
+            core.step(&prog, &mut mem, &mut gl, now);
+            mem.tick();
+            gl.tick();
+            now += 1;
+            assert!(now < max, "program did not halt in {max} cycles");
+        }
+        (core, mem)
+    }
+
+    #[test]
+    fn dual_issue_retires_two_alu_per_cycle() {
+        // 10 ALU ops + halt on a 2-wide core: ~6 cycles, not 11.
+        let src = "li r1, 1\n".repeat(10) + "halt";
+        let (core, _) = run_one(&src, 100);
+        assert!(core.breakdown().total() <= 7, "took {} cycles", core.breakdown().total());
+        assert_eq!(core.retired(), 11);
+    }
+
+    #[test]
+    fn busy_occupies_exact_cycles() {
+        let (core, _) = run_one("busy 50\nhalt", 100);
+        // busy 50 = 50 cycles + 1 for halt (±1 for issue alignment).
+        let total = core.breakdown().total();
+        assert!((50..=52).contains(&total), "busy 50 took {total}");
+        assert_eq!(core.breakdown()[TimeCat::Busy], total);
+    }
+
+    #[test]
+    fn store_then_load_round_trips_through_memory() {
+        let (core, mem) = run_one(
+            "
+            li r1, 0x100
+            li r2, 99
+            st r2, 0(r1)
+            ld r3, 0(r1)
+            beq r3, r2, ok
+            busy 10000   # wrong value: hang so the test fails
+        ok: halt
+            ",
+            100_000,
+        );
+        assert_eq!(mem.peek_word(0x100), 99);
+        assert!(core.breakdown()[TimeCat::Write] > 0, "store stall must be charged");
+        assert!(core.breakdown()[TimeCat::Read] > 0, "load stall must be charged");
+    }
+
+    #[test]
+    fn region_markers_redirect_attribution() {
+        let (core, _) = run_one(
+            "
+            region barrier
+            busy 20
+            region lock
+            busy 30
+            region normal
+            busy 10
+            halt
+            ",
+            1000,
+        );
+        let b = core.breakdown();
+        assert!((19..=22).contains(&b[TimeCat::Barrier]), "{b:?}");
+        assert!((29..=32).contains(&b[TimeCat::Lock]), "{b:?}");
+        assert!(b[TimeCat::Busy] >= 10, "{b:?}");
+    }
+
+    #[test]
+    fn gl_barrier_single_core() {
+        // On a 4-core machine a single core cannot pass the barrier; on a
+        // 1-core machine it takes ~4 cycles. Build a 1-core machine.
+        let cfg = CmpConfig::icpp2010_with_cores(1);
+        let mut mem = MemorySystem::new(&cfg);
+        let mut gl = gline_core::BarrierNetwork::new(cfg.mesh, GlineConfig::default());
+        let prog = assemble(
+            "
+            region barrier
+            li r1, 1
+            barw r1
+        w:  barr r2
+            bne r2, r0, w
+            region normal
+            halt
+            ",
+        )
+        .unwrap();
+        let mut core = Core::new(CoreId(0), 2);
+        let mut now = 0;
+        while !core.halted() {
+            core.step(&prog, &mut mem, &mut gl, now);
+            mem.tick();
+            gl.tick();
+            now += 1;
+            assert!(now < 100);
+        }
+        assert_eq!(core.gl_barriers(), 1);
+        assert!(core.breakdown()[TimeCat::Barrier] >= 4);
+    }
+
+    #[test]
+    fn taken_branch_ends_issue_group() {
+        // A tight 100-iteration decrement loop: 2 instructions per
+        // iteration with the branch ending the group → ~100+ cycles.
+        let (core, _) = run_one(
+            "
+            li r1, 100
+        l:  addi r1, r1, -1
+            bne r1, r0, l
+            halt
+            ",
+            10_000,
+        );
+        assert!(core.breakdown().total() >= 100);
+        assert_eq!(core.retired(), 202);
+    }
+
+    #[test]
+    #[should_panic(expected = "barw with a zero value")]
+    fn zero_barw_rejected() {
+        let _ = run_one("barw r0\nhalt", 100);
+    }
+}

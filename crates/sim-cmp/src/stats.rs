@@ -1,0 +1,106 @@
+//! System-level reporting: everything Figures 5–7 and Table 2 need.
+
+use serde::Serialize;
+use sim_base::stats::{MsgClass, TimeBreakdown, TimeCat, TrafficBreakdown};
+use sim_base::Cycle;
+
+/// The result of a full-system run.
+#[derive(Clone, Debug, Serialize)]
+pub struct SystemReport {
+    /// Total cycles simulated until the last core halted.
+    pub cycles: Cycle,
+    /// Per-core Figure-6 cycle breakdown.
+    pub per_core: Vec<TimeBreakdown>,
+    /// Sum of the per-core breakdowns.
+    pub total_time: TimeBreakdown,
+    /// Figure-7 message counts by class (messages that crossed the NoC).
+    pub traffic: TrafficBreakdown,
+    /// Flit × hop products on the NoC (bandwidth/energy proxy).
+    pub flit_hops: u64,
+    /// G-line barrier episodes completed.
+    pub gl_barriers: u64,
+    /// Mean G-line barrier latency in cycles (0 when unused).
+    pub gl_mean_latency: f64,
+    /// 1-bit signals driven on G-lines (energy proxy).
+    pub gl_signals: u64,
+    /// Dynamic instructions retired across all cores.
+    pub instructions: u64,
+    /// Aggregate L1 hits across cores.
+    pub l1_hits: u64,
+    /// Aggregate L1 misses across cores.
+    pub l1_misses: u64,
+    /// Aggregate L2-bank hits across homes.
+    pub l2_hits: u64,
+    /// Aggregate L2-bank misses (memory fetches).
+    pub l2_misses: u64,
+}
+
+impl SystemReport {
+    /// Fraction of total core cycles in a category.
+    pub fn time_fraction(&self, cat: TimeCat) -> f64 {
+        self.total_time.fraction(cat)
+    }
+
+    /// Execution time (cycles) of this run normalized to a baseline run.
+    pub fn normalized_time(&self, baseline: &SystemReport) -> f64 {
+        self.cycles as f64 / baseline.cycles as f64
+    }
+
+    /// Network messages of this run normalized to a baseline run.
+    pub fn normalized_traffic(&self, baseline: &SystemReport) -> f64 {
+        self.traffic.total() as f64 / baseline.traffic.total() as f64
+    }
+
+    /// Per-category cycles scaled to the baseline's total execution time,
+    /// i.e. the stacked-bar heights of the paper's Figure 6.
+    pub fn figure6_bar(&self, baseline: &SystemReport) -> [(TimeCat, f64); 5] {
+        let denom = baseline.total_time.total() as f64;
+        TimeCat::ALL.map(|c| (c, self.total_time[c] as f64 / denom))
+    }
+
+    /// Per-class messages scaled to the baseline's total, i.e. the
+    /// stacked-bar heights of the paper's Figure 7.
+    pub fn figure7_bar(&self, baseline: &SystemReport) -> [(MsgClass, f64); 3] {
+        let denom = baseline.traffic.total().max(1) as f64;
+        MsgClass::ALL.map(|c| (c, self.traffic[c] as f64 / denom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, busy: u64, barrier: u64, msgs: u64) -> SystemReport {
+        let mut t = TimeBreakdown::new();
+        t.add(TimeCat::Busy, busy);
+        t.add(TimeCat::Barrier, barrier);
+        let mut traffic = TrafficBreakdown::new();
+        traffic.add(MsgClass::Request, msgs);
+        SystemReport {
+            cycles,
+            per_core: vec![t],
+            total_time: t,
+            traffic,
+            flit_hops: 0,
+            gl_barriers: 0,
+            gl_mean_latency: 0.0,
+            gl_signals: 0,
+            instructions: 0,
+            l1_hits: 0,
+            l1_misses: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        let base = report(1000, 500, 500, 200);
+        let fast = report(400, 350, 50, 60);
+        assert!((fast.normalized_time(&base) - 0.4).abs() < 1e-12);
+        assert!((fast.normalized_traffic(&base) - 0.3).abs() < 1e-12);
+        let bar = fast.figure6_bar(&base);
+        let total: f64 = bar.iter().map(|(_, v)| v).sum();
+        assert!((total - 0.4).abs() < 1e-12, "stacked bar sums to normalized time");
+    }
+}

@@ -1,0 +1,564 @@
+//! The assembled machine.
+
+use crate::core::Core;
+use crate::stats::SystemReport;
+use gline_core::{BarrierHw, BarrierNetwork};
+use sim_base::config::CmpConfig;
+use sim_base::stats::TimeBreakdown;
+use sim_base::{CoreId, Cycle};
+use sim_isa::Program;
+use sim_mem::MemorySystem;
+
+/// The full CMP: cores + memory hierarchy + NoC + G-line barrier
+/// hardware. Generic over the barrier network flavour (flat by default;
+/// also [`gline_core::TdmBarrierNetwork`] or
+/// [`gline_core::ClusteredBarrierNetwork`]).
+#[derive(Debug)]
+pub struct System<B: BarrierHw = BarrierNetwork> {
+    cfg: CmpConfig,
+    cores: Vec<Core>,
+    progs: Vec<Program>,
+    mem: MemorySystem,
+    gline: B,
+    now: Cycle,
+}
+
+impl<B: BarrierHw> System<B> {
+    /// Builds the machine around explicit barrier hardware.
+    ///
+    /// # Panics
+    /// Panics unless `progs.len() == cfg.num_cores() == hw.num_cores()`.
+    pub fn with_barrier_hw(cfg: CmpConfig, progs: Vec<Program>, hw: B) -> System<B> {
+        assert_eq!(progs.len(), cfg.num_cores(), "one program per core");
+        assert_eq!(hw.num_cores(), cfg.num_cores(), "barrier hardware core count mismatch");
+        System {
+            cfg,
+            cores: (0..cfg.num_cores())
+                .map(|i| Core::new(CoreId::from(i), cfg.core.issue_width))
+                .collect(),
+            progs,
+            mem: MemorySystem::new(&cfg),
+            gline: hw,
+            now: 0,
+        }
+    }
+}
+
+impl System {
+    /// Builds the machine with one program per core.
+    ///
+    /// # Panics
+    /// Panics unless `progs.len() == cfg.num_cores()`.
+    pub fn new(cfg: CmpConfig, progs: Vec<Program>) -> System {
+        assert_eq!(progs.len(), cfg.num_cores(), "one program per core");
+        System {
+            cfg,
+            cores: (0..cfg.num_cores())
+                .map(|i| Core::new(CoreId::from(i), cfg.core.issue_width))
+                .collect(),
+            progs,
+            mem: MemorySystem::new(&cfg),
+            gline: BarrierNetwork::new(cfg.mesh, cfg.gline),
+            now: 0,
+        }
+    }
+
+    /// Convenience: every core runs the same program.
+    pub fn homogeneous(cfg: CmpConfig, prog: Program) -> System {
+        let progs = vec![prog; cfg.num_cores()];
+        System::new(cfg, progs)
+    }
+
+    /// Builds the machine with per-context barrier participation masks
+    /// (see [`gline_core::BarrierNetwork::with_members`]); programs
+    /// select contexts with the `barctx` instruction.
+    pub fn with_barrier_masks(
+        cfg: CmpConfig,
+        progs: Vec<Program>,
+        masks: Vec<Vec<bool>>,
+    ) -> System {
+        assert_eq!(progs.len(), cfg.num_cores(), "one program per core");
+        System {
+            cfg,
+            cores: (0..cfg.num_cores())
+                .map(|i| Core::new(CoreId::from(i), cfg.core.issue_width))
+                .collect(),
+            progs,
+            mem: MemorySystem::new(&cfg),
+            gline: BarrierNetwork::with_members(cfg.mesh, cfg.gline, masks),
+            now: 0,
+        }
+    }
+
+}
+
+impl<B: BarrierHw> System<B> {
+    /// The configuration in use.
+    pub fn config(&self) -> &CmpConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Pre-loads a data word (before any core touches its line).
+    pub fn poke_word(&mut self, addr: u64, value: u64) {
+        self.mem.poke_word(addr, value);
+    }
+
+    /// Architectural value of a data word, wherever its current copy is.
+    pub fn peek_word(&self, addr: u64) -> u64 {
+        self.mem.peek_word(addr)
+    }
+
+    /// Access to a core (registers, breakdown, …).
+    pub fn core(&self, id: CoreId) -> &Core {
+        &self.cores[id.index()]
+    }
+
+    /// True when every core has halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(Core::halted)
+    }
+
+    /// Advances the whole machine one cycle.
+    pub fn tick(&mut self) {
+        for (core, prog) in self.cores.iter_mut().zip(&self.progs) {
+            core.step(prog, &mut self.mem, &mut self.gline, self.now);
+        }
+        self.mem.tick();
+        self.gline.tick();
+        self.now += 1;
+    }
+
+    /// Runs until every core halts. Returns the cycle count.
+    ///
+    /// # Errors
+    /// Returns an error naming the stuck cores if `max_cycles` elapses
+    /// first (deadlock / livelock guard).
+    pub fn run(&mut self, max_cycles: u64) -> Result<Cycle, String> {
+        let start = self.now;
+        while !self.all_halted() {
+            self.tick();
+            if self.now - start > max_cycles {
+                let stuck: Vec<String> = self
+                    .cores
+                    .iter()
+                    .filter(|c| !c.halted())
+                    .map(|c| format!("{:?}", c.id()))
+                    .collect();
+                return Err(format!(
+                    "system did not halt within {max_cycles} cycles; still running: {}",
+                    stuck.join(", ")
+                ));
+            }
+        }
+        Ok(self.now - start)
+    }
+
+    /// Like [`run`](Self::run), but invokes `observer` with a fresh
+    /// [`SystemReport`] every `every` cycles — progress reporting for
+    /// long simulations (the report is cumulative, not a delta).
+    ///
+    /// # Errors
+    /// Same deadlock guard as [`run`](Self::run).
+    pub fn run_with_progress(
+        &mut self,
+        max_cycles: u64,
+        every: u64,
+        mut observer: impl FnMut(&SystemReport),
+    ) -> Result<Cycle, String> {
+        assert!(every > 0);
+        let start = self.now;
+        let mut next = self.now + every;
+        while !self.all_halted() {
+            self.tick();
+            if self.now >= next {
+                observer(&self.report());
+                next += every;
+            }
+            if self.now - start > max_cycles {
+                return Err(format!(
+                    "system did not halt within {max_cycles} cycles; still running: {}",
+                    self.cores
+                        .iter()
+                        .filter(|c| !c.halted())
+                        .map(|c| format!("{:?}", c.id()))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(self.now - start)
+    }
+
+    /// Gathers the run's statistics.
+    pub fn report(&self) -> SystemReport {
+        let per_core: Vec<TimeBreakdown> = self.cores.iter().map(Core::breakdown).collect();
+        let mut total_time = TimeBreakdown::new();
+        for b in &per_core {
+            total_time += *b;
+        }
+        let noc = self.mem.noc_stats();
+        let gl = self.gline.stats(0);
+        let mut l1_hits = 0;
+        let mut l1_misses = 0;
+        for i in 0..self.cores.len() {
+            let s = self.mem.l1_stats(CoreId::from(i));
+            l1_hits += s.hits;
+            l1_misses += s.misses;
+        }
+        let home = self.mem.home_stats();
+        SystemReport {
+            cycles: self.now,
+            per_core,
+            total_time,
+            traffic: noc.sent,
+            flit_hops: noc.flit_hops,
+            gl_barriers: gl.barriers_completed,
+            gl_mean_latency: gl.mean_latency(),
+            gl_signals: gl.signals,
+            instructions: self.cores.iter().map(Core::retired).sum(),
+            l1_hits,
+            l1_misses,
+            l2_hits: home.l2_hits,
+            l2_misses: home.l2_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{emit_lock, emit_unlock, BarrierEnv, BarrierKind};
+    use sim_base::stats::TimeCat;
+    use sim_isa::interp::RefCmp;
+    use sim_isa::{assemble, ProgBuilder, Reg};
+
+    fn cfg(n: usize) -> CmpConfig {
+        CmpConfig::icpp2010_with_cores(n)
+    }
+
+    #[test]
+    fn single_core_computation_matches_reference() {
+        let src = "
+            li r1, 0x800      # base
+            li r2, 20         # n
+            li r3, 0          # i
+            li r4, 0          # acc
+        loop:
+            mul r5, r3, r3
+            st r5, 0(r1)
+            ld r6, 0(r1)
+            add r4, r4, r6
+            addi r1, r1, 64
+            addi r3, r3, 1
+            bne r3, r2, loop
+            st r4, 0(r1)
+            halt
+        ";
+        let prog = assemble(src).unwrap();
+        // Reference result.
+        let mut rc = RefCmp::new(1, 4096);
+        rc.run(&[&prog], 1_000_000).unwrap();
+        // Cycle-accurate result.
+        let mut sys = System::homogeneous(cfg(1), prog);
+        sys.run(1_000_000).unwrap();
+        let final_addr = 0x800 + 20 * 64;
+        assert_eq!(sys.peek_word(final_addr), rc.word(final_addr));
+        assert_eq!(sys.peek_word(final_addr), (0..20u64).map(|i| i * i).sum::<u64>());
+    }
+
+    #[test]
+    fn four_cores_gl_barrier_round() {
+        // Each core stores its id, hits the GL barrier, then sums all
+        // stored ids — the barrier must make every store visible.
+        let n = 4;
+        let env = BarrierEnv::new(BarrierKind::Gl, n, 4096);
+        let progs: Vec<Program> = (0..n)
+            .map(|c| {
+                let mut b = ProgBuilder::new();
+                b.li(Reg(1), c as i64 + 1).li(Reg(2), (0x1000 + c * 64) as i64).st(
+                    Reg(1),
+                    0,
+                    Reg(2),
+                );
+                env.emit(&mut b, c, "x");
+                b.li(Reg(4), 0);
+                for p in 0..n {
+                    b.li(Reg(2), (0x1000 + p * 64) as i64).ld(Reg(3), 0, Reg(2)).add(
+                        Reg(4),
+                        Reg(4),
+                        Reg(3),
+                    );
+                }
+                b.li(Reg(2), (0x2000 + c * 64) as i64).st(Reg(4), 0, Reg(2)).halt();
+                b.build()
+            })
+            .collect();
+        let mut sys = System::new(cfg(n), progs);
+        sys.run(1_000_000).unwrap();
+        for c in 0..n {
+            assert_eq!(sys.peek_word(0x2000 + c as u64 * 64), 10, "core {c} missed a store");
+        }
+        let rep = sys.report();
+        assert_eq!(rep.gl_barriers, 1);
+        assert!((rep.gl_mean_latency - 4.0).abs() < 1e-9, "{}", rep.gl_mean_latency);
+        assert!(rep.total_time[TimeCat::Barrier] > 0);
+    }
+
+    /// All three barrier kinds agree architecturally with the reference
+    /// machine on a multi-barrier producer/consumer pattern.
+    fn barrier_agreement(kind: BarrierKind, n: usize, iters: usize) {
+        let env = BarrierEnv::new(kind, n, 4096);
+        let slot = |c: usize| 0x4000 + c as u64 * 64;
+        let progs: Vec<Program> = (0..n)
+            .map(|c| {
+                let mut b = ProgBuilder::new();
+                // r10 = running checksum of neighbour values.
+                for it in 0..iters {
+                    // Phase 1: write it+1 to my slot.
+                    b.li(Reg(1), it as i64 + 1).li(Reg(2), slot(c) as i64).st(Reg(1), 0, Reg(2));
+                    env.emit(&mut b, c, &format!("a{it}"));
+                    // Phase 2: read my right neighbour's slot; it must be
+                    // exactly it+1.
+                    let nb = (c + 1) % n;
+                    b.li(Reg(2), slot(nb) as i64).ld(Reg(3), 0, Reg(2)).add(
+                        Reg(10),
+                        Reg(10),
+                        Reg(3),
+                    );
+                    env.emit(&mut b, c, &format!("b{it}"));
+                }
+                b.li(Reg(2), (0x8000 + c * 64) as i64).st(Reg(10), 0, Reg(2)).halt();
+                b.build()
+            })
+            .collect();
+        let expected: u64 = (1..=iters as u64).sum();
+        let mut sys = System::new(cfg(n), progs);
+        sys.run(20_000_000).unwrap();
+        for c in 0..n {
+            assert_eq!(
+                sys.peek_word(0x8000 + c as u64 * 64),
+                expected,
+                "{kind:?} n={n} core {c}: barrier failed to order the phases"
+            );
+        }
+    }
+
+    #[test]
+    fn gl_barrier_orders_phases() {
+        barrier_agreement(BarrierKind::Gl, 8, 4);
+    }
+
+    #[test]
+    fn csw_barrier_orders_phases() {
+        barrier_agreement(BarrierKind::Csw, 8, 4);
+    }
+
+    #[test]
+    fn dsw_barrier_orders_phases() {
+        barrier_agreement(BarrierKind::Dsw, 8, 4);
+    }
+
+    #[test]
+    fn dsw_barrier_odd_core_count() {
+        barrier_agreement(BarrierKind::Dsw, 6, 3);
+    }
+
+    #[test]
+    fn locks_are_mutually_exclusive_under_real_timing() {
+        let n = 4;
+        let lock = 4096u64;
+        let counter = 8192u64;
+        let per_core = 10;
+        let progs: Vec<Program> = (0..n)
+            .map(|_| {
+                let mut b = ProgBuilder::new();
+                b.li(Reg(10), per_core);
+                b.label("loop");
+                emit_lock(&mut b, lock, "l");
+                b.li(Reg(3), counter as i64)
+                    .ld(Reg(4), 0, Reg(3))
+                    .addi(Reg(4), Reg(4), 1)
+                    .st(Reg(4), 0, Reg(3));
+                emit_unlock(&mut b, lock);
+                b.addi(Reg(10), Reg(10), -1).bne(Reg(10), Reg::ZERO, "loop").halt();
+                b.build()
+            })
+            .collect();
+        let mut sys = System::new(cfg(n), progs);
+        sys.run(10_000_000).unwrap();
+        assert_eq!(sys.peek_word(counter), n as u64 * per_core as u64);
+        let rep = sys.report();
+        assert!(rep.total_time[TimeCat::Lock] > 0, "lock time must be attributed");
+    }
+
+    #[test]
+    fn gl_beats_software_barriers_in_cycles() {
+        // The headline claim, miniaturized: a pure barrier loop completes
+        // fastest with GL, and DSW beats CSW at 16 cores.
+        let n = 16;
+        let iters = 10;
+        let mut cycles = Vec::new();
+        for kind in BarrierKind::ALL {
+            let env = BarrierEnv::new(kind, n, 4096);
+            let progs: Vec<Program> = (0..n)
+                .map(|c| {
+                    let mut b = ProgBuilder::new();
+                    for it in 0..iters {
+                        env.emit(&mut b, c, &format!("i{it}"));
+                    }
+                    b.halt();
+                    b.build()
+                })
+                .collect();
+            let mut sys = System::new(cfg(n), progs);
+            let t = sys.run(50_000_000).unwrap();
+            cycles.push((kind, t));
+        }
+        let gl = cycles[0].1;
+        let csw = cycles[1].1;
+        let dsw = cycles[2].1;
+        assert!(gl < dsw && dsw < csw, "expected GL < DSW < CSW, got {cycles:?}");
+        assert!(gl * 5 < csw, "GL should dominate CSW by a wide margin: {cycles:?}");
+    }
+
+    #[test]
+    fn gl_barrier_generates_no_network_traffic() {
+        let n = 8;
+        let env = BarrierEnv::new(BarrierKind::Gl, n, 4096);
+        let progs: Vec<Program> = (0..n)
+            .map(|c| {
+                let mut b = ProgBuilder::new();
+                for it in 0..5 {
+                    env.emit(&mut b, c, &format!("i{it}"));
+                }
+                b.halt();
+                b.build()
+            })
+            .collect();
+        let mut sys = System::new(cfg(n), progs);
+        sys.run(1_000_000).unwrap();
+        let rep = sys.report();
+        assert_eq!(rep.traffic.total(), 0, "the GL barrier must not touch the NoC");
+        assert_eq!(rep.gl_barriers, 5);
+        assert!(rep.gl_signals > 0);
+    }
+
+    #[test]
+    fn group_barriers_via_contexts() {
+        // Two independent 4-core groups on an 8-core machine, each
+        // synchronizing through its own barrier context: group 0 runs
+        // many short episodes while group 1 runs few long ones — neither
+        // may block the other.
+        let n = 8;
+        let mut c = cfg(n);
+        c.gline.contexts = 2;
+        let progs: Vec<Program> = (0..n)
+            .map(|core| {
+                let group = core / 4;
+                let mut b = ProgBuilder::new();
+                b.barctx(group as u8);
+                let (episodes, work) = if group == 0 { (20, 5) } else { (2, 400) };
+                for ep in 0..episodes {
+                    b.busy(work);
+                    // Arrive and spin, group-local.
+                    let lbl = format!("w{ep}");
+                    b.li(Reg(1), 1).barw(Reg(1)).label(&lbl).barr(Reg(2)).bne(
+                        Reg(2),
+                        Reg::ZERO,
+                        &lbl,
+                    );
+                }
+                b.halt();
+                b.build()
+            })
+            .collect();
+        let masks: Vec<Vec<bool>> =
+            vec![(0..n).map(|i| i < 4).collect(), (0..n).map(|i| i >= 4).collect()];
+        let mut sys = System::with_barrier_masks(c, progs, masks);
+        sys.run(1_000_000).unwrap();
+        // 20 episodes in ctx 0 (by 4 cores) + 2 in ctx 1: the gl_barriers
+        // counter counts per-core arrivals-episodes entered.
+        assert_eq!(sys.core(CoreId(0)).gl_barriers(), 20);
+        assert_eq!(sys.core(CoreId(7)).gl_barriers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "barctx")]
+    fn out_of_range_barctx_panics() {
+        let prog = sim_isa::assemble("barctx 3
+halt").unwrap();
+        let mut sys = System::homogeneous(cfg(2), prog);
+        let _ = sys.run(100);
+    }
+
+    #[test]
+    fn system_runs_on_tdm_barrier_hardware() {
+        use gline_core::TdmBarrierNetwork;
+        // The same 5-episode barrier loop on flat vs TDM hardware (four
+        // logical barriers sharing one wire set; the program uses slot 0):
+        // TDM must be correct and strictly slower.
+        let n = 8;
+        let barrier_loop = || -> Vec<Program> {
+            (0..n)
+                .map(|_| {
+                    let mut b = ProgBuilder::new();
+                    for ep in 0..5 {
+                        let lbl = format!("w{ep}");
+                        b.li(Reg(1), 1).barw(Reg(1)).label(&lbl).barr(Reg(2)).bne(
+                            Reg(2),
+                            Reg::ZERO,
+                            &lbl,
+                        );
+                    }
+                    b.halt();
+                    b.build()
+                })
+                .collect()
+        };
+        let c = cfg(n);
+        let hw = TdmBarrierNetwork::new(c.mesh, c.gline, 4);
+        let mut tdm = System::with_barrier_hw(c, barrier_loop(), hw);
+        let tdm_cycles = tdm.run(1_000_000).unwrap();
+        let mut flat = System::new(cfg(n), barrier_loop());
+        let flat_cycles = flat.run(1_000_000).unwrap();
+        assert!(
+            tdm_cycles > flat_cycles,
+            "TDM slots must cost latency: {tdm_cycles} vs {flat_cycles}"
+        );
+        assert_eq!(tdm.report().gl_barriers, 5);
+        assert_eq!(flat.report().gl_barriers, 5);
+    }
+
+    #[test]
+    fn progress_observer_fires_periodically() {
+        let prog = sim_isa::assemble("busy 1000\nhalt").unwrap();
+        let mut sys = System::homogeneous(cfg(2), prog);
+        let mut samples = Vec::new();
+        sys.run_with_progress(10_000, 100, |rep| samples.push(rep.cycles)).unwrap();
+        assert!(samples.len() >= 9, "expected ~10 samples, got {}", samples.len());
+        assert!(samples.windows(2).all(|w| w[1] - w[0] == 100));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut sys = System::homogeneous(cfg(1), assemble("busy 5\nhalt").unwrap());
+        sys.run(100).unwrap();
+        let rep = sys.report();
+        let json = serde_json::to_string(&rep).unwrap();
+        assert!(json.contains("\"cycles\""));
+    }
+
+    #[test]
+    fn deadlock_guard_reports_stuck_cores() {
+        // A core spinning forever on its own flag never halts.
+        let prog = assemble("l: ld r1, 0(r0)\nbeq r0, r0, l").unwrap();
+        let mut sys = System::homogeneous(cfg(2), prog);
+        let err = sys.run(10_000).unwrap_err();
+        assert!(err.contains("core0") && err.contains("core1"), "{err}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Programmatic program construction.
+//!
+//! Workload generators build programs with [`ProgBuilder`] instead of
+//! string templates: labels are declared and referenced by name, and the
+//! builder checks at [`ProgBuilder::build`] time that every referenced
+//! label was defined.
+//!
+//! ```
+//! use sim_isa::{ProgBuilder, Reg};
+//!
+//! let r1 = Reg::r(1);
+//! let r2 = Reg::r(2);
+//! let mut b = ProgBuilder::new();
+//! b.li(r1, 1)
+//!     .barw(r1) // announce arrival
+//!     .label("spin")
+//!     .barr(r2)
+//!     .bne(r2, Reg::ZERO, "spin") // wait for the G-line release
+//!     .halt();
+//! let prog = b.build();
+//! assert_eq!(prog.len(), 5);
+//! ```
+
+use crate::inst::{AluOp, AmoOp, BranchCond, Inst, Program, Region};
+use crate::reg::Reg;
+use std::collections::HashMap;
+
+/// Builder for [`Program`]s with named labels.
+#[derive(Debug, Default)]
+pub struct ProgBuilder {
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl ProgBuilder {
+    /// An empty builder.
+    pub fn new() -> ProgBuilder {
+        ProgBuilder::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    /// Panics on duplicate definition.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let prev = self.labels.insert(name.to_string(), self.insts.len());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn inst(&mut self, i: Inst) -> &mut Self {
+        self.insts.push(i);
+        self
+    }
+
+    /// `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.inst(Inst::Li { rd, imm })
+    }
+
+    /// Register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// Register-immediate ALU operation.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.inst(Inst::AluI { op, rd, rs1, imm })
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    /// `muli rd, rs1, imm`.
+    pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Mul, rd, rs1, imm)
+    }
+
+    /// `ld rd, off(rs1)`.
+    pub fn ld(&mut self, rd: Reg, off: i64, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Ld { rd, rs1, off })
+    }
+
+    /// `st rs2, off(rs1)`.
+    pub fn st(&mut self, rs2: Reg, off: i64, rs1: Reg) -> &mut Self {
+        self.inst(Inst::St { rs2, rs1, off })
+    }
+
+    /// `amoadd rd, rs2, (rs1)`.
+    pub fn amoadd(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Amo { op: AmoOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `amoswap rd, rs2, (rs1)`.
+    pub fn amoswap(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Amo { op: AmoOp::Swap, rd, rs1, rs2 })
+    }
+
+    fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.to_string()));
+        self.inst(Inst::Branch { cond, rs1, rs2, target: usize::MAX })
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: Reg, label: &str) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.to_string()));
+        self.inst(Inst::Jal { rd, target: usize::MAX })
+    }
+
+    /// Unconditional `j label`.
+    pub fn jump(&mut self, label: &str) -> &mut Self {
+        self.jal(Reg::ZERO, label)
+    }
+
+    /// `jalr rd, rs1` (indirect jump, e.g. subroutine return).
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Jalr { rd, rs1 })
+    }
+
+    /// `busy cycles`.
+    pub fn busy(&mut self, cycles: u32) -> &mut Self {
+        self.inst(Inst::Busy { cycles })
+    }
+
+    /// `barw rs1`.
+    pub fn barw(&mut self, rs1: Reg) -> &mut Self {
+        self.inst(Inst::BarWrite { rs1 })
+    }
+
+    /// `barr rd`.
+    pub fn barr(&mut self, rd: Reg) -> &mut Self {
+        self.inst(Inst::BarRead { rd })
+    }
+
+    /// `barctx imm` — select the barrier context.
+    pub fn barctx(&mut self, ctx: u8) -> &mut Self {
+        self.inst(Inst::BarCtx { ctx })
+    }
+
+    /// `region <kind>` — time-attribution marker.
+    pub fn region(&mut self, region: Region) -> &mut Self {
+        self.inst(Inst::SetRegion { region })
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.inst(Inst::Halt)
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.inst(Inst::Nop)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    /// Panics if any referenced label was never defined.
+    pub fn build(self) -> Program {
+        let ProgBuilder { mut insts, labels, fixups } = self;
+        for (idx, name) in fixups {
+            let target = *labels
+                .get(&name)
+                .unwrap_or_else(|| panic!("undefined label `{name}` referenced at {idx}"));
+            match &mut insts[idx] {
+                Inst::Branch { target: t, .. } | Inst::Jal { target: t, .. } => *t = target,
+                _ => unreachable!(),
+            }
+        }
+        Program::with_labels(insts, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn builder_matches_assembler() {
+        let src = "
+            li r1, 10
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ";
+        let from_text = assemble(src).unwrap();
+        let mut b = ProgBuilder::new();
+        b.li(Reg::r(1), 10)
+            .label("loop")
+            .addi(Reg::r(1), Reg::r(1), -1)
+            .bne(Reg::r(1), Reg::ZERO, "loop")
+            .halt();
+        assert_eq!(b.build().insts(), from_text.insts());
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = ProgBuilder::new();
+        b.jump("end").nop().label("end").halt();
+        let p = b.build();
+        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::ZERO, target: 2 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn missing_label_panics() {
+        let mut b = ProgBuilder::new();
+        b.jump("nowhere");
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut b = ProgBuilder::new();
+        b.label("x").nop().label("x");
+    }
+
+    #[test]
+    fn all_emitters_produce_instructions() {
+        let mut b = ProgBuilder::new();
+        b.li(Reg::r(1), 5)
+            .add(Reg::r(2), Reg::r(1), Reg::r(1))
+            .addi(Reg::r(2), Reg::r(2), 1)
+            .mul(Reg::r(3), Reg::r(2), Reg::r(2))
+            .muli(Reg::r(3), Reg::r(3), 2)
+            .ld(Reg::r(4), 0, Reg::r(3))
+            .st(Reg::r(4), 8, Reg::r(3))
+            .amoadd(Reg::r(5), Reg::r(4), Reg::r(3))
+            .amoswap(Reg::r(5), Reg::r(4), Reg::r(3))
+            .jalr(Reg::ZERO, Reg::r(31))
+            .busy(3)
+            .barw(Reg::r(1))
+            .barr(Reg::r(6))
+            .nop()
+            .halt();
+        assert_eq!(b.len(), 15);
+        assert!(!b.is_empty());
+    }
+}

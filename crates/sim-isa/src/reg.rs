@@ -1,0 +1,58 @@
+//! Register names.
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers. `r0` always reads zero and
+/// ignores writes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+impl Reg {
+    /// The always-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Constructs `rN`; panics when `n >= 32`.
+    pub fn r(n: u8) -> Reg {
+        assert!((n as usize) < NUM_REGS, "register r{n} does not exist");
+        Reg(n)
+    }
+
+    /// Dense index for register-file lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_and_display() {
+        assert_eq!(Reg::r(7), Reg(7));
+        assert_eq!(format!("{}", Reg::r(31)), "r31");
+        assert_eq!(Reg::ZERO.index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn out_of_range_rejected() {
+        let _ = Reg::r(32);
+    }
+}

@@ -1,0 +1,196 @@
+//! A generic set-associative cache array with true-LRU replacement.
+//!
+//! Used for both the L1s (state = MESI state) and the L2 banks
+//! (state = dirty bit). The array stores the line data inline.
+
+use crate::proto::LineData;
+use sim_base::config::CacheConfig;
+use sim_base::ids::LineAddr;
+
+/// One resident line.
+#[derive(Clone, Debug)]
+pub struct Entry<S> {
+    /// The line address (full tag — the array stores whole line numbers).
+    pub line: LineAddr,
+    /// Caller-defined state (MESI state, dirty bit, …).
+    pub state: S,
+    /// Line contents.
+    pub data: LineData,
+}
+
+/// Set-associative array. Each set is kept in LRU order: index 0 is the
+/// most recently used way.
+#[derive(Clone, Debug)]
+pub struct SetAssoc<S> {
+    sets: Vec<Vec<Entry<S>>>,
+    ways: usize,
+    set_mask: u64,
+}
+
+impl<S> SetAssoc<S> {
+    /// Builds the array from a [`CacheConfig`].
+    pub fn new(cfg: &CacheConfig) -> SetAssoc<S> {
+        let sets = cfg.num_sets();
+        SetAssoc {
+            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways as usize)).collect(),
+            ways: cfg.ways as usize,
+            set_mask: sets - 1,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Immutable lookup without touching LRU order.
+    pub fn probe(&self, line: LineAddr) -> Option<&Entry<S>> {
+        self.sets[self.set_of(line)].iter().find(|e| e.line == line)
+    }
+
+    /// Mutable lookup that also promotes the line to MRU.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut Entry<S>> {
+        let set = self.set_of(line);
+        let pos = self.sets[set].iter().position(|e| e.line == line)?;
+        let e = self.sets[set].remove(pos);
+        self.sets[set].insert(0, e);
+        Some(&mut self.sets[set][0])
+    }
+
+    /// Removes a line, returning it if present.
+    pub fn remove(&mut self, line: LineAddr) -> Option<Entry<S>> {
+        let set = self.set_of(line);
+        let pos = self.sets[set].iter().position(|e| e.line == line)?;
+        Some(self.sets[set].remove(pos))
+    }
+
+    /// True when inserting `line` would require evicting something.
+    pub fn set_full(&self, line: LineAddr) -> bool {
+        self.sets[self.set_of(line)].len() >= self.ways
+    }
+
+    /// The LRU victim of `line`'s set that satisfies `evictable`, if an
+    /// eviction is needed for an insert. Scans from LRU to MRU.
+    pub fn pick_victim(&self, line: LineAddr, evictable: impl Fn(&Entry<S>) -> bool) -> Option<LineAddr> {
+        let set = &self.sets[self.set_of(line)];
+        if set.len() < self.ways {
+            return None;
+        }
+        set.iter().rev().find(|e| evictable(e)).map(|e| e.line)
+    }
+
+    /// Inserts a line as MRU.
+    ///
+    /// # Panics
+    /// Panics if the set is full (the caller must evict first) or the
+    /// line is already present.
+    pub fn insert(&mut self, line: LineAddr, state: S, data: LineData) {
+        let set = self.set_of(line);
+        assert!(self.sets[set].len() < self.ways, "insert into a full set (evict first)");
+        assert!(
+            !self.sets[set].iter().any(|e| e.line == line),
+            "line {line:?} already resident"
+        );
+        self.sets[set].insert(0, Entry { line, state, data });
+    }
+
+    /// Iterates over all resident entries (set by set, MRU first).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<S>> {
+        self.sets.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        // 4 sets × 2 ways of 64-byte lines.
+        CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, hit_latency: 1, extra_data_latency: 0 }
+    }
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    #[test]
+    fn insert_probe_lookup() {
+        let mut c: SetAssoc<u8> = SetAssoc::new(&cfg());
+        c.insert(l(0), 1, [7; 8]);
+        assert_eq!(c.probe(l(0)).unwrap().state, 1);
+        assert_eq!(c.lookup(l(0)).unwrap().data, [7; 8]);
+        assert!(c.probe(l(1)).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_order_and_victim() {
+        let mut c: SetAssoc<u8> = SetAssoc::new(&cfg());
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(l(0), 0, [0; 8]);
+        c.insert(l(4), 0, [0; 8]);
+        assert!(c.set_full(l(8)));
+        // LRU victim is line 0 …
+        assert_eq!(c.pick_victim(l(8), |_| true), Some(l(0)));
+        // … unless a touch promotes it.
+        c.lookup(l(0));
+        assert_eq!(c.pick_victim(l(8), |_| true), Some(l(4)));
+    }
+
+    #[test]
+    fn victim_respects_evictability() {
+        let mut c: SetAssoc<bool> = SetAssoc::new(&cfg());
+        c.insert(l(0), false, [0; 8]); // not evictable
+        c.insert(l(4), true, [0; 8]); // evictable (MRU)
+        assert_eq!(c.pick_victim(l(8), |e| e.state), Some(l(4)));
+        assert_eq!(c.pick_victim(l(8), |e| !e.state), Some(l(0)));
+        assert_eq!(c.pick_victim(l(8), |_| false), None);
+    }
+
+    #[test]
+    fn no_victim_needed_when_space() {
+        let mut c: SetAssoc<u8> = SetAssoc::new(&cfg());
+        c.insert(l(0), 0, [0; 8]);
+        assert_eq!(c.pick_victim(l(4), |_| true), None);
+        assert!(!c.set_full(l(4)));
+    }
+
+    #[test]
+    fn remove_frees_the_way() {
+        let mut c: SetAssoc<u8> = SetAssoc::new(&cfg());
+        c.insert(l(0), 9, [1; 8]);
+        let e = c.remove(l(0)).unwrap();
+        assert_eq!(e.state, 9);
+        assert!(c.is_empty());
+        assert!(c.remove(l(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "full set")]
+    fn insert_into_full_set_panics() {
+        let mut c: SetAssoc<u8> = SetAssoc::new(&cfg());
+        c.insert(l(0), 0, [0; 8]);
+        c.insert(l(4), 0, [0; 8]);
+        c.insert(l(8), 0, [0; 8]);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c: SetAssoc<u8> = SetAssoc::new(&cfg());
+        for i in 0..4 {
+            c.insert(l(i), 0, [0; 8]);
+        }
+        assert_eq!(c.len(), 4);
+        assert!(!c.set_full(l(4)) || c.probe(l(0)).is_some());
+    }
+}

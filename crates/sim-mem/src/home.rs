@@ -1,0 +1,722 @@
+//! The home controller of one tile: an L2 bank, its slice of the
+//! full-map directory, and the memory port behind it.
+//!
+//! The directory **blocks per line**: one transaction at a time; later
+//! requests queue at the home. That serializes all the racy interleavings
+//! a non-blocking directory would have to disambiguate, at a small
+//! concurrency cost that does not affect the traffic the paper measures.
+//!
+//! Data invariant: whenever the directory state of a line is *not*
+//! Exclusive, the union of this bank's L2 and memory holds current data
+//! (dirty L2 victims are written back to memory on eviction; dirty data
+//! returning from owners is folded into the L2 or pushed to memory).
+
+use crate::cache::SetAssoc;
+use crate::l1::OutMsg;
+use crate::proto::{Grant, LineData, ProtoMsg};
+use sim_base::config::CacheConfig;
+use sim_base::ids::LineAddr;
+use sim_base::{CoreId, Cycle};
+use std::collections::{HashMap, VecDeque};
+
+/// Sparse line-granular memory backend (absent lines read as zero).
+pub type Memory = HashMap<LineAddr, LineData>;
+
+/// A compact sharer set (up to 64 cores).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    pub fn empty() -> SharerSet {
+        SharerSet(0)
+    }
+
+    /// Singleton set.
+    pub fn only(c: CoreId) -> SharerSet {
+        SharerSet(1 << c.index())
+    }
+
+    /// Inserts a core.
+    pub fn insert(&mut self, c: CoreId) {
+        self.0 |= 1 << c.index();
+    }
+
+    /// Removes a core.
+    pub fn remove(&mut self, c: CoreId) {
+        self.0 &= !(1 << c.index());
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: CoreId) -> bool {
+        self.0 & (1 << c.index()) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the member cores.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..64u16).filter(|&i| self.0 & (1u64 << i) != 0).map(CoreId)
+    }
+}
+
+/// Directory state of a line at its home.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirState {
+    /// Cached read-only by these L1s.
+    Shared(SharerSet),
+    /// Owned (E or M) by this L1; the home's copy may be stale.
+    Exclusive(CoreId),
+}
+
+/// What the active transaction is doing.
+#[derive(Clone, Copy, Debug)]
+enum TxKind {
+    /// GetS in progress.
+    Read { requester: CoreId },
+    /// GetX (or upgraded-to-GetX Upgrade) in progress.
+    Write { requester: CoreId },
+    /// Upgrade in progress (requester keeps its data).
+    Upgrade { requester: CoreId },
+    /// PutM in progress.
+    Wb { sender: CoreId },
+}
+
+/// Where the active transaction currently waits.
+#[derive(Clone, Copy, Debug)]
+enum TxPhase {
+    /// Charging the L2 tag+data pipeline before completing.
+    L2Wait { until: Cycle },
+    /// Waiting for the 400-cycle memory fetch.
+    MemWait { until: Cycle },
+    /// Waiting for invalidation acks.
+    WaitInvAcks { left: u32 },
+    /// Waiting for the old owner's FwdDone.
+    WaitFwdDone,
+}
+
+#[derive(Clone, Debug)]
+struct HomeTx {
+    kind: TxKind,
+    phase: TxPhase,
+}
+
+/// Home-bank statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HomeStats {
+    /// Transactions served from the L2 array.
+    pub l2_hits: u64,
+    /// Transactions that went to memory.
+    pub l2_misses: u64,
+    /// Invalidation messages issued.
+    pub invalidations_sent: u64,
+    /// Forwards issued to exclusive owners.
+    pub forwards_sent: u64,
+    /// Writebacks accepted (non-stale PutM).
+    pub writebacks: u64,
+    /// Stale PutMs acknowledged and dropped.
+    pub stale_writebacks: u64,
+}
+
+/// The home controller of one tile.
+#[derive(Clone, Debug)]
+pub struct HomeCtrl {
+    tile: CoreId,
+    l2: SetAssoc<bool>, // state = dirty-vs-memory
+    dir: HashMap<LineAddr, DirState>,
+    active: HashMap<LineAddr, HomeTx>,
+    queue: HashMap<LineAddr, VecDeque<(CoreId, ProtoMsg)>>,
+    l2_latency: u64,
+    mem_latency: u64,
+    stats: HomeStats,
+}
+
+impl HomeCtrl {
+    /// Builds the home bank of `tile`.
+    pub fn new(tile: CoreId, l2_cfg: &CacheConfig, mem_latency: u32) -> HomeCtrl {
+        HomeCtrl {
+            tile,
+            l2: SetAssoc::new(l2_cfg),
+            dir: HashMap::new(),
+            active: HashMap::new(),
+            queue: HashMap::new(),
+            l2_latency: l2_cfg.total_latency() as u64,
+            mem_latency: mem_latency as u64,
+            stats: HomeStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HomeStats {
+        self.stats
+    }
+
+    /// Directory state of a line (None = uncached).
+    pub fn dir_state(&self, line: LineAddr) -> Option<DirState> {
+        self.dir.get(&line).copied()
+    }
+
+    /// Debug view of the L2 copy of a line.
+    pub fn peek_l2(&self, line: LineAddr) -> Option<&LineData> {
+        self.l2.probe(line).map(|e| &e.data)
+    }
+
+    /// True when no transaction is active or queued.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.queue.values().all(VecDeque::is_empty)
+    }
+
+    /// Folds dirty data into the L2 (inserting or evicting as needed) or,
+    /// if the set cannot take it, directly into memory.
+    fn absorb_data(&mut self, line: LineAddr, data: LineData, mem: &mut Memory) {
+        if let Some(e) = self.l2.lookup(line) {
+            e.data = data;
+            e.state = true;
+            return;
+        }
+        if self.l2.set_full(line) {
+            let victim = self.l2.pick_victim(line, |_| true).expect("LRU victim exists");
+            let e = self.l2.remove(victim).expect("victim resident");
+            if e.state {
+                mem.insert(victim, e.data);
+            }
+        }
+        self.l2.insert(line, true, data);
+    }
+
+    /// Reads the current data for a line that is not Exclusive: from L2
+    /// if resident, else memory. Returns `(data, was_l2_hit)`.
+    fn read_data(&mut self, line: LineAddr, mem: &Memory) -> (LineData, bool) {
+        if let Some(e) = self.l2.lookup(line) {
+            (e.data, true)
+        } else {
+            (mem.get(&line).copied().unwrap_or([0; 8]), false)
+        }
+    }
+
+    /// Installs a clean memory copy into L2 (after a fetch).
+    fn install_clean(&mut self, line: LineAddr, data: LineData, mem: &mut Memory) {
+        if self.l2.probe(line).is_some() {
+            return;
+        }
+        if self.l2.set_full(line) {
+            let victim = self.l2.pick_victim(line, |_| true).expect("LRU victim exists");
+            let e = self.l2.remove(victim).expect("victim resident");
+            if e.state {
+                mem.insert(victim, e.data);
+            }
+        }
+        self.l2.insert(line, false, data);
+    }
+
+    /// Handles a protocol message addressed to this home.
+    pub fn handle(
+        &mut self,
+        src: CoreId,
+        msg: ProtoMsg,
+        now: Cycle,
+        mem: &mut Memory,
+        out: &mut Vec<OutMsg>,
+    ) {
+        let line = msg.line();
+        match &msg {
+            ProtoMsg::GetS(_) | ProtoMsg::GetX(_) | ProtoMsg::Upgrade(_) | ProtoMsg::PutM(..) => {
+                if self.active.contains_key(&line) {
+                    self.queue.entry(line).or_default().push_back((src, msg));
+                } else {
+                    self.start_tx(src, msg, now, mem, out);
+                }
+            }
+            ProtoMsg::InvAck(_) => {
+                let tx = self.active.get_mut(&line).expect("InvAck without a transaction");
+                let TxPhase::WaitInvAcks { left } = &mut tx.phase else {
+                    panic!("InvAck in phase {:?}", tx.phase);
+                };
+                *left -= 1;
+                if *left == 0 {
+                    let kind = tx.kind;
+                    self.invalidations_done(line, kind, now, mem, out);
+                }
+            }
+            ProtoMsg::FwdDone { data, retained, .. } => {
+                let tx = self.active.get(&line).expect("FwdDone without a transaction");
+                debug_assert!(matches!(tx.phase, TxPhase::WaitFwdDone));
+                let kind = tx.kind;
+                let old_owner = src;
+                match kind {
+                    TxKind::Read { requester } => {
+                        let d = data.expect("read-forward returns data");
+                        self.absorb_data(line, d, mem);
+                        let mut sharers = SharerSet::only(requester);
+                        if *retained {
+                            sharers.insert(old_owner);
+                        }
+                        self.dir.insert(line, DirState::Shared(sharers));
+                    }
+                    TxKind::Write { requester } => {
+                        debug_assert!(data.is_none());
+                        self.dir.insert(line, DirState::Exclusive(requester));
+                    }
+                    k => panic!("FwdDone for {k:?}"),
+                }
+                self.complete(line, now, mem, out);
+            }
+            other => panic!("home {:?} received an L1-bound message {other:?}", self.tile),
+        }
+    }
+
+    /// Begins a transaction on an idle line.
+    fn start_tx(
+        &mut self,
+        src: CoreId,
+        msg: ProtoMsg,
+        now: Cycle,
+        mem: &mut Memory,
+        out: &mut Vec<OutMsg>,
+    ) {
+        let line = msg.line();
+        match msg {
+            ProtoMsg::GetS(_) => match self.dir.get(&line).copied() {
+                Some(DirState::Exclusive(owner)) => {
+                    debug_assert_ne!(owner, src, "owner re-requesting its own line");
+                    self.stats.forwards_sent += 1;
+                    out.push(OutMsg { dst: owner, msg: ProtoMsg::FwdGetS { line, requester: src } });
+                    self.active.insert(
+                        line,
+                        HomeTx { kind: TxKind::Read { requester: src }, phase: TxPhase::WaitFwdDone },
+                    );
+                }
+                _ => self.data_path(line, TxKind::Read { requester: src }, now, mem),
+            },
+            ProtoMsg::GetX(_) => self.write_path(line, src, now, mem, out),
+            ProtoMsg::Upgrade(_) => match self.dir.get(&line).copied() {
+                Some(DirState::Shared(sharers)) if sharers.contains(src) => {
+                    let mut others = sharers;
+                    others.remove(src);
+                    if others.is_empty() {
+                        // Only the requester shares it: grant after the
+                        // directory/tag access.
+                        self.active.insert(
+                            line,
+                            HomeTx {
+                                kind: TxKind::Upgrade { requester: src },
+                                phase: TxPhase::L2Wait { until: now + self.l2_latency },
+                            },
+                        );
+                    } else {
+                        for s in others.iter() {
+                            self.stats.invalidations_sent += 1;
+                            out.push(OutMsg { dst: s, msg: ProtoMsg::Inv(line) });
+                        }
+                        self.active.insert(
+                            line,
+                            HomeTx {
+                                kind: TxKind::Upgrade { requester: src },
+                                phase: TxPhase::WaitInvAcks { left: others.len() },
+                            },
+                        );
+                    }
+                }
+                // The requester lost its copy to a race: full write path.
+                _ => self.write_path(line, src, now, mem, out),
+            },
+            ProtoMsg::PutM(_, data) => {
+                match self.dir.get(&line).copied() {
+                    Some(DirState::Exclusive(owner)) if owner == src => {
+                        self.stats.writebacks += 1;
+                        self.absorb_data(line, data, mem);
+                        self.dir.remove(&line);
+                        self.active.insert(
+                            line,
+                            HomeTx {
+                                kind: TxKind::Wb { sender: src },
+                                phase: TxPhase::L2Wait { until: now + self.l2_latency },
+                            },
+                        );
+                    }
+                    _ => {
+                        // Stale: ownership already moved on. Ack and drop.
+                        self.stats.stale_writebacks += 1;
+                        out.push(OutMsg { dst: src, msg: ProtoMsg::WbAck(line) });
+                    }
+                }
+            }
+            m => unreachable!("start_tx on {m:?}"),
+        }
+    }
+
+    /// GetX / upgraded-Upgrade processing.
+    fn write_path(
+        &mut self,
+        line: LineAddr,
+        src: CoreId,
+        now: Cycle,
+        mem: &mut Memory,
+        out: &mut Vec<OutMsg>,
+    ) {
+        match self.dir.get(&line).copied() {
+            Some(DirState::Exclusive(owner)) => {
+                debug_assert_ne!(owner, src, "owner issuing GetX for its own line");
+                self.stats.forwards_sent += 1;
+                out.push(OutMsg { dst: owner, msg: ProtoMsg::FwdGetX { line, requester: src } });
+                self.active.insert(
+                    line,
+                    HomeTx { kind: TxKind::Write { requester: src }, phase: TxPhase::WaitFwdDone },
+                );
+            }
+            Some(DirState::Shared(sharers)) => {
+                let mut others = sharers;
+                others.remove(src); // tolerate a stale self-bit
+                if others.is_empty() {
+                    self.data_path(line, TxKind::Write { requester: src }, now, mem);
+                } else {
+                    for s in others.iter() {
+                        self.stats.invalidations_sent += 1;
+                        out.push(OutMsg { dst: s, msg: ProtoMsg::Inv(line) });
+                    }
+                    self.active.insert(
+                        line,
+                        HomeTx {
+                            kind: TxKind::Write { requester: src },
+                            phase: TxPhase::WaitInvAcks { left: others.len() },
+                        },
+                    );
+                }
+            }
+            None => self.data_path(line, TxKind::Write { requester: src }, now, mem),
+        }
+    }
+
+    /// Starts the L2/memory access for a transaction that will be served
+    /// with data from this bank.
+    fn data_path(&mut self, line: LineAddr, kind: TxKind, now: Cycle, mem: &mut Memory) {
+        let phase = if self.l2.probe(line).is_some() {
+            self.stats.l2_hits += 1;
+            TxPhase::L2Wait { until: now + self.l2_latency }
+        } else {
+            self.stats.l2_misses += 1;
+            // Fetch from memory and install now; timing is charged by the
+            // wait phase.
+            let data = mem.get(&line).copied().unwrap_or([0; 8]);
+            self.install_clean(line, data, mem);
+            TxPhase::MemWait { until: now + self.l2_latency + self.mem_latency }
+        };
+        self.active.insert(line, HomeTx { kind, phase });
+    }
+
+    /// All invalidation acks arrived: finish the write/upgrade.
+    fn invalidations_done(
+        &mut self,
+        line: LineAddr,
+        kind: TxKind,
+        now: Cycle,
+        mem: &mut Memory,
+        out: &mut Vec<OutMsg>,
+    ) {
+        match kind {
+            TxKind::Upgrade { requester } => {
+                self.dir.insert(line, DirState::Exclusive(requester));
+                out.push(OutMsg { dst: requester, msg: ProtoMsg::UpgradeAck(line) });
+                self.complete(line, now, mem, out);
+            }
+            TxKind::Write { requester } => {
+                // Sharers gone; now read the data out of L2/memory.
+                self.active.remove(&line);
+                self.data_path(line, TxKind::Write { requester }, now, mem);
+            }
+            k => panic!("invalidations for {k:?}"),
+        }
+    }
+
+    /// Advances timer-based phases; call once per cycle.
+    pub fn tick(&mut self, now: Cycle, mem: &mut Memory, out: &mut Vec<OutMsg>) {
+        if self.active.is_empty() {
+            return;
+        }
+        let ready: Vec<LineAddr> = self
+            .active
+            .iter()
+            .filter(|(_, tx)| match tx.phase {
+                TxPhase::L2Wait { until } | TxPhase::MemWait { until } => until <= now,
+                _ => false,
+            })
+            .map(|(&l, _)| l)
+            .collect();
+        for line in ready {
+            let tx = self.active.get(&line).expect("collected above");
+            let kind = tx.kind;
+            match kind {
+                TxKind::Read { requester } => {
+                    let (data, _) = self.read_data(line, mem);
+                    let grant = match self.dir.get(&line).copied() {
+                        None => {
+                            self.dir.insert(line, DirState::Exclusive(requester));
+                            Grant::E
+                        }
+                        Some(DirState::Shared(mut s)) => {
+                            s.insert(requester);
+                            self.dir.insert(line, DirState::Shared(s));
+                            Grant::S
+                        }
+                        Some(DirState::Exclusive(_)) => unreachable!("read served from bank while exclusive"),
+                    };
+                    out.push(OutMsg { dst: requester, msg: ProtoMsg::Data { line, data, grant } });
+                }
+                TxKind::Write { requester } => {
+                    let (data, _) = self.read_data(line, mem);
+                    debug_assert!(!matches!(self.dir.get(&line), Some(DirState::Exclusive(_))));
+                    self.dir.insert(line, DirState::Exclusive(requester));
+                    out.push(OutMsg {
+                        dst: requester,
+                        msg: ProtoMsg::Data { line, data, grant: Grant::M },
+                    });
+                }
+                TxKind::Upgrade { requester } => {
+                    self.dir.insert(line, DirState::Exclusive(requester));
+                    out.push(OutMsg { dst: requester, msg: ProtoMsg::UpgradeAck(line) });
+                }
+                TxKind::Wb { sender } => {
+                    out.push(OutMsg { dst: sender, msg: ProtoMsg::WbAck(line) });
+                }
+            }
+            self.complete(line, now, mem, out);
+        }
+    }
+
+    /// Ends the active transaction on `line` and starts the next queued
+    /// request, if any.
+    fn complete(&mut self, line: LineAddr, now: Cycle, mem: &mut Memory, out: &mut Vec<OutMsg>) {
+        self.active.remove(&line);
+        if let Some(q) = self.queue.get_mut(&line) {
+            if let Some((src, msg)) = q.pop_front() {
+                if q.is_empty() {
+                    self.queue.remove(&line);
+                }
+                self.start_tx(src, msg, now, mem, out);
+            } else {
+                self.queue.remove(&line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2_cfg() -> CacheConfig {
+        CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, hit_latency: 6, extra_data_latency: 2 }
+    }
+
+    fn home() -> (HomeCtrl, Memory, Vec<OutMsg>) {
+        (HomeCtrl::new(CoreId(0), &l2_cfg(), 400), Memory::new(), Vec::new())
+    }
+
+    fn run_until(h: &mut HomeCtrl, mem: &mut Memory, out: &mut Vec<OutMsg>, now: &mut Cycle, limit: u64) {
+        for _ in 0..limit {
+            h.tick(*now, mem, out);
+            *now += 1;
+            if !out.is_empty() {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn cold_gets_fetches_memory_and_grants_e() {
+        let (mut h, mut mem, mut out) = home();
+        mem.insert(LineAddr(0), [42; 8]);
+        let mut now = 0;
+        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        assert!(out.is_empty(), "memory fetch takes time");
+        run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
+        assert!(now > 400, "memory latency charged (completed at {now})");
+        match &out[0].msg {
+            ProtoMsg::Data { data, grant: Grant::E, .. } => assert_eq!(data[0], 42),
+            m => panic!("{m:?}"),
+        }
+        assert_eq!(h.dir_state(LineAddr(0)), Some(DirState::Exclusive(CoreId(1))));
+        assert_eq!(h.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn second_gets_is_an_l2_hit_with_forward() {
+        let (mut h, mut mem, mut out) = home();
+        let mut now = 0;
+        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
+        out.clear();
+        // Second reader: owner must be fetched.
+        h.handle(CoreId(2), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        assert_eq!(out[0].dst, CoreId(1));
+        assert!(matches!(out[0].msg, ProtoMsg::FwdGetS { requester: CoreId(2), .. }));
+        out.clear();
+        h.handle(
+            CoreId(1),
+            ProtoMsg::FwdDone { line: LineAddr(0), data: Some([7; 8]), retained: true },
+            now,
+            &mut mem,
+            &mut out,
+        );
+        match h.dir_state(LineAddr(0)) {
+            Some(DirState::Shared(s)) => {
+                assert!(s.contains(CoreId(1)) && s.contains(CoreId(2)));
+                assert_eq!(s.len(), 2);
+            }
+            d => panic!("{d:?}"),
+        }
+        assert_eq!(h.peek_l2(LineAddr(0)).unwrap()[0], 7, "dirty data absorbed");
+    }
+
+    #[test]
+    fn getx_invalidates_sharers_then_grants_m() {
+        let (mut h, mut mem, mut out) = home();
+        let mut now = 0;
+        // Two readers establish Shared{1,2} (first is E; the FwdGetS path
+        // is exercised elsewhere — here, set up S directly via two reads
+        // from a Shared state).
+        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
+        out.clear();
+        h.handle(CoreId(2), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        out.clear();
+        h.handle(
+            CoreId(1),
+            ProtoMsg::FwdDone { line: LineAddr(0), data: Some([0; 8]), retained: true },
+            now,
+            &mut mem,
+            &mut out,
+        );
+        out.clear();
+        // A third core writes.
+        h.handle(CoreId(3), ProtoMsg::GetX(LineAddr(0)), now, &mut mem, &mut out);
+        let invs: Vec<_> = out.iter().filter(|m| matches!(m.msg, ProtoMsg::Inv(_))).collect();
+        assert_eq!(invs.len(), 2);
+        out.clear();
+        h.handle(CoreId(1), ProtoMsg::InvAck(LineAddr(0)), now, &mut mem, &mut out);
+        assert!(out.is_empty(), "one ack is not enough");
+        h.handle(CoreId(2), ProtoMsg::InvAck(LineAddr(0)), now, &mut mem, &mut out);
+        run_until(&mut h, &mut mem, &mut out, &mut now, 100);
+        assert!(matches!(out[0].msg, ProtoMsg::Data { grant: Grant::M, .. }));
+        assert_eq!(h.dir_state(LineAddr(0)), Some(DirState::Exclusive(CoreId(3))));
+    }
+
+    #[test]
+    fn upgrade_with_sole_sharer_acks_quickly() {
+        let (mut h, mut mem, mut out) = home();
+        let mut now = 0;
+        // Establish Shared{1} via E-grant then FwdGetS-style downgrade is
+        // overkill; set up directly through the public API: read (E),
+        // then a PutM-free downgrade isn't possible, so emulate the
+        // common case: read from core 1, read from core 2, invalidate 2.
+        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
+        out.clear();
+        h.handle(CoreId(2), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        out.clear();
+        h.handle(
+            CoreId(1),
+            ProtoMsg::FwdDone { line: LineAddr(0), data: Some([0; 8]), retained: false },
+            now,
+            &mut mem,
+            &mut out,
+        );
+        out.clear();
+        // Now Shared{2} only. Core 2 upgrades: no invalidations needed.
+        h.handle(CoreId(2), ProtoMsg::Upgrade(LineAddr(0)), now, &mut mem, &mut out);
+        assert!(out.is_empty());
+        run_until(&mut h, &mut mem, &mut out, &mut now, 100);
+        assert_eq!(out[0].msg, ProtoMsg::UpgradeAck(LineAddr(0)));
+        assert_eq!(h.dir_state(LineAddr(0)), Some(DirState::Exclusive(CoreId(2))));
+    }
+
+    #[test]
+    fn upgrade_after_losing_copy_becomes_getx() {
+        let (mut h, mut mem, mut out) = home();
+        let mut now = 0;
+        // Uncached line; an Upgrade arrives from a core that lost the
+        // race. It must be treated as a full GetX.
+        h.handle(CoreId(1), ProtoMsg::Upgrade(LineAddr(3)), now, &mut mem, &mut out);
+        run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
+        assert!(matches!(out[0].msg, ProtoMsg::Data { grant: Grant::M, .. }));
+    }
+
+    #[test]
+    fn putm_from_owner_accepted_and_acked() {
+        let (mut h, mut mem, mut out) = home();
+        let mut now = 0;
+        h.handle(CoreId(1), ProtoMsg::GetX(LineAddr(0)), now, &mut mem, &mut out);
+        run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
+        out.clear();
+        h.handle(CoreId(1), ProtoMsg::PutM(LineAddr(0), [9; 8]), now, &mut mem, &mut out);
+        run_until(&mut h, &mut mem, &mut out, &mut now, 100);
+        assert_eq!(out[0].msg, ProtoMsg::WbAck(LineAddr(0)));
+        assert_eq!(h.dir_state(LineAddr(0)), None);
+        assert_eq!(h.peek_l2(LineAddr(0)).unwrap()[0], 9);
+        assert_eq!(h.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn stale_putm_acked_without_state_change() {
+        let (mut h, mut mem, mut out) = home();
+        let now = 0;
+        // Nothing is exclusive; a PutM from core 5 is stale.
+        h.handle(CoreId(5), ProtoMsg::PutM(LineAddr(7), [1; 8]), now, &mut mem, &mut out);
+        assert_eq!(out[0].msg, ProtoMsg::WbAck(LineAddr(7)));
+        assert_eq!(h.dir_state(LineAddr(7)), None);
+        assert!(h.peek_l2(LineAddr(7)).is_none(), "stale data must not be absorbed");
+        assert_eq!(h.stats().stale_writebacks, 1);
+    }
+
+    #[test]
+    fn conflicting_requests_queue_behind_active_tx() {
+        let (mut h, mut mem, mut out) = home();
+        let mut now = 0;
+        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        // While the memory fetch is outstanding, another request arrives.
+        h.handle(CoreId(2), ProtoMsg::GetX(LineAddr(0)), now, &mut mem, &mut out);
+        assert!(out.is_empty());
+        // First completes: Data(E) to core 1; queued GetX then forwards.
+        run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
+        let data_then_fwd: Vec<_> = out.iter().map(|m| m.dst).collect();
+        assert_eq!(data_then_fwd, vec![CoreId(1), CoreId(1)]);
+        assert!(matches!(out[0].msg, ProtoMsg::Data { grant: Grant::E, .. }));
+        assert!(matches!(out[1].msg, ProtoMsg::FwdGetX { requester: CoreId(2), .. }));
+    }
+
+    #[test]
+    fn dirty_l2_victim_goes_to_memory() {
+        let (mut h, mut mem, mut out) = home();
+        // Absorb dirty lines into one set until eviction; the victim's
+        // data must land in memory. Lines 0, 8, 16 share set 0 (8 sets).
+        h.absorb_data(LineAddr(0), [1; 8], &mut mem);
+        h.absorb_data(LineAddr(8), [2; 8], &mut mem);
+        h.absorb_data(LineAddr(16), [3; 8], &mut mem);
+        assert_eq!(mem.get(&LineAddr(0)).unwrap()[0], 1, "LRU dirty victim written back");
+        assert!(h.peek_l2(LineAddr(8)).is_some());
+        assert!(h.peek_l2(LineAddr(16)).is_some());
+        let _ = out.pop();
+    }
+
+    #[test]
+    fn sharer_set_operations() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.insert(CoreId(3));
+        s.insert(CoreId(31));
+        assert!(s.contains(CoreId(3)));
+        assert!(!s.contains(CoreId(4)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![CoreId(3), CoreId(31)]);
+        s.remove(CoreId(3));
+        assert_eq!(s, SharerSet::only(CoreId(31)));
+    }
+}

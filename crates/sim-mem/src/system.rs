@@ -1,0 +1,377 @@
+//! The assembled memory system: per-tile L1s and home banks glued by the
+//! NoC, plus the flat memory backend.
+
+use crate::home::{DirState, HomeCtrl, HomeStats, Memory};
+use crate::l1::{L1Ctrl, L1Stats, OutMsg};
+use crate::proto::{CoreReq, CoreResp, ProtoMsg};
+use sim_base::config::CmpConfig;
+use sim_base::ids::LineAddr;
+use sim_base::{CoreId, Cycle};
+use sim_noc::{Message, Noc, NocStats};
+
+/// The full memory hierarchy of the CMP.
+///
+/// Driving contract: during a cycle, cores may call
+/// [`request`](Self::request) (when [`ready`](Self::ready)) and
+/// [`poll`](Self::poll); the simulator calls [`tick`](Self::tick) once
+/// per cycle.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: CmpConfig,
+    l1s: Vec<L1Ctrl>,
+    homes: Vec<HomeCtrl>,
+    noc: Noc<ProtoMsg>,
+    mem: Memory,
+    now: Cycle,
+    out_scratch: Vec<OutMsg>,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy from a [`CmpConfig`].
+    pub fn new(cfg: &CmpConfig) -> MemorySystem {
+        let n = cfg.num_cores();
+        assert!(n <= 64, "SharerSet packs sharers into 64 bits");
+        MemorySystem {
+            cfg: *cfg,
+            l1s: (0..n).map(|i| L1Ctrl::new(CoreId::from(i), n, &cfg.l1)).collect(),
+            homes: (0..n)
+                .map(|i| HomeCtrl::new(CoreId::from(i), &cfg.l2, cfg.mem.latency))
+                .collect(),
+            noc: Noc::new(cfg.mesh, cfg.noc),
+            mem: Memory::new(),
+            now: 0,
+            out_scratch: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CmpConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Network statistics (the paper's Figure-7 counters).
+    pub fn noc_stats(&self) -> &NocStats {
+        self.noc.stats()
+    }
+
+    /// L1 statistics of one core.
+    pub fn l1_stats(&self, core: CoreId) -> L1Stats {
+        self.l1s[core.index()].stats()
+    }
+
+    /// Aggregated home-bank statistics.
+    pub fn home_stats(&self) -> HomeStats {
+        let mut acc = HomeStats::default();
+        for h in &self.homes {
+            let s = h.stats();
+            acc.l2_hits += s.l2_hits;
+            acc.l2_misses += s.l2_misses;
+            acc.invalidations_sent += s.invalidations_sent;
+            acc.forwards_sent += s.forwards_sent;
+            acc.writebacks += s.writebacks;
+            acc.stale_writebacks += s.stale_writebacks;
+        }
+        acc
+    }
+
+    /// True when core `core` can issue a new request.
+    pub fn ready(&self, core: CoreId) -> bool {
+        self.l1s[core.index()].ready()
+    }
+
+    /// Issues a data access for `core` (one outstanding each).
+    pub fn request(&mut self, core: CoreId, req: CoreReq) {
+        let now = self.now;
+        self.l1s[core.index()].request(req, now, &mut self.out_scratch);
+        self.flush_out(core);
+    }
+
+    /// Returns `core`'s completed response, if ready.
+    pub fn poll(&mut self, core: CoreId) -> Option<CoreResp> {
+        self.l1s[core.index()].poll(self.now)
+    }
+
+    /// Advances the memory system one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // Home timers (L2/memory waits maturing this cycle).
+        for i in 0..self.homes.len() {
+            self.homes[i].tick(now, &mut self.mem, &mut self.out_scratch);
+            self.flush_out(CoreId::from(i));
+        }
+        // Deliveries from the network.
+        for i in 0..self.l1s.len() {
+            let tile = CoreId::from(i);
+            while let Some(m) = self.noc.recv(tile) {
+                if m.payload.for_home() {
+                    self.homes[i].handle(m.src, m.payload, now, &mut self.mem, &mut self.out_scratch);
+                } else {
+                    self.l1s[i].handle(m.payload, now, &mut self.out_scratch);
+                }
+                self.flush_out(tile);
+            }
+        }
+        self.noc.tick();
+        self.now += 1;
+    }
+
+    /// Sends the scratch buffer's messages from `src`.
+    fn flush_out(&mut self, src: CoreId) {
+        for OutMsg { dst, msg } in self.out_scratch.drain(..) {
+            self.noc.send(Message {
+                src,
+                dst,
+                class: msg.class(),
+                payload_bytes: msg.payload_bytes(),
+                payload: msg,
+            });
+        }
+    }
+
+    /// True when no request, transaction or message is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.noc.is_idle() && self.homes.iter().all(HomeCtrl::is_idle)
+    }
+
+    fn home_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.l1s.len() as u64) as usize
+    }
+
+    /// Functional pre-load of a word into memory. Only valid before any
+    /// core has touched the line (cold caches).
+    pub fn poke_word(&mut self, addr: u64, value: u64) {
+        assert_eq!(addr % 8, 0, "unaligned poke");
+        let line = LineAddr(addr / self.cfg.l1.line_bytes);
+        let home = self.home_of(line);
+        assert!(
+            self.homes[home].dir_state(line).is_none() && self.homes[home].peek_l2(line).is_none(),
+            "poke_word on a warm line {line:?}"
+        );
+        let entry = self.mem.entry(line).or_insert([0; 8]);
+        entry[((addr % self.cfg.l1.line_bytes) / 8) as usize] = value;
+    }
+
+    /// Architectural value of the word at `addr`, wherever its current
+    /// copy lives (owner L1, writeback buffer, L2 or memory).
+    ///
+    /// Exact on a quiescent machine; while a line-ownership handoff is in
+    /// flight it prefers, in order: the directory's owner, any L1 holding
+    /// the line in M/E, any writeback buffer, the home L2, memory.
+    pub fn peek_word(&self, addr: u64) -> u64 {
+        assert_eq!(addr % 8, 0, "unaligned peek");
+        let line = LineAddr(addr / self.cfg.l1.line_bytes);
+        let w = ((addr % self.cfg.l1.line_bytes) / 8) as usize;
+        let home = self.home_of(line);
+        if let Some(DirState::Exclusive(owner)) = self.homes[home].dir_state(line) {
+            if let Some((_, data)) = self.l1s[owner.index()].peek_line(line) {
+                return data[w];
+            }
+            // Owner's copy is in flight (forward/writeback race); fall
+            // through to the freshest copy we can find.
+        }
+        // A modified/exclusive cache copy anywhere is authoritative (a
+        // just-completed write whose FwdDone has not reached the home).
+        for l1 in &self.l1s {
+            if let Some((state, data)) = l1.peek_cache_line(line) {
+                if state != crate::l1::L1State::S {
+                    return data[w];
+                }
+            }
+        }
+        // An eviction in flight is fresher than the home's copy.
+        for l1 in &self.l1s {
+            if let Some(data) = l1.peek_wb_line(line) {
+                return data[w];
+            }
+        }
+        if let Some(data) = self.homes[home].peek_l2(line) {
+            return data[w];
+        }
+        self.mem.get(&line).map_or(0, |d| d[w])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::inst::AmoOp;
+
+    fn sys(cores: usize) -> MemorySystem {
+        MemorySystem::new(&CmpConfig::icpp2010_with_cores(cores))
+    }
+
+    /// Issues a request for `core` and ticks until the response arrives.
+    fn do_req(s: &mut MemorySystem, core: usize, req: CoreReq) -> (CoreResp, u64) {
+        let core = CoreId::from(core);
+        assert!(s.ready(core));
+        let start = s.now();
+        s.request(core, req);
+        loop {
+            if let Some(r) = s.poll(core) {
+                return (r, s.now() - start);
+            }
+            s.tick();
+            assert!(s.now() - start < 100_000, "request never completed");
+        }
+    }
+
+    #[test]
+    fn cold_load_returns_poked_value_with_memory_latency() {
+        let mut s = sys(4);
+        s.poke_word(0x1000, 777);
+        let (r, lat) = do_req(&mut s, 0, CoreReq::Load { addr: 0x1000 });
+        assert_eq!(r, CoreResp::LoadValue(777));
+        assert!(lat > 400, "cold miss must pay the 400-cycle memory ({lat})");
+    }
+
+    #[test]
+    fn warm_load_hits_in_l1() {
+        let mut s = sys(4);
+        s.poke_word(0x40, 5);
+        do_req(&mut s, 0, CoreReq::Load { addr: 0x40 });
+        let (r, lat) = do_req(&mut s, 0, CoreReq::Load { addr: 0x40 });
+        assert_eq!(r, CoreResp::LoadValue(5));
+        assert_eq!(lat, 1, "L1 hit is one cycle");
+    }
+
+    #[test]
+    fn second_core_load_is_l2_hit_via_forward() {
+        let mut s = sys(4);
+        s.poke_word(0x40, 9);
+        do_req(&mut s, 0, CoreReq::Load { addr: 0x40 });
+        let (r, lat) = do_req(&mut s, 1, CoreReq::Load { addr: 0x40 });
+        assert_eq!(r, CoreResp::LoadValue(9));
+        assert!(lat < 400, "second reader must not go to memory ({lat})");
+    }
+
+    #[test]
+    fn store_then_remote_load_sees_value() {
+        let mut s = sys(4);
+        let (_, _) = do_req(&mut s, 0, CoreReq::Store { addr: 0x80, value: 1234 });
+        let (r, _) = do_req(&mut s, 3, CoreReq::Load { addr: 0x80 });
+        assert_eq!(r, CoreResp::LoadValue(1234));
+        assert_eq!(s.peek_word(0x80), 1234);
+    }
+
+    #[test]
+    fn write_invalidation_round_trip() {
+        let mut s = sys(4);
+        // All cores read the line (Shared everywhere).
+        for c in 0..4 {
+            do_req(&mut s, c, CoreReq::Load { addr: 0x100 });
+        }
+        // One core writes: invalidations fly, then the write wins.
+        do_req(&mut s, 2, CoreReq::Store { addr: 0x100, value: 42 });
+        // Everyone re-reads the new value.
+        for c in 0..4 {
+            let (r, _) = do_req(&mut s, c, CoreReq::Load { addr: 0x100 });
+            assert_eq!(r, CoreResp::LoadValue(42), "core {c}");
+        }
+    }
+
+    #[test]
+    fn amo_is_atomic_increment() {
+        let mut s = sys(4);
+        let mut old_sum = 0;
+        for c in 0..4 {
+            for _ in 0..5 {
+                let (r, _) = do_req(
+                    &mut s,
+                    c,
+                    CoreReq::Amo { addr: 0x200, op: AmoOp::Add, operand: 1 },
+                );
+                let CoreResp::AmoOld(v) = r else { panic!("{r:?}") };
+                old_sum += v;
+            }
+        }
+        let (r, _) = do_req(&mut s, 0, CoreReq::Load { addr: 0x200 });
+        assert_eq!(r, CoreResp::LoadValue(20));
+        // Sum of old values of x++ from 0..20 = 0+1+…+19.
+        assert_eq!(old_sum, (0..20).sum::<u64>());
+    }
+
+    #[test]
+    fn amoswap_testandset_semantics() {
+        let mut s = sys(2);
+        let (r, _) = do_req(&mut s, 0, CoreReq::Amo { addr: 0, op: AmoOp::Swap, operand: 1 });
+        assert_eq!(r, CoreResp::AmoOld(0), "lock acquired");
+        let (r, _) = do_req(&mut s, 1, CoreReq::Amo { addr: 0, op: AmoOp::Swap, operand: 1 });
+        assert_eq!(r, CoreResp::AmoOld(1), "lock already held");
+        do_req(&mut s, 0, CoreReq::Store { addr: 0, value: 0 }); // release
+        let (r, _) = do_req(&mut s, 1, CoreReq::Amo { addr: 0, op: AmoOp::Swap, operand: 1 });
+        assert_eq!(r, CoreResp::AmoOld(0), "lock re-acquired after release");
+    }
+
+    #[test]
+    fn spin_reads_hit_locally_until_invalidated() {
+        let mut s = sys(4);
+        do_req(&mut s, 1, CoreReq::Load { addr: 0x300 });
+        let before = s.noc_stats().total_messages();
+        // 100 spin reads: all L1 hits, zero traffic.
+        for _ in 0..100 {
+            let (_, lat) = do_req(&mut s, 1, CoreReq::Load { addr: 0x300 });
+            assert_eq!(lat, 1);
+        }
+        assert_eq!(s.noc_stats().total_messages(), before, "spinning must be local");
+        // A remote store invalidates; the next spin read misses.
+        do_req(&mut s, 2, CoreReq::Store { addr: 0x300, value: 1 });
+        let (r, lat) = do_req(&mut s, 1, CoreReq::Load { addr: 0x300 });
+        assert_eq!(r, CoreResp::LoadValue(1));
+        assert!(lat > 1, "post-invalidation read must miss");
+    }
+
+    #[test]
+    fn capacity_eviction_and_refill() {
+        let mut s = sys(4);
+        // L1: 32KB 4-way 64B lines → 128 sets. Writing 5 lines of the
+        // same set evicts the LRU dirty line; it must come back intact.
+        let set_stride = 128 * 64; // one L1 set apart
+        for i in 0..5u64 {
+            do_req(&mut s, 0, CoreReq::Store { addr: i * set_stride, value: 100 + i });
+        }
+        for i in 0..5u64 {
+            let (r, _) = do_req(&mut s, 0, CoreReq::Load { addr: i * set_stride });
+            assert_eq!(r, CoreResp::LoadValue(100 + i), "line {i} lost in eviction");
+        }
+    }
+
+    #[test]
+    fn interleaving_spreads_homes() {
+        let s = sys(4);
+        // Lines 0..4 map to homes 0..3 (modulo interleaving).
+        assert_eq!(s.home_of(LineAddr(0)), 0);
+        assert_eq!(s.home_of(LineAddr(1)), 1);
+        assert_eq!(s.home_of(LineAddr(5)), 1);
+    }
+
+    #[test]
+    fn system_drains_to_idle() {
+        let mut s = sys(4);
+        do_req(&mut s, 0, CoreReq::Store { addr: 0, value: 1 });
+        do_req(&mut s, 1, CoreReq::Load { addr: 0 });
+        for _ in 0..100 {
+            s.tick();
+        }
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn false_sharing_ping_pong() {
+        let mut s = sys(2);
+        // Two cores write different words of the same line; each write
+        // must steal the line from the other (forward traffic) but both
+        // values must survive.
+        for i in 0..4 {
+            do_req(&mut s, 0, CoreReq::Store { addr: 0x400, value: i });
+            do_req(&mut s, 1, CoreReq::Store { addr: 0x408, value: 100 + i });
+        }
+        assert_eq!(s.peek_word(0x400), 3);
+        assert_eq!(s.peek_word(0x408), 103);
+        assert!(s.home_stats().forwards_sent > 0, "ping-pong must forward");
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the memory hierarchy: the coherent system must be
+//! indistinguishable from a flat memory under serialized access, atomics
+//! must never lose updates under concurrency, and the directory must
+//! keep single-writer/multi-reader invariants.
+
+#![allow(clippy::needless_range_loop)] // indexing parallel arrays
+
+use proptest::prelude::*;
+use sim_base::config::CmpConfig;
+use sim_base::CoreId;
+use sim_isa::inst::AmoOp;
+use sim_mem::{CoreReq, CoreResp, MemorySystem};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Load { core: usize, slot: usize },
+    Store { core: usize, slot: usize, value: u64 },
+    Amo { core: usize, slot: usize, operand: u64, swap: bool },
+}
+
+fn arb_op(cores: usize, slots: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..cores, 0..slots).prop_map(|(core, slot)| Op::Load { core, slot }),
+        (0..cores, 0..slots, any::<u64>())
+            .prop_map(|(core, slot, value)| Op::Store { core, slot, value }),
+        (0..cores, 0..slots, any::<u64>(), any::<bool>())
+            .prop_map(|(core, slot, operand, swap)| Op::Amo { core, slot, operand, swap }),
+    ]
+}
+
+/// Slot → byte address. Slots are spread across lines AND packed within
+/// lines, so the pattern exercises false sharing and home interleaving.
+fn addr(slot: usize) -> u64 {
+    (slot as u64 / 3) * 64 + (slot as u64 % 3) * 8
+}
+
+fn complete(sys: &mut MemorySystem, core: CoreId) -> CoreResp {
+    let mut guard = 0;
+    loop {
+        if let Some(r) = sys.poll(core) {
+            return r;
+        }
+        sys.tick();
+        guard += 1;
+        assert!(guard < 100_000, "request never completed");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serialized random accesses from many cores must behave exactly
+    /// like a flat memory (coherence is invisible to a serial observer).
+    #[test]
+    fn serialized_accesses_match_flat_memory(
+        ops in prop::collection::vec(arb_op(8, 24), 1..120),
+    ) {
+        let cfg = CmpConfig::icpp2010_with_cores(8);
+        let mut sys = MemorySystem::new(&cfg);
+        let mut flat: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Load { core, slot } => {
+                    let a = addr(slot);
+                    sys.request(CoreId::from(core), CoreReq::Load { addr: a });
+                    let got = complete(&mut sys, CoreId::from(core));
+                    prop_assert_eq!(
+                        got,
+                        CoreResp::LoadValue(*flat.get(&a).unwrap_or(&0)),
+                        "load {:?}", op
+                    );
+                }
+                Op::Store { core, slot, value } => {
+                    let a = addr(slot);
+                    sys.request(CoreId::from(core), CoreReq::Store { addr: a, value });
+                    prop_assert_eq!(complete(&mut sys, CoreId::from(core)), CoreResp::StoreDone);
+                    flat.insert(a, value);
+                }
+                Op::Amo { core, slot, operand, swap } => {
+                    let a = addr(slot);
+                    let op = if swap { AmoOp::Swap } else { AmoOp::Add };
+                    sys.request(
+                        CoreId::from(core),
+                        CoreReq::Amo { addr: a, op, operand },
+                    );
+                    let old = *flat.get(&a).unwrap_or(&0);
+                    prop_assert_eq!(
+                        complete(&mut sys, CoreId::from(core)),
+                        CoreResp::AmoOld(old)
+                    );
+                    flat.insert(a, op.apply(old, operand));
+                }
+            }
+        }
+        // Final state agrees everywhere that was touched.
+        for (&a, &v) in &flat {
+            prop_assert_eq!(sys.peek_word(a), v, "address 0x{:x}", a);
+        }
+    }
+
+    /// Fully concurrent atomic increments never lose updates and return
+    /// distinct old values — the linearizability core of fetch&add.
+    #[test]
+    fn concurrent_amoadds_are_linearizable(
+        per_core in 1usize..12,
+        cores in 2usize..=8,
+    ) {
+        let cfg = CmpConfig::icpp2010_with_cores(cores);
+        let mut sys = MemorySystem::new(&cfg);
+        let a = 0x400u64;
+        let mut remaining: Vec<usize> = vec![per_core; cores];
+        let mut olds = Vec::new();
+        let mut guard = 0;
+        loop {
+            for c in 0..cores {
+                if remaining[c] > 0 && sys.ready(CoreId::from(c)) {
+                    sys.request(CoreId::from(c), CoreReq::Amo { addr: a, op: AmoOp::Add, operand: 1 });
+                }
+                if let Some(CoreResp::AmoOld(v)) = sys.poll(CoreId::from(c)) {
+                    olds.push(v);
+                    remaining[c] -= 1;
+                }
+            }
+            if remaining.iter().all(|&r| r == 0) {
+                break;
+            }
+            sys.tick();
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "increments never finished");
+        }
+        let total = cores * per_core;
+        prop_assert_eq!(sys.peek_word(a), total as u64);
+        olds.sort_unstable();
+        prop_assert_eq!(olds, (0..total as u64).collect::<Vec<_>>(),
+            "every fetch&add must observe a distinct old value");
+    }
+
+    /// Concurrent writers to disjoint addresses never interfere.
+    #[test]
+    fn disjoint_concurrent_writes_all_land(
+        cores in 2usize..=8,
+        writes_per_core in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let cfg = CmpConfig::icpp2010_with_cores(cores);
+        let mut sys = MemorySystem::new(&cfg);
+        let mut rng = sim_base::rng::SplitMix64::new(seed);
+        // Each core writes its own column of addresses (may share lines
+        // with other cores' columns → false sharing exercised).
+        let plan: Vec<Vec<(u64, u64)>> = (0..cores)
+            .map(|c| {
+                (0..writes_per_core)
+                    .map(|i| ((c as u64 * 8) + (i as u64) * 64 * 7, rng.next_u64()))
+                    .collect()
+            })
+            .collect();
+        let mut idx = vec![0usize; cores];
+        let mut pending = vec![false; cores];
+        let mut guard = 0;
+        loop {
+            let mut done = true;
+            for c in 0..cores {
+                if pending[c]
+                    && sys.poll(CoreId::from(c)).is_some() {
+                        pending[c] = false;
+                        idx[c] += 1;
+                    }
+                if !pending[c] && idx[c] < writes_per_core {
+                    let (a, v) = plan[c][idx[c]];
+                    sys.request(CoreId::from(c), CoreReq::Store { addr: a, value: v });
+                    pending[c] = true;
+                }
+                if pending[c] || idx[c] < writes_per_core {
+                    done = false;
+                }
+            }
+            if done {
+                break;
+            }
+            sys.tick();
+            guard += 1;
+            prop_assert!(guard < 1_000_000);
+        }
+        for c in 0..cores {
+            for &(a, v) in &plan[c] {
+                prop_assert_eq!(sys.peek_word(a), v, "core {} address 0x{:x}", c, a);
+            }
+        }
+    }
+}

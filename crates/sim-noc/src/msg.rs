@@ -1,0 +1,65 @@
+//! Messages and flits.
+
+use sim_base::stats::MsgClass;
+use sim_base::{CoreId, Cycle};
+
+/// A network message carrying an opaque payload `T` (the coherence
+/// protocol's packet type in the full system).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message<T> {
+    /// Source tile.
+    pub src: CoreId,
+    /// Destination tile.
+    pub dst: CoreId,
+    /// Traffic class / virtual network.
+    pub class: MsgClass,
+    /// Payload size in bytes, *excluding* the header (a data reply
+    /// carries a 64-byte line; control messages carry 0).
+    pub payload_bytes: u32,
+    /// The payload itself.
+    pub payload: T,
+}
+
+/// Internal per-packet bookkeeping while its flits are in the network.
+#[derive(Clone, Debug)]
+pub(crate) struct PacketInfo {
+    pub dst: CoreId,
+    pub class: MsgClass,
+    pub injected_at: Cycle,
+    pub flits_total: u32,
+    pub flits_arrived: u32,
+}
+
+/// One flit. Routing state is looked up from the packet table via `pkt`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Flit {
+    /// Packet id.
+    pub pkt: u64,
+    /// First flit of the packet (carries the route).
+    pub is_head: bool,
+    /// Last flit of the packet (releases the wormhole locks).
+    pub is_tail: bool,
+}
+
+/// Number of flits a message occupies on `link_bytes`-wide links with a
+/// `header_bytes` header.
+pub fn flits_for(payload_bytes: u32, header_bytes: u32, link_bytes: u32) -> u32 {
+    let total = payload_bytes + header_bytes;
+    total.div_ceil(link_bytes).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_counts() {
+        // Table-1 geometry: 75-byte links, 11-byte header.
+        assert_eq!(flits_for(0, 11, 75), 1, "control message is one flit");
+        assert_eq!(flits_for(64, 11, 75), 1, "header + full line fits one link word");
+        assert_eq!(flits_for(65, 11, 75), 2);
+        assert_eq!(flits_for(0, 0, 75), 1, "degenerate empty message still one flit");
+        // Narrow links: 64-byte line + 8-byte header on 16-byte links.
+        assert_eq!(flits_for(64, 8, 16), 5);
+    }
+}

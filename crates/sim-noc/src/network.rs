@@ -1,0 +1,510 @@
+//! The mesh network: injection, routing, arbitration, delivery.
+
+use crate::msg::{flits_for, Flit, Message, PacketInfo};
+use crate::router::{Router, WormLock, NUM_PORTS, NUM_VCS};
+use crate::stats::NocStats;
+use sim_base::config::NocConfig;
+use sim_base::geom::Dir;
+use sim_base::{CoreId, Cycle, Mesh2D};
+use std::collections::{HashMap, VecDeque};
+
+/// A flit in flight on a link (plus the upstream router pipeline).
+#[derive(Clone, Copy, Debug)]
+struct WireEntry {
+    arrive: Cycle,
+    router: usize,
+    in_port: usize,
+    vc: usize,
+    flit: Flit,
+}
+
+/// A flit crossing the destination router toward the network interface.
+#[derive(Clone, Copy, Debug)]
+struct EjectEntry {
+    arrive: Cycle,
+    flit: Flit,
+}
+
+/// Default number of cycles a packet may live before the deadlock
+/// watchdog trips.
+const DEFAULT_WATCHDOG: u64 = 1_000_000;
+
+/// The cycle-level mesh NoC, generic over the payload type `T`.
+///
+/// Driving contract (same as the other hardware models in this project):
+/// during a cycle, clients may [`send`](Noc::send) and
+/// [`recv`](Noc::recv); the simulator then calls [`tick`](Noc::tick)
+/// exactly once per cycle.
+#[derive(Debug)]
+pub struct Noc<T> {
+    mesh: Mesh2D,
+    cfg: NocConfig,
+    routers: Vec<Router>,
+    /// Unbounded per-tile, per-VC network-interface injection queues.
+    inject_q: Vec<[VecDeque<Flit>; NUM_VCS]>,
+    /// Flits in flight between routers, FIFO in arrival order (the per-hop
+    /// delay is a constant, so push order == arrival order).
+    wire: VecDeque<WireEntry>,
+    /// Flits crossing the final router toward delivery.
+    eject: VecDeque<EjectEntry>,
+    /// Per-packet routing/bookkeeping state.
+    packets: HashMap<u64, PacketInfo>,
+    /// Payloads parked while their flits traverse the mesh.
+    payloads: HashMap<u64, Message<T>>,
+    /// Same-tile messages bypassing the mesh: (deliver_at, message).
+    bypass: VecDeque<(Cycle, Message<T>)>,
+    /// Delivered messages per tile.
+    delivered: Vec<VecDeque<Message<T>>>,
+    next_pkt: u64,
+    now: Cycle,
+    /// Flits anywhere in the system (fast-path check).
+    active_flits: usize,
+    watchdog: u64,
+    stats: NocStats,
+}
+
+impl<T> Noc<T> {
+    /// Builds the NoC for a mesh.
+    pub fn new(mesh: Mesh2D, cfg: NocConfig) -> Noc<T> {
+        assert!(cfg.vc_buffer_flits >= 1, "VC buffers need at least one flit");
+        assert!(cfg.link_bytes >= 1);
+        let n = mesh.num_tiles();
+        Noc {
+            mesh,
+            cfg,
+            routers: (0..n).map(|_| Router::new(cfg.vc_buffer_flits)).collect(),
+            inject_q: (0..n).map(|_| Default::default()).collect(),
+            wire: VecDeque::new(),
+            eject: VecDeque::new(),
+            packets: HashMap::new(),
+            payloads: HashMap::new(),
+            bypass: VecDeque::new(),
+            delivered: (0..n).map(|_| VecDeque::new()).collect(),
+            next_pkt: 0,
+            now: 0,
+            active_flits: 0,
+            watchdog: DEFAULT_WATCHDOG,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The mesh this network spans.
+    pub fn mesh(&self) -> Mesh2D {
+        self.mesh
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> NocConfig {
+        self.cfg
+    }
+
+    /// Current cycle (ticks performed).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Sets the deadlock watchdog: panic when a packet has been in the
+    /// network longer than `cycles`.
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog = cycles;
+    }
+
+    /// True when no message is anywhere in the network.
+    pub fn is_idle(&self) -> bool {
+        self.active_flits == 0 && self.bypass.is_empty()
+    }
+
+    /// Messages currently in flight (including bypass).
+    pub fn in_flight(&self) -> usize {
+        self.packets.len() + self.bypass.len()
+    }
+
+    /// Injects a message. Same-tile messages bypass the mesh and arrive
+    /// next cycle; all others are flit-ized and compete for links.
+    pub fn send(&mut self, msg: Message<T>) {
+        assert!(msg.src.index() < self.mesh.num_tiles(), "bad src {:?}", msg.src);
+        assert!(msg.dst.index() < self.mesh.num_tiles(), "bad dst {:?}", msg.dst);
+        if msg.src == msg.dst {
+            self.stats.local_bypass += 1;
+            // Delivered by this cycle's tick, i.e. visible to the
+            // receiver on the next cycle — one cycle of NI latency.
+            self.bypass.push_back((self.now, msg));
+            return;
+        }
+        self.stats.sent.add(msg.class, 1);
+        let nflits = flits_for(msg.payload_bytes, self.cfg.header_bytes, self.cfg.link_bytes);
+        let pkt = self.next_pkt;
+        self.next_pkt += 1;
+        self.packets.insert(
+            pkt,
+            PacketInfo {
+                dst: msg.dst,
+                class: msg.class,
+                injected_at: self.now,
+                flits_total: nflits,
+                flits_arrived: 0,
+            },
+        );
+        let vc = msg.class.index();
+        let q = &mut self.inject_q[msg.src.index()][vc];
+        for i in 0..nflits {
+            q.push_back(Flit { pkt, is_head: i == 0, is_tail: i == nflits - 1 });
+        }
+        self.active_flits += nflits as usize;
+        self.payloads.insert(pkt, msg);
+    }
+
+    /// Pops one delivered message for `tile`, if any.
+    pub fn recv(&mut self, tile: CoreId) -> Option<Message<T>> {
+        self.delivered[tile.index()].pop_front()
+    }
+
+    /// Next output direction for a packet at router `r`.
+    fn route(&self, r: usize, pkt: u64) -> Dir {
+        let dst = self.packets[&pkt].dst;
+        self.mesh.xy_next(self.mesh.coord_of(CoreId::from(r)), self.mesh.coord_of(dst))
+    }
+
+    /// Advances the network one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+
+        // Phase 1: bypass + wire + ejection arrivals scheduled for `now`.
+        while self.bypass.front().is_some_and(|(t, _)| *t <= now) {
+            let (_, msg) = self.bypass.pop_front().expect("checked non-empty");
+            self.delivered[msg.dst.index()].push_back(msg);
+        }
+        while self.wire.front().is_some_and(|w| w.arrive <= now) {
+            let w = self.wire.pop_front().expect("checked non-empty");
+            self.routers[w.router].in_buf[w.in_port][w.vc].push_back(w.flit);
+        }
+        while self.eject.front().is_some_and(|e| e.arrive <= now) {
+            let e = self.eject.pop_front().expect("checked non-empty");
+            self.finish_flit(e.flit, now);
+        }
+
+        // Fast path: nothing anywhere.
+        if self.active_flits == 0 {
+            self.now += 1;
+            return;
+        }
+
+        // Phase 2: NI injection into the local input VCs.
+        for (tile, q3) in self.inject_q.iter_mut().enumerate() {
+            for (vc, q) in q3.iter_mut().enumerate() {
+                let buf = &mut self.routers[tile].in_buf[Dir::Local.index()][vc];
+                while !q.is_empty() && (buf.len() as u32) < self.cfg.vc_buffer_flits {
+                    buf.push_back(q.pop_front().expect("checked non-empty"));
+                }
+            }
+        }
+
+        // Phase 3: per-router, per-output-port arbitration.
+        for r in 0..self.routers.len() {
+            if self.routers[r].buffered() == 0 {
+                continue;
+            }
+            for out in Dir::ALL {
+                self.arbitrate(r, out, now);
+            }
+        }
+
+        // Deadlock watchdog (amortized).
+        if now.is_multiple_of(4096) {
+            for (pkt, info) in &self.packets {
+                assert!(
+                    now - info.injected_at <= self.watchdog,
+                    "NoC watchdog: packet {pkt} ({:?} → {:?}, class {:?}) stuck for {} cycles",
+                    self.payloads.get(pkt).map(|m| m.src),
+                    info.dst,
+                    info.class,
+                    now - info.injected_at
+                );
+            }
+        }
+
+        self.now += 1;
+    }
+
+    /// Picks and forwards at most one flit through output `out` of router
+    /// `r` this cycle.
+    fn arbitrate(&mut self, r: usize, out: Dir, now: Cycle) {
+        let out_i = out.index();
+        // Build the candidate list lazily in round-robin order over the
+        // 15 (input port, vc) pairs.
+        let start = self.routers[r].rr[out_i];
+        for k in 0..(NUM_PORTS * NUM_VCS) {
+            let slot = (start + k) % (NUM_PORTS * NUM_VCS);
+            let (p, vc) = (slot / NUM_VCS, slot % NUM_VCS);
+            let Some(&flit) = self.routers[r].in_buf[p][vc].front() else {
+                continue;
+            };
+            // Eligibility: continuation flits must match the wormhole
+            // lock; head flits need the lock free and the route to match.
+            match self.routers[r].out_lock[out_i][vc] {
+                Some(lock) => {
+                    if !(lock.in_port == p && lock.pkt == flit.pkt) {
+                        continue;
+                    }
+                    debug_assert!(!flit.is_head, "head flit under an existing lock");
+                }
+                None => {
+                    if !flit.is_head || self.route(r, flit.pkt) != out {
+                        continue;
+                    }
+                }
+            }
+            // Flow control: downstream space (mesh ports only).
+            if out != Dir::Local && self.routers[r].credits[out_i][vc] == 0 {
+                continue;
+            }
+            // Grant.
+            let flit = self.routers[r].in_buf[p][vc].pop_front().expect("head exists");
+            self.routers[r].rr[out_i] = (slot + 1) % (NUM_PORTS * NUM_VCS);
+            // Wormhole lock maintenance.
+            self.routers[r].out_lock[out_i][vc] = if flit.is_tail {
+                None
+            } else {
+                Some(WormLock { pkt: flit.pkt, in_port: p })
+            };
+            // Credit return to the upstream router this flit came from.
+            if p != Dir::Local.index() {
+                let dir = Dir::ALL[p];
+                let up = self
+                    .mesh
+                    .neighbor(self.mesh.coord_of(CoreId::from(r)), dir)
+                    .expect("flit arrived from a real neighbor");
+                let up_r = self.mesh.id_of(up).index();
+                self.routers[up_r].credits[dir.opposite().index()][vc] += 1;
+            }
+            if out == Dir::Local {
+                self.eject.push_back(EjectEntry {
+                    arrive: now + self.cfg.router_latency as u64,
+                    flit,
+                });
+            } else {
+                self.routers[r].credits[out_i][vc] -= 1;
+                self.stats.flit_hops += 1;
+                let nb = self
+                    .mesh
+                    .neighbor(self.mesh.coord_of(CoreId::from(r)), out)
+                    .expect("XY routing never routes off the mesh");
+                self.wire.push_back(WireEntry {
+                    arrive: now + (self.cfg.router_latency + self.cfg.link_latency) as u64,
+                    router: self.mesh.id_of(nb).index(),
+                    in_port: out.opposite().index(),
+                    vc,
+                    flit,
+                });
+            }
+            return; // one flit per output port per cycle
+        }
+    }
+
+    /// Accounts an ejected flit; on the tail, reassembles and delivers.
+    fn finish_flit(&mut self, flit: Flit, now: Cycle) {
+        self.active_flits -= 1;
+        let info = self.packets.get_mut(&flit.pkt).expect("packet state exists");
+        info.flits_arrived += 1;
+        if flit.is_tail {
+            debug_assert_eq!(info.flits_arrived, info.flits_total, "tail arrived before body");
+            let info = self.packets.remove(&flit.pkt).expect("present");
+            let msg = self.payloads.remove(&flit.pkt).expect("payload parked");
+            self.stats.delivered.add(info.class, 1);
+            self.stats.latency[info.class.index()].record(now - info.injected_at);
+            self.delivered[info.dst.index()].push_back(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_base::stats::MsgClass::{self, Coherence, Reply, Request};
+
+    fn noc(rows: u16, cols: u16) -> Noc<u32> {
+        Noc::new(Mesh2D::new(rows, cols), NocConfig::default())
+    }
+
+    fn msg(src: usize, dst: usize, class: MsgClass, bytes: u32, tag: u32) -> Message<u32> {
+        Message { src: CoreId::from(src), dst: CoreId::from(dst), class, payload_bytes: bytes, payload: tag }
+    }
+
+    fn run_until_idle(n: &mut Noc<u32>, max: u64) {
+        let mut c = 0;
+        while !n.is_idle() {
+            n.tick();
+            c += 1;
+            assert!(c < max, "network did not drain in {max} cycles");
+        }
+    }
+
+    #[test]
+    fn single_hop_latency_formula() {
+        let mut n = noc(1, 2);
+        n.send(msg(0, 1, Request, 0, 7));
+        run_until_idle(&mut n, 100);
+        let got = n.recv(CoreId(1)).expect("delivered");
+        assert_eq!(got.payload, 7);
+        // hops × (router 3 + link 1) + ejection router 3 = 7.
+        assert_eq!(n.stats().latency_of(Request).max(), Some(7));
+    }
+
+    #[test]
+    fn multi_hop_latency_scales_with_distance() {
+        let mut n = noc(4, 8);
+        n.send(msg(0, 31, Reply, 64, 1)); // corner to corner: 10 hops
+        run_until_idle(&mut n, 200);
+        assert!(n.recv(CoreId(31)).is_some());
+        assert_eq!(n.stats().latency_of(Reply).max(), Some(10 * 4 + 3));
+        assert_eq!(n.stats().flit_hops, 10);
+    }
+
+    #[test]
+    fn local_message_bypasses_network() {
+        let mut n = noc(2, 2);
+        n.send(msg(2, 2, Request, 0, 9));
+        n.tick();
+        assert_eq!(n.recv(CoreId(2)).map(|m| m.payload), Some(9));
+        assert_eq!(n.stats().total_messages(), 0, "bypass is not network traffic");
+        assert_eq!(n.stats().local_bypass, 1);
+    }
+
+    #[test]
+    fn classes_are_counted_separately() {
+        let mut n = noc(2, 2);
+        n.send(msg(0, 1, Request, 0, 0));
+        n.send(msg(0, 1, Reply, 64, 1));
+        n.send(msg(1, 0, Coherence, 0, 2));
+        run_until_idle(&mut n, 200);
+        assert_eq!(n.stats().sent[Request], 1);
+        assert_eq!(n.stats().sent[Reply], 1);
+        assert_eq!(n.stats().sent[Coherence], 1);
+        assert_eq!(n.stats().delivered.total(), 3);
+    }
+
+    #[test]
+    fn per_pair_per_class_ordering() {
+        let mut n = noc(4, 4);
+        for i in 0..20 {
+            n.send(msg(0, 15, Request, 0, i));
+        }
+        run_until_idle(&mut n, 2000);
+        let mut got = Vec::new();
+        while let Some(m) = n.recv(CoreId(15)) {
+            got.push(m.payload);
+        }
+        assert_eq!(got, (0..20).collect::<Vec<_>>(), "same src/dst/class must stay FIFO");
+    }
+
+    #[test]
+    fn multiflit_packets_do_not_interleave_within_a_vc() {
+        // Narrow links force multi-flit packets; two senders share the
+        // east-bound path through the middle column.
+        let cfg = NocConfig { link_bytes: 16, ..NocConfig::default() }; // 5 flits/packet
+        let mut n: Noc<u32> = Noc::new(Mesh2D::new(1, 3), cfg);
+        n.send(Message { src: CoreId(0), dst: CoreId(2), class: Request, payload_bytes: 64, payload: 0 });
+        n.send(Message { src: CoreId(1), dst: CoreId(2), class: Request, payload_bytes: 64, payload: 1 });
+        run_until_idle(&mut n, 2000);
+        assert_eq!(n.stats().delivered[Request], 2);
+        // 5 flits over 2 hops + 5 flits over 1 hop.
+        assert_eq!(n.stats().flit_hops, 15);
+    }
+
+    #[test]
+    fn link_serializes_one_flit_per_cycle() {
+        // 8 single-flit messages must cross the same final link; the last
+        // one is delayed ≥ 7 cycles behind the first.
+        let mut n = noc(1, 2);
+        for i in 0..8 {
+            n.send(msg(0, 1, Request, 0, i));
+        }
+        run_until_idle(&mut n, 200);
+        let lat = n.stats().latency_of(Request);
+        assert_eq!(lat.count(), 8);
+        assert_eq!(lat.min(), Some(7));
+        assert!(lat.max().unwrap() >= 7 + 7, "serialization must delay the tail");
+    }
+
+    #[test]
+    fn tiny_buffers_still_deliver_everything() {
+        let cfg = NocConfig { vc_buffer_flits: 1, ..NocConfig::default() };
+        let mut n: Noc<u32> = Noc::new(Mesh2D::new(4, 4), cfg);
+        let mut expect = [0u32; 16];
+        let mut tag = 0;
+        for s in 0..16 {
+            #[allow(clippy::needless_range_loop)] // d is also the message dst
+            for d in 0..16 {
+                if s != d {
+                    n.send(msg(s, d, Coherence, 0, tag));
+                    expect[d] += 1;
+                    tag += 1;
+                }
+            }
+        }
+        run_until_idle(&mut n, 50_000);
+        for (d, &want) in expect.iter().enumerate() {
+            let mut got = 0;
+            while n.recv(CoreId::from(d)).is_some() {
+                got += 1;
+            }
+            assert_eq!(got, want, "tile {d}");
+        }
+    }
+
+    #[test]
+    fn all_to_all_across_classes_drains() {
+        let mut n = noc(4, 8);
+        let classes = [Request, Reply, Coherence];
+        for s in 0..32 {
+            for d in 0..32 {
+                if s != d {
+                    n.send(msg(s, d, classes[(s + d) % 3], ((s * d) % 2 * 64) as u32, 0));
+                }
+            }
+        }
+        run_until_idle(&mut n, 100_000);
+        assert_eq!(n.stats().delivered.total(), 32 * 31);
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn watchdog_trips_on_stuck_traffic() {
+        // A watchdog of 0 means any packet alive at the next check trips
+        // it; flood enough traffic to still be draining then.
+        let mut n = noc(1, 2);
+        n.set_watchdog(0);
+        for _ in 0..10_000 {
+            n.send(msg(0, 1, Request, 64, 0));
+        }
+        for _ in 0..5000 {
+            n.tick();
+        }
+    }
+
+    #[test]
+    fn is_idle_reflects_state() {
+        let mut n = noc(2, 2);
+        assert!(n.is_idle());
+        n.send(msg(0, 3, Request, 0, 0));
+        assert!(!n.is_idle());
+        run_until_idle(&mut n, 100);
+        assert!(n.is_idle());
+        assert!(n.now() > 0);
+    }
+
+    #[test]
+    fn fast_path_advances_time() {
+        let mut n = noc(2, 2);
+        for _ in 0..100 {
+            n.tick();
+        }
+        assert_eq!(n.now(), 100);
+    }
+}

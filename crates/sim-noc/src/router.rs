@@ -1,0 +1,79 @@
+//! One mesh router: 5 ports × 3 virtual channels, wormhole switching,
+//! credit-based flow control, round-robin arbitration per output port.
+
+use crate::msg::Flit;
+use sim_base::geom::Dir;
+use std::collections::VecDeque;
+
+/// Number of virtual channels (= virtual networks = message classes).
+pub const NUM_VCS: usize = 3;
+
+/// Number of router ports.
+pub const NUM_PORTS: usize = 5;
+
+/// A wormhole lock on an output (port, vc): which packet holds it and
+/// which input port its flits come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct WormLock {
+    pub pkt: u64,
+    pub in_port: usize,
+}
+
+/// Router state. The [`crate::network::Noc`] drives arbitration; this
+/// struct owns the buffers, credits and locks.
+#[derive(Clone, Debug)]
+pub(crate) struct Router {
+    /// Input buffers: `in_buf[port][vc]`.
+    pub in_buf: [[VecDeque<Flit>; NUM_VCS]; NUM_PORTS],
+    /// Credits available toward the downstream router on each output
+    /// port/vc. Local output (ejection) is uncredited (always accepted).
+    pub credits: [[u32; NUM_VCS]; NUM_PORTS],
+    /// Current wormhole binding per output (port, vc).
+    pub out_lock: [[Option<WormLock>; NUM_VCS]; NUM_PORTS],
+    /// Round-robin pointer per output port, over (in_port, vc) pairs.
+    pub rr: [usize; NUM_PORTS],
+}
+
+impl Router {
+    /// A router whose mesh output ports start with `buf_flits` credits.
+    pub fn new(buf_flits: u32) -> Router {
+        Router {
+            in_buf: Default::default(),
+            credits: [[buf_flits; NUM_VCS]; NUM_PORTS],
+            out_lock: [[None; NUM_VCS]; NUM_PORTS],
+            rr: [0; NUM_PORTS],
+        }
+    }
+
+    /// Total buffered flits (for idle fast-pathing).
+    pub fn buffered(&self) -> usize {
+        self.in_buf.iter().flatten().map(VecDeque::len).sum()
+    }
+
+    /// True if input `port`/`vc` has buffer space for one more flit.
+    /// (Inter-router space is governed by the upstream credit counters;
+    /// the network checks local injection space directly on the buffers,
+    /// so this helper is used by tests and external inspection.)
+    #[allow(dead_code)]
+    pub fn has_space(&self, port: Dir, vc: usize, cap: u32) -> bool {
+        (self.in_buf[port.index()][vc].len() as u32) < cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_router_is_idle_with_full_credits() {
+        let r = Router::new(4);
+        assert_eq!(r.buffered(), 0);
+        assert!(r.has_space(Dir::Local, 0, 4));
+        for p in 0..NUM_PORTS {
+            for v in 0..NUM_VCS {
+                assert_eq!(r.credits[p][v], 4);
+                assert_eq!(r.out_lock[p][v], None);
+            }
+        }
+    }
+}

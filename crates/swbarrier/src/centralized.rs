@@ -1,0 +1,75 @@
+//! The centralized sense-reversal barrier — the real-thread analogue of
+//! the paper's CSW baseline (with an atomic `fetch_add` in place of the
+//! lock; the contention pattern on the release flag is the same).
+
+use crate::spin::spin_until;
+use crate::ThreadBarrier;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Centralized sense-reversal barrier: one shared counter, one shared
+/// release flag, per-thread local sense.
+pub struct CentralizedBarrier {
+    count: CachePadded<AtomicUsize>,
+    sense: CachePadded<AtomicBool>,
+    local_sense: Vec<CachePadded<AtomicBool>>,
+}
+
+impl CentralizedBarrier {
+    /// A barrier for `n` threads.
+    pub fn new(n: usize) -> CentralizedBarrier {
+        assert!(n >= 1);
+        CentralizedBarrier {
+            count: CachePadded::new(AtomicUsize::new(0)),
+            sense: CachePadded::new(AtomicBool::new(false)),
+            local_sense: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+        }
+    }
+}
+
+impl ThreadBarrier for CentralizedBarrier {
+    fn num_threads(&self) -> usize {
+        self.local_sense.len()
+    }
+
+    fn wait(&self, tid: usize) {
+        let n = self.local_sense.len();
+        // Flip this thread's sense (only this thread writes its slot).
+        let my_sense = !self.local_sense[tid].load(Ordering::Relaxed);
+        self.local_sense[tid].store(my_sense, Ordering::Relaxed);
+
+        if self.count.fetch_add(1, Ordering::AcqRel) == n - 1 {
+            // Last arriver: reset and release.
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            spin_until(|| self.sense.load(Ordering::Acquire) == my_sense);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_harness::check_barrier;
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = CentralizedBarrier::new(1);
+        for _ in 0..1000 {
+            b.wait(0);
+        }
+    }
+
+    #[test]
+    fn upholds_barrier_property() {
+        for n in [2usize, 3, 4, 8] {
+            check_barrier(CentralizedBarrier::new(n), 200);
+        }
+    }
+
+    #[test]
+    fn many_episodes_reuse() {
+        check_barrier(CentralizedBarrier::new(4), 2000);
+    }
+}

@@ -1,0 +1,156 @@
+//! The combining-tree barrier — the real-thread analogue of the paper's
+//! DSW baseline: a k-ary tree of counters; the last arriver at each node
+//! climbs, and the release unwinds down the winners' paths.
+
+use crate::spin::spin_until;
+use crate::ThreadBarrier;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct Node {
+    count: CachePadded<AtomicUsize>,
+    flag: CachePadded<AtomicBool>,
+    /// Children at this node (threads for level 0, nodes above).
+    arity: usize,
+}
+
+/// A k-ary combining-tree barrier with sense reversal.
+pub struct CombiningTreeBarrier {
+    n: usize,
+    arity: usize,
+    /// Nodes, level by level; `level_off[l]` indexes the first node of
+    /// level `l`.
+    nodes: Vec<Node>,
+    level_off: Vec<usize>,
+    levels: usize,
+    local_sense: Vec<CachePadded<AtomicBool>>,
+}
+
+impl CombiningTreeBarrier {
+    /// A binary combining tree for `n` threads (the paper's DSW shape).
+    pub fn binary(n: usize) -> CombiningTreeBarrier {
+        CombiningTreeBarrier::with_arity(n, 2)
+    }
+
+    /// A combining tree with the given fan-in (≥ 2).
+    pub fn with_arity(n: usize, arity: usize) -> CombiningTreeBarrier {
+        assert!(n >= 1);
+        assert!(arity >= 2);
+        let mut nodes = Vec::new();
+        let mut level_off = Vec::new();
+        let mut width = n;
+        while width > 1 {
+            level_off.push(nodes.len());
+            let count = width.div_ceil(arity);
+            for i in 0..count {
+                let children = (width - i * arity).min(arity);
+                nodes.push(Node {
+                    count: CachePadded::new(AtomicUsize::new(0)),
+                    flag: CachePadded::new(AtomicBool::new(false)),
+                    arity: children,
+                });
+            }
+            width = count;
+        }
+        let levels = level_off.len();
+        CombiningTreeBarrier {
+            n,
+            arity,
+            nodes,
+            level_off,
+            levels,
+            local_sense: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+        }
+    }
+
+    /// Number of tree levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn node(&self, level: usize, idx: usize) -> &Node {
+        &self.nodes[self.level_off[level] + idx]
+    }
+
+    fn node_index(&self, tid: usize, level: usize) -> usize {
+        tid / self.arity.pow(level as u32 + 1)
+    }
+}
+
+impl ThreadBarrier for CombiningTreeBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    fn wait(&self, tid: usize) {
+        if self.n == 1 {
+            return;
+        }
+        let my_sense = !self.local_sense[tid].load(Ordering::Relaxed);
+        self.local_sense[tid].store(my_sense, Ordering::Relaxed);
+
+        // Climb until losing at some node (or winning the root).
+        let mut reached = self.levels; // level we *failed* to win; levels == root won
+        for level in 0..self.levels {
+            let node = self.node(level, self.node_index(tid, level));
+            if node.count.fetch_add(1, Ordering::AcqRel) != node.arity - 1 {
+                // Not last: wait here.
+                spin_until(|| node.flag.load(Ordering::Acquire) == my_sense);
+                reached = level;
+                break;
+            }
+        }
+        // Release every level below the one we waited at (we were the
+        // last arriver there): reset the count, then flip the flag.
+        for level in (0..reached).rev() {
+            let node = self.node(level, self.node_index(tid, level));
+            node.count.store(0, Ordering::Relaxed);
+            node.flag.store(my_sense, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_harness::check_barrier;
+
+    #[test]
+    fn shapes() {
+        let b = CombiningTreeBarrier::binary(8);
+        assert_eq!(b.levels(), 3);
+        let b = CombiningTreeBarrier::binary(5);
+        assert_eq!(b.levels(), 3); // 3 + 2 + 1 nodes
+        let b = CombiningTreeBarrier::with_arity(16, 4);
+        assert_eq!(b.levels(), 2);
+        let b = CombiningTreeBarrier::binary(1);
+        assert_eq!(b.levels(), 0);
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = CombiningTreeBarrier::binary(1);
+        for _ in 0..100 {
+            b.wait(0);
+        }
+    }
+
+    #[test]
+    fn upholds_barrier_property_binary() {
+        for n in [2usize, 3, 5, 8] {
+            check_barrier(CombiningTreeBarrier::binary(n), 200);
+        }
+    }
+
+    #[test]
+    fn upholds_barrier_property_wide() {
+        for n in [4usize, 9, 16] {
+            check_barrier(CombiningTreeBarrier::with_arity(n, 4), 200);
+        }
+    }
+
+    #[test]
+    fn many_episodes_reuse() {
+        check_barrier(CombiningTreeBarrier::binary(6), 2000);
+    }
+}

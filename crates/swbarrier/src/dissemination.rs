@@ -1,0 +1,113 @@
+//! The dissemination barrier (Hensgen/Finkel/Manber, as presented by
+//! Mellor-Crummey & Scott): ⌈log₂n⌉ rounds in which thread `t` signals
+//! thread `(t + 2ʳ) mod n` and waits to be signalled — no single hot
+//! location, all spinning on locally-owned flags.
+
+use crate::spin::spin_until;
+use crate::ThreadBarrier;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// Per-thread private episode state (parity and sense), owned by its
+/// thread; atomics only to satisfy `Sync`.
+struct Private {
+    parity: CachePadded<AtomicU8>,
+    sense: CachePadded<AtomicBool>,
+}
+
+/// The dissemination barrier.
+pub struct DisseminationBarrier {
+    n: usize,
+    rounds: usize,
+    /// `flags[parity][tid][round]`.
+    flags: [Vec<Vec<CachePadded<AtomicBool>>>; 2],
+    private: Vec<Private>,
+}
+
+impl DisseminationBarrier {
+    /// A barrier for `n` threads.
+    pub fn new(n: usize) -> DisseminationBarrier {
+        assert!(n >= 1);
+        let rounds = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+        let rounds = if n == 1 { 0 } else { rounds };
+        let make = || {
+            (0..n)
+                .map(|_| (0..rounds).map(|_| CachePadded::new(AtomicBool::new(false))).collect())
+                .collect()
+        };
+        DisseminationBarrier {
+            n,
+            rounds,
+            flags: [make(), make()],
+            private: (0..n)
+                .map(|_| Private {
+                    parity: CachePadded::new(AtomicU8::new(0)),
+                    sense: CachePadded::new(AtomicBool::new(true)),
+                })
+                .collect(),
+        }
+    }
+
+    /// Signalling rounds per episode (⌈log₂ n⌉).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl ThreadBarrier for DisseminationBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    fn wait(&self, tid: usize) {
+        if self.n == 1 {
+            return;
+        }
+        let parity = self.private[tid].parity.load(Ordering::Relaxed) as usize;
+        let sense = self.private[tid].sense.load(Ordering::Relaxed);
+        for r in 0..self.rounds {
+            let partner = (tid + (1 << r)) % self.n;
+            self.flags[parity][partner][r].store(sense, Ordering::Release);
+            spin_until(|| self.flags[parity][tid][r].load(Ordering::Acquire) == sense);
+        }
+        if parity == 1 {
+            self.private[tid].sense.store(!sense, Ordering::Relaxed);
+        }
+        self.private[tid].parity.store(1 - parity as u8, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_harness::check_barrier;
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(DisseminationBarrier::new(1).rounds(), 0);
+        assert_eq!(DisseminationBarrier::new(2).rounds(), 1);
+        assert_eq!(DisseminationBarrier::new(3).rounds(), 2);
+        assert_eq!(DisseminationBarrier::new(8).rounds(), 3);
+        assert_eq!(DisseminationBarrier::new(9).rounds(), 4);
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = DisseminationBarrier::new(1);
+        for _ in 0..100 {
+            b.wait(0);
+        }
+    }
+
+    #[test]
+    fn upholds_barrier_property() {
+        for n in [2usize, 3, 5, 8] {
+            check_barrier(DisseminationBarrier::new(n), 200);
+        }
+    }
+
+    #[test]
+    fn many_episodes_reuse() {
+        check_barrier(DisseminationBarrier::new(7), 2000);
+    }
+}

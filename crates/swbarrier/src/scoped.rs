@@ -1,0 +1,77 @@
+//! Convenience entry point: run a closure on `n` scoped threads that
+//! share a barrier — the typical BSP (bulk-synchronous parallel) shape
+//! the paper's workloads have.
+//!
+//! ```
+//! use swbarrier::{scoped, CombiningTreeBarrier, ThreadBarrier};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let acc = AtomicU64::new(0);
+//! scoped::run(CombiningTreeBarrier::binary(4), |tid, barrier| {
+//!     // Phase 1: everyone contributes.
+//!     acc.fetch_add(tid as u64 + 1, Ordering::Relaxed);
+//!     barrier.wait(tid);
+//!     // Phase 2: everyone observes the full sum.
+//!     assert_eq!(acc.load(Ordering::Relaxed), 10);
+//! });
+//! ```
+
+use crate::ThreadBarrier;
+
+/// Spawns one scoped thread per barrier participant and runs `f(tid,
+/// &barrier)` on each. Returns the barrier once every thread finishes,
+/// so it can be reused.
+///
+/// Panics in any worker propagate (the panicking thread's join unwinds).
+pub fn run<B, F>(barrier: B, f: F) -> B
+where
+    B: ThreadBarrier,
+    F: Fn(usize, &B) + Sync,
+{
+    let n = barrier.num_threads();
+    std::thread::scope(|s| {
+        let barrier = &barrier;
+        let f = &f;
+        let handles: Vec<_> =
+            (0..n).map(|tid| s.spawn(move || f(tid, barrier))).collect();
+        for h in handles {
+            h.join().expect("barrier worker panicked");
+        }
+    });
+    barrier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CentralizedBarrier, DisseminationBarrier};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn bsp_phases_are_ordered() {
+        let slots: Vec<AtomicU64> = (0..6).map(|_| AtomicU64::new(0)).collect();
+        run(DisseminationBarrier::new(6), |tid, b| {
+            for phase in 1..=10u64 {
+                slots[tid].store(phase, Ordering::SeqCst);
+                b.wait(tid);
+                for s in &slots {
+                    let v = s.load(Ordering::SeqCst);
+                    assert!(v >= phase && v <= phase + 1, "phase skew: {v} vs {phase}");
+                }
+                b.wait(tid);
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_is_returned_for_reuse() {
+        let b = run(CentralizedBarrier::new(3), |tid, b| b.wait(tid));
+        run(b, |tid, b| b.wait(tid));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        run(CentralizedBarrier::new(1), |_, _| panic!("boom"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Spin-wait helper with progressive backoff.
+
+/// Spins until `cond` returns true. Uses `spin_loop` hints first and
+/// yields to the OS scheduler once the wait gets long (important when
+/// threads outnumber cores, e.g. in CI).
+pub(crate) fn spin_until(cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        if spins < 64 {
+            std::hint::spin_loop();
+            spins += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The static tree barrier (MCS-style): each thread owns a fixed node of
+//! a binary tree; arrival propagates leaves → root, the wakeup wave
+//! propagates root → leaves. Every spin is on a flag only one other
+//! thread writes.
+
+use crate::spin::spin_until;
+use crate::ThreadBarrier;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The static binary tree barrier.
+pub struct StaticTreeBarrier {
+    n: usize,
+    /// `arrived[t]`: set by thread `t` once its subtree has arrived.
+    arrived: Vec<CachePadded<AtomicBool>>,
+    /// `release[t]`: set by `t`'s parent during the wakeup wave.
+    release: Vec<CachePadded<AtomicBool>>,
+    sense: Vec<CachePadded<AtomicBool>>,
+}
+
+impl StaticTreeBarrier {
+    /// A barrier for `n` threads; thread `t`'s children are `2t+1` and
+    /// `2t+2`.
+    pub fn new(n: usize) -> StaticTreeBarrier {
+        assert!(n >= 1);
+        StaticTreeBarrier {
+            n,
+            arrived: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+            release: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+            sense: (0..n).map(|_| CachePadded::new(AtomicBool::new(true))).collect(),
+        }
+    }
+
+    fn children(&self, tid: usize) -> impl Iterator<Item = usize> + '_ {
+        [2 * tid + 1, 2 * tid + 2].into_iter().filter(move |&c| c < self.n)
+    }
+}
+
+impl ThreadBarrier for StaticTreeBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    fn wait(&self, tid: usize) {
+        if self.n == 1 {
+            return;
+        }
+        let sense = self.sense[tid].load(Ordering::Relaxed);
+        // Gather our subtree.
+        for c in self.children(tid) {
+            spin_until(|| self.arrived[c].load(Ordering::Acquire) == sense);
+        }
+        if tid != 0 {
+            // Tell the parent and wait for the wakeup wave.
+            self.arrived[tid].store(sense, Ordering::Release);
+            spin_until(|| self.release[tid].load(Ordering::Acquire) == sense);
+        }
+        // Wake our children.
+        for c in self.children(tid) {
+            self.release[c].store(sense, Ordering::Release);
+        }
+        self.sense[tid].store(!sense, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_harness::check_barrier;
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = StaticTreeBarrier::new(1);
+        for _ in 0..100 {
+            b.wait(0);
+        }
+    }
+
+    #[test]
+    fn upholds_barrier_property() {
+        for n in [2usize, 3, 5, 8, 11] {
+            check_barrier(StaticTreeBarrier::new(n), 200);
+        }
+    }
+
+    #[test]
+    fn many_episodes_reuse() {
+        check_barrier(StaticTreeBarrier::new(5), 2000);
+    }
+}

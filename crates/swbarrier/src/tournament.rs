@@ -1,0 +1,182 @@
+//! The tournament barrier (Hensgen/Finkel/Manber / MCS variant):
+//! statically paired "matches" per round; the pre-determined loser
+//! signals the winner and spins; the champion starts a wakeup wave that
+//! retraces the bracket.
+
+use crate::spin::spin_until;
+use crate::ThreadBarrier;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Role of a thread in one round (1-based rounds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    /// Waits for `partner`'s arrival, advances to the next round.
+    Winner {
+        /// The losing partner.
+        partner: usize,
+    },
+    /// Signals `partner` and spins for the release.
+    Loser {
+        /// The winning partner.
+        partner: usize,
+    },
+    /// No partner in range this round; advances silently.
+    Bye,
+}
+
+/// The tournament barrier.
+pub struct TournamentBarrier {
+    n: usize,
+    rounds: usize,
+    /// `roles[tid][r-1]`, only meaningful while `tid` is still in the
+    /// bracket at round `r`.
+    roles: Vec<Vec<Role>>,
+    /// `arrival[tid][r-1]`: set by the loser of `tid`'s round-`r` match.
+    arrival: Vec<Vec<CachePadded<AtomicBool>>>,
+    /// One release flag per thread.
+    release: Vec<CachePadded<AtomicBool>>,
+    /// Per-thread sense.
+    sense: Vec<CachePadded<AtomicBool>>,
+}
+
+impl TournamentBarrier {
+    /// A barrier for `n` threads.
+    pub fn new(n: usize) -> TournamentBarrier {
+        assert!(n >= 1);
+        let rounds =
+            if n == 1 { 0 } else { usize::BITS as usize - (n - 1).leading_zeros() as usize };
+        let roles = (0..n)
+            .map(|tid| {
+                (1..=rounds)
+                    .map(|r| {
+                        let step = 1usize << r;
+                        let half = 1usize << (r - 1);
+                        if tid % step == 0 {
+                            if tid + half < n {
+                                Role::Winner { partner: tid + half }
+                            } else {
+                                Role::Bye
+                            }
+                        } else if tid % step == half {
+                            Role::Loser { partner: tid - half }
+                        } else {
+                            // Already eliminated before round r; the
+                            // entry is never consulted at runtime.
+                            let _ = r;
+                            Role::Bye
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        TournamentBarrier {
+            n,
+            rounds,
+            roles,
+            arrival: (0..n)
+                .map(|_| (0..rounds).map(|_| CachePadded::new(AtomicBool::new(false))).collect())
+                .collect(),
+            release: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+            sense: (0..n).map(|_| CachePadded::new(AtomicBool::new(true))).collect(),
+        }
+    }
+
+    /// Bracket depth (⌈log₂ n⌉).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Wakeup wave: release the losers this thread defeated in rounds
+    /// `below..=1` (descending).
+    fn release_defeated(&self, tid: usize, below: usize, sense: bool) {
+        for r in (1..=below).rev() {
+            if let Role::Winner { partner } = self.roles[tid][r - 1] {
+                self.release[partner].store(sense, Ordering::Release);
+            }
+        }
+    }
+}
+
+impl ThreadBarrier for TournamentBarrier {
+    fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    fn wait(&self, tid: usize) {
+        if self.n == 1 {
+            return;
+        }
+        let sense = self.sense[tid].load(Ordering::Relaxed);
+        let mut lost_at = None;
+        for r in 1..=self.rounds {
+            match self.roles[tid][r - 1] {
+                Role::Winner { .. } => {
+                    spin_until(|| self.arrival[tid][r - 1].load(Ordering::Acquire) == sense);
+                }
+                Role::Loser { partner } => {
+                    self.arrival[partner][r - 1].store(sense, Ordering::Release);
+                    spin_until(|| self.release[tid].load(Ordering::Acquire) == sense);
+                    lost_at = Some(r);
+                    break;
+                }
+                Role::Bye => {}
+            }
+        }
+        match lost_at {
+            // Champion (thread 0): retrace the whole bracket.
+            None => self.release_defeated(tid, self.rounds, sense),
+            // Released loser: wake the subtree it had defeated.
+            Some(r) => self.release_defeated(tid, r - 1, sense),
+        }
+        self.sense[tid].store(!sense, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_harness::check_barrier;
+
+    #[test]
+    fn only_thread_zero_is_champion() {
+        let b = TournamentBarrier::new(8);
+        assert_eq!(b.rounds(), 3);
+        // Thread 0 wins every round; everyone else loses exactly once.
+        for tid in 1..8 {
+            let losses =
+                b.roles[tid].iter().filter(|r| matches!(r, Role::Loser { .. })).count();
+            assert_eq!(losses, 1, "thread {tid}");
+        }
+        assert!(b.roles[0].iter().all(|r| matches!(r, Role::Winner { .. })));
+    }
+
+    #[test]
+    fn byes_appear_for_non_powers_of_two() {
+        let b = TournamentBarrier::new(5);
+        // Thread 4 has byes in rounds 1 and 2, loses round 3 to thread 0.
+        assert_eq!(b.roles[4][0], Role::Bye);
+        assert_eq!(b.roles[4][1], Role::Bye);
+        assert_eq!(b.roles[4][2], Role::Loser { partner: 0 });
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = TournamentBarrier::new(1);
+        for _ in 0..100 {
+            b.wait(0);
+        }
+    }
+
+    #[test]
+    fn upholds_barrier_property() {
+        for n in [2usize, 3, 5, 8] {
+            check_barrier(TournamentBarrier::new(n), 200);
+        }
+    }
+
+    #[test]
+    fn many_episodes_reuse() {
+        check_barrier(TournamentBarrier::new(6), 2000);
+    }
+}

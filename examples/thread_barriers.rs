@@ -1,0 +1,51 @@
+//! The real-thread barrier library on your actual hardware.
+//!
+//! Times the five `swbarrier` algorithms over a tight barrier loop —
+//! the host-machine analogue of the paper's Figure 5 (here the
+//! "hardware barrier" column is missing for the obvious reason: your
+//! CPU has no G-lines, which is rather the paper's point).
+//!
+//! Run with: `cargo run --release --example thread_barriers [threads]`
+
+use gline_cmp::threads::{
+    CentralizedBarrier, CombiningTreeBarrier, DisseminationBarrier, StaticTreeBarrier,
+    ThreadBarrier, TournamentBarrier,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench<B: ThreadBarrier + 'static>(name: &str, bar: B, episodes: u64) {
+    let n = bar.num_threads();
+    let bar = Arc::new(bar);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..n)
+        .map(|tid| {
+            let bar = Arc::clone(&bar);
+            std::thread::spawn(move || {
+                for _ in 0..episodes {
+                    bar.wait(tid);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / episodes as f64;
+    println!("  {name:<24} {ns:>10.0} ns/barrier");
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get().min(8)));
+    let episodes = 20_000;
+    println!("{n} threads, {episodes} barrier episodes each:");
+    bench("centralized (CSW-like)", CentralizedBarrier::new(n), episodes);
+    bench("combining tree (DSW)", CombiningTreeBarrier::binary(n), episodes);
+    bench("combining tree, 4-ary", CombiningTreeBarrier::with_arity(n, 4), episodes);
+    bench("dissemination", DisseminationBarrier::new(n), episodes);
+    bench("tournament", TournamentBarrier::new(n), episodes);
+    bench("static tree", StaticTreeBarrier::new(n), episodes);
+}
