@@ -14,7 +14,7 @@
 //! 5. **Energy** — GL vs DSW interconnect energy on the synthetic
 //!    benchmark (the paper's §5 claim).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{criterion_group, criterion_main, Criterion};
 use gline_core::{BarrierHw, BarrierNetwork, TdmBarrierNetwork};
 use sim_base::config::{CmpConfig, GlineConfig};
 use sim_base::Mesh2D;
@@ -26,8 +26,11 @@ fn ablation_gline_latency() {
     eprintln!("\n[ablation 1] barrier latency vs G-line latency (10x10 mesh, repeatered lines)");
     for lat in [1u32, 2, 3, 4] {
         // Budget relaxed so only the latency varies across the sweep.
-        let cfg =
-            GlineConfig { line_latency: lat, max_transmitters: 9, ..GlineConfig::default() };
+        let cfg = GlineConfig {
+            line_latency: lat,
+            max_transmitters: 9,
+            ..GlineConfig::default()
+        };
         let mesh = Mesh2D::new(10, 10);
         let mut net = BarrierNetwork::new(mesh, cfg);
         let cycles = net.run_single_barrier(&vec![0; 100]);
@@ -38,8 +41,20 @@ fn ablation_gline_latency() {
 fn ablation_space_vs_time() {
     eprintln!("\n[ablation 2] 4 concurrent barriers on a 4x8 mesh: wires vs latency");
     let mesh = Mesh2D::new(4, 8);
-    let spatial = BarrierNetwork::new(mesh, GlineConfig { contexts: 4, ..GlineConfig::default() });
-    let mut one = BarrierNetwork::new(mesh, GlineConfig { contexts: 4, ..GlineConfig::default() });
+    let spatial = BarrierNetwork::new(
+        mesh,
+        GlineConfig {
+            contexts: 4,
+            ..GlineConfig::default()
+        },
+    );
+    let mut one = BarrierNetwork::new(
+        mesh,
+        GlineConfig {
+            contexts: 4,
+            ..GlineConfig::default()
+        },
+    );
     let lat_spatial = one.run_single_barrier(&vec![0; 32]);
     eprintln!(
         "  space-multiplexed: {} G-lines, {} cycles/barrier",
@@ -48,14 +63,21 @@ fn ablation_space_vs_time() {
     );
     let mut tdm = TdmBarrierNetwork::new(mesh, GlineConfig::default(), 4);
     let lat_tdm = tdm.run_single_barrier(&vec![0; 32]);
-    eprintln!("  time-multiplexed:  {} G-lines, {} cycles/barrier", tdm.num_glines(), lat_tdm);
+    eprintln!(
+        "  time-multiplexed:  {} G-lines, {} cycles/barrier",
+        tdm.num_glines(),
+        lat_tdm
+    );
 }
 
 fn ablation_aspect_ratio() {
     eprintln!("\n[ablation 3] 32 cores, mesh aspect ratio: wires and latency");
     for (r, c) in [(4u16, 8u16), (8, 4), (2, 16), (16, 2)] {
         let mesh = Mesh2D::new(r, c);
-        let cfg = GlineConfig { max_transmitters: 15, ..GlineConfig::default() };
+        let cfg = GlineConfig {
+            max_transmitters: 15,
+            ..GlineConfig::default()
+        };
         let mut net = BarrierNetwork::new(mesh, cfg);
         let lat = net.run_single_barrier(&vec![0; 32]);
         eprintln!(

@@ -2,7 +2,7 @@
 //! round trips, invalidation storms, and atomic ping-pong — the costs
 //! that make software barriers slow.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{criterion_group, criterion_main, Criterion};
 use sim_base::config::CmpConfig;
 use sim_base::CoreId;
 use sim_isa::inst::AmoOp;
@@ -48,7 +48,14 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let core = CoreId::from(if turn.is_multiple_of(2) { 0 } else { 31 });
             turn += 1;
-            sys.request(core, CoreReq::Amo { addr: 0x200, op: AmoOp::Add, operand: 1 });
+            sys.request(
+                core,
+                CoreReq::Amo {
+                    addr: 0x200,
+                    op: AmoOp::Add,
+                    operand: 1,
+                },
+            );
             complete(&mut sys, core);
         })
     });
@@ -59,7 +66,13 @@ fn bench(c: &mut Criterion) {
                 sys.request(CoreId(cidx), CoreReq::Load { addr: 0x300 });
                 complete(&mut sys, CoreId(cidx));
             }
-            sys.request(CoreId(31), CoreReq::Store { addr: 0x300, value: 1 });
+            sys.request(
+                CoreId(31),
+                CoreReq::Store {
+                    addr: 0x300,
+                    value: 1,
+                },
+            );
             complete(&mut sys, CoreId(31));
         })
     });

@@ -3,7 +3,7 @@
 //! measurement is host wall-time per simulated episode batch; the
 //! *simulated* cycles per barrier are printed alongside.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_base::config::CmpConfig;
 use sim_cmp::runtime::BarrierKind;
 use workloads::synthetic;

@@ -3,8 +3,8 @@
 //! the paper's reductions can be read off a `cargo bench` run.
 
 use bench::experiments::{benchmarks, run_workload, BENCH_CORES};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::Scale;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_cmp::runtime::BarrierKind;
 
 fn bench(c: &mut Criterion) {

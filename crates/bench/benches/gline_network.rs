@@ -2,9 +2,10 @@
 //! the simulator can turn barrier episodes, flat vs clustered, and with
 //! multiple contexts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gline_core::{BarrierHw, BarrierNetwork, ClusteredBarrierNetwork, TdmBarrierNetwork};
 use sim_base::config::GlineConfig;
+use sim_base::trace::{RingSink, Tracer};
 use sim_base::Mesh2D;
 
 fn bench(c: &mut Criterion) {
@@ -41,6 +42,18 @@ fn bench(c: &mut Criterion) {
             b.iter(|| net.run_single_barrier(&arrivals))
         });
     }
+    // Trace-overhead check: `flat_episode` above runs the default
+    // `NullSink` path (every emit site compiled away); this lane runs the
+    // same episode with a recording `RingSink` for contrast. The NullSink
+    // numbers are the regression gate — they must stay where the untraced
+    // seed had them.
+    g.bench_function("flat_episode_ringsink/4x8", |b| {
+        let mesh = Mesh2D::new(4, 8);
+        let tracer = Tracer::new(RingSink::new(256));
+        let mut net = BarrierNetwork::traced(mesh, GlineConfig::default(), tracer);
+        let arrivals = vec![0u64; mesh.num_tiles()];
+        b.iter(|| net.run_single_barrier(&arrivals))
+    });
     // Masked context over half the cores.
     g.bench_function("masked_half_episode", |b| {
         let mesh = Mesh2D::new(4, 8);
@@ -60,15 +73,22 @@ fn bench(c: &mut Criterion) {
     });
     // Ablation: multiple barrier contexts ticking together.
     for &ctxs in &[1u32, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("contexts_tick", ctxs), &ctxs, |b, &ctxs| {
-            let cfg = GlineConfig { contexts: ctxs, ..GlineConfig::default() };
-            let mut net = BarrierNetwork::new(Mesh2D::new(4, 8), cfg);
-            b.iter(|| {
-                for _ in 0..100 {
-                    net.tick();
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("contexts_tick", ctxs),
+            &ctxs,
+            |b, &ctxs| {
+                let cfg = GlineConfig {
+                    contexts: ctxs,
+                    ..GlineConfig::default()
+                };
+                let mut net = BarrierNetwork::new(Mesh2D::new(4, 8), cfg);
+                b.iter(|| {
+                    for _ in 0..100 {
+                        net.tick();
+                    }
+                })
+            },
+        );
     }
     g.finish();
 }

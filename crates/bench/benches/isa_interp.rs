@@ -1,7 +1,7 @@
 //! ISA toolchain microbenchmarks: assembler throughput and reference
 //! interpreter speed (both sit on test/CI critical paths).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{criterion_group, criterion_main, Criterion};
 use sim_isa::interp::RefCmp;
 use sim_isa::{assemble, disassemble};
 
@@ -18,9 +18,13 @@ loop:
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("isa");
-    g.bench_function("assemble_small_kernel", |b| b.iter(|| assemble(KERNEL).unwrap()));
+    g.bench_function("assemble_small_kernel", |b| {
+        b.iter(|| assemble(KERNEL).unwrap())
+    });
     let prog = assemble(KERNEL).unwrap();
-    g.bench_function("disassemble_small_kernel", |b| b.iter(|| disassemble(&prog)));
+    g.bench_function("disassemble_small_kernel", |b| {
+        b.iter(|| disassemble(&prog))
+    });
     g.bench_function("interpret_7k_insts", |b| {
         b.iter(|| {
             let mut cmp = RefCmp::new(1, 16);

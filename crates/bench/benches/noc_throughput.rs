@@ -2,7 +2,7 @@
 //! overhead (the fast path matters because the full-system simulator
 //! ticks the NoC every cycle).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_base::config::NocConfig;
 use sim_base::rng::SplitMix64;
 use sim_base::stats::MsgClass;
@@ -40,9 +40,11 @@ fn drain_uniform(n_msgs: usize) -> u64 {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("noc");
     for &msgs in &[32usize, 256, 1024] {
-        g.bench_with_input(BenchmarkId::new("uniform_drain", msgs), &msgs, |b, &msgs| {
-            b.iter(|| drain_uniform(msgs))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("uniform_drain", msgs),
+            &msgs,
+            |b, &msgs| b.iter(|| drain_uniform(msgs)),
+        );
     }
     g.bench_function("idle_tick", |b| {
         let mut noc: Noc<u32> = Noc::new(Mesh2D::new(4, 8), NocConfig::default());

@@ -2,7 +2,7 @@
 //! each `swbarrier` algorithm — the commodity-hardware analogue of the
 //! paper's Figure 5 (minus the G-lines your CPU doesn't have).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use swbarrier::{
@@ -38,17 +38,37 @@ fn episodes(bar: Arc<dyn ThreadBarrier>, iters: u64) {
 }
 
 fn bench(c: &mut Criterion) {
-    let n = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
+    let n = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(8);
     let mut g = c.benchmark_group("swbarrier_threads");
     g.sample_size(10);
     type Factory = Box<dyn Fn() -> Box<dyn ThreadBarrier>>;
     let algos: Vec<(&str, Factory)> = vec![
-        ("centralized", Box::new(move || Box::new(CentralizedBarrier::new(n)))),
-        ("combining2", Box::new(move || Box::new(CombiningTreeBarrier::binary(n)))),
-        ("combining4", Box::new(move || Box::new(CombiningTreeBarrier::with_arity(n, 4)))),
-        ("dissemination", Box::new(move || Box::new(DisseminationBarrier::new(n)))),
-        ("tournament", Box::new(move || Box::new(TournamentBarrier::new(n)))),
-        ("static_tree", Box::new(move || Box::new(StaticTreeBarrier::new(n)))),
+        (
+            "centralized",
+            Box::new(move || Box::new(CentralizedBarrier::new(n))),
+        ),
+        (
+            "combining2",
+            Box::new(move || Box::new(CombiningTreeBarrier::binary(n))),
+        ),
+        (
+            "combining4",
+            Box::new(move || Box::new(CombiningTreeBarrier::with_arity(n, 4))),
+        ),
+        (
+            "dissemination",
+            Box::new(move || Box::new(DisseminationBarrier::new(n))),
+        ),
+        (
+            "tournament",
+            Box::new(move || Box::new(TournamentBarrier::new(n))),
+        ),
+        (
+            "static_tree",
+            Box::new(move || Box::new(StaticTreeBarrier::new(n))),
+        ),
     ];
     for (name, make) in algos {
         g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {

@@ -12,27 +12,49 @@
 
 use bench::experiments as exp;
 use bench::Scale;
-use serde::Serialize;
+use sim_base::json::{Json, ToJson};
 use std::io::Write;
 
-#[derive(Default, Serialize)]
+#[derive(Default)]
 struct JsonOut {
-    #[serde(skip_serializing_if = "Option::is_none")]
     table2: Option<Vec<exp::Table2Row>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
     fig5: Option<Vec<exp::Fig5Row>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
     fig6_fig7: Option<Vec<exp::Fig67Row>>,
+}
+
+impl ToJson for JsonOut {
+    fn to_json(&self) -> Json {
+        fn rows<T: ToJson>(rows: &[T]) -> Json {
+            Json::arr(rows.iter().map(ToJson::to_json))
+        }
+        let mut fields = Vec::new();
+        if let Some(t) = &self.table2 {
+            fields.push(("table2", rows(t)));
+        }
+        if let Some(f) = &self.fig5 {
+            fields.push(("fig5", rows(f)));
+        }
+        if let Some(f) = &self.fig6_fig7 {
+            fields.push(("fig6_fig7", rows(f)));
+        }
+        Json::obj(fields)
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |f: &str| args.iter().any(|a| a == f);
     let all = has("--all")
-        || !["--table1", "--table2", "--fig2", "--fig5", "--fig6", "--fig7"]
-            .iter()
-            .any(|f| has(f));
-    let scale = if has("--full") { Scale::Full } else { Scale::Quick };
+        || ![
+            "--table1", "--table2", "--fig2", "--fig5", "--fig6", "--fig7",
+        ]
+        .iter()
+        .any(|f| has(f));
+    let scale = if has("--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -40,9 +62,7 @@ fn main() {
         .cloned();
     let mut json = JsonOut::default();
 
-    println!(
-        "gline-cmp evaluation harness — scale: {scale:?} (use --full for larger runs)\n"
-    );
+    println!("gline-cmp evaluation harness — scale: {scale:?} (use --full for larger runs)\n");
 
     if all || has("--table1") {
         println!("{}", exp::table1());
@@ -76,7 +96,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let mut f = std::fs::File::create(&path).expect("create json file");
-        f.write_all(serde_json::to_string_pretty(&json).expect("serialize").as_bytes())
+        f.write_all(json.to_json().pretty().as_bytes())
             .expect("write json");
         eprintln!("wrote {path}");
     }

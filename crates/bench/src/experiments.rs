@@ -1,7 +1,7 @@
 //! Experiment definitions: one function per table/figure of the paper.
 
-use serde::Serialize;
 use sim_base::config::CmpConfig;
+use sim_base::json::{Json, ToJson};
 use sim_base::stats::{MsgClass, TimeCat};
 use sim_cmp::runtime::BarrierKind;
 use sim_cmp::SystemReport;
@@ -74,15 +74,11 @@ pub fn benchmarks(scale: Scale) -> Vec<(&'static str, WorkloadFactory)> {
         ),
         (
             "OCEAN",
-            Box::new(move |n, kind| {
-                ocean::build(n, kind, ocean::OceanParams::scaled(66, 6 * f))
-            }),
+            Box::new(move |n, kind| ocean::build(n, kind, ocean::OceanParams::scaled(66, 6 * f))),
         ),
         (
             "EM3D",
-            Box::new(move |n, kind| {
-                em3d::build(n, kind, em3d::Em3dParams::scaled(1024, 20 * f))
-            }),
+            Box::new(move |n, kind| em3d::build(n, kind, em3d::Em3dParams::scaled(1024, 20 * f))),
         ),
     ]
 }
@@ -102,12 +98,23 @@ pub fn table1() -> String {
         ("Number of cores".to_string(), format!("{}", c.num_cores())),
         (
             "Core".to_string(),
-            format!("{} GHz, in-order {}-way model", c.core.freq_ghz, c.core.issue_width),
+            format!(
+                "{} GHz, in-order {}-way model",
+                c.core.freq_ghz, c.core.issue_width
+            ),
         ),
-        ("Cache line size".to_string(), format!("{} Bytes", c.l1.line_bytes)),
+        (
+            "Cache line size".to_string(),
+            format!("{} Bytes", c.l1.line_bytes),
+        ),
         (
             "L1 I/D-Cache".to_string(),
-            format!("{}KB, {}-way, {} cycle", c.l1.size_bytes / 1024, c.l1.ways, c.l1.total_latency()),
+            format!(
+                "{}KB, {}-way, {} cycle",
+                c.l1.size_bytes / 1024,
+                c.l1.ways,
+                c.l1.total_latency()
+            ),
         ),
         (
             "L2 Cache (per core)".to_string(),
@@ -119,10 +126,22 @@ pub fn table1() -> String {
                 c.l2.extra_data_latency
             ),
         ),
-        ("Memory access time".to_string(), format!("{} cycles", c.mem.latency)),
-        ("Network configuration".to_string(), format!("2D-mesh ({}x{})", c.mesh.rows, c.mesh.cols)),
-        ("Link width".to_string(), format!("{} bytes", c.noc.link_bytes)),
-        ("G-lines per barrier".to_string(), format!("{}", c.glines_per_barrier())),
+        (
+            "Memory access time".to_string(),
+            format!("{} cycles", c.mem.latency),
+        ),
+        (
+            "Network configuration".to_string(),
+            format!("2D-mesh ({}x{})", c.mesh.rows, c.mesh.cols),
+        ),
+        (
+            "Link width".to_string(),
+            format!("{} bytes", c.noc.link_bytes),
+        ),
+        (
+            "G-lines per barrier".to_string(),
+            format!("{}", c.glines_per_barrier()),
+        ),
     ];
     for (k, v) in rows {
         s.push_str(&format!("  {k:<24} {v}\n"));
@@ -135,7 +154,7 @@ pub fn table1() -> String {
 // ---------------------------------------------------------------------
 
 /// One Table 2 row: measured benchmark shape.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table2Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -147,6 +166,17 @@ pub struct Table2Row {
     pub barrier_period: u64,
     /// Total cycles of the run.
     pub cycles: u64,
+}
+
+impl ToJson for Table2Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::from(self.benchmark.as_str())),
+            ("barriers", Json::from(self.barriers)),
+            ("barrier_period", Json::from(self.barrier_period)),
+            ("cycles", Json::from(self.cycles)),
+        ])
+    }
 }
 
 /// Regenerates Table 2: per-benchmark barrier counts and periods.
@@ -179,8 +209,7 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
 
 /// Renders Table 2 rows.
 pub fn render_table2(rows: &[Table2Row]) -> String {
-    let mut s =
-        String::from("Table 2. Benchmark configuration (measured on this reproduction).\n");
+    let mut s = String::from("Table 2. Benchmark configuration (measured on this reproduction).\n");
     s.push_str(&format!(
         "  {:<14} {:>10} {:>16} {:>12}\n",
         "Benchmark", "#Barriers", "Barrier Period", "Cycles"
@@ -242,7 +271,7 @@ pub fn figure2() -> String {
 // ---------------------------------------------------------------------
 
 /// One Figure 5 point: average cycles/barrier per implementation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5Row {
     /// Core count.
     pub cores: usize,
@@ -252,6 +281,17 @@ pub struct Fig5Row {
     pub dsw: f64,
     /// G-line hardware barrier.
     pub gl: f64,
+}
+
+impl ToJson for Fig5Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cores", Json::from(self.cores as u64)),
+            ("csw", Json::from(self.csw)),
+            ("dsw", Json::from(self.dsw)),
+            ("gl", Json::from(self.gl)),
+        ])
+    }
 }
 
 /// Regenerates Figure 5: the synthetic benchmark (loop of 4 consecutive
@@ -270,7 +310,12 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
                 let rep = run_workload(&w, n);
                 vals[i] = synthetic::cycles_per_barrier(rep.cycles, iters);
             }
-            Fig5Row { cores: n, csw: vals[0], dsw: vals[1], gl: vals[2] }
+            Fig5Row {
+                cores: n,
+                csw: vals[0],
+                dsw: vals[1],
+                gl: vals[2],
+            }
         })
         .collect()
 }
@@ -280,7 +325,10 @@ pub fn render_fig5(rows: &[Fig5Row]) -> String {
     let mut s = String::from(
         "Figure 5. Average cycles per barrier (synthetic benchmark, 4 barriers/iter).\n",
     );
-    s.push_str(&format!("  {:>5} {:>12} {:>12} {:>12}\n", "cores", "CSW", "DSW", "GL"));
+    s.push_str(&format!(
+        "  {:>5} {:>12} {:>12} {:>12}\n",
+        "cores", "CSW", "DSW", "GL"
+    ));
     for r in rows {
         s.push_str(&format!(
             "  {:>5} {:>12.1} {:>12.1} {:>12.1}\n",
@@ -296,7 +344,7 @@ pub fn render_fig5(rows: &[Fig5Row]) -> String {
 
 /// One benchmark's Figure 6 + Figure 7 data: DSW baseline and GL,
 /// normalized to DSW.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig67Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -316,6 +364,26 @@ pub struct Fig67Row {
     pub norm_traffic_gl: f64,
 }
 
+/// Renders a stacked bar (`(label, fraction)` pairs) as a JSON object.
+fn bar_json(bar: &[(String, f64)]) -> Json {
+    Json::obj(bar.iter().map(|(k, v)| (k.as_str(), Json::from(*v))))
+}
+
+impl ToJson for Fig67Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::from(self.benchmark.as_str())),
+            ("kernel", Json::from(self.kernel)),
+            ("time_dsw", bar_json(&self.time_dsw)),
+            ("time_gl", bar_json(&self.time_gl)),
+            ("norm_time_gl", Json::from(self.norm_time_gl)),
+            ("traffic_dsw", bar_json(&self.traffic_dsw)),
+            ("traffic_gl", bar_json(&self.traffic_gl)),
+            ("norm_traffic_gl", Json::from(self.norm_traffic_gl)),
+        ])
+    }
+}
+
 /// Regenerates the data behind Figures 6 and 7 (one run per benchmark
 /// per barrier implementation on the 32-core machine).
 pub fn fig6_fig7(scale: Scale) -> Vec<Fig67Row> {
@@ -324,10 +392,16 @@ pub fn fig6_fig7(scale: Scale) -> Vec<Fig67Row> {
         let dsw = run_workload(&build(BENCH_CORES, BarrierKind::Dsw), BENCH_CORES);
         let gl = run_workload(&build(BENCH_CORES, BarrierKind::Gl), BENCH_CORES);
         let bars = |rep: &SystemReport| -> Vec<(String, f64)> {
-            rep.figure6_bar(&dsw).iter().map(|(c, v)| (c.label().to_string(), *v)).collect()
+            rep.figure6_bar(&dsw)
+                .iter()
+                .map(|(c, v)| (c.label().to_string(), *v))
+                .collect()
         };
         let traf = |rep: &SystemReport| -> Vec<(String, f64)> {
-            rep.figure7_bar(&dsw).iter().map(|(c, v)| (c.label().to_string(), *v)).collect()
+            rep.figure7_bar(&dsw)
+                .iter()
+                .map(|(c, v)| (c.label().to_string(), *v))
+                .collect()
         };
         rows.push(Fig67Row {
             benchmark: name.into(),
@@ -351,9 +425,8 @@ fn subset_mean(rows: &[Fig67Row], kernel: bool, f: impl Fn(&Fig67Row) -> f64) ->
 
 /// Renders Figure 6 (normalized execution time, stacked by category).
 pub fn render_fig6(rows: &[Fig67Row]) -> String {
-    let mut s = String::from(
-        "Figure 6. Normalized execution time over a 32-core CMP (DSW = 1.00).\n",
-    );
+    let mut s =
+        String::from("Figure 6. Normalized execution time over a 32-core CMP (DSW = 1.00).\n");
     s.push_str(&format!("  {:<14} {:>4}", "Benchmark", "impl"));
     for c in TimeCat::ALL {
         s.push_str(&format!(" {:>8}", c.label()));
@@ -426,8 +499,16 @@ mod tests {
     #[test]
     fn table1_mentions_every_parameter() {
         let t = table1();
-        for needle in ["32", "3 GHz", "64 Bytes", "32KB", "256KB", "6+2", "400 cycles", "75 bytes"]
-        {
+        for needle in [
+            "32",
+            "3 GHz",
+            "64 Bytes",
+            "32KB",
+            "256KB",
+            "6+2",
+            "400 cycles",
+            "75 bytes",
+        ] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
         }
     }

@@ -9,5 +9,6 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::{Scale, BENCH_CORES};

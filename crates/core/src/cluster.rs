@@ -23,7 +23,7 @@
 use crate::network::{BarrierHw, BarrierNetwork, CtxId};
 use crate::stats::GlineStats;
 use sim_base::config::GlineConfig;
-use sim_base::{CoreId, Coord, Cycle, Mesh2D};
+use sim_base::{Coord, CoreId, Cycle, Mesh2D};
 
 /// A cluster's place in the picture: its sub-network and its geometry.
 #[derive(Clone, Debug)]
@@ -113,7 +113,11 @@ impl ClusteredBarrierNetwork {
 
     /// Total number of G-lines across both levels.
     pub fn num_glines(&self) -> u32 {
-        self.clusters.iter().map(|c| c.net.num_glines()).sum::<u32>() + self.level2.num_glines()
+        self.clusters
+            .iter()
+            .map(|c| c.net.num_glines())
+            .sum::<u32>()
+            + self.level2.num_glines()
     }
 
     /// Statistics for context `ctx`, with the energy proxy aggregated
@@ -279,12 +283,22 @@ mod tests {
     #[test]
     fn latency_constant_across_large_meshes() {
         let mut lats = Vec::new();
-        for (r, c) in [(9u16, 9u16), (10, 10), (14, 14), (16, 16), (21, 21), (24, 24)] {
+        for (r, c) in [
+            (9u16, 9u16),
+            (10, 10),
+            (14, 14),
+            (16, 16),
+            (21, 21),
+            (24, 24),
+        ] {
             let mesh = Mesh2D::new(r, c);
             let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
             lats.push(net.run_single_barrier(&vec![0; mesh.num_tiles()]));
         }
-        assert!(lats.windows(2).all(|w| w[0] == w[1]), "latency not constant: {lats:?}");
+        assert!(
+            lats.windows(2).all(|w| w[0] == w[1]),
+            "latency not constant: {lats:?}"
+        );
     }
 
     #[test]

@@ -27,6 +27,16 @@ pub enum SlaveHState {
     Waiting,
 }
 
+impl SlaveHState {
+    /// Stable state name used by the trace subsystem.
+    pub fn label(self) -> &'static str {
+        match self {
+            SlaveHState::Signaling => "Signaling",
+            SlaveHState::Waiting => "Waiting",
+        }
+    }
+}
+
 /// Horizontal slave controller (`Sh` in the paper).
 #[derive(Clone, Debug)]
 pub struct SlaveH {
@@ -36,7 +46,9 @@ pub struct SlaveH {
 impl SlaveH {
     /// A slave in its initial `Signaling` state.
     pub fn new() -> SlaveH {
-        SlaveH { state: SlaveHState::Signaling }
+        SlaveH {
+            state: SlaveHState::Signaling,
+        }
     }
 
     /// Current FSM state (for inspection/tests).
@@ -83,6 +95,16 @@ pub enum MasterHState {
     /// Whole row arrived (`flag` raised); waiting for the release command
     /// from the vertical network.
     Waiting,
+}
+
+impl MasterHState {
+    /// Stable state name used by the trace subsystem.
+    pub fn label(self) -> &'static str {
+        match self {
+            MasterHState::Accounting => "Accounting",
+            MasterHState::Waiting => "Waiting",
+        }
+    }
 }
 
 /// Horizontal master controller (`Mh` in the paper).
@@ -161,7 +183,11 @@ impl MasterH {
     /// barrier episode; the caller clears the local core's `bar_reg`.
     pub fn transmit(&mut self) -> bool {
         if self.release_pending {
-            debug_assert_eq!(self.state, MasterHState::Waiting, "release commanded before row completed");
+            debug_assert_eq!(
+                self.state,
+                MasterHState::Waiting,
+                "release commanded before row completed"
+            );
             self.release_pending = false;
             self.state = MasterHState::Accounting;
             self.scnt = 0;
@@ -181,7 +207,10 @@ impl MasterH {
             return;
         }
         self.scnt += gather.count;
-        debug_assert!(self.scnt <= self.scnt_max, "more pulses than slaves in the row");
+        debug_assert!(
+            self.scnt <= self.scnt_max,
+            "more pulses than slaves in the row"
+        );
         debug_assert!(
             self.scnt_max > 0 || self.mcnt_needed,
             "a row with no members must not have an active MasterH"
@@ -209,6 +238,17 @@ pub enum SlaveVState {
     Draining,
 }
 
+impl SlaveVState {
+    /// Stable state name used by the trace subsystem.
+    pub fn label(self) -> &'static str {
+        match self {
+            SlaveVState::Signaling => "Signaling",
+            SlaveVState::Waiting => "Waiting",
+            SlaveVState::Draining => "Draining",
+        }
+    }
+}
+
 /// Vertical slave controller (`Sv` in the paper).
 #[derive(Clone, Debug)]
 pub struct SlaveV {
@@ -218,7 +258,9 @@ pub struct SlaveV {
 impl SlaveV {
     /// A slave in its initial `Signaling` state.
     pub fn new() -> SlaveV {
-        SlaveV { state: SlaveVState::Signaling }
+        SlaveV {
+            state: SlaveVState::Signaling,
+        }
     }
 
     /// Current FSM state (for inspection/tests).
@@ -276,6 +318,18 @@ pub enum MasterVState {
     /// before counting again (Figure 4's `MasterH(flag=0)` guard on the
     /// return transition).
     Draining,
+}
+
+impl MasterVState {
+    /// Stable state name used by the trace subsystem.
+    pub fn label(self) -> &'static str {
+        match self {
+            MasterVState::Accounting => "Accounting",
+            MasterVState::GatedReady => "GatedReady",
+            MasterVState::Releasing => "Releasing",
+            MasterVState::Draining => "Draining",
+        }
+    }
 }
 
 /// Vertical master controller (`Mv` in the paper).
@@ -388,7 +442,10 @@ impl MasterV {
             return false;
         }
         self.scnt += gather.count;
-        debug_assert!(self.scnt <= self.scnt_max, "more pulses than vertical slaves");
+        debug_assert!(
+            self.scnt <= self.scnt_max,
+            "more pulses than vertical slaves"
+        );
         if mh0_flag {
             self.mcnt = true;
         }
@@ -411,7 +468,10 @@ mod tests {
     use super::*;
 
     fn on(count: u32) -> Sensed {
-        Sensed { value: count > 0, count }
+        Sensed {
+            value: count > 0,
+            count,
+        }
     }
 
     fn off() -> Sensed {
@@ -460,7 +520,10 @@ mod tests {
         m.receive(off(), true); // single-column row: flag immediately
         assert!(m.flag());
         m.command_release();
-        assert!(!m.transmit(), "release command is registered, not combinational");
+        assert!(
+            !m.transmit(),
+            "release command is registered, not combinational"
+        );
         m.latch();
         assert!(m.transmit(), "release fires after latch");
         assert_eq!(m.state(), MasterHState::Accounting);
@@ -477,7 +540,10 @@ mod tests {
         assert!(!s.receive(off()));
         assert!(s.receive(on(1)), "column release commands the row master");
         assert_eq!(s.state(), SlaveVState::Draining);
-        assert!(!s.transmit(true), "stale flag must not re-fire (Fig. 4 [flag=0] guard)");
+        assert!(
+            !s.transmit(true),
+            "stale flag must not re-fire (Fig. 4 [flag=0] guard)"
+        );
         assert_eq!(s.state(), SlaveVState::Draining);
         assert!(!s.transmit(false), "flag low re-arms without a pulse");
         assert_eq!(s.state(), SlaveVState::Signaling);

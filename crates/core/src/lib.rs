@@ -83,7 +83,7 @@ pub mod stats;
 pub mod tdm;
 
 pub use cluster::ClusteredBarrierNetwork;
-pub use tdm::TdmBarrierNetwork;
 pub use line::{GLine, Sensed};
 pub use network::{BarrierHw, BarrierNetwork, CtxId};
 pub use stats::GlineStats;
+pub use tdm::TdmBarrierNetwork;

@@ -50,7 +50,10 @@ impl GLine {
     /// Panics if `latency == 0` or `max_transmitters == 0`.
     pub fn new(max_transmitters: u32, latency: u32) -> GLine {
         assert!(latency >= 1, "a G-line needs at least one cycle of latency");
-        assert!(max_transmitters >= 1, "a G-line needs at least one transmitter");
+        assert!(
+            max_transmitters >= 1,
+            "a G-line needs at least one transmitter"
+        );
         GLine {
             max_transmitters,
             latency,
@@ -61,12 +64,14 @@ impl GLine {
         }
     }
 
-    /// Asserts the line for the current cycle (one transmitter).
+    /// Asserts the line for the current cycle (one transmitter) and returns
+    /// the number of transmitters asserted so far this cycle — handy for
+    /// event tracing without a second query.
     ///
     /// # Panics
     /// Panics if more than `max_transmitters` assert within one cycle —
     /// that is an electrical violation the network wiring must prevent.
-    pub fn assert_tx(&mut self) {
+    pub fn assert_tx(&mut self) -> u32 {
         self.pending += 1;
         assert!(
             self.pending <= self.max_transmitters,
@@ -75,12 +80,16 @@ impl GLine {
             self.max_transmitters
         );
         self.energy_signals += 1;
+        self.pending
     }
 
     /// Ends the cycle: pushes the pending assertions through the latency
     /// pipeline and updates the sensed value.
     pub fn propagate(&mut self) {
-        let s = Sensed { value: self.pending > 0, count: self.pending };
+        let s = Sensed {
+            value: self.pending > 0,
+            count: self.pending,
+        };
         self.pending = 0;
         self.pipeline.push_back(s);
         // After `latency` stages the value is observable; keep exactly
@@ -125,17 +134,29 @@ mod tests {
         l.assert_tx();
         l.assert_tx();
         l.propagate();
-        assert_eq!(l.sensed(), Sensed { value: true, count: 2 });
+        assert_eq!(
+            l.sensed(),
+            Sensed {
+                value: true,
+                count: 2
+            }
+        );
         // Next cycle with no transmitters: line idle.
         l.propagate();
-        assert_eq!(l.sensed(), Sensed { value: false, count: 0 });
+        assert_eq!(
+            l.sensed(),
+            Sensed {
+                value: false,
+                count: 0
+            }
+        );
     }
 
     #[test]
     fn scsma_counts_up_to_budget() {
         let mut l = GLine::new(6, 1);
-        for _ in 0..6 {
-            l.assert_tx();
+        for i in 1..=6 {
+            assert_eq!(l.assert_tx(), i, "assert_tx returns the running count");
         }
         l.propagate();
         assert_eq!(l.sensed().count, 6);
@@ -159,7 +180,13 @@ mod tests {
         l.propagate(); // cycle 1: still in flight
         assert_eq!(l.sensed(), Sensed::default());
         l.propagate(); // cycle 2: arrives
-        assert_eq!(l.sensed(), Sensed { value: true, count: 1 });
+        assert_eq!(
+            l.sensed(),
+            Sensed {
+                value: true,
+                count: 1
+            }
+        );
         l.propagate(); // cycle 3: idle again
         assert_eq!(l.sensed(), Sensed::default());
     }

@@ -19,12 +19,22 @@
 //! mov 1, bar_reg        # arrival
 //! loop: bnz bar_reg, loop   # wait
 //! ```
+//!
+//! # Tracing
+//!
+//! The network is generic over a [`TraceSink`]; the default [`NullSink`]
+//! monomorphizes every trace site away, so untraced simulation pays
+//! nothing. A traced network (see [`BarrierNetwork::traced`]) emits the
+//! full cycle-level story of Figure 2: G-line asserts and senses,
+//! Figure-4 controller transitions, per-core arrivals/releases and the
+//! episode-completion event.
 
 use crate::controller::{MasterH, MasterV, SlaveH, SlaveV};
 use crate::line::GLine;
 use crate::stats::GlineStats;
 use sim_base::config::GlineConfig;
-use sim_base::{CoreId, Coord, Cycle, Mesh2D};
+use sim_base::trace::{CtrlKind, Event, GlineKind, NullSink, TraceSink, Tracer};
+use sim_base::{Coord, CoreId, Cycle, Mesh2D};
 
 /// Identifier of a barrier context (0-based). The baseline design of the
 /// paper has a single context; the future-work extension multiplexes
@@ -41,7 +51,9 @@ struct RowNet {
 /// One independent barrier context: its own G-lines, controllers and
 /// `bar_reg` bank.
 #[derive(Clone, Debug)]
-struct Context {
+struct Context<S: TraceSink> {
+    /// Index of this context within the network (for trace events).
+    ctx_id: u32,
     /// Participation mask (the §5 "several barrier executions coexist"
     /// extension: a context may synchronize only a subset of cores).
     members: Vec<bool>,
@@ -65,13 +77,28 @@ struct Context {
     first_arrival: Cycle,
     last_arrival: Cycle,
     stats: GlineStats,
+    tracer: Tracer<S>,
 }
 
-impl Context {
-    fn new(mesh: Mesh2D, cfg: GlineConfig, root_gated: bool, members: Vec<bool>) -> Context {
-        assert_eq!(members.len(), mesh.num_tiles(), "one membership bit per core");
+impl<S: TraceSink> Context<S> {
+    fn new(
+        mesh: Mesh2D,
+        cfg: GlineConfig,
+        root_gated: bool,
+        members: Vec<bool>,
+        ctx_id: u32,
+        tracer: Tracer<S>,
+    ) -> Context<S> {
+        assert_eq!(
+            members.len(),
+            mesh.num_tiles(),
+            "one membership bit per core"
+        );
         let num_members = members.iter().filter(|&&m| m).count() as u32;
-        assert!(num_members >= 1, "a barrier context needs at least one member");
+        assert!(
+            num_members >= 1,
+            "a barrier context needs at least one member"
+        );
         let row_active: Vec<bool> = (0..mesh.rows)
             .map(|r| (0..mesh.cols).any(|c| members[mesh.id_of(Coord::new(r, c)).index()]))
             .collect();
@@ -103,9 +130,9 @@ impl Context {
             })
             .collect();
         let num_cores = mesh.num_tiles();
-        let active_upper_rows =
-            (1..mesh.rows).filter(|&r| row_active[r as usize]).count() as u32;
+        let active_upper_rows = (1..mesh.rows).filter(|&r| row_active[r as usize]).count() as u32;
         Context {
+            ctx_id,
             bar_reg: vec![0; num_cores],
             slave_h: mesh
                 .coords()
@@ -132,15 +159,20 @@ impl Context {
             first_arrival: 0,
             last_arrival: 0,
             stats: GlineStats::default(),
+            tracer,
         }
     }
 
     fn write_bar_reg(&mut self, core: CoreId, value: u64, now: Cycle) {
-        assert!(value != 0, "bar_reg arrival writes must be nonzero (paper §3.3)");
+        assert!(
+            value != 0,
+            "bar_reg arrival writes must be nonzero (paper §3.3)"
+        );
         assert!(
             self.members[core.index()],
             "{core:?} is not a member of this barrier context"
         );
+        let ctx = self.ctx_id;
         let slot = &mut self.bar_reg[core.index()];
         if *slot == 0 {
             if self.arrived == 0 {
@@ -149,12 +181,14 @@ impl Context {
             self.arrived += 1;
             self.outstanding += 1;
             self.last_arrival = now;
+            self.tracer.emit(now, || Event::BarrierArrive { ctx, core });
         }
         *slot = value;
     }
 
     fn tick(&mut self, mesh: Mesh2D, now: Cycle) {
         let nrows = mesh.rows as usize;
+        let ctx = self.ctx_id;
 
         // --- latch: registered cross-controller commands become visible.
         for mh in &mut self.master_h {
@@ -171,8 +205,25 @@ impl Context {
             if col > 0 {
                 if let Some(sh) = self.slave_h[core.index()].as_mut() {
                     let arrived = self.bar_reg[core.index()] != 0;
+                    let before = sh.state();
                     if sh.transmit(arrived) {
-                        self.rows[row as usize].gather.assert_tx();
+                        let count = self.rows[row as usize].gather.assert_tx();
+                        self.tracer.emit(now, || Event::GlineAssert {
+                            ctx,
+                            kind: GlineKind::RowGather,
+                            row,
+                            count,
+                        });
+                    }
+                    let after = sh.state();
+                    if S::ENABLED && after != before {
+                        self.tracer.emit(now, || Event::CtrlTransition {
+                            ctx,
+                            core,
+                            ctrl: CtrlKind::SlaveH,
+                            from: before.label(),
+                            to: after.label(),
+                        });
                     }
                 }
             }
@@ -181,28 +232,86 @@ impl Context {
             if !self.row_active[r] {
                 continue;
             }
+            let before = self.master_h[r].state();
             if self.master_h[r].transmit() {
-                self.rows[r].release.assert_tx();
+                let count = self.rows[r].release.assert_tx();
+                self.tracer.emit(now, || Event::GlineAssert {
+                    ctx,
+                    kind: GlineKind::RowRelease,
+                    row: r as u16,
+                    count,
+                });
                 // The row master's own core is released by the master itself
                 // (if it participates).
                 let own = mesh.id_of(Coord::new(r as u16, 0));
                 if self.members[own.index()] {
-                    self.clear_bar_reg(own);
+                    self.clear_bar_reg(own, now);
                 }
             }
-        }
-        #[allow(clippy::needless_range_loop)] // r indexes three parallel structures
-        for r in 1..nrows {
-            if self.row_active[r] && self.slave_v[r - 1].transmit(mh_flags[r]) {
-                self.v_gather.assert_tx();
+            let after = self.master_h[r].state();
+            if S::ENABLED && after != before {
+                let core = mesh.id_of(Coord::new(r as u16, 0));
+                self.tracer.emit(now, || Event::CtrlTransition {
+                    ctx,
+                    core,
+                    ctrl: CtrlKind::MasterH,
+                    from: before.label(),
+                    to: after.label(),
+                });
             }
         }
-        if self.master_v.transmit() {
-            self.v_release.assert_tx();
-            // Row 0's master is co-located with the vertical master: it is
-            // commanded through a register, not through a G-line.
-            if self.row_active[0] {
-                self.master_h[0].command_release();
+        for (r, &mh_flag) in mh_flags.iter().enumerate().skip(1) {
+            if !self.row_active[r] {
+                continue;
+            }
+            let before = self.slave_v[r - 1].state();
+            if self.slave_v[r - 1].transmit(mh_flag) {
+                let count = self.v_gather.assert_tx();
+                self.tracer.emit(now, || Event::GlineAssert {
+                    ctx,
+                    kind: GlineKind::ColGather,
+                    row: 0,
+                    count,
+                });
+            }
+            let after = self.slave_v[r - 1].state();
+            if S::ENABLED && after != before {
+                let core = mesh.id_of(Coord::new(r as u16, 0));
+                self.tracer.emit(now, || Event::CtrlTransition {
+                    ctx,
+                    core,
+                    ctrl: CtrlKind::SlaveV,
+                    from: before.label(),
+                    to: after.label(),
+                });
+            }
+        }
+        {
+            let before = self.master_v.state();
+            if self.master_v.transmit() {
+                let count = self.v_release.assert_tx();
+                self.tracer.emit(now, || Event::GlineAssert {
+                    ctx,
+                    kind: GlineKind::ColRelease,
+                    row: 0,
+                    count,
+                });
+                // Row 0's master is co-located with the vertical master: it is
+                // commanded through a register, not through a G-line.
+                if self.row_active[0] {
+                    self.master_h[0].command_release();
+                }
+            }
+            let after = self.master_v.state();
+            if S::ENABLED && after != before {
+                let core = mesh.id_of(Coord::new(0, 0));
+                self.tracer.emit(now, || Event::CtrlTransition {
+                    ctx,
+                    core,
+                    ctrl: CtrlKind::MasterV,
+                    from: before.label(),
+                    to: after.label(),
+                });
             }
         }
 
@@ -214,14 +323,69 @@ impl Context {
         self.v_gather.propagate();
         self.v_release.propagate();
 
+        // What each receiver observes this cycle, before the controllers
+        // consume it.
+        if S::ENABLED {
+            for (r, rn) in self.rows.iter().enumerate() {
+                let g = rn.gather.sensed();
+                if g.value {
+                    self.tracer.emit(now, || Event::GlineSense {
+                        ctx,
+                        kind: GlineKind::RowGather,
+                        row: r as u16,
+                        count: g.count,
+                    });
+                }
+                let rel = rn.release.sensed();
+                if rel.value {
+                    self.tracer.emit(now, || Event::GlineSense {
+                        ctx,
+                        kind: GlineKind::RowRelease,
+                        row: r as u16,
+                        count: rel.count,
+                    });
+                }
+            }
+            let vg = self.v_gather.sensed();
+            if vg.value {
+                self.tracer.emit(now, || Event::GlineSense {
+                    ctx,
+                    kind: GlineKind::ColGather,
+                    row: 0,
+                    count: vg.count,
+                });
+            }
+            let vr = self.v_release.sensed();
+            if vr.value {
+                self.tracer.emit(now, || Event::GlineSense {
+                    ctx,
+                    kind: GlineKind::ColRelease,
+                    row: 0,
+                    count: vr.count,
+                });
+            }
+        }
+
         // --- receive.
         for core in mesh.tiles() {
             let Coord { row, col } = mesh.coord_of(core);
             if col > 0 {
                 let sensed = self.rows[row as usize].release.sensed();
                 if let Some(sh) = self.slave_h[core.index()].as_mut() {
-                    if sh.receive(sensed) {
-                        self.clear_bar_reg(core);
+                    let before = sh.state();
+                    let clear = sh.receive(sensed);
+                    let after = sh.state();
+                    if clear {
+                        self.clear_bar_reg(core, now);
+                    }
+                    if S::ENABLED && after != before {
+                        self.tracer.emit(now, || Event::CtrlTransition {
+                            ctx,
+                            core,
+                            ctrl: CtrlKind::SlaveH,
+                            from: before.label(),
+                            to: after.label(),
+                        });
                     }
                 }
             }
@@ -233,27 +397,75 @@ impl Context {
             let own = mesh.id_of(Coord::new(r as u16, 0));
             let arrived = self.members[own.index()] && self.bar_reg[own.index()] != 0;
             let sensed = self.rows[r].gather.sensed();
+            let before = self.master_h[r].state();
             self.master_h[r].receive(sensed, arrived);
-        }
-        for r in 1..nrows {
-            if self.row_active[r] && self.slave_v[r - 1].receive(self.v_release.sensed()) {
-                self.master_h[r].command_release();
+            let after = self.master_h[r].state();
+            if S::ENABLED && after != before {
+                self.tracer.emit(now, || Event::CtrlTransition {
+                    ctx,
+                    core: own,
+                    ctrl: CtrlKind::MasterH,
+                    from: before.label(),
+                    to: after.label(),
+                });
             }
         }
-        self.master_v.receive(self.v_gather.sensed(), mh_flags[0]);
+        for r in 1..nrows {
+            if !self.row_active[r] {
+                continue;
+            }
+            let before = self.slave_v[r - 1].state();
+            let fire = self.slave_v[r - 1].receive(self.v_release.sensed());
+            let after = self.slave_v[r - 1].state();
+            if fire {
+                self.master_h[r].command_release();
+            }
+            if S::ENABLED && after != before {
+                let core = mesh.id_of(Coord::new(r as u16, 0));
+                self.tracer.emit(now, || Event::CtrlTransition {
+                    ctx,
+                    core,
+                    ctrl: CtrlKind::SlaveV,
+                    from: before.label(),
+                    to: after.label(),
+                });
+            }
+        }
+        {
+            let before = self.master_v.state();
+            self.master_v.receive(self.v_gather.sensed(), mh_flags[0]);
+            let after = self.master_v.state();
+            if S::ENABLED && after != before {
+                let core = mesh.id_of(Coord::new(0, 0));
+                self.tracer.emit(now, || Event::CtrlTransition {
+                    ctx,
+                    core,
+                    ctrl: CtrlKind::MasterV,
+                    from: before.label(),
+                    to: after.label(),
+                });
+            }
+        }
 
         // --- episode accounting.
         if self.arrived == self.num_members && self.outstanding == 0 {
-            self.stats.record(self.first_arrival, self.last_arrival, now);
+            let latency = now.saturating_sub(self.last_arrival).saturating_add(1);
+            self.tracer
+                .emit(now, || Event::BarrierComplete { ctx, latency });
+            self.stats
+                .record(self.first_arrival, self.last_arrival, now);
             self.arrived = 0;
         }
     }
 
-    fn clear_bar_reg(&mut self, core: CoreId) {
+    fn clear_bar_reg(&mut self, core: CoreId, now: Cycle) {
         if self.bar_reg[core.index()] != 0 {
             self.bar_reg[core.index()] = 0;
             debug_assert!(self.outstanding > 0);
             self.outstanding -= 1;
+            let ctx = self.ctx_id;
+            self.tracer
+                .emit(now, || Event::BarrierRelease { ctx, core });
         }
     }
 
@@ -276,12 +488,16 @@ impl Context {
 ///    (arrival) and read [`bar_reg`](Self::bar_reg) (spin);
 /// 2. at the end of every cycle the simulator calls [`tick`](Self::tick)
 ///    exactly once.
+///
+/// The `S` parameter selects the trace sink; the default [`NullSink`]
+/// compiles all tracing away.
 #[derive(Clone, Debug)]
-pub struct BarrierNetwork {
+pub struct BarrierNetwork<S: TraceSink = NullSink> {
     mesh: Mesh2D,
     cfg: GlineConfig,
-    contexts: Vec<Context>,
+    contexts: Vec<Context<S>>,
     now: Cycle,
+    tracer: Tracer<S>,
 }
 
 impl BarrierNetwork {
@@ -297,11 +513,7 @@ impl BarrierNetwork {
     /// for [`trigger_release`](Self::trigger_release). Building block for
     /// hierarchical composition.
     pub fn with_gated_root(mesh: Mesh2D, cfg: GlineConfig, gated: bool) -> BarrierNetwork {
-        assert!(cfg.contexts >= 1, "at least one barrier context");
-        let contexts = (0..cfg.contexts)
-            .map(|_| Context::new(mesh, cfg, gated, vec![true; mesh.num_tiles()]))
-            .collect();
-        BarrierNetwork { mesh, cfg, contexts, now: 0 }
+        BarrierNetwork::traced_with_gated_root(mesh, cfg, gated, Tracer::default())
     }
 
     /// Builds the network with an explicit participation mask per
@@ -309,10 +521,71 @@ impl BarrierNetwork {
     /// context synchronizes only its member cores). `masks.len()` must
     /// equal `cfg.contexts`; every mask needs at least one member.
     pub fn with_members(mesh: Mesh2D, cfg: GlineConfig, masks: Vec<Vec<bool>>) -> BarrierNetwork {
+        BarrierNetwork::traced_with_members(mesh, cfg, masks, Tracer::default())
+    }
+}
+
+impl<S: TraceSink> BarrierNetwork<S> {
+    /// Builds a traced network: every G-line assert/sense, controller
+    /// transition and barrier event is emitted into `tracer`.
+    pub fn traced(mesh: Mesh2D, cfg: GlineConfig, tracer: Tracer<S>) -> BarrierNetwork<S> {
+        BarrierNetwork::traced_with_gated_root(mesh, cfg, false, tracer)
+    }
+
+    /// [`BarrierNetwork::with_gated_root`] with an explicit tracer.
+    pub fn traced_with_gated_root(
+        mesh: Mesh2D,
+        cfg: GlineConfig,
+        gated: bool,
+        tracer: Tracer<S>,
+    ) -> BarrierNetwork<S> {
+        assert!(cfg.contexts >= 1, "at least one barrier context");
+        let contexts = (0..cfg.contexts)
+            .map(|i| {
+                Context::new(
+                    mesh,
+                    cfg,
+                    gated,
+                    vec![true; mesh.num_tiles()],
+                    i,
+                    tracer.clone(),
+                )
+            })
+            .collect();
+        BarrierNetwork {
+            mesh,
+            cfg,
+            contexts,
+            now: 0,
+            tracer,
+        }
+    }
+
+    /// [`BarrierNetwork::with_members`] with an explicit tracer.
+    pub fn traced_with_members(
+        mesh: Mesh2D,
+        cfg: GlineConfig,
+        masks: Vec<Vec<bool>>,
+        tracer: Tracer<S>,
+    ) -> BarrierNetwork<S> {
         assert_eq!(masks.len(), cfg.contexts as usize, "one mask per context");
-        let contexts =
-            masks.into_iter().map(|m| Context::new(mesh, cfg, false, m)).collect();
-        BarrierNetwork { mesh, cfg, contexts, now: 0 }
+        let contexts = masks
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| Context::new(mesh, cfg, false, m, i as u32, tracer.clone()))
+            .collect();
+        BarrierNetwork {
+            mesh,
+            cfg,
+            contexts,
+            now: 0,
+            tracer,
+        }
+    }
+
+    /// The tracer shared by every context of this network.
+    pub fn tracer(&self) -> &Tracer<S> {
+        &self.tracer
     }
 
     /// The participation mask of a context.
@@ -372,7 +645,22 @@ impl BarrierNetwork {
     /// Starts the release wave of a gated-root context (effective next
     /// cycle). Panics if the context is not root-ready.
     pub fn trigger_release(&mut self, ctx: CtxId) {
-        self.contexts[ctx].master_v.trigger_release();
+        let now = self.now;
+        let root = self.mesh.id_of(Coord::new(0, 0));
+        let c = &mut self.contexts[ctx];
+        let before = c.master_v.state();
+        c.master_v.trigger_release();
+        let after = c.master_v.state();
+        if S::ENABLED && after != before {
+            let ctx_id = c.ctx_id;
+            c.tracer.emit(now, || Event::CtrlTransition {
+                ctx: ctx_id,
+                core: root,
+                ctrl: CtrlKind::MasterV,
+                from: before.label(),
+                to: after.label(),
+            });
+        }
     }
 
     /// Advances the network by one clock cycle.
@@ -391,7 +679,6 @@ impl BarrierNetwork {
         s.signals = c.energy();
         s
     }
-
 }
 
 /// Common interface of barrier hardware: the flat [`BarrierNetwork`] and
@@ -424,7 +711,11 @@ pub trait BarrierHw {
     /// Panics if the barrier does not complete within a generous deadline
     /// (wiring-bug guard).
     fn run_single_barrier(&mut self, arrivals: &[Cycle]) -> u64 {
-        assert_eq!(arrivals.len(), self.num_cores(), "one arrival time per core");
+        assert_eq!(
+            arrivals.len(),
+            self.num_cores(),
+            "one arrival time per core"
+        );
         let last = *arrivals.iter().max().expect("at least one core");
         let base = self.now();
         let deadline = base + last + 1024;
@@ -438,12 +729,15 @@ pub trait BarrierHw {
             if self.now() > base + last && self.all_released(0) {
                 return self.now() - (base + last);
             }
-            assert!(self.now() < deadline, "barrier did not complete before the deadline");
+            assert!(
+                self.now() < deadline,
+                "barrier did not complete before the deadline"
+            );
         }
     }
 }
 
-impl BarrierHw for BarrierNetwork {
+impl<S: TraceSink> BarrierHw for BarrierNetwork<S> {
     fn num_cores(&self) -> usize {
         self.mesh.num_tiles()
     }
@@ -473,6 +767,7 @@ impl BarrierHw for BarrierNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_base::trace::RingSink;
 
     fn cfg() -> GlineConfig {
         GlineConfig::default()
@@ -583,7 +878,10 @@ mod tests {
     fn masked_context_synchronizes_only_members() {
         // 2×4 mesh: context 0 = left half, context 1 = right half.
         let mesh = Mesh2D::new(2, 4);
-        let gcfg = GlineConfig { contexts: 2, ..cfg() };
+        let gcfg = GlineConfig {
+            contexts: 2,
+            ..cfg()
+        };
         let left: Vec<bool> = mesh.coords().map(|c| c.col < 2).collect();
         let right: Vec<bool> = mesh.coords().map(|c| c.col >= 2).collect();
         let mut net = BarrierNetwork::with_members(mesh, gcfg, vec![left.clone(), right]);
@@ -596,7 +894,10 @@ mod tests {
         for _ in 0..4 {
             net.tick();
         }
-        assert!(net.all_released(0), "left-half barrier must complete in 4 cycles");
+        assert!(
+            net.all_released(0),
+            "left-half barrier must complete in 4 cycles"
+        );
         assert_eq!(net.stats(0).barriers_completed, 1);
         assert_eq!(net.stats(0).latency.max(), Some(4));
         assert_eq!(net.stats(1).barriers_completed, 0);
@@ -607,7 +908,10 @@ mod tests {
         // Members only in the bottom row: row 0 is inactive, the
         // vertical master must complete without it.
         let mesh = Mesh2D::new(3, 3);
-        let gcfg = GlineConfig { contexts: 1, ..cfg() };
+        let gcfg = GlineConfig {
+            contexts: 1,
+            ..cfg()
+        };
         let mask: Vec<bool> = mesh.coords().map(|c| c.row == 2).collect();
         let mut net = BarrierNetwork::with_members(mesh, gcfg, vec![mask.clone()]);
         for (i, &m) in mask.iter().enumerate() {
@@ -686,14 +990,20 @@ mod tests {
     fn strict_paper_budget_rejects_4x8() {
         // With the paper's literal 6-transmitter budget, its own 32-core
         // 4×8 evaluation mesh does not fit (see GlineConfig docs).
-        let gcfg = GlineConfig { max_transmitters: 6, ..cfg() };
+        let gcfg = GlineConfig {
+            max_transmitters: 6,
+            ..cfg()
+        };
         let _ = BarrierNetwork::new(Mesh2D::new(4, 8), gcfg);
     }
 
     #[test]
     fn oversized_mesh_allowed_with_slow_lines() {
         let mesh = Mesh2D::new(10, 10);
-        let gcfg = GlineConfig { line_latency: 2, ..cfg() };
+        let gcfg = GlineConfig {
+            line_latency: 2,
+            ..cfg()
+        };
         let mut net = BarrierNetwork::new(mesh, gcfg);
         let lat = net.run_single_barrier(&all_zero(100));
         // Two-cycle lines double each of the 4 line traversals.
@@ -732,5 +1042,69 @@ mod tests {
     fn single_core_mesh_still_synchronizes() {
         let mut net = BarrierNetwork::new(Mesh2D::new(1, 1), cfg());
         assert_eq!(net.run_single_barrier(&[0]), 4);
+    }
+
+    #[test]
+    fn traced_network_reports_figure_2_story() {
+        // All four cores of a 2×2 arrive at cycle 0; the trace must tell
+        // the complete Figure-2 story: 4 arrivals, the gather and release
+        // waves on the G-lines, 4 releases, completion at latency 4.
+        let tracer = Tracer::new(RingSink::new(256));
+        let mut net = BarrierNetwork::traced(Mesh2D::new(2, 2), cfg(), tracer.clone());
+        assert_eq!(net.run_single_barrier(&all_zero(4)), 4);
+        let events: Vec<(Cycle, Event)> = tracer.with_sink(|s| s.events().cloned().collect());
+        let count = |pred: &dyn Fn(&Event) -> bool| events.iter().filter(|(_, e)| pred(e)).count();
+        assert_eq!(count(&|e| matches!(e, Event::BarrierArrive { .. })), 4);
+        assert_eq!(count(&|e| matches!(e, Event::BarrierRelease { .. })), 4);
+        assert_eq!(
+            count(&|e| matches!(
+                e,
+                Event::GlineAssert {
+                    kind: GlineKind::RowGather,
+                    ..
+                }
+            )),
+            2,
+            "one slave per row pulses the gather line"
+        );
+        assert_eq!(
+            count(&|e| matches!(
+                e,
+                Event::GlineAssert {
+                    kind: GlineKind::ColRelease,
+                    ..
+                }
+            )),
+            1
+        );
+        let complete: Vec<&(Cycle, Event)> = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::BarrierComplete { .. }))
+            .collect();
+        assert_eq!(complete.len(), 1);
+        assert!(matches!(
+            complete[0].1,
+            Event::BarrierComplete { latency: 4, .. }
+        ));
+        // Cycle stamps are monotonic.
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn traced_and_untraced_networks_agree() {
+        // The tracer must be observation-only: identical latency, stats
+        // and energy with and without it.
+        let mesh = Mesh2D::new(2, 4);
+        let arrivals: Vec<Cycle> = (0..mesh.num_tiles() as u64).map(|i| i * 3 % 7).collect();
+        let mut plain = BarrierNetwork::new(mesh, cfg());
+        let mut traced = BarrierNetwork::traced(mesh, cfg(), Tracer::new(RingSink::new(64)));
+        assert_eq!(
+            plain.run_single_barrier(&arrivals),
+            traced.run_single_barrier(&arrivals)
+        );
+        let (ps, ts) = (plain.stats(0), traced.stats(0));
+        assert_eq!(ps.barriers_completed, ts.barriers_completed);
+        assert_eq!(ps.latency.sum(), ts.latency.sum());
+        assert_eq!(ps.signals, ts.signals);
     }
 }

@@ -21,13 +21,20 @@ pub struct GlineStats {
 
 impl GlineStats {
     /// Records a completed barrier episode.
+    ///
+    /// Cycle arithmetic saturates: an arrival stamp at or past the release
+    /// (possible only through a mis-wired caller, never the shipped
+    /// networks) records as a degenerate 1-cycle episode instead of
+    /// wrapping around `u64`.
     pub(crate) fn record(&mut self, first_arrival: Cycle, last_arrival: Cycle, release: Cycle) {
         self.barriers_completed += 1;
         // +1: release happens at the *end* of the release cycle, so a
         // last-arrival at cycle t with release during cycle t+3 is the
         // paper's "4 cycles".
-        self.latency.record(release - last_arrival + 1);
-        self.episode.record(release - first_arrival + 1);
+        self.latency
+            .record(release.saturating_sub(last_arrival).saturating_add(1));
+        self.episode
+            .record(release.saturating_sub(first_arrival).saturating_add(1));
     }
 
     /// Mean barrier latency in cycles (0 when no barrier completed).
@@ -50,5 +57,38 @@ mod tests {
         assert_eq!(s.latency.max(), Some(4));
         assert_eq!(s.episode.max(), Some(6));
         assert_eq!(s.mean_latency(), 4.0);
+    }
+
+    #[test]
+    fn mean_latency_is_zero_with_no_episodes() {
+        let s = GlineStats::default();
+        assert_eq!(s.barriers_completed, 0);
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.latency.min(), None);
+        assert_eq!(s.latency.max(), None);
+    }
+
+    #[test]
+    fn single_arrival_episode_equals_latency() {
+        // One core arriving alone: first and last arrival coincide, so the
+        // episode distribution must match the latency distribution exactly.
+        let mut s = GlineStats::default();
+        s.record(7, 7, 10);
+        assert_eq!(s.latency.min(), Some(4));
+        assert_eq!(s.episode.min(), Some(4));
+        assert_eq!(s.latency.sum(), s.episode.sum());
+    }
+
+    #[test]
+    fn record_saturates_instead_of_wrapping() {
+        // A release stamp before the arrival stamps (caller bug) must not
+        // wrap around u64; it degenerates to the 1-cycle floor.
+        let mut s = GlineStats::default();
+        s.record(10, 10, 5);
+        assert_eq!(s.latency.max(), Some(1));
+        assert_eq!(s.episode.max(), Some(1));
+        // And the +1 itself saturates at u64::MAX.
+        s.record(0, 0, u64::MAX);
+        assert_eq!(s.latency.max(), Some(u64::MAX));
     }
 }

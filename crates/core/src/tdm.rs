@@ -47,7 +47,9 @@ impl TdmBarrierNetwork {
         let single = GlineConfig { contexts: 1, ..cfg };
         TdmBarrierNetwork {
             mesh,
-            slots: (0..logical).map(|_| BarrierNetwork::new(mesh, single)).collect(),
+            slots: (0..logical)
+                .map(|_| BarrierNetwork::new(mesh, single))
+                .collect(),
             now: 0,
             arrived: vec![0; logical],
             outstanding: vec![0; logical],
@@ -76,7 +78,10 @@ impl TdmBarrierNetwork {
     }
 
     fn outstanding_now(&self, ctx: CtxId) -> u32 {
-        self.mesh.tiles().filter(|&t| self.slots[ctx].bar_reg(t, 0) != 0).count() as u32
+        self.mesh
+            .tiles()
+            .filter(|&t| self.slots[ctx].bar_reg(t, 0) != 0)
+            .count() as u32
     }
 }
 
@@ -162,7 +167,10 @@ mod tests {
                 "v={v}: latency {lat} outside [4, {}]",
                 5 * v
             );
-            assert!(lat > 4, "v={v}: TDM must cost something over the flat network");
+            assert!(
+                lat > 4,
+                "v={v}: TDM must cost something over the flat network"
+            );
         }
     }
 
@@ -174,8 +182,13 @@ mod tests {
             assert_eq!(net.num_glines(), 10, "TDM must not replicate wires");
         }
         // Contrast: space multiplexing replicates per context.
-        let spatial =
-            BarrierNetwork::new(mesh, GlineConfig { contexts: 8, ..cfg() });
+        let spatial = BarrierNetwork::new(
+            mesh,
+            GlineConfig {
+                contexts: 8,
+                ..cfg()
+            },
+        );
         assert_eq!(spatial.num_glines(), 80);
     }
 

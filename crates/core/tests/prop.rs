@@ -2,11 +2,14 @@
 //! and *any* arrival schedule, the barrier must be correct (nobody
 //! escapes early, everybody is released) and the latency from the last
 //! arrival must be the constant the hardware promises.
+//!
+//! Runs on the in-repo seed-sweep harness ([`sim_base::check`]) instead of
+//! an external property-testing crate, so the suite builds fully offline.
 
 #![allow(clippy::needless_range_loop)] // indexing parallel arrays
 
 use gline_core::{BarrierHw, BarrierNetwork, ClusteredBarrierNetwork};
-use proptest::prelude::*;
+use sim_base::check::forall;
 use sim_base::config::GlineConfig;
 use sim_base::{CoreId, Mesh2D};
 
@@ -48,79 +51,85 @@ fn drive<H: BarrierHw>(net: &mut H, arrivals: &[u64]) -> u64 {
     released_at - last + 1
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn flat_network_always_releases_in_4_cycles(
-        rows in 1u16..=8,
-        cols in 1u16..=8,
-        seed in any::<u64>(),
-        spread in 0u64..200,
-    ) {
+#[test]
+fn flat_network_always_releases_in_4_cycles() {
+    forall("flat_network_always_releases_in_4_cycles", |rng| {
+        let rows = 1 + rng.next_below(8) as u16;
+        let cols = 1 + rng.next_below(8) as u16;
+        let spread = rng.next_below(200);
         let mesh = Mesh2D::new(rows, cols);
         let n = mesh.num_tiles();
-        let mut rng = sim_base::rng::SplitMix64::new(seed);
-        let arrivals: Vec<u64> =
-            (0..n).map(|_| if spread == 0 { 0 } else { rng.next_below(spread + 1) }).collect();
+        let arrivals: Vec<u64> = (0..n)
+            .map(|_| {
+                if spread == 0 {
+                    0
+                } else {
+                    rng.next_below(spread + 1)
+                }
+            })
+            .collect();
         let mut net = BarrierNetwork::new(mesh, GlineConfig::default());
         let lat = drive(&mut net, &arrivals);
-        prop_assert_eq!(lat, 4, "arrivals: {:?}", arrivals);
-    }
+        assert_eq!(lat, 4, "arrivals: {arrivals:?}");
+    });
+}
 
-    #[test]
-    fn flat_network_back_to_back_episodes(
-        rows in 1u16..=6,
-        cols in 1u16..=6,
-        seed in any::<u64>(),
-        episodes in 1usize..5,
-    ) {
+#[test]
+fn flat_network_back_to_back_episodes() {
+    forall("flat_network_back_to_back_episodes", |rng| {
+        let rows = 1 + rng.next_below(6) as u16;
+        let cols = 1 + rng.next_below(6) as u16;
+        let episodes = 1 + rng.next_below(4) as usize;
         let mesh = Mesh2D::new(rows, cols);
         let n = mesh.num_tiles();
-        let mut rng = sim_base::rng::SplitMix64::new(seed);
         let mut net = BarrierNetwork::new(mesh, GlineConfig::default());
         for _ in 0..episodes {
             let arrivals: Vec<u64> = (0..n).map(|_| rng.next_below(30)).collect();
             let lat = drive(&mut net, &arrivals);
-            prop_assert_eq!(lat, 4);
+            assert_eq!(lat, 4);
         }
-        prop_assert_eq!(net.stats(0).barriers_completed, episodes as u64);
-        prop_assert_eq!(net.stats(0).mean_latency(), 4.0);
-    }
+        assert_eq!(net.stats(0).barriers_completed, episodes as u64);
+        assert_eq!(net.stats(0).mean_latency(), 4.0);
+    });
+}
 
-    #[test]
-    fn clustered_network_constant_latency(
-        rows in 9u16..=20,
-        cols in 9u16..=20,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn clustered_network_constant_latency() {
+    forall("clustered_network_constant_latency", |rng| {
+        let rows = 9 + rng.next_below(12) as u16;
+        let cols = 9 + rng.next_below(12) as u16;
         let mesh = Mesh2D::new(rows, cols);
         let n = mesh.num_tiles();
-        let mut rng = sim_base::rng::SplitMix64::new(seed);
         let arrivals: Vec<u64> = (0..n).map(|_| rng.next_below(50)).collect();
         let mut net = ClusteredBarrierNetwork::new(mesh, GlineConfig::default());
         let lat = drive(&mut net, &arrivals);
-        prop_assert_eq!(lat, 7, "{}x{}", rows, cols);
-    }
+        assert_eq!(lat, 7, "{rows}x{cols}");
+    });
+}
 
-    #[test]
-    fn masked_contexts_release_members_in_4_cycles(
-        rows in 1u16..=6,
-        cols in 1u16..=6,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn masked_contexts_release_members_in_4_cycles() {
+    forall("masked_contexts_release_members_in_4_cycles", |rng| {
+        let rows = 1 + rng.next_below(6) as u16;
+        let cols = 1 + rng.next_below(6) as u16;
         let mesh = Mesh2D::new(rows, cols);
         let n = mesh.num_tiles();
-        let mut rng = sim_base::rng::SplitMix64::new(seed);
         let mut mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         if !mask.iter().any(|&m| m) {
             mask[rng.next_below(n as u64) as usize] = true;
         }
-        let cfg = GlineConfig { contexts: 1, ..GlineConfig::default() };
+        let cfg = GlineConfig {
+            contexts: 1,
+            ..GlineConfig::default()
+        };
         let mut net = BarrierNetwork::with_members(mesh, cfg, vec![mask.clone()]);
         // Stagger the member arrivals.
         let arrivals: Vec<u64> = (0..n).map(|_| rng.next_below(20)).collect();
-        let last = (0..n).filter(|&i| mask[i]).map(|i| arrivals[i]).max().unwrap();
+        let last = (0..n)
+            .filter(|&i| mask[i])
+            .map(|i| arrivals[i])
+            .max()
+            .unwrap();
         for cycle in 0..(last + 10) {
             for i in 0..n {
                 if mask[i] && arrivals[i] == cycle {
@@ -131,37 +140,40 @@ proptest! {
             if cycle <= last {
                 for i in 0..n {
                     if mask[i] && arrivals[i] < cycle {
-                        prop_assert_ne!(net.bar_reg(CoreId::from(i), 0), 0, "core {} escaped", i);
+                        assert_ne!(net.bar_reg(CoreId::from(i), 0), 0, "core {i} escaped");
                     }
                 }
             }
             net.tick();
         }
-        prop_assert!(net.all_released(0), "mask {:?} arrivals {:?}", mask, arrivals);
-        prop_assert_eq!(net.stats(0).latency.max(), Some(4));
+        assert!(net.all_released(0), "mask {mask:?} arrivals {arrivals:?}");
+        assert_eq!(net.stats(0).latency.max(), Some(4));
         // Non-members were never disturbed.
         for i in 0..n {
             if !mask[i] {
-                prop_assert_eq!(net.bar_reg(CoreId::from(i), 0), 0);
+                assert_eq!(net.bar_reg(CoreId::from(i), 0), 0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn contexts_do_not_interfere(
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn contexts_do_not_interfere() {
+    forall("contexts_do_not_interfere", |rng| {
         let mesh = Mesh2D::new(3, 3);
-        let cfg = GlineConfig { contexts: 3, ..GlineConfig::default() };
+        let cfg = GlineConfig {
+            contexts: 3,
+            ..GlineConfig::default()
+        };
         let mut net = BarrierNetwork::new(mesh, cfg);
-        let mut rng = sim_base::rng::SplitMix64::new(seed);
         // Arrive in all three contexts at staggered times; each context
         // must complete independently.
-        let schedules: Vec<Vec<u64>> =
-            (0..3).map(|_| (0..9).map(|_| rng.next_below(40)).collect()).collect();
+        let schedules: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..9).map(|_| rng.next_below(40)).collect())
+            .collect();
         for cycle in 0..200u64 {
-            for ctx in 0..3 {
-                for (i, &a) in schedules[ctx].iter().enumerate() {
+            for (ctx, schedule) in schedules.iter().enumerate() {
+                for (i, &a) in schedule.iter().enumerate() {
                     if a == cycle {
                         net.write_bar_reg(CoreId::from(i), ctx, 1);
                     }
@@ -170,9 +182,9 @@ proptest! {
             net.tick();
         }
         for ctx in 0..3 {
-            prop_assert!(net.all_released(ctx), "context {} stuck", ctx);
-            prop_assert_eq!(net.stats(ctx).barriers_completed, 1);
-            prop_assert_eq!(net.stats(ctx).latency.max(), Some(4));
+            assert!(net.all_released(ctx), "context {ctx} stuck");
+            assert_eq!(net.stats(ctx).barriers_completed, 1);
+            assert_eq!(net.stats(ctx).latency.max(), Some(4));
         }
-    }
+    });
 }

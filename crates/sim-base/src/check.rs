@@ -1,0 +1,94 @@
+//! A minimal property-testing loop.
+//!
+//! The workspace builds with no external crates, so instead of `proptest`
+//! the property tests run a deterministic seed sweep: every case gets its
+//! own [`SplitMix64`] stream derived from the property name and case
+//! index, and a failing case reports the exact seed to replay with
+//! [`forall_seeded`]. There is no shrinking — generators are written so a
+//! raw failing case is already small enough to debug (the seed sweep stays
+//! reproducible across runs and platforms).
+
+use crate::rng::SplitMix64;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Runs `prop` for [`DEFAULT_CASES`] deterministic cases.
+///
+/// `name` seeds the case streams, so distinct properties explore distinct
+/// inputs; it is also printed when a case fails.
+pub fn forall(name: &str, prop: impl FnMut(&mut SplitMix64)) {
+    forall_cases(name, DEFAULT_CASES, prop);
+}
+
+/// Runs `prop` for `cases` deterministic cases.
+pub fn forall_cases(name: &str, cases: u32, mut prop: impl FnMut(&mut SplitMix64)) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = SplitMix64::new(seed);
+            prop(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property {name:?} failed at case {case}/{cases} \
+                 (replay: forall_seeded({name:?}, {seed:#x}, ..))"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Replays one property case from an explicit seed (printed on failure).
+pub fn forall_seeded(name: &str, seed: u64, mut prop: impl FnMut(&mut SplitMix64)) {
+    let _ = name;
+    let mut rng = SplitMix64::new(seed);
+    prop(&mut rng);
+}
+
+/// Derives a per-case seed from the property name and case index (FNV-1a
+/// over the name, mixed with the index).
+fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ SplitMix64::new(case as u64).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut n = 0;
+        forall_cases("count", 17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn cases_get_distinct_streams() {
+        let mut firsts = Vec::new();
+        forall_cases("distinct", 8, |rng| firsts.push(rng.next_u64()));
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 8, "every case must see fresh randomness");
+    }
+
+    #[test]
+    fn properties_get_distinct_streams() {
+        let (mut a, mut b) = (0, 0);
+        forall_cases("stream-a", 1, |rng| a = rng.next_u64());
+        forall_cases("stream-b", 1, |rng| b = rng.next_u64());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failure_propagates() {
+        let r = catch_unwind(|| forall_cases("boom", 4, |_| panic!("expected")));
+        assert!(r.is_err());
+    }
+}

@@ -5,14 +5,12 @@
 //! `Cycle` is just a `u64`, but the [`Clock`] helper centralizes advancing
 //! and gives a place to hang watchdog logic.
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, measured in core clock cycles.
 pub type Cycle = u64;
 
 /// The global clock. Starts at cycle 0; [`Clock::advance`] moves to the next
 /// cycle.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Clock {
     now: Cycle,
 }

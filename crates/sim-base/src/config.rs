@@ -15,10 +15,10 @@
 //! | Link width             | 75 bytes                   |
 
 use crate::geom::Mesh2D;
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, ToJson};
 
 /// Core pipeline parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CoreConfig {
     /// Clock frequency in GHz (only used to convert cycles to wall time in
     /// reports; the simulation itself is cycle-based).
@@ -29,12 +29,15 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        CoreConfig { freq_ghz: 3.0, issue_width: 2 }
+        CoreConfig {
+            freq_ghz: 3.0,
+            issue_width: 2,
+        }
     }
 }
 
 /// Geometry and timing of one cache level.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -60,7 +63,10 @@ impl CacheConfig {
             self.ways
         );
         let sets = lines / self.ways as u64;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         sets
     }
 
@@ -71,7 +77,7 @@ impl CacheConfig {
 }
 
 /// Network-on-chip parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NocConfig {
     /// Flit width in bytes (Table 1: 75-byte links, so a 64-byte line plus
     /// header fits in one flit).
@@ -100,7 +106,7 @@ impl Default for NocConfig {
 }
 
 /// Main-memory parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MemConfig {
     /// Access latency in cycles (Table 1: 400).
     pub latency: u32,
@@ -113,7 +119,7 @@ impl Default for MemConfig {
 }
 
 /// G-line barrier-network parameters (Section 3 of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GlineConfig {
     /// Cycles for a signal to cross one G-line (paper: 1; the "longer
     /// latency G-lines" future-work variant uses more).
@@ -133,12 +139,16 @@ pub struct GlineConfig {
 
 impl Default for GlineConfig {
     fn default() -> Self {
-        GlineConfig { line_latency: 1, max_transmitters: 7, contexts: 1 }
+        GlineConfig {
+            line_latency: 1,
+            max_transmitters: 7,
+            contexts: 1,
+        }
     }
 }
 
 /// Complete configuration of the simulated CMP.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CmpConfig {
     /// Mesh shape; `mesh.num_tiles()` is the core count.
     pub mesh: Mesh2D,
@@ -203,6 +213,113 @@ impl CmpConfig {
     }
 }
 
+/// Reading a config back from JSON can fail on missing or mistyped keys.
+fn field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+impl ToJson for CmpConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "mesh",
+                Json::obj([
+                    ("rows", Json::from(self.mesh.rows)),
+                    ("cols", Json::from(self.mesh.cols)),
+                ]),
+            ),
+            (
+                "core",
+                Json::obj([
+                    ("freq_ghz", Json::from(self.core.freq_ghz)),
+                    ("issue_width", Json::from(self.core.issue_width)),
+                ]),
+            ),
+            ("l1", cache_json(&self.l1)),
+            ("l2", cache_json(&self.l2)),
+            (
+                "noc",
+                Json::obj([
+                    ("link_bytes", Json::from(self.noc.link_bytes)),
+                    ("router_latency", Json::from(self.noc.router_latency)),
+                    ("link_latency", Json::from(self.noc.link_latency)),
+                    ("vc_buffer_flits", Json::from(self.noc.vc_buffer_flits)),
+                    ("header_bytes", Json::from(self.noc.header_bytes)),
+                ]),
+            ),
+            (
+                "mem",
+                Json::obj([("latency", Json::from(self.mem.latency))]),
+            ),
+            (
+                "gline",
+                Json::obj([
+                    ("line_latency", Json::from(self.gline.line_latency)),
+                    ("max_transmitters", Json::from(self.gline.max_transmitters)),
+                    ("contexts", Json::from(self.gline.contexts)),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn cache_json(c: &CacheConfig) -> Json {
+    Json::obj([
+        ("size_bytes", Json::from(c.size_bytes)),
+        ("ways", Json::from(c.ways)),
+        ("line_bytes", Json::from(c.line_bytes)),
+        ("hit_latency", Json::from(c.hit_latency)),
+        ("extra_data_latency", Json::from(c.extra_data_latency)),
+    ])
+}
+
+fn cache_from_json(v: &Json) -> Result<CacheConfig, String> {
+    Ok(CacheConfig {
+        size_bytes: field(v, "size_bytes")? as u64,
+        ways: field(v, "ways")? as u32,
+        line_bytes: field(v, "line_bytes")? as u64,
+        hit_latency: field(v, "hit_latency")? as u32,
+        extra_data_latency: field(v, "extra_data_latency")? as u32,
+    })
+}
+
+impl CmpConfig {
+    /// Reads a configuration back from the [`ToJson`] representation.
+    pub fn from_json(v: &Json) -> Result<CmpConfig, String> {
+        let sub = |key: &str| v.get(key).ok_or_else(|| format!("missing section {key:?}"));
+        let mesh = sub("mesh")?;
+        let core = sub("core")?;
+        let noc = sub("noc")?;
+        let gline = sub("gline")?;
+        Ok(CmpConfig {
+            mesh: Mesh2D::new(field(mesh, "rows")? as u16, field(mesh, "cols")? as u16),
+            core: CoreConfig {
+                freq_ghz: field(core, "freq_ghz")?,
+                issue_width: field(core, "issue_width")? as u8,
+            },
+            l1: cache_from_json(sub("l1")?)?,
+            l2: cache_from_json(sub("l2")?)?,
+            noc: NocConfig {
+                link_bytes: field(noc, "link_bytes")? as u32,
+                router_latency: field(noc, "router_latency")? as u32,
+                link_latency: field(noc, "link_latency")? as u32,
+                vc_buffer_flits: field(noc, "vc_buffer_flits")? as u32,
+                header_bytes: field(noc, "header_bytes")? as u32,
+            },
+            mem: MemConfig {
+                latency: field(sub("mem")?, "latency")? as u32,
+            },
+            gline: GlineConfig {
+                line_latency: field(gline, "line_latency")? as u32,
+                max_transmitters: field(gline, "max_transmitters")? as u32,
+                contexts: field(gline, "contexts")? as u32,
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,10 +365,17 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_round_trip() {
+    fn config_json_round_trip() {
         let c = CmpConfig::icpp2010();
-        let s = serde_json::to_string(&c).unwrap();
-        let d: CmpConfig = serde_json::from_str(&s).unwrap();
+        let s = c.to_json().pretty();
+        let d = CmpConfig::from_json(&crate::json::parse(&s).unwrap()).unwrap();
         assert_eq!(c, d);
+    }
+
+    #[test]
+    fn config_from_json_reports_missing_fields() {
+        let v = crate::json::parse("{}").unwrap();
+        let e = CmpConfig::from_json(&v).unwrap_err();
+        assert!(e.contains("mesh"), "{e}");
     }
 }

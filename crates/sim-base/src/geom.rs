@@ -6,11 +6,10 @@
 //! column-0 tile of row 0 hosts the vertical master.
 
 use crate::ids::CoreId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A position in the mesh: `(row, col)`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Coord {
     /// Row, `0..rows`.
     pub row: u16,
@@ -33,7 +32,7 @@ impl fmt::Debug for Coord {
 }
 
 /// Direction of a mesh link, from the perspective of a router.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Dir {
     /// Toward row - 1.
     North,
@@ -79,7 +78,7 @@ impl Dir {
 }
 
 /// A `rows × cols` 2D mesh with row-major tile numbering.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Mesh2D {
     /// Number of rows.
     pub rows: u16,
@@ -118,7 +117,10 @@ impl Mesh2D {
     /// Row-major tile id for a coordinate.
     #[inline]
     pub fn id_of(self, c: Coord) -> CoreId {
-        debug_assert!(c.row < self.rows && c.col < self.cols, "{c:?} outside {self:?}");
+        debug_assert!(
+            c.row < self.rows && c.col < self.cols,
+            "{c:?} outside {self:?}"
+        );
         CoreId(c.row * self.cols + c.col)
     }
 
@@ -126,7 +128,10 @@ impl Mesh2D {
     #[inline]
     pub fn coord_of(self, id: CoreId) -> Coord {
         debug_assert!((id.index()) < self.num_tiles(), "{id:?} outside {self:?}");
-        Coord { row: id.0 / self.cols, col: id.0 % self.cols }
+        Coord {
+            row: id.0 / self.cols,
+            col: id.0 % self.cols,
+        }
     }
 
     /// Iterator over all tile ids in row-major order.

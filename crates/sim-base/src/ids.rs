@@ -4,12 +4,11 @@
 //! core index with a byte address or a cache-line number — bugs that are
 //! otherwise common in simulator code where everything is a `usize`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a core / tile. Tiles are numbered row-major over the mesh:
 /// tile `r * cols + c` sits at row `r`, column `c`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoreId(pub u16);
 
 impl CoreId {
@@ -44,7 +43,7 @@ impl From<usize> for CoreId {
 /// The simulated machine is word-addressed at an 8-byte granularity for
 /// data accesses; `Addr` is nevertheless kept byte-granular so cache-line
 /// arithmetic matches real hardware.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Addr(pub u64);
 
 /// Number of bytes in a machine word (one register / one scalar element).
@@ -92,7 +91,7 @@ impl fmt::Debug for Addr {
 /// A cache-line number (byte address divided by the line size).
 ///
 /// All coherence-protocol state is keyed by `LineAddr`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {

@@ -14,18 +14,27 @@
 //!   network-traffic categories used by the paper's Figures 6 and 7.
 //! * [`rng`] — a tiny deterministic SplitMix64 generator so that core
 //!   simulator crates do not need an external RNG dependency.
+//! * [`trace`] — the cycle-level event tracing subsystem: typed events,
+//!   zero-cost-when-disabled sinks, Chrome `trace_event` export.
+//! * [`json`] — a dependency-free JSON tree, writer and parser used for
+//!   reports and traces.
+//! * [`check`] — a deterministic seed-sweep property-testing loop.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod check;
 pub mod clock;
 pub mod config;
 pub mod geom;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use clock::{Clock, Cycle};
 pub use config::CmpConfig;
 pub use geom::{Coord, Mesh2D};
 pub use ids::{Addr, CoreId, LineAddr};
+pub use trace::{Event, NullSink, RingSink, TraceSink, Tracer};

@@ -106,7 +106,10 @@ mod tests {
             counts[r.next_below(4) as usize] += 1;
         }
         for c in counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 

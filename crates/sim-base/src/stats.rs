@@ -7,12 +7,11 @@
 //! memory system, the NoC and the reporting harness so every crate counts
 //! into the same buckets.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{AddAssign, Index, IndexMut};
 
 /// Execution-time categories of Figure 6.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TimeCat {
     /// Time in barrier notification + busy-wait + release (S1+S2+S3).
     Barrier,
@@ -28,8 +27,13 @@ pub enum TimeCat {
 
 impl TimeCat {
     /// All categories, in the paper's legend order.
-    pub const ALL: [TimeCat; 5] =
-        [TimeCat::Barrier, TimeCat::Write, TimeCat::Read, TimeCat::Lock, TimeCat::Busy];
+    pub const ALL: [TimeCat; 5] = [
+        TimeCat::Barrier,
+        TimeCat::Write,
+        TimeCat::Read,
+        TimeCat::Lock,
+        TimeCat::Busy,
+    ];
 
     /// Dense index for table lookups.
     #[inline]
@@ -57,7 +61,7 @@ impl TimeCat {
 
 /// Network-traffic categories of Figure 7. Each maps to one virtual
 /// network in the NoC, which also gives protocol deadlock freedom.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MsgClass {
     /// Load/store/atomic requests travelling to an L2 home bank.
     Request,
@@ -93,7 +97,7 @@ impl MsgClass {
 }
 
 /// Cycles accumulated per [`TimeCat`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TimeBreakdown {
     cycles: [u64; 5],
 }
@@ -148,7 +152,7 @@ impl AddAssign for TimeBreakdown {
 }
 
 /// Message counts per [`MsgClass`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TrafficBreakdown {
     msgs: [u64; 3],
 }
@@ -196,7 +200,7 @@ impl AddAssign for TrafficBreakdown {
 ///
 /// Bucket `i` counts samples in `[2^i, 2^(i+1))`, except bucket 0 which
 /// counts 0 and 1. Cheap enough to keep per message class.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -208,18 +212,30 @@ pub struct Histogram {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Histogram {
-        Histogram { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        let b = if v <= 1 { 0 } else { 64 - (v.leading_zeros() as usize) - 1 };
+        let b = if v <= 1 {
+            0
+        } else {
+            64 - (v.leading_zeros() as usize) - 1
+        };
         if self.buckets.len() <= b {
             self.buckets.resize(b + 1, 0);
         }
         self.buckets[b] += 1;
         self.count += 1;
-        self.sum += v;
+        // Saturate: a sample near u64::MAX (itself saturated upstream)
+        // must not wrap the running sum.
+        self.sum = self.sum.saturating_add(v);
         if self.count == 1 {
             self.min = v;
             self.max = v;
@@ -328,6 +344,18 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum must clamp, not wrap");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+        // The mean of a clamped sum is still finite and sane.
+        assert!(h.mean() <= u64::MAX as f64);
     }
 
     #[test]

@@ -1,35 +1,45 @@
 //! Property tests for the foundations: mesh geometry, address math,
 //! histogram invariants and the deterministic RNG.
+//!
+//! Runs on the in-repo seed-sweep harness ([`sim_base::check`]) instead of
+//! an external property-testing crate, so the suite builds fully offline.
 
-use proptest::prelude::*;
+use sim_base::check::forall;
 use sim_base::geom::Dir;
 use sim_base::ids::Addr;
 use sim_base::rng::SplitMix64;
 use sim_base::stats::Histogram;
 use sim_base::{Coord, Mesh2D};
 
-proptest! {
-    #[test]
-    fn mesh_id_coord_bijection(rows in 1u16..64, cols in 1u16..64) {
-        prop_assume!((rows as usize) * (cols as usize) <= 4096);
+#[test]
+fn mesh_id_coord_bijection() {
+    forall("mesh_id_coord_bijection", |r| {
+        let (rows, cols) = loop {
+            let rows = 1 + r.next_below(63) as u16;
+            let cols = 1 + r.next_below(63) as u16;
+            if (rows as usize) * (cols as usize) <= 4096 {
+                break (rows, cols);
+            }
+        };
         let m = Mesh2D::new(rows, cols);
         for id in m.tiles() {
-            prop_assert_eq!(m.id_of(m.coord_of(id)), id);
+            assert_eq!(m.id_of(m.coord_of(id)), id);
         }
         let mut count = 0;
         for c in m.coords() {
-            prop_assert_eq!(m.coord_of(m.id_of(c)), c);
+            assert_eq!(m.coord_of(m.id_of(c)), c);
             count += 1;
         }
-        prop_assert_eq!(count, m.num_tiles());
-    }
+        assert_eq!(count, m.num_tiles());
+    });
+}
 
-    #[test]
-    fn xy_route_always_terminates_at_destination(
-        rows in 1u16..16, cols in 1u16..16, seed in any::<u64>()
-    ) {
+#[test]
+fn xy_route_always_terminates_at_destination() {
+    forall("xy_route_always_terminates_at_destination", |r| {
+        let rows = 1 + r.next_below(15) as u16;
+        let cols = 1 + r.next_below(15) as u16;
         let m = Mesh2D::new(rows, cols);
-        let mut r = SplitMix64::new(seed);
         let from = Coord::new(
             r.next_below(rows as u64) as u16,
             r.next_below(cols as u64) as u16,
@@ -45,65 +55,85 @@ proptest! {
             if d == Dir::Local {
                 break;
             }
-            cur = m.neighbor(cur, d).expect("XY routing never leaves the mesh");
+            cur = m
+                .neighbor(cur, d)
+                .expect("XY routing never leaves the mesh");
             hops += 1;
-            prop_assert!(hops <= (rows as u32 + cols as u32));
+            assert!(hops <= (rows as u32 + cols as u32));
         }
-        prop_assert_eq!(cur, to);
-        prop_assert_eq!(hops, m.manhattan(from, to));
-    }
+        assert_eq!(cur, to);
+        assert_eq!(hops, m.manhattan(from, to));
+    });
+}
 
-    #[test]
-    fn squarest_covers_exactly_n(n in 1usize..2048) {
+#[test]
+fn squarest_covers_exactly_n() {
+    forall("squarest_covers_exactly_n", |r| {
+        let n = 1 + r.next_below(2047) as usize;
         let m = Mesh2D::squarest(n);
-        prop_assert_eq!(m.num_tiles(), n);
-        prop_assert!(m.rows <= m.cols, "prefers wide meshes");
-    }
+        assert_eq!(m.num_tiles(), n);
+        assert!(m.rows <= m.cols, "prefers wide meshes");
+    });
+}
 
-    #[test]
-    fn neighbor_relation_is_symmetric(rows in 1u16..10, cols in 1u16..10) {
+#[test]
+fn neighbor_relation_is_symmetric() {
+    forall("neighbor_relation_is_symmetric", |r| {
+        let rows = 1 + r.next_below(9) as u16;
+        let cols = 1 + r.next_below(9) as u16;
         let m = Mesh2D::new(rows, cols);
         for c in m.coords() {
             for d in Dir::MESH {
                 if let Some(nb) = m.neighbor(c, d) {
-                    prop_assert_eq!(m.neighbor(nb, d.opposite()), Some(c));
+                    assert_eq!(m.neighbor(nb, d.opposite()), Some(c));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn addr_line_math_consistent(word in 0u64..1_000_000, line_bytes_pow in 4u32..10) {
-        let line_bytes = 1u64 << line_bytes_pow;
+#[test]
+fn addr_line_math_consistent() {
+    forall("addr_line_math_consistent", |r| {
+        let word = r.next_below(1_000_000);
+        let line_bytes = 1u64 << (4 + r.next_below(6));
         let a = Addr::of_word(word);
         let l = a.line(line_bytes);
-        prop_assert!(l.base(line_bytes).0 <= a.0);
-        prop_assert!(a.0 < l.base(line_bytes).0 + line_bytes);
-        prop_assert_eq!(a.line_offset(line_bytes), a.0 - l.base(line_bytes).0);
-    }
+        assert!(l.base(line_bytes).0 <= a.0);
+        assert!(a.0 < l.base(line_bytes).0 + line_bytes);
+        assert_eq!(a.line_offset(line_bytes), a.0 - l.base(line_bytes).0);
+    });
+}
 
-    #[test]
-    fn histogram_count_sum_min_max(samples in prop::collection::vec(0u64..1_000_000, 1..100)) {
+#[test]
+fn histogram_count_sum_min_max() {
+    forall("histogram_count_sum_min_max", |r| {
+        let n = 1 + r.next_below(99) as usize;
+        let samples: Vec<u64> = (0..n).map(|_| r.next_below(1_000_000)).collect();
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(s);
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
-        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
-        prop_assert_eq!(h.min(), samples.iter().min().copied());
-        prop_assert_eq!(h.max(), samples.iter().max().copied());
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        assert_eq!(h.min(), samples.iter().min().copied());
+        assert_eq!(h.max(), samples.iter().max().copied());
         let mean = h.mean();
-        prop_assert!(mean >= h.min().unwrap() as f64 && mean <= h.max().unwrap() as f64);
-    }
+        assert!(mean >= h.min().unwrap() as f64 && mean <= h.max().unwrap() as f64);
+    });
+}
 
-    #[test]
-    fn rng_bounded_is_in_range_and_deterministic(seed in any::<u64>(), bound in 1u64..1_000_000) {
+#[test]
+fn rng_bounded_is_in_range_and_deterministic() {
+    forall("rng_bounded_is_in_range_and_deterministic", |r| {
+        let seed = r.next_u64();
+        let bound = 1 + r.next_below(1_000_000);
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
         for _ in 0..50 {
             let x = a.next_below(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.next_below(bound));
+            assert!(x < bound);
+            assert_eq!(x, b.next_below(bound));
         }
-    }
+    });
 }

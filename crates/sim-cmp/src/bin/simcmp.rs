@@ -15,13 +15,21 @@
 //!   --json             print the full report as JSON
 //!   --breakdown        print the per-category cycle breakdown
 //!   --progress N       print a status line every N cycles
+//!   --trace FILE       record every event and write a Chrome
+//!                      trace_event JSON file (open in about://tracing
+//!                      or Perfetto)
+//!   --trace-last N     keep the last N events in a ring and print them
+//!                      to stderr after the run
 //! ```
 //!
 //! Exit code 0 on success, 1 on assembly errors, 2 on a run that does
 //! not halt.
 
+use gline_core::BarrierNetwork;
 use sim_base::config::CmpConfig;
+use sim_base::json::ToJson;
 use sim_base::stats::TimeCat;
+use sim_base::trace::{ChromeTraceSink, RingSink, TraceSink, Tracer};
 use sim_cmp::System;
 use sim_isa::{assemble, Program};
 
@@ -38,11 +46,80 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Everything main() parsed that the run loop needs.
+struct Opts {
+    max_cycles: u64,
+    pokes: Vec<(u64, u64)>,
+    peeks: Vec<u64>,
+    json: bool,
+    breakdown: bool,
+    progress: Option<u64>,
+    cores: usize,
+}
+
+/// Runs the system to completion and prints the report. Monomorphized
+/// per trace sink so the untraced path stays zero-cost.
+fn run_system<S: TraceSink>(mut sys: System<BarrierNetwork<S>, S>, opts: &Opts) {
+    for &(a, v) in &opts.pokes {
+        sys.poke_word(a, v);
+    }
+    let outcome = match opts.progress {
+        Some(every) => sys.run_with_progress(opts.max_cycles, every, |rep| {
+            eprintln!(
+                "[cycle {:>10}] {} instructions, {} NoC messages, {} GL barriers",
+                rep.cycles,
+                rep.instructions,
+                rep.traffic.total(),
+                rep.gl_barriers
+            );
+        }),
+        None => sys.run(opts.max_cycles),
+    };
+    match outcome {
+        Ok(cycles) => {
+            let rep = sys.report();
+            if opts.json {
+                println!("{}", rep.to_json().pretty());
+            } else {
+                eprintln!(
+                    "halted after {cycles} cycles ({} instructions, IPC {:.2})",
+                    rep.instructions,
+                    rep.instructions as f64 / (cycles.max(1) as f64 * opts.cores as f64)
+                );
+                eprintln!(
+                    "L1: {} hits / {} misses; NoC messages: {}; GL barriers: {}",
+                    rep.l1_hits,
+                    rep.l1_misses,
+                    rep.traffic.total(),
+                    rep.gl_barriers
+                );
+                if opts.breakdown {
+                    for cat in TimeCat::ALL {
+                        eprintln!(
+                            "  {:<8} {:>6.2}%",
+                            cat.label(),
+                            100.0 * rep.time_fraction(cat)
+                        );
+                    }
+                }
+            }
+            for &a in &opts.peeks {
+                println!("[0x{a:x}] = {}", sys.peek_word(a));
+            }
+        }
+        Err(e) => {
+            eprintln!("simcmp: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: simcmp PROGRAM.s [PROGRAM2.s …] [--cores N] [--max-cycles N]");
         eprintln!("              [--poke ADDR=VAL]… [--peek ADDR]… [--json] [--breakdown]");
+        eprintln!("              [--trace FILE] [--trace-last N]");
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
 
@@ -54,6 +131,8 @@ fn main() {
     let mut json = false;
     let mut breakdown = false;
     let mut progress: Option<u64> = None;
+    let mut trace_file: Option<String> = None;
+    let mut trace_last: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -72,7 +151,9 @@ fn main() {
             }
             "--poke" => {
                 let spec = it.next().unwrap_or_else(|| die("--poke needs ADDR=VAL"));
-                let (a, v) = spec.split_once('=').unwrap_or_else(|| die("--poke needs ADDR=VAL"));
+                let (a, v) = spec
+                    .split_once('=')
+                    .unwrap_or_else(|| die("--poke needs ADDR=VAL"));
                 pokes.push((
                     parse_num(a).unwrap_or_else(|| die("bad poke address")),
                     parse_num(v).unwrap_or_else(|| die("bad poke value")),
@@ -91,12 +172,28 @@ fn main() {
                         .unwrap_or_else(|| die("--progress needs a cycle count")),
                 );
             }
+            "--trace" => {
+                trace_file = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--trace needs a file name")),
+                );
+            }
+            "--trace-last" => {
+                trace_last = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--trace-last needs an event count")),
+                );
+            }
             f if !f.starts_with("--") => files.push(f.to_string()),
             other => die(&format!("unknown option {other}")),
         }
     }
     if files.is_empty() {
         die("no program files given");
+    }
+    if trace_file.is_some() && trace_last.is_some() {
+        die("--trace and --trace-last are mutually exclusive");
     }
 
     let sources: Vec<String> = files
@@ -117,61 +214,41 @@ fn main() {
     } else if progs.len() == cores {
         progs
     } else {
-        die(&format!("{} program files but --cores {cores}", progs.len()));
+        die(&format!(
+            "{} program files but --cores {cores}",
+            progs.len()
+        ));
     };
 
     let cfg = CmpConfig::icpp2010_with_cores(cores);
-    let mut sys = System::new(cfg, progs);
-    for (a, v) in pokes {
-        sys.poke_word(a, v);
-    }
-    let outcome = match progress {
-        Some(every) => sys.run_with_progress(max_cycles, every, |rep| {
-            eprintln!(
-                "[cycle {:>10}] {} instructions, {} NoC messages, {} GL barriers",
-                rep.cycles,
-                rep.instructions,
-                rep.traffic.total(),
-                rep.gl_barriers
-            );
-        }),
-        None => sys.run(max_cycles),
+    let opts = Opts {
+        max_cycles,
+        pokes,
+        peeks,
+        json,
+        breakdown,
+        progress,
+        cores,
     };
-    match outcome {
-        Ok(cycles) => {
-            let rep = sys.report();
-            if json {
-                println!("{}", serde_json::to_string_pretty(&rep).expect("serialize"));
-            } else {
-                eprintln!(
-                    "halted after {cycles} cycles ({} instructions, IPC {:.2})",
-                    rep.instructions,
-                    rep.instructions as f64 / (cycles.max(1) as f64 * cores as f64)
-                );
-                eprintln!(
-                    "L1: {} hits / {} misses; NoC messages: {}; GL barriers: {}",
-                    rep.l1_hits,
-                    rep.l1_misses,
-                    rep.traffic.total(),
-                    rep.gl_barriers
-                );
-                if breakdown {
-                    for cat in TimeCat::ALL {
-                        eprintln!(
-                            "  {:<8} {:>6.2}%",
-                            cat.label(),
-                            100.0 * rep.time_fraction(cat)
-                        );
-                    }
-                }
-            }
-            for a in peeks {
-                println!("[0x{a:x}] = {}", sys.peek_word(a));
-            }
-        }
-        Err(e) => {
-            eprintln!("simcmp: {e}");
-            std::process::exit(2);
-        }
+
+    if let Some(path) = trace_file {
+        let tracer = Tracer::new(ChromeTraceSink::new());
+        run_system(System::traced(cfg, progs, tracer.clone()), &opts);
+        let (count, out) = tracer.with_sink(|s| (s.events().len(), s.to_json_string()));
+        std::fs::write(&path, out).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        eprintln!("wrote {count} events to {path}");
+    } else if let Some(n) = trace_last {
+        let tracer = Tracer::new(RingSink::new(n));
+        run_system(System::traced(cfg, progs, tracer.clone()), &opts);
+        tracer.with_sink(|s| {
+            eprintln!(
+                "--- last {} of {} events ---\n{}",
+                s.len(),
+                s.total_seen(),
+                s.dump()
+            );
+        });
+    } else {
+        run_system(System::new(cfg, progs), &opts);
     }
 }

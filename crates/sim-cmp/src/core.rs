@@ -15,11 +15,21 @@
 
 use gline_core::BarrierHw;
 use sim_base::stats::{TimeBreakdown, TimeCat};
+use sim_base::trace::{Event, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
 use sim_isa::inst::{Inst, Region};
 use sim_isa::reg::{Reg, NUM_REGS};
 use sim_isa::Program;
 use sim_mem::{CoreReq, CoreResp, MemorySystem};
+
+/// The Figure-6 category a region's cycles default to when not stalled.
+fn region_cat(r: Region) -> TimeCat {
+    match r {
+        Region::Barrier => TimeCat::Barrier,
+        Region::Lock => TimeCat::Lock,
+        Region::Normal => TimeCat::Busy,
+    }
+}
 
 /// What the core is doing this cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +66,8 @@ pub struct Core {
     gl_barriers: u64,
     /// Barrier context used by `barw`/`barr` (set by `barctx`).
     bar_ctx: usize,
+    /// Cycle the current memory stall began (tracing only).
+    wait_since: Cycle,
 }
 
 impl Core {
@@ -73,6 +85,7 @@ impl Core {
             retired: 0,
             gl_barriers: 0,
             bar_ctx: 0,
+            wait_since: 0,
         }
     }
 
@@ -134,24 +147,51 @@ impl Core {
     /// Runs one cycle. Interacts with the memory hierarchy and the
     /// G-line barrier hardware (flat, clustered or TDM — anything
     /// implementing [`BarrierHw`]); must be called before their `tick`s.
-    pub fn step<B: BarrierHw + ?Sized>(
+    pub fn step<B: BarrierHw + ?Sized, S: TraceSink>(
         &mut self,
         prog: &Program,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<S>,
         gline: &mut B,
         now: Cycle,
+        tracer: &Tracer<S>,
     ) {
         if self.halted() {
             return;
         }
+        let (retired_before, pc_before, region_before) = (self.retired, self.pc, self.region);
+        self.step_inner(prog, mem, gline, now, tracer);
+        if S::ENABLED {
+            let id = self.id;
+            let n = self.retired - retired_before;
+            if n > 0 {
+                tracer.emit(now, || Event::Retire {
+                    core: id,
+                    pc: pc_before as u32,
+                    count: n.min(u8::MAX as u64) as u8,
+                });
+            }
+            if self.region != region_before {
+                let cat = region_cat(self.region);
+                tracer.emit(now, || Event::Region { core: id, cat });
+            }
+        }
+    }
 
+    fn step_inner<B: BarrierHw + ?Sized, S: TraceSink>(
+        &mut self,
+        prog: &Program,
+        mem: &mut MemorySystem<S>,
+        gline: &mut B,
+        now: Cycle,
+        tracer: &Tracer<S>,
+    ) {
         // Charge this cycle by the status it *enters* with, so a 1-cycle
         // L1 hit still attributes one cycle to Read/Write.
         self.breakdown.add(self.category(), 1);
 
         // Resolve a completed memory stall; the fill latency was already
         // charged by the hierarchy, so issue resumes this cycle.
-        if let Status::WaitMem { rd, .. } = self.status {
+        if let Status::WaitMem { rd, cat } = self.status {
             if let Some(resp) = mem.poll(self.id) {
                 let v = match resp {
                     CoreResp::LoadValue(v) | CoreResp::AmoOld(v) => v,
@@ -159,6 +199,15 @@ impl Core {
                 };
                 self.set_reg(rd, v);
                 self.status = Status::Ready;
+                if S::ENABLED {
+                    let id = self.id;
+                    let since = self.wait_since;
+                    tracer.emit(now, || Event::Stall {
+                        core: id,
+                        cat,
+                        cycles: now.saturating_sub(since),
+                    });
+                }
             }
         }
         if let Status::BusyUntil { until } = self.status {
@@ -193,7 +242,12 @@ impl Core {
                     self.set_reg(rd, v);
                     self.pc += 1;
                 }
-                Inst::Branch { cond, rs1, rs2, target } => {
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     if cond.taken(self.reg(rs1), self.reg(rs2)) {
                         self.pc = target;
                         // A taken branch redirects fetch: end the issue
@@ -222,7 +276,11 @@ impl Core {
                 Inst::Ld { rd, rs1, off } => {
                     let addr = self.reg(rs1).wrapping_add(off as u64);
                     mem.request(self.id, CoreReq::Load { addr });
-                    self.status = Status::WaitMem { rd, cat: TimeCat::Read };
+                    self.status = Status::WaitMem {
+                        rd,
+                        cat: TimeCat::Read,
+                    };
+                    self.wait_since = now;
                     self.pc += 1;
                     self.retired += 1;
                     return;
@@ -231,7 +289,11 @@ impl Core {
                     let addr = self.reg(rs1).wrapping_add(off as u64);
                     let value = self.reg(rs2);
                     mem.request(self.id, CoreReq::Store { addr, value });
-                    self.status = Status::WaitMem { rd: Reg::ZERO, cat: TimeCat::Write };
+                    self.status = Status::WaitMem {
+                        rd: Reg::ZERO,
+                        cat: TimeCat::Write,
+                    };
+                    self.wait_since = now;
                     self.pc += 1;
                     self.retired += 1;
                     return;
@@ -240,7 +302,11 @@ impl Core {
                     let addr = self.reg(rs1);
                     let operand = self.reg(rs2);
                     mem.request(self.id, CoreReq::Amo { addr, op, operand });
-                    self.status = Status::WaitMem { rd, cat: TimeCat::Write };
+                    self.status = Status::WaitMem {
+                        rd,
+                        cat: TimeCat::Write,
+                    };
+                    self.wait_since = now;
                     self.pc += 1;
                     self.retired += 1;
                     return;
@@ -250,7 +316,9 @@ impl Core {
                     self.retired += 1;
                     if cycles > 1 {
                         // This cycle counts as the first of the block.
-                        self.status = Status::BusyUntil { until: now + cycles as u64 };
+                        self.status = Status::BusyUntil {
+                            until: now + cycles as u64,
+                        };
                         return;
                     }
                     // busy 0/1: consumes this issue group only.
@@ -313,16 +381,20 @@ mod tests {
 
     fn machine() -> (MemorySystem, gline_core::BarrierNetwork) {
         let cfg = CmpConfig::icpp2010_with_cores(4);
-        (MemorySystem::new(&cfg), gline_core::BarrierNetwork::new(cfg.mesh, GlineConfig::default()))
+        (
+            MemorySystem::new(&cfg),
+            gline_core::BarrierNetwork::new(cfg.mesh, GlineConfig::default()),
+        )
     }
 
     fn run_one(src: &str, max: u64) -> (Core, MemorySystem) {
         let prog = assemble(src).unwrap();
         let (mut mem, mut gl) = machine();
         let mut core = Core::new(CoreId(0), 2);
+        let tracer = Tracer::default();
         let mut now = 0;
         while !core.halted() {
-            core.step(&prog, &mut mem, &mut gl, now);
+            core.step(&prog, &mut mem, &mut gl, now, &tracer);
             mem.tick();
             gl.tick();
             now += 1;
@@ -336,7 +408,11 @@ mod tests {
         // 10 ALU ops + halt on a 2-wide core: ~6 cycles, not 11.
         let src = "li r1, 1\n".repeat(10) + "halt";
         let (core, _) = run_one(&src, 100);
-        assert!(core.breakdown().total() <= 7, "took {} cycles", core.breakdown().total());
+        assert!(
+            core.breakdown().total() <= 7,
+            "took {} cycles",
+            core.breakdown().total()
+        );
         assert_eq!(core.retired(), 11);
     }
 
@@ -364,8 +440,14 @@ mod tests {
             100_000,
         );
         assert_eq!(mem.peek_word(0x100), 99);
-        assert!(core.breakdown()[TimeCat::Write] > 0, "store stall must be charged");
-        assert!(core.breakdown()[TimeCat::Read] > 0, "load stall must be charged");
+        assert!(
+            core.breakdown()[TimeCat::Write] > 0,
+            "store stall must be charged"
+        );
+        assert!(
+            core.breakdown()[TimeCat::Read] > 0,
+            "load stall must be charged"
+        );
     }
 
     #[test]
@@ -408,9 +490,10 @@ mod tests {
         )
         .unwrap();
         let mut core = Core::new(CoreId(0), 2);
+        let tracer = Tracer::default();
         let mut now = 0;
         while !core.halted() {
-            core.step(&prog, &mut mem, &mut gl, now);
+            core.step(&prog, &mut mem, &mut gl, now, &tracer);
             mem.tick();
             gl.tick();
             now += 1;

@@ -12,10 +12,10 @@
 //! exact constants.
 
 use crate::stats::SystemReport;
-use serde::Serialize;
+use sim_base::json::{Json, ToJson};
 
 /// Energy coefficients in picojoules per event.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct EnergyModel {
     /// One flit crossing one router + link (75-byte flit).
     pub flit_hop_pj: f64,
@@ -54,7 +54,7 @@ impl Default for EnergyModel {
 }
 
 /// An energy estimate broken down by subsystem, in nanojoules.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EnergyEstimate {
     /// Data NoC: flit-hops plus per-message endpoints.
     pub noc_nj: f64,
@@ -81,10 +81,22 @@ impl EnergyEstimate {
     }
 }
 
+impl ToJson for EnergyEstimate {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("noc_nj", Json::from(self.noc_nj)),
+            ("gline_nj", Json::from(self.gline_nj)),
+            ("l1_nj", Json::from(self.l1_nj)),
+            ("l2_nj", Json::from(self.l2_nj)),
+            ("mem_nj", Json::from(self.mem_nj)),
+            ("total_nj", Json::from(self.total_nj())),
+        ])
+    }
+}
+
 impl EnergyModel {
     /// Estimates the energy of a finished run.
     pub fn estimate(&self, rep: &SystemReport) -> EnergyEstimate {
-        
         EnergyEstimate {
             noc_nj: (rep.flit_hops as f64 * self.flit_hop_pj
                 + rep.traffic.total() as f64 * self.msg_endpoint_pj)
@@ -139,7 +151,13 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let e = EnergyEstimate { noc_nj: 1.0, gline_nj: 2.0, l1_nj: 3.0, l2_nj: 4.0, mem_nj: 5.0 };
+        let e = EnergyEstimate {
+            noc_nj: 1.0,
+            gline_nj: 2.0,
+            l1_nj: 3.0,
+            l2_nj: 4.0,
+            mem_nj: 5.0,
+        };
         assert!((e.total_nj() - 15.0).abs() < 1e-12);
         assert!((e.interconnect_nj() - 3.0).abs() < 1e-12);
     }

@@ -97,14 +97,24 @@ impl BarrierEnv {
     pub fn new(kind: BarrierKind, n_cores: usize, base: u64) -> BarrierEnv {
         assert!(n_cores >= 1);
         assert_eq!(base % LINE, 0, "barrier variables must be line-aligned");
-        let levels = if kind == BarrierKind::Dsw { tree_levels(n_cores) } else { Vec::new() };
+        let levels = if kind == BarrierKind::Dsw {
+            tree_levels(n_cores)
+        } else {
+            Vec::new()
+        };
         let mut level_off = Vec::with_capacity(levels.len());
         let mut off = 0usize;
         for l in &levels {
             level_off.push(off);
             off += l.len();
         }
-        BarrierEnv { kind, n_cores, base, levels, level_off }
+        BarrierEnv {
+            kind,
+            n_cores,
+            base,
+            levels,
+            level_off,
+        }
     }
 
     /// Bytes of shared memory the barrier occupies starting at `base`.
@@ -149,7 +159,11 @@ impl BarrierEnv {
     /// Figure 3 of the paper: `mov 1, bar_reg; loop: bnz bar_reg, loop`.
     fn emit_gl(&self, b: &mut ProgBuilder, uniq: &str) {
         let spin = format!("gl_spin_{uniq}");
-        b.li(T1, 1).barw(T1).label(&spin).barr(T2).bne(T2, Reg::ZERO, &spin);
+        b.li(T1, 1)
+            .barw(T1)
+            .label(&spin)
+            .barr(T2)
+            .bne(T2, Reg::ZERO, &spin);
     }
 
     /// The paper's CSW: a *lock-based* centralized sense-reversal
@@ -200,7 +214,11 @@ impl BarrierEnv {
             .st(Reg::ZERO, 0, T5) // unlock
             .jump(&done);
         // Busy-wait on the release flag (L1-local after one miss).
-        b.label(&wait).li(T3, flag as i64).ld(T2, 0, T3).bne(T2, SENSE, &wait).label(&done);
+        b.label(&wait)
+            .li(T3, flag as i64)
+            .ld(T2, 0, T3)
+            .bne(T2, SENSE, &wait)
+            .label(&done);
     }
 
     fn emit_dsw(&self, b: &mut ProgBuilder, core: usize, uniq: &str) {
@@ -328,8 +346,9 @@ mod tests {
         let data_base = 4096u64;
         let env = BarrierEnv::new(kind, n, data_base);
         let out_addr = data_base + env.data_size().max(64) + 64;
-        let progs: Vec<Program> =
-            (0..n).map(|c| barrier_program(&env, c, iters, out_addr)).collect();
+        let progs: Vec<Program> = (0..n)
+            .map(|c| barrier_program(&env, c, iters, out_addr))
+            .collect();
         let refs: Vec<&Program> = progs.iter().collect();
         let mem_words = ((out_addr + n as u64 * 8) / 8 + 8) as usize;
         let mut cmp = RefCmp::new(n, mem_words);
@@ -337,7 +356,11 @@ mod tests {
         // after a barrier, peers' episode stamps may not lag.
         cmp.run(&refs, 10_000_000).unwrap();
         for c in 0..n {
-            assert_eq!(cmp.word(out_addr + c as u64 * 8), iters as u64, "core {c} fell behind");
+            assert_eq!(
+                cmp.word(out_addr + c as u64 * 8),
+                iters as u64,
+                "core {c} fell behind"
+            );
         }
     }
 

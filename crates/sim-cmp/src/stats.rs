@@ -1,11 +1,11 @@
 //! System-level reporting: everything Figures 5–7 and Table 2 need.
 
-use serde::Serialize;
+use sim_base::json::{Json, ToJson};
 use sim_base::stats::{MsgClass, TimeBreakdown, TimeCat, TrafficBreakdown};
 use sim_base::Cycle;
 
 /// The result of a full-system run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemReport {
     /// Total cycles simulated until the last core halted.
     pub cycles: Cycle,
@@ -66,6 +66,36 @@ impl SystemReport {
     }
 }
 
+/// Renders a [`TimeBreakdown`] as `{category: cycles}`.
+fn time_json(b: &TimeBreakdown) -> Json {
+    Json::obj(TimeCat::ALL.map(|c| (c.label(), Json::from(b[c]))))
+}
+
+/// Renders a [`TrafficBreakdown`] as `{class: messages}`.
+fn traffic_json(t: &TrafficBreakdown) -> Json {
+    Json::obj(MsgClass::ALL.map(|c| (c.label(), Json::from(t[c]))))
+}
+
+impl ToJson for SystemReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::from(self.cycles)),
+            ("per_core", Json::arr(self.per_core.iter().map(time_json))),
+            ("total_time", time_json(&self.total_time)),
+            ("traffic", traffic_json(&self.traffic)),
+            ("flit_hops", Json::from(self.flit_hops)),
+            ("gl_barriers", Json::from(self.gl_barriers)),
+            ("gl_mean_latency", Json::from(self.gl_mean_latency)),
+            ("gl_signals", Json::from(self.gl_signals)),
+            ("instructions", Json::from(self.instructions)),
+            ("l1_hits", Json::from(self.l1_hits)),
+            ("l1_misses", Json::from(self.l1_misses)),
+            ("l2_hits", Json::from(self.l2_hits)),
+            ("l2_misses", Json::from(self.l2_misses)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +124,27 @@ mod tests {
     }
 
     #[test]
+    fn report_json_round_trips() {
+        let rep = report(1000, 500, 500, 200);
+        let parsed = sim_base::json::parse(&rep.to_json().pretty()).unwrap();
+        assert_eq!(parsed.get("cycles").and_then(Json::as_u64), Some(1000));
+        assert_eq!(
+            parsed
+                .get("traffic")
+                .and_then(|t| t.get("Request"))
+                .and_then(Json::as_u64),
+            Some(200)
+        );
+        assert_eq!(
+            parsed
+                .get("total_time")
+                .and_then(|t| t.get("Barrier"))
+                .and_then(Json::as_u64),
+            Some(500)
+        );
+    }
+
+    #[test]
     fn normalization() {
         let base = report(1000, 500, 500, 200);
         let fast = report(400, 350, 50, 60);
@@ -101,6 +152,9 @@ mod tests {
         assert!((fast.normalized_traffic(&base) - 0.3).abs() < 1e-12);
         let bar = fast.figure6_bar(&base);
         let total: f64 = bar.iter().map(|(_, v)| v).sum();
-        assert!((total - 0.4).abs() < 1e-12, "stacked bar sums to normalized time");
+        assert!(
+            (total - 0.4).abs() < 1e-12,
+            "stacked bar sums to normalized time"
+        );
     }
 }

@@ -5,6 +5,7 @@ use crate::stats::SystemReport;
 use gline_core::{BarrierHw, BarrierNetwork};
 use sim_base::config::CmpConfig;
 use sim_base::stats::TimeBreakdown;
+use sim_base::trace::{NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
 use sim_isa::Program;
 use sim_mem::MemorySystem;
@@ -12,14 +13,16 @@ use sim_mem::MemorySystem;
 /// The full CMP: cores + memory hierarchy + NoC + G-line barrier
 /// hardware. Generic over the barrier network flavour (flat by default;
 /// also [`gline_core::TdmBarrierNetwork`] or
-/// [`gline_core::ClusteredBarrierNetwork`]).
+/// [`gline_core::ClusteredBarrierNetwork`]) and over the trace sink
+/// (disabled by default; see [`sim_base::trace`]).
 #[derive(Debug)]
-pub struct System<B: BarrierHw = BarrierNetwork> {
+pub struct System<B: BarrierHw = BarrierNetwork, S: TraceSink = NullSink> {
     cfg: CmpConfig,
     cores: Vec<Core>,
     progs: Vec<Program>,
-    mem: MemorySystem,
+    mem: MemorySystem<S>,
     gline: B,
+    tracer: Tracer<S>,
     now: Cycle,
 }
 
@@ -29,16 +32,39 @@ impl<B: BarrierHw> System<B> {
     /// # Panics
     /// Panics unless `progs.len() == cfg.num_cores() == hw.num_cores()`.
     pub fn with_barrier_hw(cfg: CmpConfig, progs: Vec<Program>, hw: B) -> System<B> {
+        System::traced_with_barrier_hw(cfg, progs, hw, Tracer::default())
+    }
+}
+
+impl<B: BarrierHw, S: TraceSink> System<B, S> {
+    /// Builds the machine around explicit barrier hardware, with the
+    /// cores, memory hierarchy and NoC all emitting into `tracer`. The
+    /// barrier hardware traces only if it was itself built over the same
+    /// sink (see [`gline_core::BarrierNetwork::traced`]).
+    ///
+    /// # Panics
+    /// Panics unless `progs.len() == cfg.num_cores() == hw.num_cores()`.
+    pub fn traced_with_barrier_hw(
+        cfg: CmpConfig,
+        progs: Vec<Program>,
+        hw: B,
+        tracer: Tracer<S>,
+    ) -> System<B, S> {
         assert_eq!(progs.len(), cfg.num_cores(), "one program per core");
-        assert_eq!(hw.num_cores(), cfg.num_cores(), "barrier hardware core count mismatch");
+        assert_eq!(
+            hw.num_cores(),
+            cfg.num_cores(),
+            "barrier hardware core count mismatch"
+        );
         System {
             cfg,
             cores: (0..cfg.num_cores())
                 .map(|i| Core::new(CoreId::from(i), cfg.core.issue_width))
                 .collect(),
             progs,
-            mem: MemorySystem::new(&cfg),
+            mem: MemorySystem::traced(&cfg, tracer.clone()),
             gline: hw,
+            tracer,
             now: 0,
         }
     }
@@ -50,17 +76,7 @@ impl System {
     /// # Panics
     /// Panics unless `progs.len() == cfg.num_cores()`.
     pub fn new(cfg: CmpConfig, progs: Vec<Program>) -> System {
-        assert_eq!(progs.len(), cfg.num_cores(), "one program per core");
-        System {
-            cfg,
-            cores: (0..cfg.num_cores())
-                .map(|i| Core::new(CoreId::from(i), cfg.core.issue_width))
-                .collect(),
-            progs,
-            mem: MemorySystem::new(&cfg),
-            gline: BarrierNetwork::new(cfg.mesh, cfg.gline),
-            now: 0,
-        }
+        System::traced(cfg, progs, Tracer::default())
     }
 
     /// Convenience: every core runs the same program.
@@ -77,22 +93,34 @@ impl System {
         progs: Vec<Program>,
         masks: Vec<Vec<bool>>,
     ) -> System {
-        assert_eq!(progs.len(), cfg.num_cores(), "one program per core");
-        System {
-            cfg,
-            cores: (0..cfg.num_cores())
-                .map(|i| Core::new(CoreId::from(i), cfg.core.issue_width))
-                .collect(),
-            progs,
-            mem: MemorySystem::new(&cfg),
-            gline: BarrierNetwork::with_members(cfg.mesh, cfg.gline, masks),
-            now: 0,
-        }
+        let hw = BarrierNetwork::with_members(cfg.mesh, cfg.gline, masks);
+        System::with_barrier_hw(cfg, progs, hw)
     }
-
 }
 
-impl<B: BarrierHw> System<B> {
+impl<S: TraceSink> System<BarrierNetwork<S>, S> {
+    /// Builds the fully traced machine: every layer — cores, caches,
+    /// directory, NoC and the G-line barrier network — emits into
+    /// (clones of) `tracer`.
+    ///
+    /// # Panics
+    /// Panics unless `progs.len() == cfg.num_cores()`.
+    pub fn traced(
+        cfg: CmpConfig,
+        progs: Vec<Program>,
+        tracer: Tracer<S>,
+    ) -> System<BarrierNetwork<S>, S> {
+        let hw = BarrierNetwork::traced(cfg.mesh, cfg.gline, tracer.clone());
+        System::traced_with_barrier_hw(cfg, progs, hw, tracer)
+    }
+}
+
+impl<B: BarrierHw, S: TraceSink> System<B, S> {
+    /// The tracer shared by the machine's components.
+    pub fn tracer(&self) -> &Tracer<S> {
+        &self.tracer
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &CmpConfig {
         &self.cfg
@@ -126,7 +154,7 @@ impl<B: BarrierHw> System<B> {
     /// Advances the whole machine one cycle.
     pub fn tick(&mut self) {
         for (core, prog) in self.cores.iter_mut().zip(&self.progs) {
-            core.step(prog, &mut self.mem, &mut self.gline, self.now);
+            core.step(prog, &mut self.mem, &mut self.gline, self.now, &self.tracer);
         }
         self.mem.tick();
         self.gline.tick();
@@ -268,7 +296,10 @@ mod tests {
         sys.run(1_000_000).unwrap();
         let final_addr = 0x800 + 20 * 64;
         assert_eq!(sys.peek_word(final_addr), rc.word(final_addr));
-        assert_eq!(sys.peek_word(final_addr), (0..20u64).map(|i| i * i).sum::<u64>());
+        assert_eq!(
+            sys.peek_word(final_addr),
+            (0..20u64).map(|i| i * i).sum::<u64>()
+        );
     }
 
     #[test]
@@ -280,32 +311,38 @@ mod tests {
         let progs: Vec<Program> = (0..n)
             .map(|c| {
                 let mut b = ProgBuilder::new();
-                b.li(Reg(1), c as i64 + 1).li(Reg(2), (0x1000 + c * 64) as i64).st(
-                    Reg(1),
-                    0,
-                    Reg(2),
-                );
+                b.li(Reg(1), c as i64 + 1)
+                    .li(Reg(2), (0x1000 + c * 64) as i64)
+                    .st(Reg(1), 0, Reg(2));
                 env.emit(&mut b, c, "x");
                 b.li(Reg(4), 0);
                 for p in 0..n {
-                    b.li(Reg(2), (0x1000 + p * 64) as i64).ld(Reg(3), 0, Reg(2)).add(
-                        Reg(4),
-                        Reg(4),
-                        Reg(3),
-                    );
+                    b.li(Reg(2), (0x1000 + p * 64) as i64)
+                        .ld(Reg(3), 0, Reg(2))
+                        .add(Reg(4), Reg(4), Reg(3));
                 }
-                b.li(Reg(2), (0x2000 + c * 64) as i64).st(Reg(4), 0, Reg(2)).halt();
+                b.li(Reg(2), (0x2000 + c * 64) as i64)
+                    .st(Reg(4), 0, Reg(2))
+                    .halt();
                 b.build()
             })
             .collect();
         let mut sys = System::new(cfg(n), progs);
         sys.run(1_000_000).unwrap();
         for c in 0..n {
-            assert_eq!(sys.peek_word(0x2000 + c as u64 * 64), 10, "core {c} missed a store");
+            assert_eq!(
+                sys.peek_word(0x2000 + c as u64 * 64),
+                10,
+                "core {c} missed a store"
+            );
         }
         let rep = sys.report();
         assert_eq!(rep.gl_barriers, 1);
-        assert!((rep.gl_mean_latency - 4.0).abs() < 1e-9, "{}", rep.gl_mean_latency);
+        assert!(
+            (rep.gl_mean_latency - 4.0).abs() < 1e-9,
+            "{}",
+            rep.gl_mean_latency
+        );
         assert!(rep.total_time[TimeCat::Barrier] > 0);
     }
 
@@ -320,7 +357,9 @@ mod tests {
                 // r10 = running checksum of neighbour values.
                 for it in 0..iters {
                     // Phase 1: write it+1 to my slot.
-                    b.li(Reg(1), it as i64 + 1).li(Reg(2), slot(c) as i64).st(Reg(1), 0, Reg(2));
+                    b.li(Reg(1), it as i64 + 1)
+                        .li(Reg(2), slot(c) as i64)
+                        .st(Reg(1), 0, Reg(2));
                     env.emit(&mut b, c, &format!("a{it}"));
                     // Phase 2: read my right neighbour's slot; it must be
                     // exactly it+1.
@@ -332,7 +371,9 @@ mod tests {
                     );
                     env.emit(&mut b, c, &format!("b{it}"));
                 }
-                b.li(Reg(2), (0x8000 + c * 64) as i64).st(Reg(10), 0, Reg(2)).halt();
+                b.li(Reg(2), (0x8000 + c * 64) as i64)
+                    .st(Reg(10), 0, Reg(2))
+                    .halt();
                 b.build()
             })
             .collect();
@@ -385,7 +426,9 @@ mod tests {
                     .addi(Reg(4), Reg(4), 1)
                     .st(Reg(4), 0, Reg(3));
                 emit_unlock(&mut b, lock);
-                b.addi(Reg(10), Reg(10), -1).bne(Reg(10), Reg::ZERO, "loop").halt();
+                b.addi(Reg(10), Reg(10), -1)
+                    .bne(Reg(10), Reg::ZERO, "loop")
+                    .halt();
                 b.build()
             })
             .collect();
@@ -393,7 +436,10 @@ mod tests {
         sys.run(10_000_000).unwrap();
         assert_eq!(sys.peek_word(counter), n as u64 * per_core as u64);
         let rep = sys.report();
-        assert!(rep.total_time[TimeCat::Lock] > 0, "lock time must be attributed");
+        assert!(
+            rep.total_time[TimeCat::Lock] > 0,
+            "lock time must be attributed"
+        );
     }
 
     #[test]
@@ -422,8 +468,14 @@ mod tests {
         let gl = cycles[0].1;
         let csw = cycles[1].1;
         let dsw = cycles[2].1;
-        assert!(gl < dsw && dsw < csw, "expected GL < DSW < CSW, got {cycles:?}");
-        assert!(gl * 5 < csw, "GL should dominate CSW by a wide margin: {cycles:?}");
+        assert!(
+            gl < dsw && dsw < csw,
+            "expected GL < DSW < CSW, got {cycles:?}"
+        );
+        assert!(
+            gl * 5 < csw,
+            "GL should dominate CSW by a wide margin: {cycles:?}"
+        );
     }
 
     #[test]
@@ -443,7 +495,11 @@ mod tests {
         let mut sys = System::new(cfg(n), progs);
         sys.run(1_000_000).unwrap();
         let rep = sys.report();
-        assert_eq!(rep.traffic.total(), 0, "the GL barrier must not touch the NoC");
+        assert_eq!(
+            rep.traffic.total(),
+            0,
+            "the GL barrier must not touch the NoC"
+        );
         assert_eq!(rep.gl_barriers, 5);
         assert!(rep.gl_signals > 0);
     }
@@ -477,8 +533,10 @@ mod tests {
                 b.build()
             })
             .collect();
-        let masks: Vec<Vec<bool>> =
-            vec![(0..n).map(|i| i < 4).collect(), (0..n).map(|i| i >= 4).collect()];
+        let masks: Vec<Vec<bool>> = vec![
+            (0..n).map(|i| i < 4).collect(),
+            (0..n).map(|i| i >= 4).collect(),
+        ];
         let mut sys = System::with_barrier_masks(c, progs, masks);
         sys.run(1_000_000).unwrap();
         // 20 episodes in ctx 0 (by 4 cores) + 2 in ctx 1: the gl_barriers
@@ -490,8 +548,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "barctx")]
     fn out_of_range_barctx_panics() {
-        let prog = sim_isa::assemble("barctx 3
-halt").unwrap();
+        let prog = sim_isa::assemble(
+            "barctx 3
+halt",
+        )
+        .unwrap();
         let mut sys = System::homogeneous(cfg(2), prog);
         let _ = sys.run(100);
     }
@@ -539,8 +600,13 @@ halt").unwrap();
         let prog = sim_isa::assemble("busy 1000\nhalt").unwrap();
         let mut sys = System::homogeneous(cfg(2), prog);
         let mut samples = Vec::new();
-        sys.run_with_progress(10_000, 100, |rep| samples.push(rep.cycles)).unwrap();
-        assert!(samples.len() >= 9, "expected ~10 samples, got {}", samples.len());
+        sys.run_with_progress(10_000, 100, |rep| samples.push(rep.cycles))
+            .unwrap();
+        assert!(
+            samples.len() >= 9,
+            "expected ~10 samples, got {}",
+            samples.len()
+        );
         assert!(samples.windows(2).all(|w| w[1] - w[0] == 100));
     }
 
@@ -549,7 +615,7 @@ halt").unwrap();
         let mut sys = System::homogeneous(cfg(1), assemble("busy 5\nhalt").unwrap());
         sys.run(100).unwrap();
         let rep = sys.report();
-        let json = serde_json::to_string(&rep).unwrap();
+        let json = sim_base::json::ToJson::to_json(&rep).dump();
         assert!(json.contains("\"cycles\""));
     }
 

@@ -1,0 +1,98 @@
+//! End-to-end check of `simcmp --trace`: the emitted file must be valid
+//! Chrome trace_event JSON that round-trips through the JSON parser.
+
+use sim_base::json::{parse, Json};
+use std::process::Command;
+
+const PROGRAM: &str = "\
+    li r1, 0x8000\n\
+    li r2, 7\n\
+    st r2, 0(r1)\n\
+    ld r3, 0(r1)\n\
+    li r1, 1\n\
+    barw r1\n\
+spin:\n\
+    barr r2\n\
+    bne r2, r0, spin\n\
+    halt\n";
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("simcmp_trace_cli_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn trace_flag_writes_valid_chrome_json() {
+    let prog = tmp("prog.s");
+    let out = tmp("trace.json");
+    std::fs::write(&prog, PROGRAM).unwrap();
+
+    let status = Command::new(env!("CARGO_BIN_EXE_simcmp"))
+        .arg(&prog)
+        .args(["--cores", "4", "--trace"])
+        .arg(&out)
+        .status()
+        .expect("simcmp runs");
+    assert!(status.success(), "simcmp --trace exited with {status}");
+
+    let text = std::fs::read_to_string(&out).expect("trace file written");
+    let json = parse(&text).expect("trace file is valid JSON");
+
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array present");
+    assert!(
+        !events.is_empty(),
+        "a 4-core barrier run must produce events"
+    );
+    for ev in events {
+        assert!(
+            ev.get("name").and_then(Json::as_str).is_some(),
+            "event name"
+        );
+        assert!(ev.get("ph").and_then(Json::as_str).is_some(), "event phase");
+        assert!(
+            ev.get("ts").and_then(Json::as_u64).is_some(),
+            "event timestamp"
+        );
+        assert!(ev.get("pid").and_then(Json::as_u64).is_some(), "event pid");
+    }
+    // The run crossed a barrier and touched memory: both layers appear.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(
+        names.iter().any(|n| n.starts_with("barrier.")),
+        "barrier events in {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("l1.")),
+        "cache events present"
+    );
+
+    let _ = std::fs::remove_file(&prog);
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn trace_last_flag_dumps_ring_tail() {
+    let prog = tmp("prog2.s");
+    std::fs::write(&prog, PROGRAM).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_simcmp"))
+        .arg(&prog)
+        .args(["--cores", "4", "--trace-last", "16"])
+        .output()
+        .expect("simcmp runs");
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--- last"),
+        "ring dump header missing:\n{stderr}"
+    );
+
+    let _ = std::fs::remove_file(&prog);
+}

@@ -41,7 +41,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, msg: msg.into() })
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
@@ -83,7 +86,11 @@ fn parse_mem_operand(tok: &str, line: usize) -> Result<(i64, Reg), AsmError> {
     }
     let off_str = &t[..open];
     let reg_str = &t[open + 1..t.len() - 1];
-    let off = if off_str.trim().is_empty() { 0 } else { parse_imm(off_str, line)? };
+    let off = if off_str.trim().is_empty() {
+        0
+    } else {
+        parse_imm(off_str, line)?
+    };
     Ok((off, parse_reg(reg_str, line)?))
 }
 
@@ -162,7 +169,10 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                err(line, format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()))
+                err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()),
+                )
             }
         };
 
@@ -196,21 +206,36 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             match mnemonic {
                 "li" => {
                     need(2)?;
-                    Inst::Li { rd: parse_reg(ops[0], line)?, imm: parse_imm(ops[1], line)? }
+                    Inst::Li {
+                        rd: parse_reg(ops[0], line)?,
+                        imm: parse_imm(ops[1], line)?,
+                    }
                 }
                 "ld" => {
                     need(2)?;
                     let (off, rs1) = parse_mem_operand(ops[1], line)?;
-                    Inst::Ld { rd: parse_reg(ops[0], line)?, rs1, off }
+                    Inst::Ld {
+                        rd: parse_reg(ops[0], line)?,
+                        rs1,
+                        off,
+                    }
                 }
                 "st" => {
                     need(2)?;
                     let (off, rs1) = parse_mem_operand(ops[1], line)?;
-                    Inst::St { rs2: parse_reg(ops[0], line)?, rs1, off }
+                    Inst::St {
+                        rs2: parse_reg(ops[0], line)?,
+                        rs1,
+                        off,
+                    }
                 }
                 "amoadd" | "amoswap" => {
                     need(3)?;
-                    let op = if mnemonic == "amoadd" { AmoOp::Add } else { AmoOp::Swap };
+                    let op = if mnemonic == "amoadd" {
+                        AmoOp::Add
+                    } else {
+                        AmoOp::Swap
+                    };
                     let (off, rs1) = parse_mem_operand(ops[2], line)?;
                     if off != 0 {
                         return err(line, "atomics take a plain `(reg)` address");
@@ -225,16 +250,25 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 "jal" => {
                     need(2)?;
                     pending = PendingTarget::Label(ops[1].to_string());
-                    Inst::Jal { rd: parse_reg(ops[0], line)?, target: usize::MAX }
+                    Inst::Jal {
+                        rd: parse_reg(ops[0], line)?,
+                        target: usize::MAX,
+                    }
                 }
                 "j" => {
                     need(1)?;
                     pending = PendingTarget::Label(ops[0].to_string());
-                    Inst::Jal { rd: Reg::ZERO, target: usize::MAX }
+                    Inst::Jal {
+                        rd: Reg::ZERO,
+                        target: usize::MAX,
+                    }
                 }
                 "jalr" => {
                     need(2)?;
-                    Inst::Jalr { rd: parse_reg(ops[0], line)?, rs1: parse_reg(ops[1], line)? }
+                    Inst::Jalr {
+                        rd: parse_reg(ops[0], line)?,
+                        rs1: parse_reg(ops[1], line)?,
+                    }
                 }
                 "busy" => {
                     need(1)?;
@@ -246,11 +280,15 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 }
                 "barw" => {
                     need(1)?;
-                    Inst::BarWrite { rs1: parse_reg(ops[0], line)? }
+                    Inst::BarWrite {
+                        rs1: parse_reg(ops[0], line)?,
+                    }
                 }
                 "barr" => {
                     need(1)?;
-                    Inst::BarRead { rd: parse_reg(ops[0], line)? }
+                    Inst::BarRead {
+                        rd: parse_reg(ops[0], line)?,
+                    }
                 }
                 "barctx" => {
                     need(1)?;
@@ -323,7 +361,12 @@ pub fn disassemble(p: &Program) -> String {
             Inst::Ld { rd, rs1, off } => format!("ld {rd}, {off}({rs1})"),
             Inst::St { rs2, rs1, off } => format!("st {rs2}, {off}({rs1})"),
             Inst::Amo { op, rd, rs1, rs2 } => format!("{} {rd}, {rs2}, ({rs1})", op.mnemonic()),
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 format!("{} {rs1}, {rs2}, {}", cond.mnemonic(), label(target))
             }
             Inst::Jal { rd, target } => format!("jal {rd}, {}", label(target)),
@@ -369,16 +412,42 @@ mod tests {
         assert_eq!(p.fetch(1), Some(Inst::BarWrite { rs1: Reg(1) }));
         assert_eq!(
             p.fetch(3),
-            Some(Inst::Branch { cond: BranchCond::Ne, rs1: Reg(2), rs2: Reg(0), target: 2 })
+            Some(Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg(2),
+                rs2: Reg(0),
+                target: 2
+            })
         );
     }
 
     #[test]
     fn memory_operands() {
         let p = assemble("ld r1, 16(r2)\nst r3, -8(r4)\nld r5, (r6)").unwrap();
-        assert_eq!(p.fetch(0), Some(Inst::Ld { rd: Reg(1), rs1: Reg(2), off: 16 }));
-        assert_eq!(p.fetch(1), Some(Inst::St { rs2: Reg(3), rs1: Reg(4), off: -8 }));
-        assert_eq!(p.fetch(2), Some(Inst::Ld { rd: Reg(5), rs1: Reg(6), off: 0 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Ld {
+                rd: Reg(1),
+                rs1: Reg(2),
+                off: 16
+            })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(Inst::St {
+                rs2: Reg(3),
+                rs1: Reg(4),
+                off: -8
+            })
+        );
+        assert_eq!(
+            p.fetch(2),
+            Some(Inst::Ld {
+                rd: Reg(5),
+                rs1: Reg(6),
+                off: 0
+            })
+        );
     }
 
     #[test]
@@ -386,26 +455,60 @@ mod tests {
         let p = assemble("amoadd r1, r2, (r3)\namoswap r4, r5, (r6)").unwrap();
         assert_eq!(
             p.fetch(0),
-            Some(Inst::Amo { op: AmoOp::Add, rd: Reg(1), rs1: Reg(3), rs2: Reg(2) })
+            Some(Inst::Amo {
+                op: AmoOp::Add,
+                rd: Reg(1),
+                rs1: Reg(3),
+                rs2: Reg(2)
+            })
         );
         assert_eq!(
             p.fetch(1),
-            Some(Inst::Amo { op: AmoOp::Swap, rd: Reg(4), rs1: Reg(6), rs2: Reg(5) })
+            Some(Inst::Amo {
+                op: AmoOp::Swap,
+                rd: Reg(4),
+                rs1: Reg(6),
+                rs2: Reg(5)
+            })
         );
     }
 
     #[test]
     fn hex_and_negative_immediates() {
         let p = assemble("li r1, 0x40\nli r2, -0x10\naddi r3, r3, -1").unwrap();
-        assert_eq!(p.fetch(0), Some(Inst::Li { rd: Reg(1), imm: 64 }));
-        assert_eq!(p.fetch(1), Some(Inst::Li { rd: Reg(2), imm: -16 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Li {
+                rd: Reg(1),
+                imm: 64
+            })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(Inst::Li {
+                rd: Reg(2),
+                imm: -16
+            })
+        );
     }
 
     #[test]
     fn forward_and_backward_labels() {
         let p = assemble("j end\nback:\nnop\nj back\nend:\nhalt").unwrap();
-        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::ZERO, target: 3 }));
-        assert_eq!(p.fetch(2), Some(Inst::Jal { rd: Reg::ZERO, target: 1 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Jal {
+                rd: Reg::ZERO,
+                target: 3
+            })
+        );
+        assert_eq!(
+            p.fetch(2),
+            Some(Inst::Jal {
+                rd: Reg::ZERO,
+                target: 1
+            })
+        );
     }
 
     #[test]
@@ -451,13 +554,23 @@ mod tests {
         let p1 = assemble(src).unwrap();
         let text = disassemble(&p1);
         let p2 = assemble(&text).unwrap();
-        assert_eq!(p1.insts(), p2.insts(), "round-trip changed the program:\n{text}");
+        assert_eq!(
+            p1.insts(),
+            p2.insts(),
+            "round-trip changed the program:\n{text}"
+        );
     }
 
     #[test]
     fn label_at_end_of_program() {
         let p = assemble("j end\nend:").unwrap();
-        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::ZERO, target: 1 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Jal {
+                rd: Reg::ZERO,
+                target: 1
+            })
+        );
         // Round-trips even with the trailing label.
         let p2 = assemble(&disassemble(&p)).unwrap();
         assert_eq!(p.insts(), p2.insts());

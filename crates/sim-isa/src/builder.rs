@@ -112,17 +112,32 @@ impl ProgBuilder {
 
     /// `amoadd rd, rs2, (rs1)`.
     pub fn amoadd(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Amo { op: AmoOp::Add, rd, rs1, rs2 })
+        self.inst(Inst::Amo {
+            op: AmoOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `amoswap rd, rs2, (rs1)`.
     pub fn amoswap(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Amo { op: AmoOp::Swap, rd, rs1, rs2 })
+        self.inst(Inst::Amo {
+            op: AmoOp::Swap,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
         self.fixups.push((self.insts.len(), label.to_string()));
-        self.inst(Inst::Branch { cond, rs1, rs2, target: usize::MAX })
+        self.inst(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: usize::MAX,
+        })
     }
 
     /// `beq rs1, rs2, label`.
@@ -148,7 +163,10 @@ impl ProgBuilder {
     /// `jal rd, label`.
     pub fn jal(&mut self, rd: Reg, label: &str) -> &mut Self {
         self.fixups.push((self.insts.len(), label.to_string()));
-        self.inst(Inst::Jal { rd, target: usize::MAX })
+        self.inst(Inst::Jal {
+            rd,
+            target: usize::MAX,
+        })
     }
 
     /// Unconditional `j label`.
@@ -201,7 +219,11 @@ impl ProgBuilder {
     /// # Panics
     /// Panics if any referenced label was never defined.
     pub fn build(self) -> Program {
-        let ProgBuilder { mut insts, labels, fixups } = self;
+        let ProgBuilder {
+            mut insts,
+            labels,
+            fixups,
+        } = self;
         for (idx, name) in fixups {
             let target = *labels
                 .get(&name)
@@ -244,7 +266,13 @@ mod tests {
         let mut b = ProgBuilder::new();
         b.jump("end").nop().label("end").halt();
         let p = b.build();
-        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::ZERO, target: 2 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Jal {
+                rd: Reg::ZERO,
+                target: 2
+            })
+        );
     }
 
     #[test]

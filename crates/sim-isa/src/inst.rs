@@ -314,7 +314,10 @@ impl Inst {
 
     /// True for control-flow instructions.
     pub fn is_control(self) -> bool {
-        matches!(self, Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. })
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }
+        )
     }
 }
 
@@ -329,7 +332,10 @@ pub struct Program {
 impl Program {
     /// Wraps raw instructions (no labels).
     pub fn from_insts(insts: Vec<Inst>) -> Program {
-        Program { insts, labels: HashMap::new() }
+        Program {
+            insts,
+            labels: HashMap::new(),
+        }
     }
 
     /// Wraps instructions with a label map; validates label targets.
@@ -422,10 +428,25 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert!(Inst::Ld { rd: Reg(1), rs1: Reg(2), off: 0 }.is_memory());
-        assert!(Inst::Amo { op: AmoOp::Add, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) }.is_memory());
+        assert!(Inst::Ld {
+            rd: Reg(1),
+            rs1: Reg(2),
+            off: 0
+        }
+        .is_memory());
+        assert!(Inst::Amo {
+            op: AmoOp::Add,
+            rd: Reg(1),
+            rs1: Reg(2),
+            rs2: Reg(3)
+        }
+        .is_memory());
         assert!(!Inst::Nop.is_memory());
-        assert!(Inst::Jal { rd: Reg::ZERO, target: 0 }.is_control());
+        assert!(Inst::Jal {
+            rd: Reg::ZERO,
+            target: 0
+        }
+        .is_control());
         assert!(!Inst::Halt.is_control());
     }
 

@@ -86,7 +86,13 @@ pub struct Machine {
 impl Machine {
     /// A reset core starting at instruction 0.
     pub fn new() -> Machine {
-        Machine { regs: [0; NUM_REGS], pc: 0, halted: false, bar_reg: 0, retired: 0 }
+        Machine {
+            regs: [0; NUM_REGS],
+            pc: 0,
+            halted: false,
+            bar_reg: 0,
+            retired: 0,
+        }
     }
 
     /// Reads a register (`r0` reads zero).
@@ -146,7 +152,12 @@ impl Machine {
                 mem[idx] = op.apply(old, self.reg(rs2));
                 self.set_reg(rd, old);
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 if cond.taken(self.reg(rs1), self.reg(rs2)) {
                     next_pc = target;
                 }
@@ -217,7 +228,11 @@ impl RefCmp {
     /// `n` cores over `mem_words` words of zeroed shared memory.
     pub fn new(n: usize, mem_words: usize) -> RefCmp {
         assert!(n > 0);
-        RefCmp { cores: vec![Machine::new(); n], mem: vec![0; mem_words], barriers: 0 }
+        RefCmp {
+            cores: vec![Machine::new(); n],
+            mem: vec![0; mem_words],
+            barriers: 0,
+        }
     }
 
     /// True when every core has halted.
@@ -234,7 +249,11 @@ impl RefCmp {
             core.step(prog, &mut self.mem)?;
         }
         let at_barrier = self.cores.iter().filter(|c| !c.halted).count() > 0
-            && self.cores.iter().filter(|c| !c.halted).all(|c| c.bar_reg != 0);
+            && self
+                .cores
+                .iter()
+                .filter(|c| !c.halted)
+                .all(|c| c.bar_reg != 0);
         if at_barrier {
             for c in &mut self.cores {
                 c.bar_reg = 0;
@@ -251,7 +270,10 @@ impl RefCmp {
         while !self.all_halted() {
             self.round(progs)?;
             rounds += 1;
-            assert!(rounds <= max_rounds, "reference execution exceeded {max_rounds} rounds");
+            assert!(
+                rounds <= max_rounds,
+                "reference execution exceeded {max_rounds} rounds"
+            );
         }
         Ok(rounds)
     }
@@ -409,7 +431,11 @@ mod tests {
         .unwrap();
         let mut cmp = RefCmp::new(2, 4);
         cmp.run(&[&p0, &p1], 10_000).unwrap();
-        assert_eq!(cmp.cores[1].reg(Reg::r(4)), 42, "barrier must order the store before the load");
+        assert_eq!(
+            cmp.cores[1].reg(Reg::r(4)),
+            42,
+            "barrier must order the store before the load"
+        );
         assert_eq!(cmp.barriers, 1);
     }
 

@@ -1,132 +1,184 @@
 //! Property tests for the ISA: assembler/disassembler round trips over
 //! arbitrary programs, and interpreter invariants.
+//!
+//! Runs on the in-repo seed-sweep harness ([`sim_base::check`]) instead of
+//! an external property-testing crate, so the suite builds fully offline.
 
-use proptest::prelude::*;
-use proptest::strategy::ValueTree;
+use sim_base::check::{forall, forall_cases};
+use sim_base::rng::SplitMix64;
 use sim_isa::inst::{AluOp, AmoOp, BranchCond, Inst, Region};
 use sim_isa::interp::{Machine, RefCmp};
 use sim_isa::{assemble, disassemble, Program, Reg};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg)
+fn arb_reg(rng: &mut SplitMix64) -> Reg {
+    Reg(rng.next_below(32) as u8)
 }
 
-fn arb_alu() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-    ]
+const ALU_OPS: [AluOp; 12] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
+
+fn arb_alu(rng: &mut SplitMix64) -> AluOp {
+    ALU_OPS[rng.next_below(ALU_OPS.len() as u64) as usize]
 }
 
 /// Any instruction with branch targets within `len`.
-fn arb_inst(len: usize) -> impl Strategy<Value = Inst> {
-    let t = 0..=len;
-    prop_oneof![
-        (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
-        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
-        (arb_alu(), arb_reg(), arb_reg(), any::<i64>())
-            .prop_map(|(op, rd, rs1, imm)| Inst::AluI { op, rd, rs1, imm }),
-        (arb_reg(), arb_reg(), -4096i64..4096)
-            .prop_map(|(rd, rs1, off)| Inst::Ld { rd, rs1, off: off * 8 }),
-        (arb_reg(), arb_reg(), -4096i64..4096)
-            .prop_map(|(rs2, rs1, off)| Inst::St { rs2, rs1, off: off * 8 }),
-        (prop_oneof![Just(AmoOp::Add), Just(AmoOp::Swap)], arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Amo { op, rd, rs1, rs2 }),
-        (
-            prop_oneof![
-                Just(BranchCond::Eq),
-                Just(BranchCond::Ne),
-                Just(BranchCond::Lt),
-                Just(BranchCond::Ge)
-            ],
-            arb_reg(),
-            arb_reg(),
-            t.clone()
-        )
-            .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
-        (arb_reg(), t).prop_map(|(rd, target)| Inst::Jal { rd, target }),
-        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Inst::Jalr { rd, rs1 }),
-        (0u32..1000).prop_map(|cycles| Inst::Busy { cycles }),
-        arb_reg().prop_map(|rs1| Inst::BarWrite { rs1 }),
-        arb_reg().prop_map(|rd| Inst::BarRead { rd }),
-        any::<u8>().prop_map(|ctx| Inst::BarCtx { ctx }),
-        prop_oneof![Just(Region::Normal), Just(Region::Barrier), Just(Region::Lock)]
-            .prop_map(|region| Inst::SetRegion { region }),
-        Just(Inst::Halt),
-        Just(Inst::Nop),
-    ]
+fn arb_inst(rng: &mut SplitMix64, len: usize) -> Inst {
+    let target = |rng: &mut SplitMix64| rng.next_below(len as u64 + 1) as usize;
+    match rng.next_below(16) {
+        0 => Inst::Li {
+            rd: arb_reg(rng),
+            imm: rng.next_u64() as i64,
+        },
+        1 => Inst::Alu {
+            op: arb_alu(rng),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+        },
+        2 => Inst::AluI {
+            op: arb_alu(rng),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            imm: rng.next_u64() as i64,
+        },
+        3 => Inst::Ld {
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            off: (rng.next_below(8192) as i64 - 4096) * 8,
+        },
+        4 => Inst::St {
+            rs2: arb_reg(rng),
+            rs1: arb_reg(rng),
+            off: (rng.next_below(8192) as i64 - 4096) * 8,
+        },
+        5 => Inst::Amo {
+            op: if rng.chance(0.5) {
+                AmoOp::Add
+            } else {
+                AmoOp::Swap
+            },
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+        },
+        6 => Inst::Branch {
+            cond: [
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+            ][rng.next_below(4) as usize],
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+            target: target(rng),
+        },
+        7 => Inst::Jal {
+            rd: arb_reg(rng),
+            target: target(rng),
+        },
+        8 => Inst::Jalr {
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+        },
+        9 => Inst::Busy {
+            cycles: rng.next_below(1000) as u32,
+        },
+        10 => Inst::BarWrite { rs1: arb_reg(rng) },
+        11 => Inst::BarRead { rd: arb_reg(rng) },
+        12 => Inst::BarCtx {
+            ctx: rng.next_below(256) as u8,
+        },
+        13 => Inst::SetRegion {
+            region: [Region::Normal, Region::Barrier, Region::Lock][rng.next_below(3) as usize],
+        },
+        14 => Inst::Halt,
+        _ => Inst::Nop,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn disassemble_assemble_round_trips(len in 1usize..40, seed in any::<u64>()) {
-        // Build a deterministic arbitrary program of `len` instructions.
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let _ = seed; // length and seed both vary via proptest inputs
-        let insts: Vec<Inst> = (0..len)
-            .map(|_| arb_inst(len).new_tree(&mut runner).unwrap().current())
-            .collect();
+#[test]
+fn disassemble_assemble_round_trips() {
+    forall_cases("disassemble_assemble_round_trips", 128, |rng| {
+        let len = 1 + rng.next_below(39) as usize;
+        let insts: Vec<Inst> = (0..len).map(|_| arb_inst(rng, len)).collect();
         let p1 = Program::from_insts(insts);
         let text = disassemble(&p1);
         let p2 = assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
-        prop_assert_eq!(p1.insts(), p2.insts(), "round trip changed program:\n{}", text);
-    }
+        assert_eq!(
+            p1.insts(),
+            p2.insts(),
+            "round trip changed program:\n{text}"
+        );
+    });
+}
 
-    #[test]
-    fn alu_ops_never_panic(op_sel in 0usize..12, a in any::<u64>(), b in any::<u64>()) {
-        let ops = [
-            AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Div, AluOp::Rem, AluOp::And,
-            AluOp::Or, AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Slt, AluOp::Sltu,
-        ];
-        let _ = ops[op_sel].apply(a, b);
-    }
+#[test]
+fn alu_ops_never_panic() {
+    forall_cases("alu_ops_never_panic", 128, |rng| {
+        let op = arb_alu(rng);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        let _ = op.apply(a, b);
+        // Division corner cases must be defined, not trapping.
+        let _ = op.apply(a, 0);
+        let _ = op.apply(u64::MAX, u64::MAX);
+    });
+}
 
-    #[test]
-    fn r0_is_always_zero(imm in any::<i64>()) {
+#[test]
+fn r0_is_always_zero() {
+    forall("r0_is_always_zero", |rng| {
+        let imm = rng.next_u64() as i64;
         let p = assemble(&format!("li r0, {imm}\nadd r0, r0, r0\nhalt")).unwrap();
         let mut m = Machine::new();
         let mut mem = vec![0u64; 1];
         while !m.halted {
             m.step(&p, &mut mem).unwrap();
         }
-        prop_assert_eq!(m.reg(Reg::ZERO), 0);
-    }
+        assert_eq!(m.reg(Reg::ZERO), 0);
+    });
+}
 
-    #[test]
-    fn straightline_alu_programs_terminate_with_correct_sums(
-        vals in prop::collection::vec(0u64..1_000_000, 1..20)
-    ) {
-        // li + repeated addi: the machine must fold the same total.
-        let mut src = String::from("li r1, 0\n");
-        for v in &vals {
-            src.push_str(&format!("addi r1, r1, {v}\n"));
-        }
-        src.push_str("halt");
-        let p = assemble(&src).unwrap();
-        let mut cmp = RefCmp::new(1, 0);
-        cmp.run(&[&p], 10_000).unwrap();
-        prop_assert_eq!(cmp.cores[0].reg(Reg::r(1)), vals.iter().sum::<u64>());
-    }
+#[test]
+fn straightline_alu_programs_terminate_with_correct_sums() {
+    forall(
+        "straightline_alu_programs_terminate_with_correct_sums",
+        |rng| {
+            let n = 1 + rng.next_below(19) as usize;
+            let vals: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
+            // li + repeated addi: the machine must fold the same total.
+            let mut src = String::from("li r1, 0\n");
+            for v in &vals {
+                src.push_str(&format!("addi r1, r1, {v}\n"));
+            }
+            src.push_str("halt");
+            let p = assemble(&src).unwrap();
+            let mut cmp = RefCmp::new(1, 0);
+            cmp.run(&[&p], 10_000).unwrap();
+            assert_eq!(cmp.cores[0].reg(Reg::r(1)), vals.iter().sum::<u64>());
+        },
+    );
+}
 
-    #[test]
-    fn interpreter_counts_retired_instructions(n in 1usize..100) {
+#[test]
+fn interpreter_counts_retired_instructions() {
+    forall("interpreter_counts_retired_instructions", |rng| {
+        let n = 1 + rng.next_below(99) as usize;
         let src = "nop\n".repeat(n) + "halt";
         let p = assemble(&src).unwrap();
         let mut cmp = RefCmp::new(1, 0);
         cmp.run(&[&p], 10_000).unwrap();
-        prop_assert_eq!(cmp.cores[0].retired, n as u64 + 1);
-    }
+        assert_eq!(cmp.cores[0].retired, n as u64 + 1);
+    });
 }

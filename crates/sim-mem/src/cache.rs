@@ -32,7 +32,9 @@ impl<S> SetAssoc<S> {
     pub fn new(cfg: &CacheConfig) -> SetAssoc<S> {
         let sets = cfg.num_sets();
         SetAssoc {
-            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways as usize)).collect(),
+            sets: (0..sets)
+                .map(|_| Vec::with_capacity(cfg.ways as usize))
+                .collect(),
             ways: cfg.ways as usize,
             set_mask: sets - 1,
         }
@@ -81,7 +83,11 @@ impl<S> SetAssoc<S> {
 
     /// The LRU victim of `line`'s set that satisfies `evictable`, if an
     /// eviction is needed for an insert. Scans from LRU to MRU.
-    pub fn pick_victim(&self, line: LineAddr, evictable: impl Fn(&Entry<S>) -> bool) -> Option<LineAddr> {
+    pub fn pick_victim(
+        &self,
+        line: LineAddr,
+        evictable: impl Fn(&Entry<S>) -> bool,
+    ) -> Option<LineAddr> {
         let set = &self.sets[self.set_of(line)];
         if set.len() < self.ways {
             return None;
@@ -96,7 +102,10 @@ impl<S> SetAssoc<S> {
     /// line is already present.
     pub fn insert(&mut self, line: LineAddr, state: S, data: LineData) {
         let set = self.set_of(line);
-        assert!(self.sets[set].len() < self.ways, "insert into a full set (evict first)");
+        assert!(
+            self.sets[set].len() < self.ways,
+            "insert into a full set (evict first)"
+        );
         assert!(
             !self.sets[set].iter().any(|e| e.line == line),
             "line {line:?} already resident"
@@ -116,7 +125,13 @@ mod tests {
 
     fn cfg() -> CacheConfig {
         // 4 sets × 2 ways of 64-byte lines.
-        CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, hit_latency: 1, extra_data_latency: 0 }
+        CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+            extra_data_latency: 0,
+        }
     }
 
     fn l(n: u64) -> LineAddr {

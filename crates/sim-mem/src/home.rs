@@ -16,6 +16,7 @@ use crate::l1::OutMsg;
 use crate::proto::{Grant, LineData, ProtoMsg};
 use sim_base::config::CacheConfig;
 use sim_base::ids::LineAddr;
+use sim_base::trace::{Event, NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
 use std::collections::{HashMap, VecDeque};
 
@@ -64,7 +65,9 @@ impl SharerSet {
 
     /// Iterates the member cores.
     pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
-        (0..64u16).filter(|&i| self.0 & (1u64 << i) != 0).map(CoreId)
+        (0..64u16)
+            .filter(|&i| self.0 & (1u64 << i) != 0)
+            .map(CoreId)
     }
 }
 
@@ -75,6 +78,15 @@ pub enum DirState {
     Shared(SharerSet),
     /// Owned (E or M) by this L1; the home's copy may be stale.
     Exclusive(CoreId),
+}
+
+/// Trace label of a directory entry ("I" = uncached).
+fn dir_label(d: Option<DirState>) -> &'static str {
+    match d {
+        None => "I",
+        Some(DirState::Shared(_)) => "S",
+        Some(DirState::Exclusive(_)) => "E",
+    }
 }
 
 /// What the active transaction is doing.
@@ -128,7 +140,7 @@ pub struct HomeStats {
 
 /// The home controller of one tile.
 #[derive(Clone, Debug)]
-pub struct HomeCtrl {
+pub struct HomeCtrl<S: TraceSink = NullSink> {
     tile: CoreId,
     l2: SetAssoc<bool>, // state = dirty-vs-memory
     dir: HashMap<LineAddr, DirState>,
@@ -137,11 +149,24 @@ pub struct HomeCtrl {
     l2_latency: u64,
     mem_latency: u64,
     stats: HomeStats,
+    tracer: Tracer<S>,
 }
 
 impl HomeCtrl {
     /// Builds the home bank of `tile`.
     pub fn new(tile: CoreId, l2_cfg: &CacheConfig, mem_latency: u32) -> HomeCtrl {
+        HomeCtrl::traced(tile, l2_cfg, mem_latency, Tracer::default())
+    }
+}
+
+impl<S: TraceSink> HomeCtrl<S> {
+    /// Builds the home bank of `tile`, emitting events into `tracer`.
+    pub fn traced(
+        tile: CoreId,
+        l2_cfg: &CacheConfig,
+        mem_latency: u32,
+        tracer: Tracer<S>,
+    ) -> HomeCtrl<S> {
         HomeCtrl {
             tile,
             l2: SetAssoc::new(l2_cfg),
@@ -151,6 +176,35 @@ impl HomeCtrl {
             l2_latency: l2_cfg.total_latency() as u64,
             mem_latency: mem_latency as u64,
             stats: HomeStats::default(),
+            tracer,
+        }
+    }
+
+    /// Replaces the directory entry of `line` (None = uncached), emitting
+    /// a [`Event::DirTransition`] when the stable-state label changes.
+    /// Owner/sharer churn within the same label is visible through the
+    /// surrounding protocol events instead.
+    fn set_dir(&mut self, line: LineAddr, new: Option<DirState>, now: Cycle) {
+        if S::ENABLED {
+            let from = dir_label(self.dir.get(&line).copied());
+            let to = dir_label(new);
+            if from != to {
+                let home = self.tile;
+                self.tracer.emit(now, || Event::DirTransition {
+                    home,
+                    line: line.0,
+                    from,
+                    to,
+                });
+            }
+        }
+        match new {
+            Some(d) => {
+                self.dir.insert(line, d);
+            }
+            None => {
+                self.dir.remove(&line);
+            }
         }
     }
 
@@ -183,7 +237,10 @@ impl HomeCtrl {
             return;
         }
         if self.l2.set_full(line) {
-            let victim = self.l2.pick_victim(line, |_| true).expect("LRU victim exists");
+            let victim = self
+                .l2
+                .pick_victim(line, |_| true)
+                .expect("LRU victim exists");
             let e = self.l2.remove(victim).expect("victim resident");
             if e.state {
                 mem.insert(victim, e.data);
@@ -208,7 +265,10 @@ impl HomeCtrl {
             return;
         }
         if self.l2.set_full(line) {
-            let victim = self.l2.pick_victim(line, |_| true).expect("LRU victim exists");
+            let victim = self
+                .l2
+                .pick_victim(line, |_| true)
+                .expect("LRU victim exists");
             let e = self.l2.remove(victim).expect("victim resident");
             if e.state {
                 mem.insert(victim, e.data);
@@ -236,7 +296,10 @@ impl HomeCtrl {
                 }
             }
             ProtoMsg::InvAck(_) => {
-                let tx = self.active.get_mut(&line).expect("InvAck without a transaction");
+                let tx = self
+                    .active
+                    .get_mut(&line)
+                    .expect("InvAck without a transaction");
                 let TxPhase::WaitInvAcks { left } = &mut tx.phase else {
                     panic!("InvAck in phase {:?}", tx.phase);
                 };
@@ -247,7 +310,10 @@ impl HomeCtrl {
                 }
             }
             ProtoMsg::FwdDone { data, retained, .. } => {
-                let tx = self.active.get(&line).expect("FwdDone without a transaction");
+                let tx = self
+                    .active
+                    .get(&line)
+                    .expect("FwdDone without a transaction");
                 debug_assert!(matches!(tx.phase, TxPhase::WaitFwdDone));
                 let kind = tx.kind;
                 let old_owner = src;
@@ -259,17 +325,20 @@ impl HomeCtrl {
                         if *retained {
                             sharers.insert(old_owner);
                         }
-                        self.dir.insert(line, DirState::Shared(sharers));
+                        self.set_dir(line, Some(DirState::Shared(sharers)), now);
                     }
                     TxKind::Write { requester } => {
                         debug_assert!(data.is_none());
-                        self.dir.insert(line, DirState::Exclusive(requester));
+                        self.set_dir(line, Some(DirState::Exclusive(requester)), now);
                     }
                     k => panic!("FwdDone for {k:?}"),
                 }
                 self.complete(line, now, mem, out);
             }
-            other => panic!("home {:?} received an L1-bound message {other:?}", self.tile),
+            other => panic!(
+                "home {:?} received an L1-bound message {other:?}",
+                self.tile
+            ),
         }
     }
 
@@ -288,10 +357,19 @@ impl HomeCtrl {
                 Some(DirState::Exclusive(owner)) => {
                     debug_assert_ne!(owner, src, "owner re-requesting its own line");
                     self.stats.forwards_sent += 1;
-                    out.push(OutMsg { dst: owner, msg: ProtoMsg::FwdGetS { line, requester: src } });
+                    out.push(OutMsg {
+                        dst: owner,
+                        msg: ProtoMsg::FwdGetS {
+                            line,
+                            requester: src,
+                        },
+                    });
                     self.active.insert(
                         line,
-                        HomeTx { kind: TxKind::Read { requester: src }, phase: TxPhase::WaitFwdDone },
+                        HomeTx {
+                            kind: TxKind::Read { requester: src },
+                            phase: TxPhase::WaitFwdDone,
+                        },
                     );
                 }
                 _ => self.data_path(line, TxKind::Read { requester: src }, now, mem),
@@ -308,13 +386,18 @@ impl HomeCtrl {
                             line,
                             HomeTx {
                                 kind: TxKind::Upgrade { requester: src },
-                                phase: TxPhase::L2Wait { until: now + self.l2_latency },
+                                phase: TxPhase::L2Wait {
+                                    until: now + self.l2_latency,
+                                },
                             },
                         );
                     } else {
                         for s in others.iter() {
                             self.stats.invalidations_sent += 1;
-                            out.push(OutMsg { dst: s, msg: ProtoMsg::Inv(line) });
+                            out.push(OutMsg {
+                                dst: s,
+                                msg: ProtoMsg::Inv(line),
+                            });
                         }
                         self.active.insert(
                             line,
@@ -333,19 +416,24 @@ impl HomeCtrl {
                     Some(DirState::Exclusive(owner)) if owner == src => {
                         self.stats.writebacks += 1;
                         self.absorb_data(line, data, mem);
-                        self.dir.remove(&line);
+                        self.set_dir(line, None, now);
                         self.active.insert(
                             line,
                             HomeTx {
                                 kind: TxKind::Wb { sender: src },
-                                phase: TxPhase::L2Wait { until: now + self.l2_latency },
+                                phase: TxPhase::L2Wait {
+                                    until: now + self.l2_latency,
+                                },
                             },
                         );
                     }
                     _ => {
                         // Stale: ownership already moved on. Ack and drop.
                         self.stats.stale_writebacks += 1;
-                        out.push(OutMsg { dst: src, msg: ProtoMsg::WbAck(line) });
+                        out.push(OutMsg {
+                            dst: src,
+                            msg: ProtoMsg::WbAck(line),
+                        });
                     }
                 }
             }
@@ -366,10 +454,19 @@ impl HomeCtrl {
             Some(DirState::Exclusive(owner)) => {
                 debug_assert_ne!(owner, src, "owner issuing GetX for its own line");
                 self.stats.forwards_sent += 1;
-                out.push(OutMsg { dst: owner, msg: ProtoMsg::FwdGetX { line, requester: src } });
+                out.push(OutMsg {
+                    dst: owner,
+                    msg: ProtoMsg::FwdGetX {
+                        line,
+                        requester: src,
+                    },
+                });
                 self.active.insert(
                     line,
-                    HomeTx { kind: TxKind::Write { requester: src }, phase: TxPhase::WaitFwdDone },
+                    HomeTx {
+                        kind: TxKind::Write { requester: src },
+                        phase: TxPhase::WaitFwdDone,
+                    },
                 );
             }
             Some(DirState::Shared(sharers)) => {
@@ -380,7 +477,10 @@ impl HomeCtrl {
                 } else {
                     for s in others.iter() {
                         self.stats.invalidations_sent += 1;
-                        out.push(OutMsg { dst: s, msg: ProtoMsg::Inv(line) });
+                        out.push(OutMsg {
+                            dst: s,
+                            msg: ProtoMsg::Inv(line),
+                        });
                     }
                     self.active.insert(
                         line,
@@ -398,16 +498,27 @@ impl HomeCtrl {
     /// Starts the L2/memory access for a transaction that will be served
     /// with data from this bank.
     fn data_path(&mut self, line: LineAddr, kind: TxKind, now: Cycle, mem: &mut Memory) {
-        let phase = if self.l2.probe(line).is_some() {
+        let home = self.tile;
+        let l2_hit = self.l2.probe(line).is_some();
+        self.tracer.emit(now, || Event::L2Access {
+            home,
+            line: line.0,
+            hit: l2_hit,
+        });
+        let phase = if l2_hit {
             self.stats.l2_hits += 1;
-            TxPhase::L2Wait { until: now + self.l2_latency }
+            TxPhase::L2Wait {
+                until: now + self.l2_latency,
+            }
         } else {
             self.stats.l2_misses += 1;
             // Fetch from memory and install now; timing is charged by the
             // wait phase.
             let data = mem.get(&line).copied().unwrap_or([0; 8]);
             self.install_clean(line, data, mem);
-            TxPhase::MemWait { until: now + self.l2_latency + self.mem_latency }
+            TxPhase::MemWait {
+                until: now + self.l2_latency + self.mem_latency,
+            }
         };
         self.active.insert(line, HomeTx { kind, phase });
     }
@@ -423,8 +534,11 @@ impl HomeCtrl {
     ) {
         match kind {
             TxKind::Upgrade { requester } => {
-                self.dir.insert(line, DirState::Exclusive(requester));
-                out.push(OutMsg { dst: requester, msg: ProtoMsg::UpgradeAck(line) });
+                self.set_dir(line, Some(DirState::Exclusive(requester)), now);
+                out.push(OutMsg {
+                    dst: requester,
+                    msg: ProtoMsg::UpgradeAck(line),
+                });
                 self.complete(line, now, mem, out);
             }
             TxKind::Write { requester } => {
@@ -458,33 +572,48 @@ impl HomeCtrl {
                     let (data, _) = self.read_data(line, mem);
                     let grant = match self.dir.get(&line).copied() {
                         None => {
-                            self.dir.insert(line, DirState::Exclusive(requester));
+                            self.set_dir(line, Some(DirState::Exclusive(requester)), now);
                             Grant::E
                         }
                         Some(DirState::Shared(mut s)) => {
                             s.insert(requester);
-                            self.dir.insert(line, DirState::Shared(s));
+                            self.set_dir(line, Some(DirState::Shared(s)), now);
                             Grant::S
                         }
-                        Some(DirState::Exclusive(_)) => unreachable!("read served from bank while exclusive"),
+                        Some(DirState::Exclusive(_)) => {
+                            unreachable!("read served from bank while exclusive")
+                        }
                     };
-                    out.push(OutMsg { dst: requester, msg: ProtoMsg::Data { line, data, grant } });
+                    out.push(OutMsg {
+                        dst: requester,
+                        msg: ProtoMsg::Data { line, data, grant },
+                    });
                 }
                 TxKind::Write { requester } => {
                     let (data, _) = self.read_data(line, mem);
                     debug_assert!(!matches!(self.dir.get(&line), Some(DirState::Exclusive(_))));
-                    self.dir.insert(line, DirState::Exclusive(requester));
+                    self.set_dir(line, Some(DirState::Exclusive(requester)), now);
                     out.push(OutMsg {
                         dst: requester,
-                        msg: ProtoMsg::Data { line, data, grant: Grant::M },
+                        msg: ProtoMsg::Data {
+                            line,
+                            data,
+                            grant: Grant::M,
+                        },
                     });
                 }
                 TxKind::Upgrade { requester } => {
-                    self.dir.insert(line, DirState::Exclusive(requester));
-                    out.push(OutMsg { dst: requester, msg: ProtoMsg::UpgradeAck(line) });
+                    self.set_dir(line, Some(DirState::Exclusive(requester)), now);
+                    out.push(OutMsg {
+                        dst: requester,
+                        msg: ProtoMsg::UpgradeAck(line),
+                    });
                 }
                 TxKind::Wb { sender } => {
-                    out.push(OutMsg { dst: sender, msg: ProtoMsg::WbAck(line) });
+                    out.push(OutMsg {
+                        dst: sender,
+                        msg: ProtoMsg::WbAck(line),
+                    });
                 }
             }
             self.complete(line, now, mem, out);
@@ -513,14 +642,30 @@ mod tests {
     use super::*;
 
     fn l2_cfg() -> CacheConfig {
-        CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, hit_latency: 6, extra_data_latency: 2 }
+        CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 6,
+            extra_data_latency: 2,
+        }
     }
 
     fn home() -> (HomeCtrl, Memory, Vec<OutMsg>) {
-        (HomeCtrl::new(CoreId(0), &l2_cfg(), 400), Memory::new(), Vec::new())
+        (
+            HomeCtrl::new(CoreId(0), &l2_cfg(), 400),
+            Memory::new(),
+            Vec::new(),
+        )
     }
 
-    fn run_until(h: &mut HomeCtrl, mem: &mut Memory, out: &mut Vec<OutMsg>, now: &mut Cycle, limit: u64) {
+    fn run_until(
+        h: &mut HomeCtrl,
+        mem: &mut Memory,
+        out: &mut Vec<OutMsg>,
+        now: &mut Cycle,
+        limit: u64,
+    ) {
         for _ in 0..limit {
             h.tick(*now, mem, out);
             *now += 1;
@@ -535,15 +680,28 @@ mod tests {
         let (mut h, mut mem, mut out) = home();
         mem.insert(LineAddr(0), [42; 8]);
         let mut now = 0;
-        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(1),
+            ProtoMsg::GetS(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         assert!(out.is_empty(), "memory fetch takes time");
         run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
         assert!(now > 400, "memory latency charged (completed at {now})");
         match &out[0].msg {
-            ProtoMsg::Data { data, grant: Grant::E, .. } => assert_eq!(data[0], 42),
+            ProtoMsg::Data {
+                data,
+                grant: Grant::E,
+                ..
+            } => assert_eq!(data[0], 42),
             m => panic!("{m:?}"),
         }
-        assert_eq!(h.dir_state(LineAddr(0)), Some(DirState::Exclusive(CoreId(1))));
+        assert_eq!(
+            h.dir_state(LineAddr(0)),
+            Some(DirState::Exclusive(CoreId(1)))
+        );
         assert_eq!(h.stats().l2_misses, 1);
     }
 
@@ -551,17 +709,39 @@ mod tests {
     fn second_gets_is_an_l2_hit_with_forward() {
         let (mut h, mut mem, mut out) = home();
         let mut now = 0;
-        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(1),
+            ProtoMsg::GetS(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
         out.clear();
         // Second reader: owner must be fetched.
-        h.handle(CoreId(2), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(2),
+            ProtoMsg::GetS(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         assert_eq!(out[0].dst, CoreId(1));
-        assert!(matches!(out[0].msg, ProtoMsg::FwdGetS { requester: CoreId(2), .. }));
+        assert!(matches!(
+            out[0].msg,
+            ProtoMsg::FwdGetS {
+                requester: CoreId(2),
+                ..
+            }
+        ));
         out.clear();
         h.handle(
             CoreId(1),
-            ProtoMsg::FwdDone { line: LineAddr(0), data: Some([7; 8]), retained: true },
+            ProtoMsg::FwdDone {
+                line: LineAddr(0),
+                data: Some([7; 8]),
+                retained: true,
+            },
             now,
             &mut mem,
             &mut out,
@@ -583,30 +763,76 @@ mod tests {
         // Two readers establish Shared{1,2} (first is E; the FwdGetS path
         // is exercised elsewhere — here, set up S directly via two reads
         // from a Shared state).
-        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(1),
+            ProtoMsg::GetS(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
         out.clear();
-        h.handle(CoreId(2), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(2),
+            ProtoMsg::GetS(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         out.clear();
         h.handle(
             CoreId(1),
-            ProtoMsg::FwdDone { line: LineAddr(0), data: Some([0; 8]), retained: true },
+            ProtoMsg::FwdDone {
+                line: LineAddr(0),
+                data: Some([0; 8]),
+                retained: true,
+            },
             now,
             &mut mem,
             &mut out,
         );
         out.clear();
         // A third core writes.
-        h.handle(CoreId(3), ProtoMsg::GetX(LineAddr(0)), now, &mut mem, &mut out);
-        let invs: Vec<_> = out.iter().filter(|m| matches!(m.msg, ProtoMsg::Inv(_))).collect();
+        h.handle(
+            CoreId(3),
+            ProtoMsg::GetX(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
+        let invs: Vec<_> = out
+            .iter()
+            .filter(|m| matches!(m.msg, ProtoMsg::Inv(_)))
+            .collect();
         assert_eq!(invs.len(), 2);
         out.clear();
-        h.handle(CoreId(1), ProtoMsg::InvAck(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(1),
+            ProtoMsg::InvAck(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         assert!(out.is_empty(), "one ack is not enough");
-        h.handle(CoreId(2), ProtoMsg::InvAck(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(2),
+            ProtoMsg::InvAck(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         run_until(&mut h, &mut mem, &mut out, &mut now, 100);
-        assert!(matches!(out[0].msg, ProtoMsg::Data { grant: Grant::M, .. }));
-        assert_eq!(h.dir_state(LineAddr(0)), Some(DirState::Exclusive(CoreId(3))));
+        assert!(matches!(
+            out[0].msg,
+            ProtoMsg::Data {
+                grant: Grant::M,
+                ..
+            }
+        ));
+        assert_eq!(
+            h.dir_state(LineAddr(0)),
+            Some(DirState::Exclusive(CoreId(3)))
+        );
     }
 
     #[test]
@@ -617,25 +843,50 @@ mod tests {
         // overkill; set up directly through the public API: read (E),
         // then a PutM-free downgrade isn't possible, so emulate the
         // common case: read from core 1, read from core 2, invalidate 2.
-        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(1),
+            ProtoMsg::GetS(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
         out.clear();
-        h.handle(CoreId(2), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(2),
+            ProtoMsg::GetS(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         out.clear();
         h.handle(
             CoreId(1),
-            ProtoMsg::FwdDone { line: LineAddr(0), data: Some([0; 8]), retained: false },
+            ProtoMsg::FwdDone {
+                line: LineAddr(0),
+                data: Some([0; 8]),
+                retained: false,
+            },
             now,
             &mut mem,
             &mut out,
         );
         out.clear();
         // Now Shared{2} only. Core 2 upgrades: no invalidations needed.
-        h.handle(CoreId(2), ProtoMsg::Upgrade(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(2),
+            ProtoMsg::Upgrade(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         assert!(out.is_empty());
         run_until(&mut h, &mut mem, &mut out, &mut now, 100);
         assert_eq!(out[0].msg, ProtoMsg::UpgradeAck(LineAddr(0)));
-        assert_eq!(h.dir_state(LineAddr(0)), Some(DirState::Exclusive(CoreId(2))));
+        assert_eq!(
+            h.dir_state(LineAddr(0)),
+            Some(DirState::Exclusive(CoreId(2)))
+        );
     }
 
     #[test]
@@ -644,19 +895,43 @@ mod tests {
         let mut now = 0;
         // Uncached line; an Upgrade arrives from a core that lost the
         // race. It must be treated as a full GetX.
-        h.handle(CoreId(1), ProtoMsg::Upgrade(LineAddr(3)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(1),
+            ProtoMsg::Upgrade(LineAddr(3)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
-        assert!(matches!(out[0].msg, ProtoMsg::Data { grant: Grant::M, .. }));
+        assert!(matches!(
+            out[0].msg,
+            ProtoMsg::Data {
+                grant: Grant::M,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn putm_from_owner_accepted_and_acked() {
         let (mut h, mut mem, mut out) = home();
         let mut now = 0;
-        h.handle(CoreId(1), ProtoMsg::GetX(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(1),
+            ProtoMsg::GetX(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
         out.clear();
-        h.handle(CoreId(1), ProtoMsg::PutM(LineAddr(0), [9; 8]), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(1),
+            ProtoMsg::PutM(LineAddr(0), [9; 8]),
+            now,
+            &mut mem,
+            &mut out,
+        );
         run_until(&mut h, &mut mem, &mut out, &mut now, 100);
         assert_eq!(out[0].msg, ProtoMsg::WbAck(LineAddr(0)));
         assert_eq!(h.dir_state(LineAddr(0)), None);
@@ -669,10 +944,19 @@ mod tests {
         let (mut h, mut mem, mut out) = home();
         let now = 0;
         // Nothing is exclusive; a PutM from core 5 is stale.
-        h.handle(CoreId(5), ProtoMsg::PutM(LineAddr(7), [1; 8]), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(5),
+            ProtoMsg::PutM(LineAddr(7), [1; 8]),
+            now,
+            &mut mem,
+            &mut out,
+        );
         assert_eq!(out[0].msg, ProtoMsg::WbAck(LineAddr(7)));
         assert_eq!(h.dir_state(LineAddr(7)), None);
-        assert!(h.peek_l2(LineAddr(7)).is_none(), "stale data must not be absorbed");
+        assert!(
+            h.peek_l2(LineAddr(7)).is_none(),
+            "stale data must not be absorbed"
+        );
         assert_eq!(h.stats().stale_writebacks, 1);
     }
 
@@ -680,16 +964,40 @@ mod tests {
     fn conflicting_requests_queue_behind_active_tx() {
         let (mut h, mut mem, mut out) = home();
         let mut now = 0;
-        h.handle(CoreId(1), ProtoMsg::GetS(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(1),
+            ProtoMsg::GetS(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         // While the memory fetch is outstanding, another request arrives.
-        h.handle(CoreId(2), ProtoMsg::GetX(LineAddr(0)), now, &mut mem, &mut out);
+        h.handle(
+            CoreId(2),
+            ProtoMsg::GetX(LineAddr(0)),
+            now,
+            &mut mem,
+            &mut out,
+        );
         assert!(out.is_empty());
         // First completes: Data(E) to core 1; queued GetX then forwards.
         run_until(&mut h, &mut mem, &mut out, &mut now, 1000);
         let data_then_fwd: Vec<_> = out.iter().map(|m| m.dst).collect();
         assert_eq!(data_then_fwd, vec![CoreId(1), CoreId(1)]);
-        assert!(matches!(out[0].msg, ProtoMsg::Data { grant: Grant::E, .. }));
-        assert!(matches!(out[1].msg, ProtoMsg::FwdGetX { requester: CoreId(2), .. }));
+        assert!(matches!(
+            out[0].msg,
+            ProtoMsg::Data {
+                grant: Grant::E,
+                ..
+            }
+        ));
+        assert!(matches!(
+            out[1].msg,
+            ProtoMsg::FwdGetX {
+                requester: CoreId(2),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -700,7 +1008,11 @@ mod tests {
         h.absorb_data(LineAddr(0), [1; 8], &mut mem);
         h.absorb_data(LineAddr(8), [2; 8], &mut mem);
         h.absorb_data(LineAddr(16), [3; 8], &mut mem);
-        assert_eq!(mem.get(&LineAddr(0)).unwrap()[0], 1, "LRU dirty victim written back");
+        assert_eq!(
+            mem.get(&LineAddr(0)).unwrap()[0],
+            1,
+            "LRU dirty victim written back"
+        );
         assert!(h.peek_l2(LineAddr(8)).is_some());
         assert!(h.peek_l2(LineAddr(16)).is_some());
         let _ = out.pop();

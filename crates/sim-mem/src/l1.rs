@@ -6,10 +6,11 @@
 //! arrives — exactly the behaviour the paper's software-barrier analysis
 //! (busy-wait stage S2) relies on.
 
-use crate::proto::{CoreReq, CoreResp, Grant, LineData, ProtoMsg};
 use crate::cache::SetAssoc;
+use crate::proto::{CoreReq, CoreResp, Grant, LineData, ProtoMsg};
 use sim_base::config::CacheConfig;
 use sim_base::ids::LineAddr;
+use sim_base::trace::{Event, NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
 use std::collections::HashMap;
 
@@ -22,6 +23,17 @@ pub enum L1State {
     E,
     /// Shared read-only.
     S,
+}
+
+impl L1State {
+    /// Trace label ("I" is the label of a non-resident line).
+    pub fn label(self) -> &'static str {
+        match self {
+            L1State::M => "M",
+            L1State::E => "E",
+            L1State::S => "S",
+        }
+    }
 }
 
 /// An outbound protocol message (the system layer stamps the source).
@@ -70,7 +82,7 @@ pub struct L1Stats {
 
 /// The L1 controller of one tile.
 #[derive(Clone, Debug)]
-pub struct L1Ctrl {
+pub struct L1Ctrl<S: TraceSink = NullSink> {
     tile: CoreId,
     num_tiles: usize,
     line_bytes: u64,
@@ -88,11 +100,24 @@ pub struct L1Ctrl {
     /// Completed response with its ready cycle.
     resp: Option<(Cycle, CoreResp)>,
     stats: L1Stats,
+    tracer: Tracer<S>,
 }
 
 impl L1Ctrl {
     /// Builds the controller for `tile` in a `num_tiles` CMP.
     pub fn new(tile: CoreId, num_tiles: usize, cfg: &CacheConfig) -> L1Ctrl {
+        L1Ctrl::traced(tile, num_tiles, cfg, Tracer::default())
+    }
+}
+
+impl<S: TraceSink> L1Ctrl<S> {
+    /// Builds the controller for `tile`, emitting events into `tracer`.
+    pub fn traced(
+        tile: CoreId,
+        num_tiles: usize,
+        cfg: &CacheConfig,
+        tracer: Tracer<S>,
+    ) -> L1Ctrl<S> {
         L1Ctrl {
             tile,
             num_tiles,
@@ -104,6 +129,7 @@ impl L1Ctrl {
             deferred: None,
             resp: None,
             stats: L1Stats::default(),
+            tracer,
         }
     }
 
@@ -157,6 +183,13 @@ impl L1Ctrl {
         assert_eq!(addr % 8, 0, "unaligned data access at 0x{addr:x}");
         let line = LineAddr(addr / self.line_bytes);
         let w = self.word_index(addr);
+        let tile = self.tile;
+        let is_write = !matches!(req, CoreReq::Load { .. });
+        let prev_state = if S::ENABLED {
+            self.cache.probe(line).map(|e| e.state)
+        } else {
+            None
+        };
 
         let hit = if let Some(e) = self.cache.lookup(line) {
             match (&req, e.state) {
@@ -179,7 +212,22 @@ impl L1Ctrl {
             None
         };
 
+        self.tracer.emit(now, || Event::L1Access {
+            core: tile,
+            addr,
+            write: is_write,
+            hit: hit.is_some(),
+        });
         if let Some(r) = hit {
+            // A write hit on an E line silently took it to M.
+            if S::ENABLED && is_write && prev_state == Some(L1State::E) {
+                self.tracer.emit(now, || Event::L1Transition {
+                    core: tile,
+                    line: line.0,
+                    from: "E",
+                    to: "M",
+                });
+            }
             self.stats.hits += 1;
             self.resp = Some((now + self.hit_latency as u64, r));
             return;
@@ -190,13 +238,18 @@ impl L1Ctrl {
             _ if self.cache.probe(line).is_some() => MissKind::Upgrade,
             _ => MissKind::Write,
         };
-        self.mshr = Some(Mshr { req, line, kind, issued: false });
-        self.try_issue(out);
+        self.mshr = Some(Mshr {
+            req,
+            line,
+            kind,
+            issued: false,
+        });
+        self.try_issue(now, out);
     }
 
     /// Issues the outstanding miss if it is not blocked behind a
     /// writeback of the same line.
-    fn try_issue(&mut self, out: &mut Vec<OutMsg>) {
+    fn try_issue(&mut self, now: Cycle, out: &mut Vec<OutMsg>) {
         let Some(m) = &self.mshr else { return };
         if m.issued || self.wb_buf.contains_key(&m.line) {
             return;
@@ -209,10 +262,20 @@ impl L1Ctrl {
                 .pick_victim(line, |_| true)
                 .expect("every L1 line is evictable");
             let e = self.cache.remove(victim).expect("victim resident");
+            let tile = self.tile;
+            self.tracer.emit(now, || Event::L1Transition {
+                core: tile,
+                line: victim.0,
+                from: e.state.label(),
+                to: "I",
+            });
             if matches!(e.state, L1State::M | L1State::E) {
                 self.stats.writebacks += 1;
                 self.wb_buf.insert(victim, e.data);
-                out.push(OutMsg { dst: self.home(victim), msg: ProtoMsg::PutM(victim, e.data) });
+                out.push(OutMsg {
+                    dst: self.home(victim),
+                    msg: ProtoMsg::PutM(victim, e.data),
+                });
             }
             // S victims are dropped silently; the directory tolerates the
             // stale sharer bit.
@@ -222,7 +285,10 @@ impl L1Ctrl {
             MissKind::Write => ProtoMsg::GetX(line),
             MissKind::Upgrade => ProtoMsg::Upgrade(line),
         };
-        out.push(OutMsg { dst: self.home(line), msg });
+        out.push(OutMsg {
+            dst: self.home(line),
+            msg,
+        });
         self.mshr.as_mut().expect("mshr checked above").issued = true;
     }
 
@@ -252,7 +318,10 @@ impl L1Ctrl {
     /// miss on the same line and must wait for the fill.
     fn must_defer(&self, msg: &ProtoMsg) -> bool {
         let line = msg.line();
-        let ours = self.mshr.as_ref().is_some_and(|m| m.issued && m.line == line);
+        let ours = self
+            .mshr
+            .as_ref()
+            .is_some_and(|m| m.issued && m.line == line);
         if !ours {
             return false;
         }
@@ -284,15 +353,25 @@ impl L1Ctrl {
             return;
         }
         match msg {
-            ProtoMsg::Data { line, mut data, grant } => {
-                let m = self.mshr.as_ref().expect("Data without an outstanding miss");
+            ProtoMsg::Data {
+                line,
+                mut data,
+                grant,
+            } => {
+                let m = self
+                    .mshr
+                    .as_ref()
+                    .expect("Data without an outstanding miss");
                 assert_eq!(m.line, line, "Data for the wrong line");
                 // An upgrade that lost its S copy to a racing writer comes
                 // back as full data; drop the stale resident copy first.
-                if self.cache.probe(line).is_some() {
+                let from = if self.cache.probe(line).is_some() {
                     let e = self.cache.remove(line).expect("resident");
                     debug_assert_eq!(e.state, L1State::S, "data reply over a non-S copy");
-                }
+                    "S"
+                } else {
+                    "I"
+                };
                 let state = match grant {
                     Grant::S => L1State::S,
                     Grant::E => {
@@ -305,16 +384,33 @@ impl L1Ctrl {
                     }
                     Grant::M => L1State::M,
                 };
+                let tile = self.tile;
+                self.tracer.emit(now, || Event::L1Transition {
+                    core: tile,
+                    line: line.0,
+                    from,
+                    to: state.label(),
+                });
                 self.finish_miss(&mut data, state, now);
                 self.cache.insert(line, state, data);
                 self.service_deferred(now, out);
             }
             ProtoMsg::UpgradeAck(line) => {
-                let m = self.mshr.as_ref().expect("UpgradeAck without an outstanding miss");
+                let m = self
+                    .mshr
+                    .as_ref()
+                    .expect("UpgradeAck without an outstanding miss");
                 assert_eq!(m.line, line);
                 assert_eq!(m.kind, MissKind::Upgrade);
                 let e = self.cache.remove(line).expect("upgrade keeps its S copy");
                 debug_assert_eq!(e.state, L1State::S);
+                let tile = self.tile;
+                self.tracer.emit(now, || Event::L1Transition {
+                    core: tile,
+                    line: line.0,
+                    from: "S",
+                    to: "M",
+                });
                 let mut data = e.data;
                 self.finish_miss(&mut data, L1State::M, now);
                 self.cache.insert(line, L1State::M, data);
@@ -324,34 +420,71 @@ impl L1Ctrl {
                 self.stats.invalidations += 1;
                 if let Some(e) = self.cache.remove(line) {
                     debug_assert_eq!(e.state, L1State::S, "Inv of a non-shared line");
+                    let tile = self.tile;
+                    self.tracer.emit(now, || Event::L1Transition {
+                        core: tile,
+                        line: line.0,
+                        from: "S",
+                        to: "I",
+                    });
                 }
-                debug_assert!(!self.wb_buf.contains_key(&line), "Inv races only with S copies");
-                out.push(OutMsg { dst: self.home(line), msg: ProtoMsg::InvAck(line) });
+                debug_assert!(
+                    !self.wb_buf.contains_key(&line),
+                    "Inv races only with S copies"
+                );
+                out.push(OutMsg {
+                    dst: self.home(line),
+                    msg: ProtoMsg::InvAck(line),
+                });
             }
             ProtoMsg::FwdGetS { line, requester } => {
                 self.stats.forwards += 1;
                 if let Some(e) = self.cache.lookup(line) {
                     debug_assert!(matches!(e.state, L1State::M | L1State::E));
+                    let from = e.state.label();
                     e.state = L1State::S;
                     let data = e.data;
+                    let tile = self.tile;
+                    self.tracer.emit(now, || Event::L1Transition {
+                        core: tile,
+                        line: line.0,
+                        from,
+                        to: "S",
+                    });
                     out.push(OutMsg {
                         dst: requester,
-                        msg: ProtoMsg::Data { line, data, grant: Grant::S },
+                        msg: ProtoMsg::Data {
+                            line,
+                            data,
+                            grant: Grant::S,
+                        },
                     });
                     out.push(OutMsg {
                         dst: self.home(line),
-                        msg: ProtoMsg::FwdDone { line, data: Some(data), retained: true },
+                        msg: ProtoMsg::FwdDone {
+                            line,
+                            data: Some(data),
+                            retained: true,
+                        },
                     });
                 } else {
                     // The line is on its way out; service from the buffer.
                     let data = *self.wb_buf.get(&line).expect("owner must hold the line");
                     out.push(OutMsg {
                         dst: requester,
-                        msg: ProtoMsg::Data { line, data, grant: Grant::S },
+                        msg: ProtoMsg::Data {
+                            line,
+                            data,
+                            grant: Grant::S,
+                        },
                     });
                     out.push(OutMsg {
                         dst: self.home(line),
-                        msg: ProtoMsg::FwdDone { line, data: Some(data), retained: false },
+                        msg: ProtoMsg::FwdDone {
+                            line,
+                            data: Some(data),
+                            retained: false,
+                        },
                     });
                 }
             }
@@ -359,25 +492,43 @@ impl L1Ctrl {
                 self.stats.forwards += 1;
                 let data = if let Some(e) = self.cache.remove(line) {
                     debug_assert!(matches!(e.state, L1State::M | L1State::E));
+                    let tile = self.tile;
+                    self.tracer.emit(now, || Event::L1Transition {
+                        core: tile,
+                        line: line.0,
+                        from: e.state.label(),
+                        to: "I",
+                    });
                     e.data
                 } else {
                     *self.wb_buf.get(&line).expect("owner must hold the line")
                 };
                 out.push(OutMsg {
                     dst: requester,
-                    msg: ProtoMsg::Data { line, data, grant: Grant::M },
+                    msg: ProtoMsg::Data {
+                        line,
+                        data,
+                        grant: Grant::M,
+                    },
                 });
                 out.push(OutMsg {
                     dst: self.home(line),
-                    msg: ProtoMsg::FwdDone { line, data: None, retained: false },
+                    msg: ProtoMsg::FwdDone {
+                        line,
+                        data: None,
+                        retained: false,
+                    },
                 });
             }
             ProtoMsg::WbAck(line) => {
                 let present = self.wb_buf.remove(&line).is_some();
                 debug_assert!(present, "WbAck without a writeback in flight");
-                self.try_issue(out);
+                self.try_issue(now, out);
             }
-            other => panic!("L1 of {:?} received a home-bound message {other:?}", self.tile),
+            other => panic!(
+                "L1 of {:?} received a home-bound message {other:?}",
+                self.tile
+            ),
         }
     }
 
@@ -438,7 +589,15 @@ mod tests {
         out.clear(); // drop the GetS
         let mut data = [0u64; 8];
         data[1] = 77;
-        c.handle(ProtoMsg::Data { line: LineAddr(0), data, grant: Grant::S }, 5, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(0),
+                data,
+                grant: Grant::S,
+            },
+            5,
+            &mut out,
+        );
         assert_eq!(c.poll(6), Some(CoreResp::LoadValue(77)));
         // Second load to the same line: pure hit, no messages.
         c.request(CoreReq::Load { addr: 0x0 }, 7, &mut out);
@@ -453,7 +612,15 @@ mod tests {
         let mut c = l1();
         let mut out = Vec::new();
         c.request(CoreReq::Load { addr: 0 }, 0, &mut out);
-        c.handle(ProtoMsg::Data { line: LineAddr(0), data: [0; 8], grant: Grant::S }, 2, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(0),
+                data: [0; 8],
+                grant: Grant::S,
+            },
+            2,
+            &mut out,
+        );
         assert!(c.poll(3).is_some());
         out.clear();
         c.request(CoreReq::Store { addr: 0, value: 9 }, 4, &mut out);
@@ -470,7 +637,15 @@ mod tests {
         let mut c = l1();
         let mut out = Vec::new();
         c.request(CoreReq::Load { addr: 0 }, 0, &mut out);
-        c.handle(ProtoMsg::Data { line: LineAddr(0), data: [0; 8], grant: Grant::E }, 2, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(0),
+                data: [0; 8],
+                grant: Grant::E,
+            },
+            2,
+            &mut out,
+        );
         assert!(c.poll(3).is_some());
         out.clear();
         c.request(CoreReq::Store { addr: 8, value: 1 }, 4, &mut out);
@@ -486,11 +661,23 @@ mod tests {
         c.request(CoreReq::Load { addr: 0 }, 0, &mut out);
         let mut data = [0u64; 8];
         data[0] = 10;
-        c.handle(ProtoMsg::Data { line: LineAddr(0), data, grant: Grant::E }, 2, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(0),
+                data,
+                grant: Grant::E,
+            },
+            2,
+            &mut out,
+        );
         assert!(c.poll(3).is_some());
         out.clear();
         c.request(
-            CoreReq::Amo { addr: 0, op: sim_isa::inst::AmoOp::Add, operand: 5 },
+            CoreReq::Amo {
+                addr: 0,
+                op: sim_isa::inst::AmoOp::Add,
+                operand: 5,
+            },
             4,
             &mut out,
         );
@@ -505,9 +692,20 @@ mod tests {
         // Fill two ways of set 0 with M lines (lines 0 and 4), then miss
         // on line 8 (same set): the LRU (line 0) must be written back.
         for line in [0u64, 4] {
-            c.request(CoreReq::Store { addr: line * 64, value: line }, 0, &mut out);
+            c.request(
+                CoreReq::Store {
+                    addr: line * 64,
+                    value: line,
+                },
+                0,
+                &mut out,
+            );
             c.handle(
-                ProtoMsg::Data { line: LineAddr(line), data: [0; 8], grant: Grant::M },
+                ProtoMsg::Data {
+                    line: LineAddr(line),
+                    data: [0; 8],
+                    grant: Grant::M,
+                },
                 1,
                 &mut out,
             );
@@ -531,9 +729,20 @@ mod tests {
         let mut c = l1();
         let mut out = Vec::new();
         for line in [0u64, 4] {
-            c.request(CoreReq::Store { addr: line * 64, value: 1 }, 0, &mut out);
+            c.request(
+                CoreReq::Store {
+                    addr: line * 64,
+                    value: 1,
+                },
+                0,
+                &mut out,
+            );
             c.handle(
-                ProtoMsg::Data { line: LineAddr(line), data: [0; 8], grant: Grant::M },
+                ProtoMsg::Data {
+                    line: LineAddr(line),
+                    data: [0; 8],
+                    grant: Grant::M,
+                },
                 1,
                 &mut out,
             );
@@ -542,7 +751,15 @@ mod tests {
         out.clear();
         // Evict line 0 (PutM)…
         c.request(CoreReq::Load { addr: 8 * 64 }, 3, &mut out);
-        c.handle(ProtoMsg::Data { line: LineAddr(8), data: [0; 8], grant: Grant::E }, 6, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(8),
+                data: [0; 8],
+                grant: Grant::E,
+            },
+            6,
+            &mut out,
+        );
         assert!(c.poll(7).is_some());
         out.clear();
         // …then immediately miss on line 0 again: the GetS must wait for
@@ -565,7 +782,15 @@ mod tests {
         let mut c = l1();
         let mut out = Vec::new();
         c.request(CoreReq::Load { addr: 0 }, 0, &mut out);
-        c.handle(ProtoMsg::Data { line: LineAddr(0), data: [3; 8], grant: Grant::S }, 2, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(0),
+                data: [3; 8],
+                grant: Grant::S,
+            },
+            2,
+            &mut out,
+        );
         assert!(c.poll(3).is_some());
         out.clear();
         c.handle(ProtoMsg::Inv(LineAddr(0)), 4, &mut out);
@@ -588,20 +813,46 @@ mod tests {
         let mut c = l1();
         let mut out = Vec::new();
         c.request(CoreReq::Store { addr: 0, value: 42 }, 0, &mut out);
-        c.handle(ProtoMsg::Data { line: LineAddr(0), data: [0; 8], grant: Grant::M }, 1, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(0),
+                data: [0; 8],
+                grant: Grant::M,
+            },
+            1,
+            &mut out,
+        );
         assert!(c.poll(2).is_some());
         out.clear();
-        c.handle(ProtoMsg::FwdGetS { line: LineAddr(0), requester: CoreId(2) }, 3, &mut out);
+        c.handle(
+            ProtoMsg::FwdGetS {
+                line: LineAddr(0),
+                requester: CoreId(2),
+            },
+            3,
+            &mut out,
+        );
         let msgs = drain(&mut out);
         assert_eq!(msgs.len(), 2);
         match &msgs[0].msg {
-            ProtoMsg::Data { data, grant: Grant::S, .. } => {
+            ProtoMsg::Data {
+                data,
+                grant: Grant::S,
+                ..
+            } => {
                 assert_eq!(msgs[0].dst, CoreId(2));
                 assert_eq!(data[0], 42, "forwarded data carries the dirty value");
             }
             m => panic!("expected Data to requester, got {m:?}"),
         }
-        assert!(matches!(msgs[1].msg, ProtoMsg::FwdDone { data: Some(_), retained: true, .. }));
+        assert!(matches!(
+            msgs[1].msg,
+            ProtoMsg::FwdDone {
+                data: Some(_),
+                retained: true,
+                ..
+            }
+        ));
         assert_eq!(c.peek_line(LineAddr(0)).unwrap().0, L1State::S);
     }
 
@@ -610,16 +861,41 @@ mod tests {
         let mut c = l1();
         let mut out = Vec::new();
         c.request(CoreReq::Store { addr: 0, value: 42 }, 0, &mut out);
-        c.handle(ProtoMsg::Data { line: LineAddr(0), data: [0; 8], grant: Grant::M }, 1, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(0),
+                data: [0; 8],
+                grant: Grant::M,
+            },
+            1,
+            &mut out,
+        );
         assert!(c.poll(2).is_some());
         out.clear();
-        c.handle(ProtoMsg::FwdGetX { line: LineAddr(0), requester: CoreId(3) }, 3, &mut out);
+        c.handle(
+            ProtoMsg::FwdGetX {
+                line: LineAddr(0),
+                requester: CoreId(3),
+            },
+            3,
+            &mut out,
+        );
         let msgs = drain(&mut out);
         assert!(matches!(
             msgs[0].msg,
-            ProtoMsg::Data { grant: Grant::M, .. }
+            ProtoMsg::Data {
+                grant: Grant::M,
+                ..
+            }
         ));
-        assert!(matches!(msgs[1].msg, ProtoMsg::FwdDone { data: None, retained: false, .. }));
+        assert!(matches!(
+            msgs[1].msg,
+            ProtoMsg::FwdDone {
+                data: None,
+                retained: false,
+                ..
+            }
+        ));
         assert!(c.peek_line(LineAddr(0)).is_none());
     }
 
@@ -628,9 +904,20 @@ mod tests {
         let mut c = l1();
         let mut out = Vec::new();
         for line in [0u64, 4] {
-            c.request(CoreReq::Store { addr: line * 64, value: 5 }, 0, &mut out);
+            c.request(
+                CoreReq::Store {
+                    addr: line * 64,
+                    value: 5,
+                },
+                0,
+                &mut out,
+            );
             c.handle(
-                ProtoMsg::Data { line: LineAddr(line), data: [0; 8], grant: Grant::M },
+                ProtoMsg::Data {
+                    line: LineAddr(line),
+                    data: [0; 8],
+                    grant: Grant::M,
+                },
                 1,
                 &mut out,
             );
@@ -640,7 +927,14 @@ mod tests {
         c.request(CoreReq::Load { addr: 8 * 64 }, 3, &mut out); // evicts line 0 → wb_buf
         out.clear();
         // A forward racing with the PutM finds the line in the buffer.
-        c.handle(ProtoMsg::FwdGetS { line: LineAddr(0), requester: CoreId(2) }, 4, &mut out);
+        c.handle(
+            ProtoMsg::FwdGetS {
+                line: LineAddr(0),
+                requester: CoreId(2),
+            },
+            4,
+            &mut out,
+        );
         let msgs = drain(&mut out);
         match &msgs[1].msg {
             ProtoMsg::FwdDone { retained, .. } => {
@@ -655,7 +949,15 @@ mod tests {
         let mut c = l1();
         let mut out = Vec::new();
         c.request(CoreReq::Load { addr: 0 }, 0, &mut out);
-        c.handle(ProtoMsg::Data { line: LineAddr(0), data: [1; 8], grant: Grant::S }, 1, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(0),
+                data: [1; 8],
+                grant: Grant::S,
+            },
+            1,
+            &mut out,
+        );
         assert!(c.poll(2).is_some());
         out.clear();
         c.request(CoreReq::Store { addr: 0, value: 2 }, 3, &mut out);
@@ -665,7 +967,15 @@ mod tests {
         // racing writer between our Upgrade and its processing).
         c.handle(ProtoMsg::Inv(LineAddr(0)), 4, &mut out);
         out.clear();
-        c.handle(ProtoMsg::Data { line: LineAddr(0), data: [9; 8], grant: Grant::M }, 6, &mut out);
+        c.handle(
+            ProtoMsg::Data {
+                line: LineAddr(0),
+                data: [9; 8],
+                grant: Grant::M,
+            },
+            6,
+            &mut out,
+        );
         assert_eq!(c.poll(7), Some(CoreResp::StoreDone));
         let (st, data) = c.peek_line(LineAddr(0)).unwrap();
         assert_eq!(st, L1State::M);

@@ -170,7 +170,9 @@ impl CoreReq {
     /// The byte address accessed.
     pub fn addr(&self) -> u64 {
         match *self {
-            CoreReq::Load { addr } | CoreReq::Store { addr, .. } | CoreReq::Amo { addr, .. } => addr,
+            CoreReq::Load { addr } | CoreReq::Store { addr, .. } | CoreReq::Amo { addr, .. } => {
+                addr
+            }
         }
     }
 }
@@ -197,7 +199,12 @@ mod tests {
         assert_eq!(ProtoMsg::GetX(l).class(), MsgClass::Request);
         assert_eq!(ProtoMsg::Upgrade(l).class(), MsgClass::Request);
         assert_eq!(
-            ProtoMsg::Data { line: l, data: [0; 8], grant: Grant::S }.class(),
+            ProtoMsg::Data {
+                line: l,
+                data: [0; 8],
+                grant: Grant::S
+            }
+            .class(),
             MsgClass::Reply
         );
         assert_eq!(ProtoMsg::UpgradeAck(l).class(), MsgClass::Reply);
@@ -205,21 +212,46 @@ mod tests {
         assert_eq!(ProtoMsg::Inv(l).class(), MsgClass::Coherence);
         assert_eq!(ProtoMsg::InvAck(l).class(), MsgClass::Coherence);
         assert_eq!(ProtoMsg::PutM(l, [0; 8]).class(), MsgClass::Coherence);
-        assert_eq!(ProtoMsg::FwdGetS { line: l, requester: CoreId(1) }.class(), MsgClass::Coherence);
+        assert_eq!(
+            ProtoMsg::FwdGetS {
+                line: l,
+                requester: CoreId(1)
+            }
+            .class(),
+            MsgClass::Coherence
+        );
     }
 
     #[test]
     fn payload_sizes() {
         let l = LineAddr(0);
         assert_eq!(ProtoMsg::GetS(l).payload_bytes(), 0);
-        assert_eq!(ProtoMsg::Data { line: l, data: [0; 8], grant: Grant::M }.payload_bytes(), 64);
+        assert_eq!(
+            ProtoMsg::Data {
+                line: l,
+                data: [0; 8],
+                grant: Grant::M
+            }
+            .payload_bytes(),
+            64
+        );
         assert_eq!(ProtoMsg::PutM(l, [0; 8]).payload_bytes(), 64);
         assert_eq!(
-            ProtoMsg::FwdDone { line: l, data: None, retained: false }.payload_bytes(),
+            ProtoMsg::FwdDone {
+                line: l,
+                data: None,
+                retained: false
+            }
+            .payload_bytes(),
             0
         );
         assert_eq!(
-            ProtoMsg::FwdDone { line: l, data: Some([1; 8]), retained: true }.payload_bytes(),
+            ProtoMsg::FwdDone {
+                line: l,
+                data: Some([1; 8]),
+                retained: true
+            }
+            .payload_bytes(),
             64
         );
     }
@@ -230,6 +262,11 @@ mod tests {
         assert!(ProtoMsg::GetS(l).for_home());
         assert!(ProtoMsg::InvAck(l).for_home());
         assert!(!ProtoMsg::Inv(l).for_home());
-        assert!(!ProtoMsg::Data { line: l, data: [0; 8], grant: Grant::S }.for_home());
+        assert!(!ProtoMsg::Data {
+            line: l,
+            data: [0; 8],
+            grant: Grant::S
+        }
+        .for_home());
     }
 }

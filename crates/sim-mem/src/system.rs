@@ -6,6 +6,7 @@ use crate::l1::{L1Ctrl, L1Stats, OutMsg};
 use crate::proto::{CoreReq, CoreResp, ProtoMsg};
 use sim_base::config::CmpConfig;
 use sim_base::ids::LineAddr;
+use sim_base::trace::{NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
 use sim_noc::{Message, Noc, NocStats};
 
@@ -16,11 +17,11 @@ use sim_noc::{Message, Noc, NocStats};
 /// [`poll`](Self::poll); the simulator calls [`tick`](Self::tick) once
 /// per cycle.
 #[derive(Debug)]
-pub struct MemorySystem {
+pub struct MemorySystem<S: TraceSink = NullSink> {
     cfg: CmpConfig,
-    l1s: Vec<L1Ctrl>,
-    homes: Vec<HomeCtrl>,
-    noc: Noc<ProtoMsg>,
+    l1s: Vec<L1Ctrl<S>>,
+    homes: Vec<HomeCtrl<S>>,
+    noc: Noc<ProtoMsg, S>,
     mem: Memory,
     now: Cycle,
     out_scratch: Vec<OutMsg>,
@@ -29,15 +30,27 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Builds the hierarchy from a [`CmpConfig`].
     pub fn new(cfg: &CmpConfig) -> MemorySystem {
+        MemorySystem::traced(cfg, Tracer::default())
+    }
+}
+
+impl<S: TraceSink> MemorySystem<S> {
+    /// Builds the hierarchy, with every controller and the NoC emitting
+    /// events into (clones of) `tracer`.
+    pub fn traced(cfg: &CmpConfig, tracer: Tracer<S>) -> MemorySystem<S> {
         let n = cfg.num_cores();
         assert!(n <= 64, "SharerSet packs sharers into 64 bits");
         MemorySystem {
             cfg: *cfg,
-            l1s: (0..n).map(|i| L1Ctrl::new(CoreId::from(i), n, &cfg.l1)).collect(),
-            homes: (0..n)
-                .map(|i| HomeCtrl::new(CoreId::from(i), &cfg.l2, cfg.mem.latency))
+            l1s: (0..n)
+                .map(|i| L1Ctrl::traced(CoreId::from(i), n, &cfg.l1, tracer.clone()))
                 .collect(),
-            noc: Noc::new(cfg.mesh, cfg.noc),
+            homes: (0..n)
+                .map(|i| {
+                    HomeCtrl::traced(CoreId::from(i), &cfg.l2, cfg.mem.latency, tracer.clone())
+                })
+                .collect(),
+            noc: Noc::traced(cfg.mesh, cfg.noc, tracer),
             mem: Memory::new(),
             now: 0,
             out_scratch: Vec::new(),
@@ -109,7 +122,13 @@ impl MemorySystem {
             let tile = CoreId::from(i);
             while let Some(m) = self.noc.recv(tile) {
                 if m.payload.for_home() {
-                    self.homes[i].handle(m.src, m.payload, now, &mut self.mem, &mut self.out_scratch);
+                    self.homes[i].handle(
+                        m.src,
+                        m.payload,
+                        now,
+                        &mut self.mem,
+                        &mut self.out_scratch,
+                    );
                 } else {
                     self.l1s[i].handle(m.payload, now, &mut self.out_scratch);
                 }
@@ -135,7 +154,7 @@ impl MemorySystem {
 
     /// True when no request, transaction or message is in flight.
     pub fn is_idle(&self) -> bool {
-        self.noc.is_idle() && self.homes.iter().all(HomeCtrl::is_idle)
+        self.noc.is_idle() && self.homes.iter().all(|h| h.is_idle())
     }
 
     fn home_of(&self, line: LineAddr) -> usize {
@@ -252,7 +271,14 @@ mod tests {
     #[test]
     fn store_then_remote_load_sees_value() {
         let mut s = sys(4);
-        let (_, _) = do_req(&mut s, 0, CoreReq::Store { addr: 0x80, value: 1234 });
+        let (_, _) = do_req(
+            &mut s,
+            0,
+            CoreReq::Store {
+                addr: 0x80,
+                value: 1234,
+            },
+        );
         let (r, _) = do_req(&mut s, 3, CoreReq::Load { addr: 0x80 });
         assert_eq!(r, CoreResp::LoadValue(1234));
         assert_eq!(s.peek_word(0x80), 1234);
@@ -266,7 +292,14 @@ mod tests {
             do_req(&mut s, c, CoreReq::Load { addr: 0x100 });
         }
         // One core writes: invalidations fly, then the write wins.
-        do_req(&mut s, 2, CoreReq::Store { addr: 0x100, value: 42 });
+        do_req(
+            &mut s,
+            2,
+            CoreReq::Store {
+                addr: 0x100,
+                value: 42,
+            },
+        );
         // Everyone re-reads the new value.
         for c in 0..4 {
             let (r, _) = do_req(&mut s, c, CoreReq::Load { addr: 0x100 });
@@ -283,9 +316,15 @@ mod tests {
                 let (r, _) = do_req(
                     &mut s,
                     c,
-                    CoreReq::Amo { addr: 0x200, op: AmoOp::Add, operand: 1 },
+                    CoreReq::Amo {
+                        addr: 0x200,
+                        op: AmoOp::Add,
+                        operand: 1,
+                    },
                 );
-                let CoreResp::AmoOld(v) = r else { panic!("{r:?}") };
+                let CoreResp::AmoOld(v) = r else {
+                    panic!("{r:?}")
+                };
                 old_sum += v;
             }
         }
@@ -298,12 +337,36 @@ mod tests {
     #[test]
     fn amoswap_testandset_semantics() {
         let mut s = sys(2);
-        let (r, _) = do_req(&mut s, 0, CoreReq::Amo { addr: 0, op: AmoOp::Swap, operand: 1 });
+        let (r, _) = do_req(
+            &mut s,
+            0,
+            CoreReq::Amo {
+                addr: 0,
+                op: AmoOp::Swap,
+                operand: 1,
+            },
+        );
         assert_eq!(r, CoreResp::AmoOld(0), "lock acquired");
-        let (r, _) = do_req(&mut s, 1, CoreReq::Amo { addr: 0, op: AmoOp::Swap, operand: 1 });
+        let (r, _) = do_req(
+            &mut s,
+            1,
+            CoreReq::Amo {
+                addr: 0,
+                op: AmoOp::Swap,
+                operand: 1,
+            },
+        );
         assert_eq!(r, CoreResp::AmoOld(1), "lock already held");
         do_req(&mut s, 0, CoreReq::Store { addr: 0, value: 0 }); // release
-        let (r, _) = do_req(&mut s, 1, CoreReq::Amo { addr: 0, op: AmoOp::Swap, operand: 1 });
+        let (r, _) = do_req(
+            &mut s,
+            1,
+            CoreReq::Amo {
+                addr: 0,
+                op: AmoOp::Swap,
+                operand: 1,
+            },
+        );
         assert_eq!(r, CoreResp::AmoOld(0), "lock re-acquired after release");
     }
 
@@ -317,9 +380,20 @@ mod tests {
             let (_, lat) = do_req(&mut s, 1, CoreReq::Load { addr: 0x300 });
             assert_eq!(lat, 1);
         }
-        assert_eq!(s.noc_stats().total_messages(), before, "spinning must be local");
+        assert_eq!(
+            s.noc_stats().total_messages(),
+            before,
+            "spinning must be local"
+        );
         // A remote store invalidates; the next spin read misses.
-        do_req(&mut s, 2, CoreReq::Store { addr: 0x300, value: 1 });
+        do_req(
+            &mut s,
+            2,
+            CoreReq::Store {
+                addr: 0x300,
+                value: 1,
+            },
+        );
         let (r, lat) = do_req(&mut s, 1, CoreReq::Load { addr: 0x300 });
         assert_eq!(r, CoreResp::LoadValue(1));
         assert!(lat > 1, "post-invalidation read must miss");
@@ -332,10 +406,23 @@ mod tests {
         // same set evicts the LRU dirty line; it must come back intact.
         let set_stride = 128 * 64; // one L1 set apart
         for i in 0..5u64 {
-            do_req(&mut s, 0, CoreReq::Store { addr: i * set_stride, value: 100 + i });
+            do_req(
+                &mut s,
+                0,
+                CoreReq::Store {
+                    addr: i * set_stride,
+                    value: 100 + i,
+                },
+            );
         }
         for i in 0..5u64 {
-            let (r, _) = do_req(&mut s, 0, CoreReq::Load { addr: i * set_stride });
+            let (r, _) = do_req(
+                &mut s,
+                0,
+                CoreReq::Load {
+                    addr: i * set_stride,
+                },
+            );
             assert_eq!(r, CoreResp::LoadValue(100 + i), "line {i} lost in eviction");
         }
     }
@@ -361,14 +448,103 @@ mod tests {
     }
 
     #[test]
+    fn traced_system_reports_cache_and_directory_story() {
+        use sim_base::trace::{Event, RingSink, Tracer};
+        let tracer = Tracer::new(RingSink::new(4096));
+        let cfg = CmpConfig::icpp2010_with_cores(4);
+        let mut s = MemorySystem::traced(&cfg, tracer.clone());
+        // Core 0 writes a line; core 1 then reads it (forward + downgrade).
+        let c0 = CoreId(0);
+        let c1 = CoreId(1);
+        s.request(
+            c0,
+            CoreReq::Store {
+                addr: 0x80,
+                value: 7,
+            },
+        );
+        let mut guard = 0;
+        while s.poll(c0).is_none() {
+            s.tick();
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+        s.request(c1, CoreReq::Load { addr: 0x80 });
+        while s.poll(c1).is_none() {
+            s.tick();
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+        let recs: Vec<(u64, Event)> = tracer.with_sink(|s| s.events().cloned().collect());
+        let events: Vec<Event> = recs.iter().map(|(_, e)| e.clone()).collect();
+        // The write: an L1 miss, a directory I→E claim, an L2 access, and
+        // a fill installing the line in M.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::L1Access { core, addr: 0x80, write: true, hit: false } if *core == c0)));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::DirTransition {
+                line: 2,
+                from: "I",
+                to: "E",
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::L2Access {
+                line: 2,
+                hit: false,
+                ..
+            }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::L1Transition { core, line: 2, from: "I", to: "M" } if *core == c0)));
+        // The read: a forward downgrades the owner M→S and the directory
+        // ends Shared.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::L1Transition { core, line: 2, from: "M", to: "S" } if *core == c0)));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::DirTransition {
+                line: 2,
+                from: "E",
+                to: "S",
+                ..
+            }
+        )));
+        // And the NoC carried protocol traffic for all of it.
+        assert!(events.iter().any(|e| matches!(e, Event::NocSend { .. })));
+        // Cycles are monotone within the ring.
+        assert!(recs.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
     fn false_sharing_ping_pong() {
         let mut s = sys(2);
         // Two cores write different words of the same line; each write
         // must steal the line from the other (forward traffic) but both
         // values must survive.
         for i in 0..4 {
-            do_req(&mut s, 0, CoreReq::Store { addr: 0x400, value: i });
-            do_req(&mut s, 1, CoreReq::Store { addr: 0x408, value: 100 + i });
+            do_req(
+                &mut s,
+                0,
+                CoreReq::Store {
+                    addr: 0x400,
+                    value: i,
+                },
+            );
+            do_req(
+                &mut s,
+                1,
+                CoreReq::Store {
+                    addr: 0x408,
+                    value: 100 + i,
+                },
+            );
         }
         assert_eq!(s.peek_word(0x400), 3);
         assert_eq!(s.peek_word(0x408), 103);

@@ -2,11 +2,15 @@
 //! indistinguishable from a flat memory under serialized access, atomics
 //! must never lose updates under concurrency, and the directory must
 //! keep single-writer/multi-reader invariants.
+//!
+//! Runs on the in-repo seed-sweep harness ([`sim_base::check`]) instead of
+//! an external property-testing crate, so the suite builds fully offline.
 
 #![allow(clippy::needless_range_loop)] // indexing parallel arrays
 
-use proptest::prelude::*;
+use sim_base::check::forall_cases;
 use sim_base::config::CmpConfig;
+use sim_base::rng::SplitMix64;
 use sim_base::CoreId;
 use sim_isa::inst::AmoOp;
 use sim_mem::{CoreReq, CoreResp, MemorySystem};
@@ -14,19 +18,40 @@ use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Load { core: usize, slot: usize },
-    Store { core: usize, slot: usize, value: u64 },
-    Amo { core: usize, slot: usize, operand: u64, swap: bool },
+    Load {
+        core: usize,
+        slot: usize,
+    },
+    Store {
+        core: usize,
+        slot: usize,
+        value: u64,
+    },
+    Amo {
+        core: usize,
+        slot: usize,
+        operand: u64,
+        swap: bool,
+    },
 }
 
-fn arb_op(cores: usize, slots: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..cores, 0..slots).prop_map(|(core, slot)| Op::Load { core, slot }),
-        (0..cores, 0..slots, any::<u64>())
-            .prop_map(|(core, slot, value)| Op::Store { core, slot, value }),
-        (0..cores, 0..slots, any::<u64>(), any::<bool>())
-            .prop_map(|(core, slot, operand, swap)| Op::Amo { core, slot, operand, swap }),
-    ]
+fn arb_op(rng: &mut SplitMix64, cores: usize, slots: usize) -> Op {
+    let core = rng.next_below(cores as u64) as usize;
+    let slot = rng.next_below(slots as u64) as usize;
+    match rng.next_below(3) {
+        0 => Op::Load { core, slot },
+        1 => Op::Store {
+            core,
+            slot,
+            value: rng.next_u64(),
+        },
+        _ => Op::Amo {
+            core,
+            slot,
+            operand: rng.next_u64(),
+            swap: rng.chance(0.5),
+        },
+    }
 }
 
 /// Slot → byte address. Slots are spread across lines AND packed within
@@ -47,15 +72,13 @@ fn complete(sys: &mut MemorySystem, core: CoreId) -> CoreResp {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Serialized random accesses from many cores must behave exactly
-    /// like a flat memory (coherence is invisible to a serial observer).
-    #[test]
-    fn serialized_accesses_match_flat_memory(
-        ops in prop::collection::vec(arb_op(8, 24), 1..120),
-    ) {
+/// Serialized random accesses from many cores must behave exactly
+/// like a flat memory (coherence is invisible to a serial observer).
+#[test]
+fn serialized_accesses_match_flat_memory() {
+    forall_cases("serialized_accesses_match_flat_memory", 32, |rng| {
+        let n_ops = 1 + rng.next_below(119) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| arb_op(rng, 8, 24)).collect();
         let cfg = CmpConfig::icpp2010_with_cores(8);
         let mut sys = MemorySystem::new(&cfg);
         let mut flat: HashMap<u64, u64> = HashMap::new();
@@ -65,27 +88,36 @@ proptest! {
                     let a = addr(slot);
                     sys.request(CoreId::from(core), CoreReq::Load { addr: a });
                     let got = complete(&mut sys, CoreId::from(core));
-                    prop_assert_eq!(
+                    assert_eq!(
                         got,
                         CoreResp::LoadValue(*flat.get(&a).unwrap_or(&0)),
-                        "load {:?}", op
+                        "load {op:?}"
                     );
                 }
                 Op::Store { core, slot, value } => {
                     let a = addr(slot);
                     sys.request(CoreId::from(core), CoreReq::Store { addr: a, value });
-                    prop_assert_eq!(complete(&mut sys, CoreId::from(core)), CoreResp::StoreDone);
+                    assert_eq!(complete(&mut sys, CoreId::from(core)), CoreResp::StoreDone);
                     flat.insert(a, value);
                 }
-                Op::Amo { core, slot, operand, swap } => {
+                Op::Amo {
+                    core,
+                    slot,
+                    operand,
+                    swap,
+                } => {
                     let a = addr(slot);
                     let op = if swap { AmoOp::Swap } else { AmoOp::Add };
                     sys.request(
                         CoreId::from(core),
-                        CoreReq::Amo { addr: a, op, operand },
+                        CoreReq::Amo {
+                            addr: a,
+                            op,
+                            operand,
+                        },
                     );
                     let old = *flat.get(&a).unwrap_or(&0);
-                    prop_assert_eq!(
+                    assert_eq!(
                         complete(&mut sys, CoreId::from(core)),
                         CoreResp::AmoOld(old)
                     );
@@ -95,17 +127,18 @@ proptest! {
         }
         // Final state agrees everywhere that was touched.
         for (&a, &v) in &flat {
-            prop_assert_eq!(sys.peek_word(a), v, "address 0x{:x}", a);
+            assert_eq!(sys.peek_word(a), v, "address 0x{a:x}");
         }
-    }
+    });
+}
 
-    /// Fully concurrent atomic increments never lose updates and return
-    /// distinct old values — the linearizability core of fetch&add.
-    #[test]
-    fn concurrent_amoadds_are_linearizable(
-        per_core in 1usize..12,
-        cores in 2usize..=8,
-    ) {
+/// Fully concurrent atomic increments never lose updates and return
+/// distinct old values — the linearizability core of fetch&add.
+#[test]
+fn concurrent_amoadds_are_linearizable() {
+    forall_cases("concurrent_amoadds_are_linearizable", 32, |rng| {
+        let per_core = 1 + rng.next_below(11) as usize;
+        let cores = 2 + rng.next_below(7) as usize;
         let cfg = CmpConfig::icpp2010_with_cores(cores);
         let mut sys = MemorySystem::new(&cfg);
         let a = 0x400u64;
@@ -115,7 +148,14 @@ proptest! {
         loop {
             for c in 0..cores {
                 if remaining[c] > 0 && sys.ready(CoreId::from(c)) {
-                    sys.request(CoreId::from(c), CoreReq::Amo { addr: a, op: AmoOp::Add, operand: 1 });
+                    sys.request(
+                        CoreId::from(c),
+                        CoreReq::Amo {
+                            addr: a,
+                            op: AmoOp::Add,
+                            operand: 1,
+                        },
+                    );
                 }
                 if let Some(CoreResp::AmoOld(v)) = sys.poll(CoreId::from(c)) {
                     olds.push(v);
@@ -127,25 +167,27 @@ proptest! {
             }
             sys.tick();
             guard += 1;
-            prop_assert!(guard < 1_000_000, "increments never finished");
+            assert!(guard < 1_000_000, "increments never finished");
         }
         let total = cores * per_core;
-        prop_assert_eq!(sys.peek_word(a), total as u64);
+        assert_eq!(sys.peek_word(a), total as u64);
         olds.sort_unstable();
-        prop_assert_eq!(olds, (0..total as u64).collect::<Vec<_>>(),
-            "every fetch&add must observe a distinct old value");
-    }
+        assert_eq!(
+            olds,
+            (0..total as u64).collect::<Vec<_>>(),
+            "every fetch&add must observe a distinct old value"
+        );
+    });
+}
 
-    /// Concurrent writers to disjoint addresses never interfere.
-    #[test]
-    fn disjoint_concurrent_writes_all_land(
-        cores in 2usize..=8,
-        writes_per_core in 1usize..10,
-        seed in any::<u64>(),
-    ) {
+/// Concurrent writers to disjoint addresses never interfere.
+#[test]
+fn disjoint_concurrent_writes_all_land() {
+    forall_cases("disjoint_concurrent_writes_all_land", 32, |rng| {
+        let cores = 2 + rng.next_below(7) as usize;
+        let writes_per_core = 1 + rng.next_below(9) as usize;
         let cfg = CmpConfig::icpp2010_with_cores(cores);
         let mut sys = MemorySystem::new(&cfg);
-        let mut rng = sim_base::rng::SplitMix64::new(seed);
         // Each core writes its own column of addresses (may share lines
         // with other cores' columns → false sharing exercised).
         let plan: Vec<Vec<(u64, u64)>> = (0..cores)
@@ -161,11 +203,10 @@ proptest! {
         loop {
             let mut done = true;
             for c in 0..cores {
-                if pending[c]
-                    && sys.poll(CoreId::from(c)).is_some() {
-                        pending[c] = false;
-                        idx[c] += 1;
-                    }
+                if pending[c] && sys.poll(CoreId::from(c)).is_some() {
+                    pending[c] = false;
+                    idx[c] += 1;
+                }
                 if !pending[c] && idx[c] < writes_per_core {
                     let (a, v) = plan[c][idx[c]];
                     sys.request(CoreId::from(c), CoreReq::Store { addr: a, value: v });
@@ -180,12 +221,12 @@ proptest! {
             }
             sys.tick();
             guard += 1;
-            prop_assert!(guard < 1_000_000);
+            assert!(guard < 1_000_000);
         }
         for c in 0..cores {
             for &(a, v) in &plan[c] {
-                prop_assert_eq!(sys.peek_word(a), v, "core {} address 0x{:x}", c, a);
+                assert_eq!(sys.peek_word(a), v, "core {c} address 0x{a:x}");
             }
         }
-    }
+    });
 }

@@ -56,9 +56,17 @@ mod tests {
     fn flit_counts() {
         // Table-1 geometry: 75-byte links, 11-byte header.
         assert_eq!(flits_for(0, 11, 75), 1, "control message is one flit");
-        assert_eq!(flits_for(64, 11, 75), 1, "header + full line fits one link word");
+        assert_eq!(
+            flits_for(64, 11, 75),
+            1,
+            "header + full line fits one link word"
+        );
         assert_eq!(flits_for(65, 11, 75), 2);
-        assert_eq!(flits_for(0, 0, 75), 1, "degenerate empty message still one flit");
+        assert_eq!(
+            flits_for(0, 0, 75),
+            1,
+            "degenerate empty message still one flit"
+        );
         // Narrow links: 64-byte line + 8-byte header on 16-byte links.
         assert_eq!(flits_for(64, 8, 16), 5);
     }

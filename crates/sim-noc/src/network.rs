@@ -5,6 +5,7 @@ use crate::router::{Router, WormLock, NUM_PORTS, NUM_VCS};
 use crate::stats::NocStats;
 use sim_base::config::NocConfig;
 use sim_base::geom::Dir;
+use sim_base::trace::{Event, NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle, Mesh2D};
 use std::collections::{HashMap, VecDeque};
 
@@ -29,14 +30,15 @@ struct EjectEntry {
 /// watchdog trips.
 const DEFAULT_WATCHDOG: u64 = 1_000_000;
 
-/// The cycle-level mesh NoC, generic over the payload type `T`.
+/// The cycle-level mesh NoC, generic over the payload type `T` and a
+/// [`TraceSink`] (the default [`NullSink`] compiles tracing away).
 ///
 /// Driving contract (same as the other hardware models in this project):
 /// during a cycle, clients may [`send`](Noc::send) and
 /// [`recv`](Noc::recv); the simulator then calls [`tick`](Noc::tick)
 /// exactly once per cycle.
 #[derive(Debug)]
-pub struct Noc<T> {
+pub struct Noc<T, S: TraceSink = NullSink> {
     mesh: Mesh2D,
     cfg: NocConfig,
     routers: Vec<Router>,
@@ -61,12 +63,24 @@ pub struct Noc<T> {
     active_flits: usize,
     watchdog: u64,
     stats: NocStats,
+    tracer: Tracer<S>,
 }
 
 impl<T> Noc<T> {
     /// Builds the NoC for a mesh.
     pub fn new(mesh: Mesh2D, cfg: NocConfig) -> Noc<T> {
-        assert!(cfg.vc_buffer_flits >= 1, "VC buffers need at least one flit");
+        Noc::traced(mesh, cfg, Tracer::default())
+    }
+}
+
+impl<T, S: TraceSink> Noc<T, S> {
+    /// Builds a traced NoC: sends, per-flit link hops and deliveries are
+    /// emitted into `tracer`.
+    pub fn traced(mesh: Mesh2D, cfg: NocConfig, tracer: Tracer<S>) -> Noc<T, S> {
+        assert!(
+            cfg.vc_buffer_flits >= 1,
+            "VC buffers need at least one flit"
+        );
         assert!(cfg.link_bytes >= 1);
         let n = mesh.num_tiles();
         Noc {
@@ -85,7 +99,13 @@ impl<T> Noc<T> {
             active_flits: 0,
             watchdog: DEFAULT_WATCHDOG,
             stats: NocStats::default(),
+            tracer,
         }
+    }
+
+    /// The tracer this NoC emits into.
+    pub fn tracer(&self) -> &Tracer<S> {
+        &self.tracer
     }
 
     /// The mesh this network spans.
@@ -127,8 +147,16 @@ impl<T> Noc<T> {
     /// Injects a message. Same-tile messages bypass the mesh and arrive
     /// next cycle; all others are flit-ized and compete for links.
     pub fn send(&mut self, msg: Message<T>) {
-        assert!(msg.src.index() < self.mesh.num_tiles(), "bad src {:?}", msg.src);
-        assert!(msg.dst.index() < self.mesh.num_tiles(), "bad dst {:?}", msg.dst);
+        assert!(
+            msg.src.index() < self.mesh.num_tiles(),
+            "bad src {:?}",
+            msg.src
+        );
+        assert!(
+            msg.dst.index() < self.mesh.num_tiles(),
+            "bad dst {:?}",
+            msg.dst
+        );
         if msg.src == msg.dst {
             self.stats.local_bypass += 1;
             // Delivered by this cycle's tick, i.e. visible to the
@@ -137,7 +165,11 @@ impl<T> Noc<T> {
             return;
         }
         self.stats.sent.add(msg.class, 1);
-        let nflits = flits_for(msg.payload_bytes, self.cfg.header_bytes, self.cfg.link_bytes);
+        let nflits = flits_for(
+            msg.payload_bytes,
+            self.cfg.header_bytes,
+            self.cfg.link_bytes,
+        );
         let pkt = self.next_pkt;
         self.next_pkt += 1;
         self.packets.insert(
@@ -150,10 +182,21 @@ impl<T> Noc<T> {
                 flits_arrived: 0,
             },
         );
+        self.tracer.emit(self.now, || Event::NocSend {
+            pkt,
+            src: msg.src,
+            dst: msg.dst,
+            class: msg.class,
+            flits: nflits,
+        });
         let vc = msg.class.index();
         let q = &mut self.inject_q[msg.src.index()][vc];
         for i in 0..nflits {
-            q.push_back(Flit { pkt, is_head: i == 0, is_tail: i == nflits - 1 });
+            q.push_back(Flit {
+                pkt,
+                is_head: i == 0,
+                is_tail: i == nflits - 1,
+            });
         }
         self.active_flits += nflits as usize;
         self.payloads.insert(pkt, msg);
@@ -167,7 +210,8 @@ impl<T> Noc<T> {
     /// Next output direction for a packet at router `r`.
     fn route(&self, r: usize, pkt: u64) -> Dir {
         let dst = self.packets[&pkt].dst;
-        self.mesh.xy_next(self.mesh.coord_of(CoreId::from(r)), self.mesh.coord_of(dst))
+        self.mesh
+            .xy_next(self.mesh.coord_of(CoreId::from(r)), self.mesh.coord_of(dst))
     }
 
     /// Advances the network one cycle.
@@ -264,13 +308,18 @@ impl<T> Noc<T> {
                 continue;
             }
             // Grant.
-            let flit = self.routers[r].in_buf[p][vc].pop_front().expect("head exists");
+            let flit = self.routers[r].in_buf[p][vc]
+                .pop_front()
+                .expect("head exists");
             self.routers[r].rr[out_i] = (slot + 1) % (NUM_PORTS * NUM_VCS);
             // Wormhole lock maintenance.
             self.routers[r].out_lock[out_i][vc] = if flit.is_tail {
                 None
             } else {
-                Some(WormLock { pkt: flit.pkt, in_port: p })
+                Some(WormLock {
+                    pkt: flit.pkt,
+                    in_port: p,
+                })
             };
             // Credit return to the upstream router this flit came from.
             if p != Dir::Local.index() {
@@ -290,6 +339,11 @@ impl<T> Noc<T> {
             } else {
                 self.routers[r].credits[out_i][vc] -= 1;
                 self.stats.flit_hops += 1;
+                self.tracer.emit(now, || Event::NocFlitHop {
+                    pkt: flit.pkt,
+                    at: CoreId::from(r),
+                    port: out,
+                });
                 let nb = self
                     .mesh
                     .neighbor(self.mesh.coord_of(CoreId::from(r)), out)
@@ -309,14 +363,26 @@ impl<T> Noc<T> {
     /// Accounts an ejected flit; on the tail, reassembles and delivers.
     fn finish_flit(&mut self, flit: Flit, now: Cycle) {
         self.active_flits -= 1;
-        let info = self.packets.get_mut(&flit.pkt).expect("packet state exists");
+        let info = self
+            .packets
+            .get_mut(&flit.pkt)
+            .expect("packet state exists");
         info.flits_arrived += 1;
         if flit.is_tail {
-            debug_assert_eq!(info.flits_arrived, info.flits_total, "tail arrived before body");
+            debug_assert_eq!(
+                info.flits_arrived, info.flits_total,
+                "tail arrived before body"
+            );
             let info = self.packets.remove(&flit.pkt).expect("present");
             let msg = self.payloads.remove(&flit.pkt).expect("payload parked");
             self.stats.delivered.add(info.class, 1);
             self.stats.latency[info.class.index()].record(now - info.injected_at);
+            self.tracer.emit(now, || Event::NocDeliver {
+                pkt: flit.pkt,
+                dst: info.dst,
+                class: info.class,
+                latency: now - info.injected_at,
+            });
             self.delivered[info.dst.index()].push_back(msg);
         }
     }
@@ -332,10 +398,16 @@ mod tests {
     }
 
     fn msg(src: usize, dst: usize, class: MsgClass, bytes: u32, tag: u32) -> Message<u32> {
-        Message { src: CoreId::from(src), dst: CoreId::from(dst), class, payload_bytes: bytes, payload: tag }
+        Message {
+            src: CoreId::from(src),
+            dst: CoreId::from(dst),
+            class,
+            payload_bytes: bytes,
+            payload: tag,
+        }
     }
 
-    fn run_until_idle(n: &mut Noc<u32>, max: u64) {
+    fn run_until_idle<S: TraceSink>(n: &mut Noc<u32, S>, max: u64) {
         let mut c = 0;
         while !n.is_idle() {
             n.tick();
@@ -371,7 +443,11 @@ mod tests {
         n.send(msg(2, 2, Request, 0, 9));
         n.tick();
         assert_eq!(n.recv(CoreId(2)).map(|m| m.payload), Some(9));
-        assert_eq!(n.stats().total_messages(), 0, "bypass is not network traffic");
+        assert_eq!(
+            n.stats().total_messages(),
+            0,
+            "bypass is not network traffic"
+        );
         assert_eq!(n.stats().local_bypass, 1);
     }
 
@@ -399,17 +475,36 @@ mod tests {
         while let Some(m) = n.recv(CoreId(15)) {
             got.push(m.payload);
         }
-        assert_eq!(got, (0..20).collect::<Vec<_>>(), "same src/dst/class must stay FIFO");
+        assert_eq!(
+            got,
+            (0..20).collect::<Vec<_>>(),
+            "same src/dst/class must stay FIFO"
+        );
     }
 
     #[test]
     fn multiflit_packets_do_not_interleave_within_a_vc() {
         // Narrow links force multi-flit packets; two senders share the
         // east-bound path through the middle column.
-        let cfg = NocConfig { link_bytes: 16, ..NocConfig::default() }; // 5 flits/packet
+        let cfg = NocConfig {
+            link_bytes: 16,
+            ..NocConfig::default()
+        }; // 5 flits/packet
         let mut n: Noc<u32> = Noc::new(Mesh2D::new(1, 3), cfg);
-        n.send(Message { src: CoreId(0), dst: CoreId(2), class: Request, payload_bytes: 64, payload: 0 });
-        n.send(Message { src: CoreId(1), dst: CoreId(2), class: Request, payload_bytes: 64, payload: 1 });
+        n.send(Message {
+            src: CoreId(0),
+            dst: CoreId(2),
+            class: Request,
+            payload_bytes: 64,
+            payload: 0,
+        });
+        n.send(Message {
+            src: CoreId(1),
+            dst: CoreId(2),
+            class: Request,
+            payload_bytes: 64,
+            payload: 1,
+        });
         run_until_idle(&mut n, 2000);
         assert_eq!(n.stats().delivered[Request], 2);
         // 5 flits over 2 hops + 5 flits over 1 hop.
@@ -428,12 +523,18 @@ mod tests {
         let lat = n.stats().latency_of(Request);
         assert_eq!(lat.count(), 8);
         assert_eq!(lat.min(), Some(7));
-        assert!(lat.max().unwrap() >= 7 + 7, "serialization must delay the tail");
+        assert!(
+            lat.max().unwrap() >= 7 + 7,
+            "serialization must delay the tail"
+        );
     }
 
     #[test]
     fn tiny_buffers_still_deliver_everything() {
-        let cfg = NocConfig { vc_buffer_flits: 1, ..NocConfig::default() };
+        let cfg = NocConfig {
+            vc_buffer_flits: 1,
+            ..NocConfig::default()
+        };
         let mut n: Noc<u32> = Noc::new(Mesh2D::new(4, 4), cfg);
         let mut expect = [0u32; 16];
         let mut tag = 0;
@@ -464,7 +565,13 @@ mod tests {
         for s in 0..32 {
             for d in 0..32 {
                 if s != d {
-                    n.send(msg(s, d, classes[(s + d) % 3], ((s * d) % 2 * 64) as u32, 0));
+                    n.send(msg(
+                        s,
+                        d,
+                        classes[(s + d) % 3],
+                        ((s * d) % 2 * 64) as u32,
+                        0,
+                    ));
                 }
             }
         }
@@ -506,5 +613,46 @@ mod tests {
             n.tick();
         }
         assert_eq!(n.now(), 100);
+    }
+
+    #[test]
+    fn traced_noc_reports_send_hops_and_delivery() {
+        use sim_base::trace::{Event, RingSink, Tracer};
+        let tracer = Tracer::new(RingSink::new(128));
+        let mut n: Noc<u32, RingSink> =
+            Noc::traced(Mesh2D::new(1, 3), NocConfig::default(), tracer.clone());
+        n.send(msg(0, 2, Request, 0, 5));
+        run_until_idle(&mut n, 100);
+        let events: Vec<Event> = tracer.with_sink(|s| s.events().map(|(_, e)| e.clone()).collect());
+        let sends: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::NocSend { .. }))
+            .collect();
+        assert_eq!(sends.len(), 1);
+        assert!(matches!(
+            sends[0],
+            Event::NocSend {
+                pkt: 0,
+                flits: 1,
+                class: Request,
+                ..
+            }
+        ));
+        // Two link hops (0→1, 1→2), then the delivery with the measured latency.
+        let hops = events
+            .iter()
+            .filter(|e| matches!(e, Event::NocFlitHop { .. }))
+            .count();
+        assert_eq!(hops as u64, n.stats().flit_hops);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::NocDeliver {
+                pkt: 0,
+                latency: 11,
+                ..
+            }
+        )));
+        // Wormhole locks all cleared once drained.
+        assert!(n.routers.iter().all(|r| r.locked_outputs() == 0));
     }
 }

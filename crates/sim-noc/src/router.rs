@@ -58,6 +58,18 @@ impl Router {
     pub fn has_space(&self, port: Dir, vc: usize, cap: u32) -> bool {
         (self.in_buf[port.index()][vc].len() as u32) < cap
     }
+
+    /// Number of output (port, vc) pairs currently bound by a wormhole
+    /// lock — an observability hook for trace-driven invariant checks
+    /// (every lock must eventually clear when the network drains).
+    #[allow(dead_code)]
+    pub fn locked_outputs(&self) -> usize {
+        self.out_lock
+            .iter()
+            .flatten()
+            .filter(|l| l.is_some())
+            .count()
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,15 @@
 //! Property tests for the NoC: arbitrary traffic must be delivered
 //! exactly once, per-pair-per-class FIFO order must hold, and the
 //! network must drain to idle under any buffer size.
+//!
+//! Runs on the in-repo seed-sweep harness ([`sim_base::check`]) instead of
+//! an external property-testing crate, so the suite builds fully offline.
 
 #![allow(clippy::needless_range_loop)] // indexing parallel arrays
 
-use proptest::prelude::*;
+use sim_base::check::forall_cases;
 use sim_base::config::NocConfig;
+use sim_base::rng::SplitMix64;
 use sim_base::stats::MsgClass;
 use sim_base::{CoreId, Mesh2D};
 use sim_noc::{Message, Noc};
@@ -18,35 +22,37 @@ struct Traffic {
     bytes: u32,
 }
 
-fn arb_class() -> impl Strategy<Value = MsgClass> {
-    prop_oneof![Just(MsgClass::Request), Just(MsgClass::Reply), Just(MsgClass::Coherence)]
+fn arb_class(rng: &mut SplitMix64) -> MsgClass {
+    [MsgClass::Request, MsgClass::Reply, MsgClass::Coherence][rng.next_below(3) as usize]
 }
 
-fn arb_traffic(tiles: usize) -> impl Strategy<Value = Traffic> {
-    (0..tiles, 0..tiles, arb_class(), prop_oneof![Just(0u32), Just(64u32)])
-        .prop_map(|(src, dst, class, bytes)| Traffic { src, dst, class, bytes })
+fn arb_traffic(rng: &mut SplitMix64, tiles: usize) -> Traffic {
+    Traffic {
+        src: rng.next_below(tiles as u64) as usize,
+        dst: rng.next_below(tiles as u64) as usize,
+        class: arb_class(rng),
+        bytes: if rng.chance(0.5) { 0 } else { 64 },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_message_delivered_exactly_once(
-        rows in 1u16..=4,
-        cols in 1u16..=8,
-        msgs in prop::collection::vec(arb_traffic(32), 1..200),
-        buf in 1u32..=8,
-    ) {
+#[test]
+fn every_message_delivered_exactly_once() {
+    forall_cases("every_message_delivered_exactly_once", 48, |rng| {
+        let rows = 1 + rng.next_below(4) as u16;
+        let cols = 1 + rng.next_below(8) as u16;
         let mesh = Mesh2D::new(rows, cols);
         let tiles = mesh.num_tiles();
-        let cfg = NocConfig { vc_buffer_flits: buf, ..NocConfig::default() };
+        let buf = 1 + rng.next_below(8) as u32;
+        let n_msgs = 1 + rng.next_below(199) as usize;
+        let cfg = NocConfig {
+            vc_buffer_flits: buf,
+            ..NocConfig::default()
+        };
         let mut noc: Noc<usize> = Noc::new(mesh, cfg);
         let mut expected = vec![0usize; tiles];
         let mut sent = 0;
-        for (tag, t) in msgs.iter().enumerate() {
-            if t.src >= tiles || t.dst >= tiles {
-                continue;
-            }
+        for tag in 0..n_msgs {
+            let t = arb_traffic(rng, tiles);
             noc.send(Message {
                 src: CoreId::from(t.src),
                 dst: CoreId::from(t.dst),
@@ -61,31 +67,35 @@ proptest! {
         while !noc.is_idle() {
             noc.tick();
             guard += 1;
-            prop_assert!(guard < 1_000_000, "network failed to drain");
+            assert!(guard < 1_000_000, "network failed to drain");
         }
         let mut got = 0;
         let mut seen = std::collections::HashSet::new();
         for d in 0..tiles {
             let mut count = 0;
             while let Some(m) = noc.recv(CoreId::from(d)) {
-                prop_assert!(seen.insert(m.payload), "message {} delivered twice", m.payload);
-                prop_assert_eq!(m.dst.index(), d, "delivered to the wrong tile");
+                assert!(
+                    seen.insert(m.payload),
+                    "message {} delivered twice",
+                    m.payload
+                );
+                assert_eq!(m.dst.index(), d, "delivered to the wrong tile");
                 count += 1;
             }
-            prop_assert_eq!(count, expected[d], "tile {} delivery count", d);
+            assert_eq!(count, expected[d], "tile {d} delivery count");
             got += count;
         }
-        prop_assert_eq!(got, sent);
-    }
+        assert_eq!(got, sent);
+    });
+}
 
-    #[test]
-    fn per_pair_per_class_fifo(
-        n_msgs in 1usize..60,
-        src in 0usize..8,
-        dst in 0usize..8,
-        class in arb_class(),
-    ) {
-        prop_assume!(src != dst);
+#[test]
+fn per_pair_per_class_fifo() {
+    forall_cases("per_pair_per_class_fifo", 48, |rng| {
+        let n_msgs = 1 + rng.next_below(59) as usize;
+        let src = rng.next_below(8) as usize;
+        let dst = (src + 1 + rng.next_below(7) as usize) % 8;
+        let class = arb_class(rng);
         let mesh = Mesh2D::new(2, 4);
         let mut noc: Noc<usize> = Noc::new(mesh, NocConfig::default());
         for i in 0..n_msgs {
@@ -101,21 +111,21 @@ proptest! {
         while !noc.is_idle() {
             noc.tick();
             guard += 1;
-            prop_assert!(guard < 100_000);
+            assert!(guard < 100_000);
         }
         let mut got = Vec::new();
         while let Some(m) = noc.recv(CoreId::from(dst)) {
             got.push(m.payload);
         }
-        prop_assert_eq!(got, (0..n_msgs).collect::<Vec<_>>());
-    }
+        assert_eq!(got, (0..n_msgs).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn flit_hops_match_manhattan_distance(
-        src in 0usize..32,
-        dst in 0usize..32,
-    ) {
-        prop_assume!(src != dst);
+#[test]
+fn flit_hops_match_manhattan_distance() {
+    forall_cases("flit_hops_match_manhattan_distance", 48, |rng| {
+        let src = rng.next_below(32) as usize;
+        let dst = (src + 1 + rng.next_below(31) as usize) % 32;
         let mesh = Mesh2D::new(4, 8);
         let mut noc: Noc<u8> = Noc::new(mesh, NocConfig::default());
         noc.send(Message {
@@ -128,9 +138,15 @@ proptest! {
         while !noc.is_idle() {
             noc.tick();
         }
-        let hops = mesh.manhattan(mesh.coord_of(CoreId::from(src)), mesh.coord_of(CoreId::from(dst)));
-        prop_assert_eq!(noc.stats().flit_hops, hops as u64);
+        let hops = mesh.manhattan(
+            mesh.coord_of(CoreId::from(src)),
+            mesh.coord_of(CoreId::from(dst)),
+        );
+        assert_eq!(noc.stats().flit_hops, hops as u64);
         // And the latency is exactly hops × (router + link) + ejection.
-        prop_assert_eq!(noc.stats().latency_of(MsgClass::Request).max(), Some(hops as u64 * 4 + 3));
-    }
+        assert_eq!(
+            noc.stats().latency_of(MsgClass::Request).max(),
+            Some(hops as u64 * 4 + 3)
+        );
+    });
 }

@@ -2,9 +2,9 @@
 //! the paper's CSW baseline (with an atomic `fetch_add` in place of the
 //! lock; the contention pattern on the release flag is the same).
 
+use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::ThreadBarrier;
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Centralized sense-reversal barrier: one shared counter, one shared
@@ -22,7 +22,9 @@ impl CentralizedBarrier {
         CentralizedBarrier {
             count: CachePadded::new(AtomicUsize::new(0)),
             sense: CachePadded::new(AtomicBool::new(false)),
-            local_sense: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+            local_sense: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
         }
     }
 }

@@ -2,9 +2,9 @@
 //! DSW baseline: a k-ary tree of counters; the last arriver at each node
 //! climbs, and the release unwinds down the winners' paths.
 
+use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::ThreadBarrier;
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 struct Node {
@@ -59,7 +59,9 @@ impl CombiningTreeBarrier {
             nodes,
             level_off,
             levels,
-            local_sense: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+            local_sense: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
         }
     }
 

@@ -3,9 +3,9 @@
 //! thread `(t + 2ʳ) mod n` and waits to be signalled — no single hot
 //! location, all spinning on locally-owned flags.
 
+use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::ThreadBarrier;
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 /// Per-thread private episode state (parity and sense), owned by its
@@ -32,7 +32,11 @@ impl DisseminationBarrier {
         let rounds = if n == 1 { 0 } else { rounds };
         let make = || {
             (0..n)
-                .map(|_| (0..rounds).map(|_| CachePadded::new(AtomicBool::new(false))).collect())
+                .map(|_| {
+                    (0..rounds)
+                        .map(|_| CachePadded::new(AtomicBool::new(false)))
+                        .collect()
+                })
                 .collect()
         };
         DisseminationBarrier {
@@ -73,7 +77,9 @@ impl ThreadBarrier for DisseminationBarrier {
         if parity == 1 {
             self.private[tid].sense.store(!sense, Ordering::Relaxed);
         }
-        self.private[tid].parity.store(1 - parity as u8, Ordering::Relaxed);
+        self.private[tid]
+            .parity
+            .store(1 - parity as u8, Ordering::Relaxed);
     }
 }
 

@@ -40,16 +40,19 @@
 pub mod centralized;
 pub mod combining;
 pub mod dissemination;
+pub mod pad;
 pub mod scoped;
+mod spin;
 pub mod static_tree;
 pub mod tournament;
-mod spin;
+pub mod traced;
 
 pub use centralized::CentralizedBarrier;
 pub use combining::CombiningTreeBarrier;
 pub use dissemination::DisseminationBarrier;
 pub use static_tree::StaticTreeBarrier;
 pub use tournament::TournamentBarrier;
+pub use traced::TracedBarrier;
 
 /// A reusable N-thread barrier. Thread ids must be distinct and in
 /// `0..num_threads()`; every thread must participate in every episode.
@@ -73,8 +76,7 @@ pub(crate) mod test_harness {
     pub fn check_barrier<B: ThreadBarrier + 'static>(bar: B, episodes: u64) {
         let n = bar.num_threads();
         let bar = Arc::new(bar);
-        let stamps: Arc<Vec<AtomicU64>> =
-            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let stamps: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
         let handles: Vec<_> = (0..n)
             .map(|tid| {
                 let bar = Arc::clone(&bar);

@@ -32,8 +32,7 @@ where
     std::thread::scope(|s| {
         let barrier = &barrier;
         let f = &f;
-        let handles: Vec<_> =
-            (0..n).map(|tid| s.spawn(move || f(tid, barrier))).collect();
+        let handles: Vec<_> = (0..n).map(|tid| s.spawn(move || f(tid, barrier))).collect();
         for h in handles {
             h.join().expect("barrier worker panicked");
         }

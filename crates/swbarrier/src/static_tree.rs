@@ -3,9 +3,9 @@
 //! propagates root → leaves. Every spin is on a flag only one other
 //! thread writes.
 
+use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::ThreadBarrier;
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The static binary tree barrier.
@@ -25,14 +25,22 @@ impl StaticTreeBarrier {
         assert!(n >= 1);
         StaticTreeBarrier {
             n,
-            arrived: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
-            release: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
-            sense: (0..n).map(|_| CachePadded::new(AtomicBool::new(true))).collect(),
+            arrived: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            release: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            sense: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(true)))
+                .collect(),
         }
     }
 
     fn children(&self, tid: usize) -> impl Iterator<Item = usize> + '_ {
-        [2 * tid + 1, 2 * tid + 2].into_iter().filter(move |&c| c < self.n)
+        [2 * tid + 1, 2 * tid + 2]
+            .into_iter()
+            .filter(move |&c| c < self.n)
     }
 }
 

@@ -3,9 +3,9 @@
 //! signals the winner and spins; the champion starts a wakeup wave that
 //! retraces the bracket.
 
+use crate::pad::CachePadded;
 use crate::spin::spin_until;
 use crate::ThreadBarrier;
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Role of a thread in one round (1-based rounds).
@@ -44,8 +44,11 @@ impl TournamentBarrier {
     /// A barrier for `n` threads.
     pub fn new(n: usize) -> TournamentBarrier {
         assert!(n >= 1);
-        let rounds =
-            if n == 1 { 0 } else { usize::BITS as usize - (n - 1).leading_zeros() as usize };
+        let rounds = if n == 1 {
+            0
+        } else {
+            usize::BITS as usize - (n - 1).leading_zeros() as usize
+        };
         let roles = (0..n)
             .map(|tid| {
                 (1..=rounds)
@@ -54,12 +57,16 @@ impl TournamentBarrier {
                         let half = 1usize << (r - 1);
                         if tid % step == 0 {
                             if tid + half < n {
-                                Role::Winner { partner: tid + half }
+                                Role::Winner {
+                                    partner: tid + half,
+                                }
                             } else {
                                 Role::Bye
                             }
                         } else if tid % step == half {
-                            Role::Loser { partner: tid - half }
+                            Role::Loser {
+                                partner: tid - half,
+                            }
                         } else {
                             // Already eliminated before round r; the
                             // entry is never consulted at runtime.
@@ -75,10 +82,18 @@ impl TournamentBarrier {
             rounds,
             roles,
             arrival: (0..n)
-                .map(|_| (0..rounds).map(|_| CachePadded::new(AtomicBool::new(false))).collect())
+                .map(|_| {
+                    (0..rounds)
+                        .map(|_| CachePadded::new(AtomicBool::new(false)))
+                        .collect()
+                })
                 .collect(),
-            release: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
-            sense: (0..n).map(|_| CachePadded::new(AtomicBool::new(true))).collect(),
+            release: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            sense: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(true)))
+                .collect(),
         }
     }
 
@@ -144,8 +159,10 @@ mod tests {
         assert_eq!(b.rounds(), 3);
         // Thread 0 wins every round; everyone else loses exactly once.
         for tid in 1..8 {
-            let losses =
-                b.roles[tid].iter().filter(|r| matches!(r, Role::Loser { .. })).count();
+            let losses = b.roles[tid]
+                .iter()
+                .filter(|r| matches!(r, Role::Loser { .. }))
+                .count();
             assert_eq!(losses, 1, "thread {tid}");
         }
         assert!(b.roles[0].iter().all(|r| matches!(r, Role::Winner { .. })));

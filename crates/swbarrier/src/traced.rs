@@ -1,0 +1,138 @@
+//! A tracing decorator for any [`ThreadBarrier`].
+//!
+//! Wraps a barrier so every episode emits a [`SwArrive`] when a thread
+//! reaches the barrier and a [`SwRelease`] when it leaves, into a
+//! [`SharedTracer`] that real threads can share. Stamps are episode
+//! numbers (there is no simulated clock on the host), so the recorded
+//! stream still sorts into barrier order.
+//!
+//! [`SwArrive`]: sim_base::trace::Event::SwArrive
+//! [`SwRelease`]: sim_base::trace::Event::SwRelease
+
+use crate::pad::CachePadded;
+use crate::ThreadBarrier;
+use sim_base::trace::{Event, SharedTracer, TraceSink};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`ThreadBarrier`] that records arrivals and releases.
+pub struct TracedBarrier<B: ThreadBarrier, S: TraceSink + Send> {
+    inner: B,
+    tracer: SharedTracer<S>,
+    episode: Vec<CachePadded<AtomicU64>>,
+}
+
+impl<B: ThreadBarrier, S: TraceSink + Send> TracedBarrier<B, S> {
+    /// Wraps `inner`, emitting into `tracer`.
+    pub fn new(inner: B, tracer: SharedTracer<S>) -> TracedBarrier<B, S> {
+        let n = inner.num_threads();
+        TracedBarrier {
+            inner,
+            tracer,
+            episode: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// The shared tracer (e.g. to drain the sink after a run).
+    pub fn tracer(&self) -> &SharedTracer<S> {
+        &self.tracer
+    }
+
+    /// Unwraps the inner barrier.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: ThreadBarrier, S: TraceSink + Send> ThreadBarrier for TracedBarrier<B, S> {
+    fn num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+
+    fn wait(&self, tid: usize) {
+        let episode = self.episode[tid].fetch_add(1, Ordering::Relaxed) + 1;
+        self.tracer.emit(episode, || Event::SwArrive {
+            tid: tid as u32,
+            episode,
+        });
+        self.inner.wait(tid);
+        self.tracer.emit(episode, || Event::SwRelease {
+            tid: tid as u32,
+            episode,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CentralizedBarrier;
+    use sim_base::trace::RingSink;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_arrive_release_pairs_per_episode() {
+        let n = 4;
+        let episodes = 8u64;
+        let tracer = SharedTracer::new(RingSink::new(4096));
+        let bar = Arc::new(TracedBarrier::new(
+            CentralizedBarrier::new(n),
+            tracer.clone(),
+        ));
+        let handles: Vec<_> = (0..n)
+            .map(|tid| {
+                let bar = Arc::clone(&bar);
+                std::thread::spawn(move || {
+                    for _ in 0..episodes {
+                        bar.wait(tid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let recs: Vec<Event> = tracer.with_sink(|s| s.events().map(|(_, e)| e.clone()).collect());
+        assert_eq!(recs.len(), n * episodes as usize * 2);
+        for e in 1..=episodes {
+            for tid in 0..n as u32 {
+                let arrive = recs
+                    .iter()
+                    .position(|ev| matches!(ev, Event::SwArrive { tid: t, episode } if *t == tid && *episode == e));
+                let release = recs
+                    .iter()
+                    .position(|ev| matches!(ev, Event::SwRelease { tid: t, episode } if *t == tid && *episode == e));
+                let (a, r) = (
+                    arrive.expect("arrive recorded"),
+                    release.expect("release recorded"),
+                );
+                assert!(a < r, "thread {tid} episode {e}: release before arrive");
+            }
+        }
+        // A release of episode e appears only after *every* arrival of e.
+        for e in 1..=episodes {
+            let last_arrive = recs
+                .iter()
+                .rposition(|ev| matches!(ev, Event::SwArrive { episode, .. } if *episode == e))
+                .unwrap();
+            let first_release = recs
+                .iter()
+                .position(|ev| matches!(ev, Event::SwRelease { episode, .. } if *episode == e))
+                .unwrap();
+            assert!(
+                last_arrive < first_release,
+                "episode {e}: a thread was released before all had arrived"
+            );
+        }
+    }
+
+    #[test]
+    fn null_sink_wrapper_still_synchronizes() {
+        let tracer: SharedTracer<sim_base::trace::NullSink> =
+            SharedTracer::new(sim_base::trace::NullSink);
+        let bar = TracedBarrier::new(CentralizedBarrier::new(3), tracer);
+        crate::test_harness::check_barrier(bar, 50);
+    }
+}

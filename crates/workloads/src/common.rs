@@ -31,7 +31,11 @@ impl Workload {
     /// Instantiates the workload on a machine. `cfg.num_cores()` must
     /// match the core count the workload was generated for.
     pub fn into_system(&self, cfg: CmpConfig) -> System {
-        assert_eq!(cfg.num_cores(), self.progs.len(), "workload built for a different core count");
+        assert_eq!(
+            cfg.num_cores(),
+            self.progs.len(),
+            "workload built for a different core count"
+        );
         let mut sys = System::new(cfg, self.progs.clone());
         for &(addr, val) in &self.pokes {
             sys.poke_word(addr, val);
@@ -126,7 +130,10 @@ mod tests {
                         seen[i] = true;
                     }
                 }
-                assert!(seen.iter().all(|&s| s), "n={n} cores={cores} left items unassigned");
+                assert!(
+                    seen.iter().all(|&s| s),
+                    "n={n} cores={cores} left items unassigned"
+                );
             }
         }
     }

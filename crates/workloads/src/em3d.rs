@@ -35,12 +35,24 @@ pub struct Em3dParams {
 impl Em3dParams {
     /// The paper's configuration (38 400 nodes, degree 2, 15%, 25 steps).
     pub fn paper() -> Em3dParams {
-        Em3dParams { nodes: 19_200, degree: 2, pct_remote: 0.15, steps: 25, seed: 0xE3D }
+        Em3dParams {
+            nodes: 19_200,
+            degree: 2,
+            pct_remote: 0.15,
+            steps: 25,
+            seed: 0xE3D,
+        }
     }
 
     /// Scaled-down configuration.
     pub fn scaled(nodes: usize, steps: u64) -> Em3dParams {
-        Em3dParams { nodes, degree: 2, pct_remote: 0.15, steps, seed: 0xE3D }
+        Em3dParams {
+            nodes,
+            degree: 2,
+            pct_remote: 0.15,
+            steps,
+            seed: 0xE3D,
+        }
     }
 }
 
@@ -76,8 +88,20 @@ pub fn build(n_cores: usize, kind: BarrierKind, p: Em3dParams) -> Workload {
 
     // Two independent bipartite halves: E nodes read H values and vice
     // versa. Same topology generator, different streams.
-    let e_nbrs = graph(Em3dParams { seed: p.seed ^ 1, ..p }, n_cores);
-    let h_nbrs = graph(Em3dParams { seed: p.seed ^ 2, ..p }, n_cores);
+    let e_nbrs = graph(
+        Em3dParams {
+            seed: p.seed ^ 1,
+            ..p
+        },
+        n_cores,
+    );
+    let h_nbrs = graph(
+        Em3dParams {
+            seed: p.seed ^ 2,
+            ..p
+        },
+        n_cores,
+    );
 
     let mut pokes = Vec::new();
     let mut r = SplitMix64::new(p.seed ^ 3);
@@ -97,7 +121,9 @@ pub fn build(n_cores: usize, kind: BarrierKind, p: Em3dParams) -> Workload {
             for i in mine.clone() {
                 b.li(t1, (e_vals + i as u64 * 8) as i64).ld(acc, 0, t1);
                 for &nb in &e_nbrs[i] {
-                    b.li(t1, (h_vals + nb as u64 * 8) as i64).ld(t2, 0, t1).add(acc, acc, t2);
+                    b.li(t1, (h_vals + nb as u64 * 8) as i64)
+                        .ld(t2, 0, t1)
+                        .add(acc, acc, t2);
                 }
                 b.li(t1, (e_vals + i as u64 * 8) as i64).st(acc, 0, t1);
             }
@@ -106,7 +132,9 @@ pub fn build(n_cores: usize, kind: BarrierKind, p: Em3dParams) -> Workload {
             for i in mine.clone() {
                 b.li(t1, (h_vals + i as u64 * 8) as i64).ld(acc, 0, t1);
                 for &nb in &h_nbrs[i] {
-                    b.li(t1, (e_vals + nb as u64 * 8) as i64).ld(t2, 0, t1).add(acc, acc, t2);
+                    b.li(t1, (e_vals + nb as u64 * 8) as i64)
+                        .ld(t2, 0, t1)
+                        .add(acc, acc, t2);
                 }
                 b.li(t1, (h_vals + i as u64 * 8) as i64).st(acc, 0, t1);
             }
@@ -127,8 +155,20 @@ pub fn build(n_cores: usize, kind: BarrierKind, p: Em3dParams) -> Workload {
 
 /// Host-side reference: final (e, h) values.
 pub fn expected(p: Em3dParams, n_cores: usize) -> (Vec<u64>, Vec<u64>) {
-    let e_nbrs = graph(Em3dParams { seed: p.seed ^ 1, ..p }, n_cores);
-    let h_nbrs = graph(Em3dParams { seed: p.seed ^ 2, ..p }, n_cores);
+    let e_nbrs = graph(
+        Em3dParams {
+            seed: p.seed ^ 1,
+            ..p
+        },
+        n_cores,
+    );
+    let h_nbrs = graph(
+        Em3dParams {
+            seed: p.seed ^ 2,
+            ..p
+        },
+        n_cores,
+    );
     let mut r = SplitMix64::new(p.seed ^ 3);
     let mut e = Vec::with_capacity(p.nodes);
     let mut h = Vec::with_capacity(p.nodes);
@@ -201,7 +241,10 @@ mod tests {
 
     #[test]
     fn remote_fraction_materializes() {
-        let p = Em3dParams { pct_remote: 0.5, ..Em3dParams::scaled(400, 1) };
+        let p = Em3dParams {
+            pct_remote: 0.5,
+            ..Em3dParams::scaled(400, 1)
+        };
         let g = graph(p, 4);
         let mut remote = 0;
         let mut total = 0;

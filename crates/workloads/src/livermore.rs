@@ -33,12 +33,20 @@ pub struct KernelParams {
 impl KernelParams {
     /// The paper's full-size configuration.
     pub fn paper() -> KernelParams {
-        KernelParams { elements: 1024, iters: 1000, seed: 0xD1CE }
+        KernelParams {
+            elements: 1024,
+            iters: 1000,
+            seed: 0xD1CE,
+        }
     }
 
     /// A scaled configuration for tests and quick harness runs.
     pub fn scaled(elements: usize, iters: u64) -> KernelParams {
-        KernelParams { elements, iters, seed: 0xD1CE }
+        KernelParams {
+            elements,
+            iters,
+            seed: 0xD1CE,
+        }
     }
 }
 
@@ -71,8 +79,16 @@ pub fn kernel2(n_cores: usize, kind: BarrierKind, p: KernelParams) -> Workload {
         .map(|c| {
             let r = chunk_range(p.elements, n_cores, c);
             let mut b = ProgBuilder::new();
-            let (it, px, pv, py, cnt, t1, t2, t3) =
-                (Reg(10), Reg(11), Reg(12), Reg(13), Reg(14), Reg(1), Reg(2), Reg(3));
+            let (it, px, pv, py, cnt, t1, t2, t3) = (
+                Reg(10),
+                Reg(11),
+                Reg(12),
+                Reg(13),
+                Reg(14),
+                Reg(1),
+                Reg(2),
+                Reg(3),
+            );
             b.li(it, p.iters as i64);
             b.label("outer");
             if !r.is_empty() {
@@ -147,8 +163,16 @@ pub fn kernel3(n_cores: usize, kind: BarrierKind, p: KernelParams) -> Workload {
         .map(|c| {
             let r = chunk_range(p.elements, n_cores, c);
             let mut b = ProgBuilder::new();
-            let (it, pz, px, cnt, acc, t1, t2, t3) =
-                (Reg(10), Reg(11), Reg(12), Reg(13), Reg(14), Reg(1), Reg(2), Reg(3));
+            let (it, pz, px, cnt, acc, t1, t2, t3) = (
+                Reg(10),
+                Reg(11),
+                Reg(12),
+                Reg(13),
+                Reg(14),
+                Reg(1),
+                Reg(2),
+                Reg(3),
+            );
             b.li(it, p.iters as i64);
             b.label("outer");
             b.li(acc, 0);
@@ -169,7 +193,9 @@ pub fn kernel3(n_cores: usize, kind: BarrierKind, p: KernelParams) -> Workload {
             env.emit(&mut b, c, "k3");
             b.addi(it, it, -1).bne(it, Reg::ZERO, "outer");
             // Store the last iteration's partial once, after the loop.
-            b.li(t1, (partials + c as u64 * 64) as i64).st(acc, 0, t1).halt();
+            b.li(t1, (partials + c as u64 * 64) as i64)
+                .st(acc, 0, t1)
+                .halt();
             b.build()
         })
         .collect();
@@ -187,7 +213,9 @@ pub fn kernel3(n_cores: usize, kind: BarrierKind, p: KernelParams) -> Workload {
 pub fn kernel3_expected(p: KernelParams) -> u64 {
     let z = input(p.seed, 4, p.elements);
     let x = input(p.seed, 5, p.elements);
-    z.iter().zip(&x).fold(0u64, |acc, (a, b)| acc.wrapping_add(a.wrapping_mul(*b)))
+    z.iter()
+        .zip(&x)
+        .fold(0u64, |acc, (a, b)| acc.wrapping_add(a.wrapping_mul(*b)))
 }
 
 /// Byte address of core `c`'s Kernel 3 partial slot.
@@ -210,8 +238,9 @@ pub fn kernel6(n_cores: usize, kind: BarrierKind, p: KernelParams) -> Workload {
     let a = lay.alloc_words(p.elements as u64);
     let bvec = lay.alloc_words(p.elements as u64);
     let partials = lay.alloc_padded_slots(n_cores as u64);
-    let replicas: Vec<u64> =
-        (0..n_cores).map(|_| lay.alloc_words(p.elements as u64)).collect();
+    let replicas: Vec<u64> = (0..n_cores)
+        .map(|_| lay.alloc_words(p.elements as u64))
+        .collect();
 
     let mut pokes = Vec::new();
     for (i, val) in input(p.seed, 6, p.elements).into_iter().enumerate() {
@@ -230,7 +259,11 @@ pub fn kernel6(n_cores: usize, kind: BarrierKind, p: KernelParams) -> Workload {
             b.li(it, p.iters as i64);
             b.label("outer");
             // w[0] = b[0] in my replica; my running partial starts at 0.
-            b.li(t1, bvec as i64).ld(t2, 0, t1).li(t1, my_w as i64).st(t2, 0, t1).li(part, 0);
+            b.li(t1, bvec as i64)
+                .ld(t2, 0, t1)
+                .li(t1, my_w as i64)
+                .st(t2, 0, t1)
+                .li(part, 0);
             for i in 1..p.elements {
                 let uniq = format!("i{i}");
                 // If k = i-1 is mine, fold w[i-1]·a[i-1] into my partial.
@@ -248,9 +281,9 @@ pub fn kernel6(n_cores: usize, kind: BarrierKind, p: KernelParams) -> Workload {
                 env.emit(&mut b, c, &uniq);
                 b.li(t1, (bvec + i as u64 * 8) as i64).ld(sum, 0, t1);
                 for peer in 0..n_cores {
-                    b.li(t1, (partials + peer as u64 * 64) as i64).ld(t2, 0, t1).add(
-                        sum, sum, t2,
-                    );
+                    b.li(t1, (partials + peer as u64 * 64) as i64)
+                        .ld(t2, 0, t1)
+                        .add(sum, sum, t2);
                 }
                 b.li(t1, (my_w + i as u64 * 8) as i64).st(sum, 0, t1);
             }
@@ -310,7 +343,11 @@ mod tests {
             let sys = run(&w, 4);
             let expect = kernel2_expected(p);
             for k in [0usize, 1, 31, 32, 63] {
-                assert_eq!(sys.peek_word(kernel2_x_addr(k)), expect[k], "{kind:?} x[{k}]");
+                assert_eq!(
+                    sys.peek_word(kernel2_x_addr(k)),
+                    expect[k],
+                    "{kind:?} x[{k}]"
+                );
             }
         }
     }

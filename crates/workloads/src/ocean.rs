@@ -31,12 +31,22 @@ pub struct OceanParams {
 impl OceanParams {
     /// The paper's configuration (258×258; 364 barriers over the run).
     pub fn paper() -> OceanParams {
-        OceanParams { grid: 258, sweeps: 182, fp_busy: 16, seed: 0x0CEA }
+        OceanParams {
+            grid: 258,
+            sweeps: 182,
+            fp_busy: 16,
+            seed: 0x0CEA,
+        }
     }
 
     /// Scaled-down configuration.
     pub fn scaled(grid: usize, sweeps: u64) -> OceanParams {
-        OceanParams { grid, sweeps, fp_busy: 16, seed: 0x0CEA }
+        OceanParams {
+            grid,
+            sweeps,
+            fp_busy: 16,
+            seed: 0x0CEA,
+        }
     }
 }
 
@@ -79,7 +89,8 @@ pub fn build(n_cores: usize, kind: BarrierKind, p: OceanParams) -> Workload {
                     // Pointer-walk the row two columns at a time.
                     let npts = (p.grid - 1 - first_col).div_ceil(2);
                     let lbl = format!("row{color}_{row}");
-                    b.li(pr, addr_of(p.grid, row, first_col) as i64).li(cnt, npts as i64);
+                    b.li(pr, addr_of(p.grid, row, first_col) as i64)
+                        .li(cnt, npts as i64);
                     b.label(&lbl);
                     // acc = (self + N + S + E + W) with a shift as the
                     // relaxation average; busy models the FP latency.
@@ -121,7 +132,9 @@ pub fn build(n_cores: usize, kind: BarrierKind, p: OceanParams) -> Workload {
 pub fn expected(p: OceanParams, _n_cores: usize) -> Vec<u64> {
     let mut g = {
         let mut r = SplitMix64::new(p.seed);
-        (0..p.grid * p.grid).map(|_| r.next_below(100)).collect::<Vec<u64>>()
+        (0..p.grid * p.grid)
+            .map(|_| r.next_below(100))
+            .collect::<Vec<u64>>()
     };
     // Core order doesn't matter: points of one color only read the other
     // color, so each half-sweep is embarrassingly parallel.
@@ -158,7 +171,10 @@ mod tests {
 
     #[test]
     fn matches_reference_model() {
-        let p = OceanParams { fp_busy: 2, ..OceanParams::scaled(10, 2) };
+        let p = OceanParams {
+            fp_busy: 2,
+            ..OceanParams::scaled(10, 2)
+        };
         for kind in [BarrierKind::Gl, BarrierKind::Dsw] {
             let w = build(4, kind, p);
             let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(4));

@@ -69,19 +69,31 @@ mod tests {
         // Per barrier: ~4 network cycles + the spin/exit instructions.
         assert!(at4 < 20.0, "GL at 4 cores: {at4}");
         assert!(at16 < 20.0, "GL at 16 cores: {at16}");
-        assert!((at16 - at4).abs() < 4.0, "GL must be ~flat in core count: {at4} vs {at16}");
+        assert!(
+            (at16 - at4).abs() < 4.0,
+            "GL must be ~flat in core count: {at4} vs {at16}"
+        );
     }
 
     #[test]
     fn software_barriers_grow_with_cores() {
         let csw4 = run(BarrierKind::Csw, 4, 5);
         let csw16 = run(BarrierKind::Csw, 16, 5);
-        assert!(csw16 > 2.0 * csw4, "CSW must blow up with cores: {csw4} → {csw16}");
+        assert!(
+            csw16 > 2.0 * csw4,
+            "CSW must blow up with cores: {csw4} → {csw16}"
+        );
         let dsw4 = run(BarrierKind::Dsw, 4, 5);
         let dsw16 = run(BarrierKind::Dsw, 16, 5);
-        assert!(dsw16 > dsw4, "DSW grows too (logarithmically): {dsw4} → {dsw16}");
+        assert!(
+            dsw16 > dsw4,
+            "DSW grows too (logarithmically): {dsw4} → {dsw16}"
+        );
         // The Figure-5 ordering at 16 cores.
         let gl16 = run(BarrierKind::Gl, 16, 5);
-        assert!(gl16 < dsw16 && dsw16 < csw16, "GL {gl16} < DSW {dsw16} < CSW {csw16}");
+        assert!(
+            gl16 < dsw16 && dsw16 < csw16,
+            "GL {gl16} < DSW {dsw16} < CSW {csw16}"
+        );
     }
 }

@@ -32,12 +32,24 @@ pub struct UnstructuredParams {
 impl UnstructuredParams {
     /// The paper's configuration (Mesh.2K, one time step).
     pub fn paper() -> UnstructuredParams {
-        UnstructuredParams { nodes: 2048, edges: 6144, sweeps: 80, edge_busy: 24, seed: 0x057 }
+        UnstructuredParams {
+            nodes: 2048,
+            edges: 6144,
+            sweeps: 80,
+            edge_busy: 24,
+            seed: 0x057,
+        }
     }
 
     /// Scaled-down configuration.
     pub fn scaled(nodes: usize, edges: usize, sweeps: u64) -> UnstructuredParams {
-        UnstructuredParams { nodes, edges, sweeps, edge_busy: 24, seed: 0x057 }
+        UnstructuredParams {
+            nodes,
+            edges,
+            sweeps,
+            edge_busy: 24,
+            seed: 0x057,
+        }
     }
 }
 
@@ -130,24 +142,37 @@ mod tests {
 
     #[test]
     fn scatter_updates_are_atomic_under_locks() {
-        let p = UnstructuredParams { edge_busy: 2, ..UnstructuredParams::scaled(12, 48, 3) };
+        let p = UnstructuredParams {
+            edge_busy: 2,
+            ..UnstructuredParams::scaled(12, 48, 3)
+        };
         for kind in [BarrierKind::Gl, BarrierKind::Csw] {
             let w = build(4, kind, p);
             let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(4));
             sys.run(100_000_000).unwrap();
             for i in 0..p.nodes {
-                assert_eq!(sys.peek_word(node_addr(i)), expected_node(p, i), "{kind:?} node {i}");
+                assert_eq!(
+                    sys.peek_word(node_addr(i)),
+                    expected_node(p, i),
+                    "{kind:?} node {i}"
+                );
             }
         }
     }
 
     #[test]
     fn lock_time_is_attributed() {
-        let p = UnstructuredParams { edge_busy: 2, ..UnstructuredParams::scaled(8, 32, 2) };
+        let p = UnstructuredParams {
+            edge_busy: 2,
+            ..UnstructuredParams::scaled(8, 32, 2)
+        };
         let w = build(4, BarrierKind::Gl, p);
         let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(4));
         sys.run(100_000_000).unwrap();
         let rep = sys.report();
-        assert!(rep.total_time[TimeCat::Lock] > 0, "contended per-node locks must show up");
+        assert!(
+            rep.total_time[TimeCat::Lock] > 0,
+            "contended per-node locks must show up"
+        );
     }
 }

@@ -59,8 +59,9 @@ fn worker(core: usize, n: usize) -> String {
 
 fn main() {
     let n = 8;
-    let progs: Vec<Program> =
-        (0..n).map(|c| assemble(&worker(c, n)).expect("assembles")).collect();
+    let progs: Vec<Program> = (0..n)
+        .map(|c| assemble(&worker(c, n)).expect("assembles"))
+        .collect();
     println!("core 0 program:\n{}", progs[0]);
 
     // Golden model: the idealized reference machine.

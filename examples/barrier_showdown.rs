@@ -8,13 +8,16 @@
 //! Run with: `cargo run --release --example barrier_showdown`
 
 use gline_cmp::base::config::CmpConfig;
-use gline_cmp::cmp::runtime::BarrierKind;
 use gline_cmp::bench_workloads::synthetic;
+use gline_cmp::cmp::runtime::BarrierKind;
 
 fn main() {
     let iters = 25;
     println!("synthetic benchmark: {iters} iterations x 4 consecutive barriers");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>14}", "cores", "CSW", "DSW", "GL", "GL speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>14}",
+        "cores", "CSW", "DSW", "GL", "GL speedup"
+    );
     for n in [2usize, 4, 8, 16, 32] {
         let mut per_barrier = Vec::new();
         for kind in [BarrierKind::Csw, BarrierKind::Dsw, BarrierKind::Gl] {

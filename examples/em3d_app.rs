@@ -8,9 +8,9 @@
 
 use gline_cmp::base::config::CmpConfig;
 use gline_cmp::base::stats::{MsgClass, TimeCat};
+use gline_cmp::bench_workloads::em3d;
 use gline_cmp::cmp::runtime::BarrierKind;
 use gline_cmp::cmp::SystemReport;
-use gline_cmp::bench_workloads::em3d;
 
 fn run(kind: BarrierKind) -> SystemReport {
     let p = em3d::Em3dParams::scaled(1024, 20);
@@ -26,7 +26,10 @@ fn main() {
     let gl = run(BarrierKind::Gl);
 
     println!("{:<26} {:>12} {:>12}", "", "DSW", "GL");
-    println!("{:<26} {:>12} {:>12}", "execution cycles", dsw.cycles, gl.cycles);
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "execution cycles", dsw.cycles, gl.cycles
+    );
     for cat in TimeCat::ALL {
         println!(
             "{:<26} {:>11.1}% {:>11.1}%",
@@ -44,7 +47,12 @@ fn main() {
             gl.traffic[class]
         );
     }
-    println!("{:<26} {:>12} {:>12}", "total NoC messages", dsw.traffic.total(), gl.traffic.total());
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "total NoC messages",
+        dsw.traffic.total(),
+        gl.traffic.total()
+    );
     println!(
         "{:<26} {:>12} {:>12}",
         "G-line signals (1-bit)", 0, gl.gl_signals
@@ -54,7 +62,5 @@ fn main() {
         100.0 * gl.normalized_time(&dsw),
         100.0 * gl.normalized_traffic(&dsw)
     );
-    println!(
-        "(paper, full-size EM3D: 46% of the time — a 54% reduction — and 49% of the traffic)"
-    );
+    println!("(paper, full-size EM3D: 46% of the time — a 54% reduction — and 49% of the traffic)");
 }

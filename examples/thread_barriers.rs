@@ -42,9 +42,21 @@ fn main() {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get().min(8)));
     let episodes = 20_000;
     println!("{n} threads, {episodes} barrier episodes each:");
-    bench("centralized (CSW-like)", CentralizedBarrier::new(n), episodes);
-    bench("combining tree (DSW)", CombiningTreeBarrier::binary(n), episodes);
-    bench("combining tree, 4-ary", CombiningTreeBarrier::with_arity(n, 4), episodes);
+    bench(
+        "centralized (CSW-like)",
+        CentralizedBarrier::new(n),
+        episodes,
+    );
+    bench(
+        "combining tree (DSW)",
+        CombiningTreeBarrier::binary(n),
+        episodes,
+    );
+    bench(
+        "combining tree, 4-ary",
+        CombiningTreeBarrier::with_arity(n, 4),
+        episodes,
+    );
     bench("dissemination", DisseminationBarrier::new(n), episodes);
     bench("tournament", TournamentBarrier::new(n), episodes);
     bench("static tree", StaticTreeBarrier::new(n), episodes);

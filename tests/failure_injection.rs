@@ -22,7 +22,10 @@ fn oversized_mesh_rejected() {
 #[test]
 #[should_panic(expected = "G-line budget")]
 fn strict_budget_rejects_papers_own_mesh() {
-    let cfg = GlineConfig { max_transmitters: 6, ..GlineConfig::default() };
+    let cfg = GlineConfig {
+        max_transmitters: 6,
+        ..GlineConfig::default()
+    };
     let _ = BarrierNetwork::new(Mesh2D::new(4, 8), cfg);
 }
 
@@ -55,10 +58,7 @@ fn premature_gated_release_rejected() {
 /// forever.
 #[test]
 fn missing_participant_reported_by_deadlock_guard() {
-    let arrive = assemble(
-        "li r1, 1\nbarw r1\nw: barr r2\nbne r2, r0, w\nhalt",
-    )
-    .unwrap();
+    let arrive = assemble("li r1, 1\nbarw r1\nw: barr r2\nbne r2, r0, w\nhalt").unwrap();
     let never = assemble("busy 100\nhalt").unwrap(); // halts without barw
     let cfg = CmpConfig::icpp2010_with_cores(4);
     let mut sys = System::new(cfg, vec![arrive.clone(), arrive.clone(), arrive, never]);

@@ -24,7 +24,11 @@ fn all_barrier_kinds_agree_on_kernel2() {
         let mut sys = w.into_system(cfg(8));
         sys.run(500_000_000).unwrap();
         for k in (0..96).step_by(17) {
-            assert_eq!(sys.peek_word(livermore::kernel2_x_addr(k)), expect[k], "{kind:?} x[{k}]");
+            assert_eq!(
+                sys.peek_word(livermore::kernel2_x_addr(k)),
+                expect[k],
+                "{kind:?} x[{k}]"
+            );
         }
     }
 }
@@ -46,7 +50,10 @@ fn all_barrier_kinds_agree_on_em3d() {
 
 #[test]
 fn all_barrier_kinds_agree_on_ocean() {
-    let p = ocean::OceanParams { fp_busy: 1, ..ocean::OceanParams::scaled(12, 2) };
+    let p = ocean::OceanParams {
+        fp_busy: 1,
+        ..ocean::OceanParams::scaled(12, 2)
+    };
     let g = ocean::expected(p, 8);
     for kind in BarrierKind::ALL {
         let w = ocean::build(8, kind, p);
@@ -64,7 +71,10 @@ fn all_barrier_kinds_agree_on_ocean() {
 
 #[test]
 fn all_barrier_kinds_agree_on_unstructured() {
-    let p = unstructured::UnstructuredParams { edge_busy: 1, ..unstructured::UnstructuredParams::scaled(16, 64, 2) };
+    let p = unstructured::UnstructuredParams {
+        edge_busy: 1,
+        ..unstructured::UnstructuredParams::scaled(16, 64, 2)
+    };
     for kind in BarrierKind::ALL {
         let w = unstructured::build(8, kind, p);
         let mut sys = w.into_system(cfg(8));
@@ -91,9 +101,18 @@ fn figure5_ordering_at_32_cores() {
         cycles.push(sys.run(1_000_000_000).unwrap());
     }
     let (gl, dsw, csw) = (cycles[0], cycles[1], cycles[2]);
-    assert!(gl < dsw && dsw < csw, "expected GL < DSW < CSW, got {gl} / {dsw} / {csw}");
-    assert!(gl * 20 < csw, "GL must dominate CSW at 32 cores: {gl} vs {csw}");
-    assert!(gl * 5 < dsw, "GL must clearly beat DSW at 32 cores: {gl} vs {dsw}");
+    assert!(
+        gl < dsw && dsw < csw,
+        "expected GL < DSW < CSW, got {gl} / {dsw} / {csw}"
+    );
+    assert!(
+        gl * 20 < csw,
+        "GL must dominate CSW at 32 cores: {gl} vs {csw}"
+    );
+    assert!(
+        gl * 5 < dsw,
+        "GL must clearly beat DSW at 32 cores: {gl} vs {dsw}"
+    );
 }
 
 /// The GL barrier's latency is flat in core count (Figure 5's flat line).
@@ -109,7 +128,10 @@ fn gl_latency_flat_in_core_count() {
     }
     let spread = per_barrier.iter().cloned().fold(f64::MIN, f64::max)
         - per_barrier.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 3.0, "GL latency must be ~constant: {per_barrier:?}");
+    assert!(
+        spread < 3.0,
+        "GL latency must be ~constant: {per_barrier:?}"
+    );
 }
 
 /// GL removes all barrier traffic from the data network; the software
@@ -126,7 +148,10 @@ fn gl_removes_barrier_traffic() {
     let dsw = make(BarrierKind::Dsw);
     assert_eq!(gl.traffic.total(), 0);
     assert!(gl.gl_signals > 0);
-    assert!(dsw.traffic.total() > 1000, "DSW must generate coherence traffic");
+    assert!(
+        dsw.traffic.total() > 1000,
+        "DSW must generate coherence traffic"
+    );
     assert_eq!(dsw.gl_signals, 0);
 }
 

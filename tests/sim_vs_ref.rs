@@ -12,10 +12,14 @@
 
 use gline_cmp::base::config::CmpConfig;
 use gline_cmp::base::rng::SplitMix64;
+use gline_cmp::base::trace::{RingSink, Tracer};
 use gline_cmp::cmp::runtime::{BarrierEnv, BarrierKind};
 use gline_cmp::cmp::System;
 use gline_cmp::isa::interp::RefCmp;
 use gline_cmp::isa::{ProgBuilder, Program, Reg};
+
+/// Events to keep for the post-mortem dump on a mismatch.
+const TRACE_TAIL: usize = 256;
 
 const N_CORES: usize = 4;
 const PHASES: usize = 3;
@@ -45,16 +49,22 @@ fn gen_program(core: usize, rng: &mut SplitMix64, env: &BarrierEnv) -> Program {
                 0 => {
                     // Store a fresh value to one of my slots.
                     let v = rng.next_below(1 << 30) as i64;
-                    b.li(Reg(1), slot_addr(core, rng.next_below(SLOTS_PER_CORE as u64) as usize) as i64)
-                        .li(Reg(2), v)
-                        .st(Reg(2), 0, Reg(1));
+                    b.li(
+                        Reg(1),
+                        slot_addr(core, rng.next_below(SLOTS_PER_CORE as u64) as usize) as i64,
+                    )
+                    .li(Reg(2), v)
+                    .st(Reg(2), 0, Reg(1));
                 }
                 1 => {
                     // Atomic add to a shared counter (commutative).
                     let v = 1 + rng.next_below(100) as i64;
-                    b.li(Reg(1), ctr_addr(rng.next_below(COUNTERS as u64) as usize) as i64)
-                        .li(Reg(2), v)
-                        .amoadd(Reg(3), Reg(2), Reg(1));
+                    b.li(
+                        Reg(1),
+                        ctr_addr(rng.next_below(COUNTERS as u64) as usize) as i64,
+                    )
+                    .li(Reg(2), v)
+                    .amoadd(Reg(3), Reg(2), Reg(1));
                 }
                 2 if phase > 0 => {
                     // Load a slot some core wrote in an earlier phase
@@ -62,13 +72,17 @@ fn gen_program(core: usize, rng: &mut SplitMix64, env: &BarrierEnv) -> Program {
                     // all earlier stores before this load; to keep the
                     // value deterministic we only read slots of cores
                     // that cannot be writing them now — i.e. our own.
-                    b.li(Reg(1), slot_addr(core, rng.next_below(SLOTS_PER_CORE as u64) as usize) as i64)
-                        .ld(Reg(2), 0, Reg(1))
-                        .add(acc, acc, Reg(2));
+                    b.li(
+                        Reg(1),
+                        slot_addr(core, rng.next_below(SLOTS_PER_CORE as u64) as usize) as i64,
+                    )
+                    .ld(Reg(2), 0, Reg(1))
+                    .add(acc, acc, Reg(2));
                 }
                 _ => {
                     // Register work.
-                    b.li(Reg(4), rng.next_below(1000) as i64).add(acc, acc, Reg(4));
+                    b.li(Reg(4), rng.next_below(1000) as i64)
+                        .add(acc, acc, Reg(4));
                 }
             }
             let _ = op;
@@ -80,16 +94,16 @@ fn gen_program(core: usize, rng: &mut SplitMix64, env: &BarrierEnv) -> Program {
         // Reading is safe only for the FINAL phase; do it there.
         if phase == PHASES - 1 {
             for peer in 0..N_CORES {
-                b.li(Reg(1), slot_addr(peer, 0) as i64).ld(Reg(2), 0, Reg(1)).add(
-                    acc,
-                    acc,
-                    Reg(2),
-                );
+                b.li(Reg(1), slot_addr(peer, 0) as i64)
+                    .ld(Reg(2), 0, Reg(1))
+                    .add(acc, acc, Reg(2));
             }
         }
     }
     // Publish the accumulator.
-    b.li(Reg(1), (0x20000 + core * 64) as i64).st(acc, 0, Reg(1)).halt();
+    b.li(Reg(1), (0x20000 + core * 64) as i64)
+        .st(acc, 0, Reg(1))
+        .halt();
     b.build()
 }
 
@@ -105,27 +119,60 @@ fn run_seed(seed: u64) {
     // Reference machine.
     let mut golden = RefCmp::new(N_CORES, 0x40000 / 8);
     let refs: Vec<&Program> = progs.iter().collect();
-    golden.run(&refs, 50_000_000).expect("reference run completes");
+    golden
+        .run(&refs, 50_000_000)
+        .expect("reference run completes");
 
-    // Cycle-accurate machine.
-    let mut sys = System::new(CmpConfig::icpp2010_with_cores(N_CORES), progs);
+    // Cycle-accurate machine, recording the last events so a mismatch
+    // comes with the end of the run attached.
+    let tracer = Tracer::new(RingSink::new(TRACE_TAIL));
+    let mut sys = System::traced(
+        CmpConfig::icpp2010_with_cores(N_CORES),
+        progs,
+        tracer.clone(),
+    );
     sys.run(100_000_000).expect("simulated run completes");
 
     // Compare: accumulators, private slots, shared counters.
+    let mut mismatches = Vec::new();
+    let mut check = |what: String, got: u64, want: u64| {
+        if got != want {
+            mismatches.push(format!("{what}: simulated {got:#x}, reference {want:#x}"));
+        }
+    };
     for c in 0..N_CORES {
         let a = 0x20000 + c as u64 * 64;
-        assert_eq!(sys.peek_word(a), golden.word(a), "seed {seed}: core {c} accumulator");
+        check(
+            format!("seed {seed}: core {c} accumulator"),
+            sys.peek_word(a),
+            golden.word(a),
+        );
         for s in 0..SLOTS_PER_CORE {
             let a = slot_addr(c, s);
-            assert_eq!(sys.peek_word(a), golden.word(a), "seed {seed}: slot ({c},{s})");
+            check(
+                format!("seed {seed}: slot ({c},{s})"),
+                sys.peek_word(a),
+                golden.word(a),
+            );
         }
     }
     for i in 0..COUNTERS {
-        assert_eq!(
+        check(
+            format!("seed {seed}: counter {i}"),
             sys.peek_word(ctr_addr(i)),
             golden.word(ctr_addr(i)),
-            "seed {seed}: counter {i}"
         );
+    }
+    if !mismatches.is_empty() {
+        let tail = tracer.with_sink(|s| {
+            format!(
+                "--- last {} of {} events ---\n{}",
+                s.len(),
+                s.total_seen(),
+                s.dump()
+            )
+        });
+        panic!("{}\n{tail}", mismatches.join("\n"));
     }
 }
 
