@@ -1,0 +1,138 @@
+//! Wall-clock win of the quiescence-aware cycle-skipping scheduler.
+//!
+//! Measures a Figure 6-style barrier-heavy run — the synthetic benchmark
+//! under the centralized software barrier (CSW) with per-core load
+//! imbalance, so the cores spend most of every barrier period spinning
+//! in the wait loop — once with skipping enabled and once with
+//! `--no-skip`, and reports host wall-clock plus simulated ticks/sec for
+//! both. The simulated cycle counts must agree exactly (the skip
+//! scheduler's bit-identity contract); the wall-clock ratio is the
+//! speedup the scheduler buys. The perfectly balanced (contention-bound)
+//! variant is measured too: there the network is almost never quiescent,
+//! so it bounds the scheduler's overhead rather than its win. Results
+//! land in `BENCH_cycle_skip.json` at the repo root.
+
+use std::time::Instant;
+
+use bench::experiments::BENCH_CORES;
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_base::config::CmpConfig;
+use sim_base::json::Json;
+use sim_cmp::runtime::BarrierKind;
+use workloads::common::Workload;
+use workloads::synthetic;
+
+/// One timed end-to-end run with skipping forced on or off.
+struct Run {
+    wall_s: f64,
+    cycles: u64,
+    ticks_per_s: f64,
+    cycles_skipped: u64,
+}
+
+fn measure(w: &Workload, skip: bool) -> Run {
+    let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(w.progs.len()));
+    sys.set_skip_enabled(skip);
+    let start = Instant::now();
+    let cycles = sys.run(20_000_000_000).expect("workload completes");
+    let wall_s = start.elapsed().as_secs_f64();
+    Run {
+        wall_s,
+        cycles,
+        ticks_per_s: cycles as f64 / wall_s.max(1e-9),
+        cycles_skipped: sys.skip_stats().cycles_skipped,
+    }
+}
+
+fn run_json(r: &Run) -> Json {
+    Json::obj([
+        ("wall_s", Json::from(r.wall_s)),
+        ("cycles", Json::from(r.cycles)),
+        ("ticks_per_s", Json::from(r.ticks_per_s)),
+        ("cycles_skipped", Json::from(r.cycles_skipped)),
+    ])
+}
+
+/// Measures `w` both ways, prints the comparison, and returns the JSON
+/// record plus the wall-clock speedup.
+fn compare(name: &str, w: &Workload) -> (Json, f64) {
+    measure(w, true); // warm-up
+    let on = measure(w, true);
+    let off = measure(w, false);
+    assert_eq!(
+        on.cycles, off.cycles,
+        "{name}: cycle skipping changed the simulated cycle count"
+    );
+    let speedup = off.wall_s / on.wall_s.max(1e-9);
+    eprintln!(
+        "[cycle_skip] {name}: {} cycles, {:.1}% elided",
+        on.cycles,
+        100.0 * on.cycles_skipped as f64 / on.cycles as f64
+    );
+    eprintln!(
+        "[cycle_skip]   skip on : {:>9.2} ms  ({:.2e} ticks/s)",
+        on.wall_s * 1e3,
+        on.ticks_per_s
+    );
+    eprintln!(
+        "[cycle_skip]   skip off: {:>9.2} ms  ({:.2e} ticks/s)",
+        off.wall_s * 1e3,
+        off.ticks_per_s
+    );
+    eprintln!("[cycle_skip]   wall-clock speedup: {speedup:.2}x");
+    let json = Json::obj([
+        ("skip_on", run_json(&on)),
+        ("skip_off", run_json(&off)),
+        ("speedup", Json::from(speedup)),
+    ]);
+    (json, speedup)
+}
+
+fn bench(c: &mut Criterion) {
+    // `cargo bench -- --test` (the CI smoke pass) runs scaled-down
+    // workloads; a real `cargo bench` uses the full iteration counts and
+    // enforces the speedup floor.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (iters, stagger) = if test_mode { (1, 200) } else { (6, 1000) };
+    let imbalanced = synthetic::build_imbalanced(BENCH_CORES, BarrierKind::Csw, iters, stagger);
+    let contended = synthetic::build(BENCH_CORES, BarrierKind::Csw, iters);
+
+    let (imb_json, speedup) = compare("imbalanced CSW", &imbalanced);
+    let (con_json, _) = compare("contended CSW", &contended);
+
+    let json = Json::obj([
+        ("benchmark", Json::from("synthetic")),
+        ("barrier", Json::from("csw")),
+        ("cores", Json::from(BENCH_CORES as u64)),
+        ("iters", Json::from(iters)),
+        ("stagger", Json::from(stagger)),
+        ("imbalanced", imb_json),
+        ("contended", con_json),
+        ("speedup", Json::from(speedup)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cycle_skip.json");
+    std::fs::write(path, json.pretty()).expect("write BENCH_cycle_skip.json");
+    eprintln!("[cycle_skip] wrote {path}");
+    if !test_mode {
+        assert!(
+            speedup >= 2.0,
+            "cycle skipping must buy >= 2x wall-clock on the imbalanced CSW workload, \
+             got {speedup:.2}x"
+        );
+    }
+
+    // Harness samples for trend tracking alongside the other benches.
+    let mut g = c.benchmark_group("cycle_skip");
+    g.sample_size(10);
+    for skip in [true, false] {
+        g.bench_with_input(
+            BenchmarkId::new("imbalanced_csw", if skip { "skip" } else { "no_skip" }),
+            &skip,
+            |b, &skip| b.iter(|| measure(&imbalanced, skip).cycles),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

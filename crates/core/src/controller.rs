@@ -78,6 +78,12 @@ impl SlaveH {
             false
         }
     }
+
+    /// True when, with both G-lines idle and `core_arrived` held at its
+    /// current value, a full latch/transmit/receive cycle is a no-op.
+    pub fn is_stable(&self, core_arrived: bool) -> bool {
+        !(self.state == SlaveHState::Signaling && core_arrived)
+    }
 }
 
 impl Default for SlaveH {
@@ -223,6 +229,17 @@ impl MasterH {
             self.state = MasterHState::Waiting;
         }
     }
+
+    /// True when, with both G-lines idle and `core_arrived` held at its
+    /// current value, a full latch/transmit/receive cycle is a no-op.
+    /// Mid-count `Accounting` (waiting for more pulses) *is* stable —
+    /// only a pending release or an uncounted local arrival wakes the
+    /// controller without line activity.
+    pub fn is_stable(&self, core_arrived: bool) -> bool {
+        let uncounted_arrival =
+            self.state == MasterHState::Accounting && !self.mcnt && core_arrived;
+        !(self.release_pending || self.release_next || uncounted_arrival)
+    }
 }
 
 /// States of a vertical slave controller (column-0 tiles of rows ≥ 1).
@@ -294,6 +311,16 @@ impl SlaveV {
             true
         } else {
             false
+        }
+    }
+
+    /// True when, with both G-lines idle and the co-located MasterH flag
+    /// held at `mh_flag`, a full cycle is a no-op.
+    pub fn is_stable(&self, mh_flag: bool) -> bool {
+        match self.state {
+            SlaveVState::Signaling => !mh_flag,
+            SlaveVState::Waiting => true,
+            SlaveVState::Draining => mh_flag,
         }
     }
 }
@@ -460,6 +487,20 @@ impl MasterV {
         } else {
             false
         }
+    }
+
+    /// True when, with both G-lines idle and the row-0 MasterH flag held
+    /// at `mh0_flag`, a full cycle is a no-op. A gated-ready root is
+    /// stable (it only moves on an external [`MasterV::trigger_release`]).
+    pub fn is_stable(&self, mh0_flag: bool) -> bool {
+        !self.release_pending
+            && !self.release_next
+            && match self.state {
+                MasterVState::Accounting => self.mcnt || !mh0_flag,
+                MasterVState::GatedReady => true,
+                MasterVState::Releasing => false,
+                MasterVState::Draining => mh0_flag,
+            }
     }
 }
 

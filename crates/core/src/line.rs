@@ -122,6 +122,20 @@ impl GLine {
     pub fn energy_signals(&self) -> u64 {
         self.energy_signals
     }
+
+    /// True when the line is electrically quiet: no pending assertion,
+    /// nothing sensed, and the latency pipeline is at its steady-state
+    /// depth holding only idle entries. Propagating such a line is a
+    /// state no-op (it pushes a default entry and pops a default entry),
+    /// so idle lines can be skipped over. During the initial pipeline
+    /// fill (`latency > 1` only) propagates still change the pipeline
+    /// depth, so the line reports busy.
+    pub fn is_idle(&self) -> bool {
+        self.pending == 0
+            && self.sensed == Sensed::default()
+            && self.pipeline.len() == (self.latency - 1) as usize
+            && self.pipeline.iter().all(|s| *s == Sensed::default())
+    }
 }
 
 #[cfg(test)]

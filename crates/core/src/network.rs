@@ -458,6 +458,50 @@ impl<S: TraceSink> Context<S> {
         }
     }
 
+    /// True when a tick of this context is a provable no-op: every
+    /// G-line is electrically quiet and every controller is stable
+    /// under its current (held) inputs. This is exactly the state of a
+    /// partially-arrived barrier between events — waiters parked in
+    /// `Waiting`, masters mid-count — where nothing moves until another
+    /// core writes its `bar_reg` (or a gated root is triggered).
+    fn is_quiescent(&self, mesh: Mesh2D) -> bool {
+        let lines_idle = self
+            .rows
+            .iter()
+            .all(|rn| rn.gather.is_idle() && rn.release.is_idle())
+            && self.v_gather.is_idle()
+            && self.v_release.is_idle();
+        if !lines_idle {
+            return false;
+        }
+        // Episode accounting resets in the same tick it fires, so it can
+        // never be pending between ticks; keep the guard anyway.
+        if self.arrived == self.num_members && self.outstanding == 0 {
+            return false;
+        }
+        for core in mesh.tiles() {
+            if let Some(sh) = &self.slave_h[core.index()] {
+                if !sh.is_stable(self.bar_reg[core.index()] != 0) {
+                    return false;
+                }
+            }
+        }
+        for r in 0..mesh.rows as usize {
+            if !self.row_active[r] {
+                continue;
+            }
+            let own = mesh.id_of(Coord::new(r as u16, 0));
+            let arrived = self.members[own.index()] && self.bar_reg[own.index()] != 0;
+            if !self.master_h[r].is_stable(arrived) {
+                return false;
+            }
+            if r >= 1 && !self.slave_v[r - 1].is_stable(self.master_h[r].flag()) {
+                return false;
+            }
+        }
+        self.master_v.is_stable(self.master_h[0].flag())
+    }
+
     fn clear_bar_reg(&mut self, core: CoreId, now: Cycle) {
         if self.bar_reg[core.index()] != 0 {
             self.bar_reg[core.index()] = 0;
@@ -679,6 +723,35 @@ impl<S: TraceSink> BarrierNetwork<S> {
         s.signals = c.energy();
         s
     }
+
+    /// Earliest cycle at which the network can change state on its own.
+    ///
+    /// `None` means every context is quiescent: all G-lines are idle and
+    /// every controller is stable under its held inputs, so ticking is a
+    /// no-op until some core writes a `bar_reg` (or triggers a gated
+    /// release). Otherwise a barrier episode is in flight and every cycle
+    /// matters, so the answer is the very next one.
+    pub fn next_event(&self) -> Option<Cycle> {
+        if self.contexts.iter().all(|c| c.is_quiescent(self.mesh)) {
+            None
+        } else {
+            Some(self.now + 1)
+        }
+    }
+
+    /// Jumps the clock to cycle `t` without ticking. Only legal while
+    /// [`next_event`](Self::next_event) is `None` — every skipped tick is
+    /// then provably a state no-op, so all observable state (controller
+    /// states, `bar_reg`s, stats, energy) is bit-identical to having
+    /// ticked `t - now` times.
+    pub fn skip_to(&mut self, t: Cycle) {
+        debug_assert!(t >= self.now, "cannot skip backwards");
+        debug_assert!(
+            self.next_event().is_none(),
+            "barrier-network skip while an episode is in flight"
+        );
+        self.now = t;
+    }
 }
 
 /// Common interface of barrier hardware: the flat [`BarrierNetwork`] and
@@ -701,6 +774,24 @@ pub trait BarrierHw {
     fn num_contexts(&self) -> usize;
     /// Statistics of one context.
     fn stats(&self, ctx: CtxId) -> GlineStats;
+
+    /// Earliest future cycle at which this hardware can change state
+    /// without further external input, or `None` if it is quiescent and
+    /// will stay frozen until a `write_bar_reg`. The conservative default
+    /// — "something may happen next cycle" — is always correct; it simply
+    /// never lets a simulator skip over this hardware.
+    fn next_event(&self) -> Option<Cycle> {
+        Some(self.now() + 1)
+    }
+
+    /// Advances the clock to cycle `t`. Implementations whose
+    /// [`next_event`](Self::next_event) reports quiescence may jump
+    /// directly; the default just ticks, which is always equivalent.
+    fn skip_to(&mut self, t: Cycle) {
+        while self.now() < t {
+            self.tick();
+        }
+    }
 
     /// Convenience driver for tests and benchmarks: runs one complete
     /// barrier on context 0 where core `i` arrives at `arrivals[i]`
@@ -762,6 +853,12 @@ impl<S: TraceSink> BarrierHw for BarrierNetwork<S> {
     fn now(&self) -> Cycle {
         BarrierNetwork::now(self)
     }
+    fn next_event(&self) -> Option<Cycle> {
+        BarrierNetwork::next_event(self)
+    }
+    fn skip_to(&mut self, t: Cycle) {
+        BarrierNetwork::skip_to(self, t);
+    }
 }
 
 #[cfg(test)]
@@ -781,6 +878,48 @@ mod tests {
     fn four_cycles_on_2x2_matches_figure_2() {
         let mut net = BarrierNetwork::new(Mesh2D::new(2, 2), cfg());
         assert_eq!(net.run_single_barrier(&all_zero(4)), 4);
+    }
+
+    #[test]
+    fn fresh_network_is_quiescent_and_skippable() {
+        let mut net = BarrierNetwork::new(Mesh2D::new(4, 8), cfg());
+        assert_eq!(net.next_event(), None);
+        net.skip_to(10_000);
+        assert_eq!(net.now(), 10_000);
+        // A barrier run after the jump behaves exactly like one from cold.
+        assert_eq!(net.run_single_barrier(&all_zero(32)), 4);
+        // The release wave leaves the controllers draining for a few
+        // cycles; once that settles the network parks again.
+        for _ in 0..16 {
+            net.tick();
+        }
+        assert_eq!(net.next_event(), None, "released network parks again");
+    }
+
+    #[test]
+    fn partial_arrival_settles_back_to_quiescence() {
+        let mut net = BarrierNetwork::new(Mesh2D::new(2, 2), cfg());
+        net.write_bar_reg(CoreId::from(1usize), 0, 1);
+        assert_eq!(
+            net.next_event(),
+            Some(net.now() + 1),
+            "an arrival puts the network in motion"
+        );
+        for _ in 0..16 {
+            net.tick();
+        }
+        assert_eq!(net.next_event(), None, "partially-arrived barrier parks");
+        // Skipping while parked must not perturb the eventual barrier.
+        net.skip_to(net.now() + 1_000_000);
+        for i in [0usize, 2, 3] {
+            net.write_bar_reg(CoreId::from(i), 0, 1);
+        }
+        let start = net.now();
+        while !net.all_released(0) {
+            net.tick();
+            assert!(net.now() - start < 64, "barrier must still complete");
+        }
+        assert_eq!(net.stats(0).barriers_completed, 1);
     }
 
     #[test]

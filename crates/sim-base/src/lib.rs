@@ -19,6 +19,9 @@
 //! * [`json`] — a dependency-free JSON tree, writer and parser used for
 //!   reports and traces.
 //! * [`check`] — a deterministic seed-sweep property-testing loop.
+//! * [`fxmap`] — an in-tree FxHash-style hasher and map aliases for the
+//!   simulator's hot-path, trusted-key maps (fast and seedless, so
+//!   iteration order is deterministic).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,6 +29,7 @@
 pub mod check;
 pub mod clock;
 pub mod config;
+pub mod fxmap;
 pub mod geom;
 pub mod ids;
 pub mod json;
@@ -35,6 +39,7 @@ pub mod trace;
 
 pub use clock::{Clock, Cycle};
 pub use config::CmpConfig;
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use geom::{Coord, Mesh2D};
 pub use ids::{Addr, CoreId, LineAddr};
 pub use trace::{Event, NullSink, RingSink, TraceSink, Tracer};

@@ -15,6 +15,10 @@
 //!   --json             print the full report as JSON
 //!   --breakdown        print the per-category cycle breakdown
 //!   --progress N       print a status line every N cycles
+//!   --no-skip          disable quiescence-aware cycle skipping and
+//!                      tick every cycle (debugging escape hatch; the
+//!                      report is bit-identical either way, traced runs
+//!                      always tick every cycle)
 //!   --trace FILE       record every event and write a Chrome
 //!                      trace_event JSON file (open in about://tracing
 //!                      or Perfetto)
@@ -55,11 +59,13 @@ struct Opts {
     breakdown: bool,
     progress: Option<u64>,
     cores: usize,
+    no_skip: bool,
 }
 
 /// Runs the system to completion and prints the report. Monomorphized
 /// per trace sink so the untraced path stays zero-cost.
 fn run_system<S: TraceSink>(mut sys: System<BarrierNetwork<S>, S>, opts: &Opts) {
+    sys.set_skip_enabled(!opts.no_skip);
     for &(a, v) in &opts.pokes {
         sys.poke_word(a, v);
     }
@@ -119,7 +125,7 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: simcmp PROGRAM.s [PROGRAM2.s …] [--cores N] [--max-cycles N]");
         eprintln!("              [--poke ADDR=VAL]… [--peek ADDR]… [--json] [--breakdown]");
-        eprintln!("              [--trace FILE] [--trace-last N]");
+        eprintln!("              [--no-skip] [--trace FILE] [--trace-last N]");
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
 
@@ -131,6 +137,7 @@ fn main() {
     let mut json = false;
     let mut breakdown = false;
     let mut progress: Option<u64> = None;
+    let mut no_skip = false;
     let mut trace_file: Option<String> = None;
     let mut trace_last: Option<usize> = None;
 
@@ -165,6 +172,7 @@ fn main() {
             }
             "--json" => json = true,
             "--breakdown" => breakdown = true,
+            "--no-skip" => no_skip = true,
             "--progress" => {
                 progress = Some(
                     it.next()
@@ -229,6 +237,7 @@ fn main() {
         breakdown,
         progress,
         cores,
+        no_skip,
     };
 
     if let Some(path) = trace_file {

@@ -52,6 +52,55 @@ enum Status {
     Halted,
 }
 
+/// How a core constrains a fast-forward (cycle-skip) decision. See
+/// [`Core::ff_classify`].
+#[derive(Clone, Copy, Debug)]
+pub enum FfClass {
+    /// The core imposes no wake-up of its own: it is halted, or it waits
+    /// on a miss whose completion the memory system already schedules.
+    NoConstraint,
+    /// The core's state changes at this cycle (busy block expires, or a
+    /// memory response becomes ready).
+    WakeAt(Cycle),
+    /// The core is inside a recognized spin loop and can be replayed in
+    /// closed form over any skipped span.
+    Spin(SpinPlan),
+    /// The core does real work this cycle — no skipping.
+    Blocked,
+}
+
+/// A recognized spin loop, captured at a skip decision point. All of the
+/// loop's per-cycle effects (retires, breakdown charges, L1 hits) are
+/// closed-form, so [`Core::ff_replay`] applies `k` cycles of it in O(1).
+#[derive(Clone, Copy, Debug)]
+pub struct SpinPlan {
+    /// Program counter of the first loop-body instruction.
+    top: usize,
+    kind: SpinKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum SpinKind {
+    /// `top: barr rd ; b<cond> …, top` — one iteration per cycle, no
+    /// memory interaction; `value` is the (frozen) `bar_reg` contents.
+    Gline { rd: Reg, value: u64 },
+    /// A two-cycle load/branch spin: `top: [li a, imm ;] ld rd ;
+    /// b<cond> …, top`, hitting the L1 on `addr` every iteration.
+    Mem {
+        addr: u64,
+        rd: Reg,
+        /// The `li` overlay of the three-instruction form.
+        li: Option<(Reg, u64)>,
+        /// Dynamic instructions retired by one full iteration.
+        iter_retires: u64,
+        /// Captured mid-iteration: the pending response and back-branch
+        /// still have to execute before the next full iteration.
+        phase_b: bool,
+        /// The (frozen) value every iteration loads.
+        value: u64,
+    },
+}
+
 /// One simulated core.
 #[derive(Clone, Debug)]
 pub struct Core {
@@ -360,6 +409,368 @@ impl Core {
                 }
             }
             self.retired += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fast-forward support (quiescence-aware cycle skipping).
+    //
+    // The skip scheduler may only jump over cycles whose effects it can
+    // reproduce exactly. For a core that means either (a) it is parked —
+    // busy block or memory stall, where each skipped cycle only charges
+    // one breakdown category — or (b) it is executing a recognized spin
+    // loop whose per-cycle effects are closed-form. Everything else
+    // blocks skipping.
+    // ------------------------------------------------------------------
+
+    /// How this core constrains a skip decision at cycle `now` (i.e.
+    /// immediately before the `step` for cycle `now` would run).
+    pub fn ff_classify<B: BarrierHw + ?Sized, S: TraceSink>(
+        &self,
+        prog: &Program,
+        mem: &MemorySystem<S>,
+        gline: &B,
+        now: Cycle,
+    ) -> FfClass {
+        match self.status {
+            Status::Halted => FfClass::NoConstraint,
+            Status::BusyUntil { until } => {
+                if until <= now {
+                    // Resumes issue this very cycle.
+                    FfClass::Blocked
+                } else {
+                    FfClass::WakeAt(until)
+                }
+            }
+            Status::WaitMem { rd, cat } => match mem.resp_ready_at(self.id) {
+                // Miss in flight: the memory system's own `next_event`
+                // (home timers, NoC arrivals) provides the wake-up.
+                None => FfClass::NoConstraint,
+                Some(r) if r > now => FfClass::WakeAt(r),
+                Some(_) => {
+                    // The response resolves this cycle. If it is a load
+                    // feeding a taken branch back into a recognized spin
+                    // loop, the core is mid-iteration of that spin.
+                    if cat == TimeCat::Read {
+                        if let Some(plan) = self.match_phase_b(prog, mem, rd) {
+                            return FfClass::Spin(plan);
+                        }
+                    }
+                    FfClass::Blocked
+                }
+            },
+            Status::Ready => match self.match_phase_a(prog, mem, gline) {
+                Some(plan) => FfClass::Spin(plan),
+                None => FfClass::Blocked,
+            },
+        }
+    }
+
+    /// Recognizes a spin loop with the core `Ready` at the loop top.
+    fn match_phase_a<B: BarrierHw + ?Sized, S: TraceSink>(
+        &self,
+        prog: &Program,
+        mem: &MemorySystem<S>,
+        gline: &B,
+    ) -> Option<SpinPlan> {
+        let top = self.pc;
+        match prog.fetch(top)? {
+            // `top: barr rd ; b<cond> …, top` — one iteration per cycle
+            // on a 2-wide core, no memory interaction.
+            Inst::BarRead { rd } if self.issue_width >= 2 => {
+                let Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } = prog.fetch(top + 1)?
+                else {
+                    return None;
+                };
+                if target != top {
+                    return None;
+                }
+                let v = gline.bar_reg(self.id, self.bar_ctx);
+                let rv = |r: Reg| {
+                    if r.index() == 0 {
+                        0
+                    } else if r == rd {
+                        v
+                    } else {
+                        self.reg(r)
+                    }
+                };
+                cond.taken(rv(rs1), rv(rs2)).then_some(SpinPlan {
+                    top,
+                    kind: SpinKind::Gline { rd, value: v },
+                })
+            }
+            // `top: ld rd, off(ra) ; b<cond> …, top` — two cycles per
+            // iteration (issue the L1 hit, then resolve + branch).
+            Inst::Ld { rd, rs1, off } => {
+                let Inst::Branch {
+                    cond,
+                    rs1: b1,
+                    rs2: b2,
+                    target,
+                } = prog.fetch(top + 1)?
+                else {
+                    return None;
+                };
+                if target != top {
+                    return None;
+                }
+                let addr = self.reg(rs1).wrapping_add(off as u64);
+                let v = mem.spin_probe_load(self.id, addr)?;
+                let rv = |r: Reg| {
+                    if r.index() == 0 {
+                        0
+                    } else if r == rd {
+                        v
+                    } else {
+                        self.reg(r)
+                    }
+                };
+                cond.taken(rv(b1), rv(b2)).then_some(SpinPlan {
+                    top,
+                    kind: SpinKind::Mem {
+                        addr,
+                        rd,
+                        li: None,
+                        iter_retires: 2,
+                        phase_b: false,
+                        value: v,
+                    },
+                })
+            }
+            // `top: li a, imm ; ld rd, off(a) ; b<cond> …, top` — the
+            // CSW/DSW flag wait. Dual issue pairs the li with the ld, so
+            // this is also a two-cycle iteration.
+            Inst::Li { rd: a, imm } if self.issue_width >= 2 => {
+                let Inst::Ld { rd, rs1, off } = prog.fetch(top + 1)? else {
+                    return None;
+                };
+                let Inst::Branch {
+                    cond,
+                    rs1: b1,
+                    rs2: b2,
+                    target,
+                } = prog.fetch(top + 2)?
+                else {
+                    return None;
+                };
+                if target != top {
+                    return None;
+                }
+                // Address as seen after `li a, imm`.
+                let base = if rs1 == a { imm as u64 } else { self.reg(rs1) };
+                let addr = base.wrapping_add(off as u64);
+                let v = mem.spin_probe_load(self.id, addr)?;
+                // Branch registers as seen after the load (`rd` shadows
+                // `a` if they alias).
+                let rv = |r: Reg| {
+                    if r.index() == 0 {
+                        0
+                    } else if r == rd {
+                        v
+                    } else if r == a {
+                        imm as u64
+                    } else {
+                        self.reg(r)
+                    }
+                };
+                cond.taken(rv(b1), rv(b2)).then_some(SpinPlan {
+                    top,
+                    kind: SpinKind::Mem {
+                        addr,
+                        rd,
+                        li: Some((a, imm as u64)),
+                        iter_retires: 3,
+                        phase_b: false,
+                        value: v,
+                    },
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Recognizes a spin loop captured mid-iteration: the core is in
+    /// `WaitMem` with a load response pending, `pc` points at the loop's
+    /// back-branch, and the branch (with the pending value) jumps back to
+    /// a loop body this core would keep spinning in.
+    fn match_phase_b<S: TraceSink>(
+        &self,
+        prog: &Program,
+        mem: &MemorySystem<S>,
+        rd: Reg,
+    ) -> Option<SpinPlan> {
+        if mem.l1_busy(self.id) {
+            return None;
+        }
+        let (_, v) = mem.peek_resp_load(self.id)?;
+        let Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } = prog.fetch(self.pc)?
+        else {
+            return None;
+        };
+        let rv = |r: Reg| {
+            if r.index() == 0 {
+                0
+            } else if r == rd {
+                v
+            } else {
+                self.reg(r)
+            }
+        };
+        if !cond.taken(rv(rs1), rv(rs2)) {
+            return None;
+        }
+        let top = target;
+        let (addr, li, iter_retires) = match prog.fetch(top)? {
+            Inst::Ld {
+                rd: lrd,
+                rs1: lr,
+                off,
+            } if self.pc == top + 1 && lrd == rd => {
+                (self.reg(lr).wrapping_add(off as u64), None, 2)
+            }
+            Inst::Li { rd: a, imm } if self.pc == top + 2 && self.issue_width >= 2 => {
+                let Inst::Ld {
+                    rd: lrd,
+                    rs1: lr,
+                    off,
+                } = prog.fetch(top + 1)?
+                else {
+                    return None;
+                };
+                if lrd != rd {
+                    return None;
+                }
+                let base = if lr == a { imm as u64 } else { self.reg(lr) };
+                (base.wrapping_add(off as u64), Some((a, imm as u64)), 3)
+            }
+            _ => return None,
+        };
+        // Future iterations must hit in the L1 and keep observing the
+        // same (frozen) value; bail if the line is not resident or the
+        // pending response somehow disagrees with it.
+        if mem.spin_line_value(self.id, addr)? != v {
+            return None;
+        }
+        Some(SpinPlan {
+            top,
+            kind: SpinKind::Mem {
+                addr,
+                rd,
+                li,
+                iter_retires,
+                phase_b: true,
+                value: v,
+            },
+        })
+    }
+
+    /// Applies `k = target - now` skipped cycles of a parked core: each
+    /// cycle only charges one breakdown category, exactly as `step`
+    /// would.
+    pub fn ff_stall(&mut self, k: u64) {
+        debug_assert!(
+            matches!(
+                self.status,
+                Status::WaitMem { .. } | Status::BusyUntil { .. }
+            ),
+            "only a parked core can fast-forward a stall"
+        );
+        self.breakdown.add(self.category(), k);
+    }
+
+    /// Replays `k = target - now` cycles of a recognized spin loop in
+    /// O(1), leaving the core (and its L1, via `mem`) in exactly the
+    /// state `k` normal `step`s would have produced.
+    pub fn ff_replay<S: TraceSink>(
+        &mut self,
+        plan: SpinPlan,
+        target: Cycle,
+        now: Cycle,
+        mem: &mut MemorySystem<S>,
+    ) {
+        debug_assert!(!S::ENABLED, "spin replay is only legal untraced");
+        let k = target - now;
+        debug_assert!(k >= 2, "a 1-cycle skip is just a tick");
+        match plan.kind {
+            SpinKind::Gline { rd, value } => {
+                // One full iteration (barr + taken branch) per cycle.
+                self.breakdown.add(self.category(), k);
+                self.retired += 2 * k;
+                self.set_reg(rd, value);
+                debug_assert_eq!(self.pc, plan.top);
+            }
+            SpinKind::Mem {
+                addr,
+                rd,
+                li,
+                iter_retires,
+                phase_b,
+                value,
+            } => {
+                // Cycles alternate between the issue phase (A: entered
+                // `Ready`, performs the L1 hit) and the resolve phase
+                // (B: entered `WaitMem`, retires the back-branch).
+                let (a_cycles, b_cycles) = if phase_b {
+                    (k / 2, k.div_ceil(2))
+                } else {
+                    (k.div_ceil(2), k / 2)
+                };
+                let ends_waiting = if phase_b {
+                    k.is_multiple_of(2)
+                } else {
+                    !k.is_multiple_of(2)
+                };
+                let cat_a = region_cat(self.region);
+                let cat_b = match self.region {
+                    Region::Normal => TimeCat::Read,
+                    r => region_cat(r),
+                };
+                self.breakdown.add(cat_a, a_cycles);
+                self.breakdown.add(cat_b, b_cycles);
+                self.retired += a_cycles * (iter_retires - 1) + b_cycles;
+                if phase_b {
+                    // Consume the response that was pending at capture.
+                    let _ = mem.take_resp_for_replay(self.id);
+                }
+                if ends_waiting {
+                    // Last skipped cycle issued the load; the branch is
+                    // next, with the response arriving at `target`.
+                    self.set_reg(rd, value);
+                    if let Some((a, imm)) = li {
+                        self.set_reg(a, imm);
+                    }
+                    self.status = Status::WaitMem {
+                        rd,
+                        cat: TimeCat::Read,
+                    };
+                    self.wait_since = target - 1;
+                    self.pc = plan.top + iter_retires as usize - 1;
+                    mem.spin_replay(self.id, addr, a_cycles, Some(target));
+                } else {
+                    // Last skipped cycle retired the back-branch.
+                    if let Some((a, imm)) = li {
+                        self.set_reg(a, imm);
+                    }
+                    self.set_reg(rd, value);
+                    self.status = Status::Ready;
+                    if a_cycles > 0 {
+                        self.wait_since = target - 2;
+                    }
+                    self.pc = plan.top;
+                    mem.spin_replay(self.id, addr, a_cycles, None);
+                }
+            }
         }
     }
 

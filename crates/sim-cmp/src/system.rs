@@ -1,6 +1,6 @@
 //! The assembled machine.
 
-use crate::core::Core;
+use crate::core::{Core, FfClass, SpinPlan};
 use crate::stats::SystemReport;
 use gline_core::{BarrierHw, BarrierNetwork};
 use sim_base::config::CmpConfig;
@@ -24,6 +24,30 @@ pub struct System<B: BarrierHw = BarrierNetwork, S: TraceSink = NullSink> {
     gline: B,
     tracer: Tracer<S>,
     now: Cycle,
+    /// Quiescence-aware cycle skipping (see [`Self::set_skip_enabled`]).
+    skip_enabled: bool,
+    /// Per-core spin plans, reused across skip decisions (no per-cycle
+    /// allocation on the hot path).
+    ff_plans: Vec<Option<SpinPlan>>,
+    /// Fast-forward effectiveness counters (diagnostics only; not part
+    /// of [`SystemReport`], so skip-on and skip-off reports stay
+    /// bit-identical).
+    skip_stats: SkipStats,
+}
+
+/// How well the cycle-skipping scheduler is doing on a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SkipStats {
+    /// Fast-forward attempts (one per `advance` with skipping live).
+    pub attempts: u64,
+    /// Attempts that jumped the clock.
+    pub skips: u64,
+    /// Total cycles elided across all jumps.
+    pub cycles_skipped: u64,
+    /// Attempts aborted because a core was actively executing.
+    pub fail_blocked: u64,
+    /// Attempts aborted because the earliest event was within a cycle.
+    pub fail_near: u64,
 }
 
 impl<B: BarrierHw> System<B> {
@@ -66,6 +90,9 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
             gline: hw,
             tracer,
             now: 0,
+            skip_enabled: true,
+            ff_plans: vec![None; cfg.num_cores()],
+            skip_stats: SkipStats::default(),
         }
     }
 }
@@ -161,6 +188,96 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
         self.now += 1;
     }
 
+    /// Enables or disables quiescence-aware cycle skipping (on by
+    /// default). When every core is provably parked — stalled on the
+    /// memory hierarchy, inside a `busy` block, or spinning in a
+    /// recognized wait loop — [`run`](Self::run) jumps the clock to the
+    /// next event instead of ticking cycle by cycle, replaying the
+    /// skipped span's statistics in closed form. Reports are
+    /// bit-identical either way; disabling is an escape hatch for
+    /// debugging (`--no-skip` in the CLI). Traced systems always take
+    /// the cycle-exact path regardless of this flag, so event streams
+    /// are never elided.
+    pub fn set_skip_enabled(&mut self, on: bool) {
+        self.skip_enabled = on;
+    }
+
+    /// Whether quiescence-aware cycle skipping is enabled.
+    pub fn skip_enabled(&self) -> bool {
+        self.skip_enabled
+    }
+
+    /// Fast-forward effectiveness counters for this run so far.
+    pub fn skip_stats(&self) -> SkipStats {
+        self.skip_stats
+    }
+
+    /// Advances one cycle — or, if skipping is permitted and the whole
+    /// machine is quiescent, jumps to the next event (clamped to
+    /// `horizon`, which callers use for deadline and progress-boundary
+    /// alignment).
+    fn advance(&mut self, horizon: Cycle) {
+        if S::ENABLED || !self.skip_enabled || !self.try_fast_forward(horizon) {
+            self.tick();
+        }
+    }
+
+    /// Attempts a fast-forward jump. Returns `false` (machine untouched)
+    /// when any component may change state within the next cycle; on
+    /// `true` the clock has jumped to the earliest next event and every
+    /// component has been advanced in closed form.
+    fn try_fast_forward(&mut self, horizon: Cycle) -> bool {
+        let mut target = horizon;
+        if target <= self.now + 1 {
+            return false;
+        }
+        self.skip_stats.attempts += 1;
+        // Clamp on the component clocks first: while protocol traffic is
+        // in flight the hierarchy reports an event within a cycle or two,
+        // and bailing here skips the per-core classification entirely —
+        // the common case on coherence-bound phases.
+        if let Some(t) = self.mem.next_event() {
+            target = target.min(t);
+        }
+        if let Some(t) = self.gline.next_event() {
+            target = target.min(t);
+        }
+        if target <= self.now + 1 {
+            self.skip_stats.fail_near += 1;
+            return false;
+        }
+        for (i, core) in self.cores.iter().enumerate() {
+            self.ff_plans[i] = None;
+            match core.ff_classify(&self.progs[i], &self.mem, &self.gline, self.now) {
+                FfClass::Blocked => {
+                    self.skip_stats.fail_blocked += 1;
+                    return false;
+                }
+                FfClass::NoConstraint => {}
+                FfClass::WakeAt(t) => target = target.min(t),
+                FfClass::Spin(plan) => self.ff_plans[i] = Some(plan),
+            }
+        }
+        if target <= self.now + 1 {
+            self.skip_stats.fail_near += 1;
+            return false;
+        }
+        let k = target - self.now;
+        self.skip_stats.skips += 1;
+        self.skip_stats.cycles_skipped += k;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if let Some(plan) = self.ff_plans[i] {
+                core.ff_replay(plan, target, self.now, &mut self.mem);
+            } else if !core.halted() {
+                core.ff_stall(k);
+            }
+        }
+        self.mem.skip_to(target);
+        self.gline.skip_to(target);
+        self.now = target;
+        true
+    }
+
     /// Runs until every core halts. Returns the cycle count.
     ///
     /// # Errors
@@ -169,7 +286,7 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
     pub fn run(&mut self, max_cycles: u64) -> Result<Cycle, String> {
         let start = self.now;
         while !self.all_halted() {
-            self.tick();
+            self.advance(start + max_cycles + 1);
             if self.now - start > max_cycles {
                 let stuck: Vec<String> = self
                     .cores
@@ -202,7 +319,10 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
         let start = self.now;
         let mut next = self.now + every;
         while !self.all_halted() {
-            self.tick();
+            // Clamp skips to the observer boundary so the observer fires
+            // at every `every`-cycle mark with the report as of exactly
+            // that cycle, even when a jump would have crossed it.
+            self.advance(next.min(start + max_cycles + 1));
             if self.now >= next {
                 observer(&self.report());
                 next += every;

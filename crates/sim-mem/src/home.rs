@@ -15,13 +15,14 @@ use crate::cache::SetAssoc;
 use crate::l1::OutMsg;
 use crate::proto::{Grant, LineData, ProtoMsg};
 use sim_base::config::CacheConfig;
+use sim_base::fxmap::FxHashMap;
 use sim_base::ids::LineAddr;
 use sim_base::trace::{Event, NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Sparse line-granular memory backend (absent lines read as zero).
-pub type Memory = HashMap<LineAddr, LineData>;
+pub type Memory = FxHashMap<LineAddr, LineData>;
 
 /// A compact sharer set (up to 64 cores).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -143,12 +144,15 @@ pub struct HomeStats {
 pub struct HomeCtrl<S: TraceSink = NullSink> {
     tile: CoreId,
     l2: SetAssoc<bool>, // state = dirty-vs-memory
-    dir: HashMap<LineAddr, DirState>,
-    active: HashMap<LineAddr, HomeTx>,
-    queue: HashMap<LineAddr, VecDeque<(CoreId, ProtoMsg)>>,
+    dir: FxHashMap<LineAddr, DirState>,
+    active: FxHashMap<LineAddr, HomeTx>,
+    queue: FxHashMap<LineAddr, VecDeque<(CoreId, ProtoMsg)>>,
     l2_latency: u64,
     mem_latency: u64,
     stats: HomeStats,
+    /// Reused per-tick buffer of matured lines (avoids a per-cycle
+    /// allocation on the tick hot path).
+    ready_scratch: Vec<LineAddr>,
     tracer: Tracer<S>,
 }
 
@@ -170,12 +174,13 @@ impl<S: TraceSink> HomeCtrl<S> {
         HomeCtrl {
             tile,
             l2: SetAssoc::new(l2_cfg),
-            dir: HashMap::new(),
-            active: HashMap::new(),
-            queue: HashMap::new(),
+            dir: FxHashMap::default(),
+            active: FxHashMap::default(),
+            queue: FxHashMap::default(),
             l2_latency: l2_cfg.total_latency() as u64,
             mem_latency: mem_latency as u64,
             stats: HomeStats::default(),
+            ready_scratch: Vec::new(),
             tracer,
         }
     }
@@ -550,21 +555,44 @@ impl<S: TraceSink> HomeCtrl<S> {
         }
     }
 
+    /// The earliest future cycle at which a timer-driven transaction
+    /// phase matures, or `None` when every active phase is
+    /// message-driven (invalidation acks, forwards) — those wake-ups
+    /// are carried by the network and accounted there.
+    ///
+    /// Used by the fast-forward scheduler: a cycle strictly before the
+    /// returned value can never see this controller change state on
+    /// its own.
+    pub fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        self.active
+            .values()
+            .filter_map(|tx| match tx.phase {
+                TxPhase::L2Wait { until } | TxPhase::MemWait { until } => Some(until),
+                _ => None,
+            })
+            .min()
+    }
+
     /// Advances timer-based phases; call once per cycle.
     pub fn tick(&mut self, now: Cycle, mem: &mut Memory, out: &mut Vec<OutMsg>) {
         if self.active.is_empty() {
             return;
         }
-        let ready: Vec<LineAddr> = self
-            .active
-            .iter()
-            .filter(|(_, tx)| match tx.phase {
-                TxPhase::L2Wait { until } | TxPhase::MemWait { until } => until <= now,
-                _ => false,
-            })
-            .map(|(&l, _)| l)
-            .collect();
-        for line in ready {
+        // Collect matured lines into the reused scratch buffer (the
+        // processing below inserts into `active`, so the two steps
+        // cannot share one iteration).
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        ready.clear();
+        ready.extend(
+            self.active
+                .iter()
+                .filter(|(_, tx)| match tx.phase {
+                    TxPhase::L2Wait { until } | TxPhase::MemWait { until } => until <= now,
+                    _ => false,
+                })
+                .map(|(&l, _)| l),
+        );
+        for line in ready.drain(..) {
             let tx = self.active.get(&line).expect("collected above");
             let kind = tx.kind;
             match kind {
@@ -618,6 +646,7 @@ impl<S: TraceSink> HomeCtrl<S> {
             }
             self.complete(line, now, mem, out);
         }
+        self.ready_scratch = ready;
     }
 
     /// Ends the active transaction on `line` and starts the next queued
@@ -654,7 +683,7 @@ mod tests {
     fn home() -> (HomeCtrl, Memory, Vec<OutMsg>) {
         (
             HomeCtrl::new(CoreId(0), &l2_cfg(), 400),
-            Memory::new(),
+            Memory::default(),
             Vec::new(),
         )
     }

@@ -9,10 +9,10 @@
 use crate::cache::SetAssoc;
 use crate::proto::{CoreReq, CoreResp, Grant, LineData, ProtoMsg};
 use sim_base::config::CacheConfig;
+use sim_base::fxmap::FxHashMap;
 use sim_base::ids::LineAddr;
 use sim_base::trace::{Event, NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
-use std::collections::HashMap;
 
 /// MESI states of a resident L1 line (Invalid = not resident).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,7 +90,7 @@ pub struct L1Ctrl<S: TraceSink = NullSink> {
     cache: SetAssoc<L1State>,
     mshr: Option<Mshr>,
     /// Evicted M/E lines awaiting `WbAck`.
-    wb_buf: HashMap<LineAddr, LineData>,
+    wb_buf: FxHashMap<LineAddr, LineData>,
     /// A coherence message (Inv/FwdGetS/FwdGetX) for the line our miss is
     /// outstanding on, arrived before its Data (the Reply and Coherence
     /// virtual networks are unordered relative to each other). Serviced
@@ -125,7 +125,7 @@ impl<S: TraceSink> L1Ctrl<S> {
             hit_latency: cfg.total_latency(),
             cache: SetAssoc::new(cfg),
             mshr: None,
-            wb_buf: HashMap::new(),
+            wb_buf: FxHashMap::default(),
             deferred: None,
             resp: None,
             stats: L1Stats::default(),
@@ -547,6 +547,92 @@ impl<S: TraceSink> L1Ctrl<S> {
             }
         }
         None
+    }
+
+    // --- fast-forward support -------------------------------------------
+    //
+    // The scheduler in sim-cmp skips over stretches where every core is
+    // spinning on an L1-resident line. The hooks below let it (a) decide
+    // whether a spin load would be a pure hit and (b) replay the batched
+    // effect of many such hits in one step, preserving stats and the
+    // LRU/response state the per-cycle path would have produced.
+
+    /// True when a coherence message sits parked behind our own fill.
+    pub fn has_deferred(&self) -> bool {
+        self.deferred.is_some()
+    }
+
+    /// True when a miss is outstanding (MSHR allocated).
+    pub fn miss_outstanding(&self) -> bool {
+        self.mshr.is_some()
+    }
+
+    /// The ready cycle of the pending core response, if any.
+    pub fn resp_ready_at(&self) -> Option<Cycle> {
+        self.resp.map(|(r, _)| r)
+    }
+
+    /// The pending response if it is a load: `(ready_cycle, value)`.
+    pub fn peek_resp_load(&self) -> Option<(Cycle, u64)> {
+        match self.resp {
+            Some((r, CoreResp::LoadValue(v))) => Some((r, v)),
+            _ => None,
+        }
+    }
+
+    /// The value a `Load { addr }` would return as a pure hit right now,
+    /// without performing the access. `None` when the controller is busy
+    /// (miss outstanding / deferred coherence message / pending response)
+    /// or the line is not resident in the cache array — in either case
+    /// the access would not be a hit-and-nothing-else, so the caller
+    /// must not fast-forward through it.
+    pub fn spin_probe_load(&self, addr: u64) -> Option<u64> {
+        if self.mshr.is_some() || self.deferred.is_some() || self.resp.is_some() {
+            return None;
+        }
+        self.line_value(addr)
+    }
+
+    /// The resident copy of the word at `addr`, ignoring controller
+    /// state. Used when a spin is captured mid-iteration: the pending
+    /// response makes [`spin_probe_load`](Self::spin_probe_load) bail,
+    /// but the next iteration's value is still the resident line's word.
+    pub fn line_value(&self, addr: u64) -> Option<u64> {
+        let line = LineAddr(addr / self.line_bytes);
+        let w = self.word_index(addr);
+        self.cache.probe(line).map(|e| e.data[w])
+    }
+
+    /// Replays `hits` spin-loop load hits of `addr` in one step: charges
+    /// the hit counter, performs one LRU touch (repeated touches of the
+    /// same line are idempotent), and — when the replayed window ends
+    /// between the access and its response — leaves the final response
+    /// pending at `final_ready`.
+    ///
+    /// Only legal while the controller holds the line and has nothing
+    /// else in flight; only used on untraced runs (the per-cycle path
+    /// emits `L1Access` events this replay does not).
+    pub fn spin_replay(&mut self, addr: u64, hits: u64, final_ready: Option<Cycle>) {
+        debug_assert!(!S::ENABLED, "spin replay is only legal untraced");
+        debug_assert!(self.mshr.is_none() && self.deferred.is_none());
+        if hits == 0 {
+            debug_assert!(final_ready.is_none());
+            return;
+        }
+        let line = LineAddr(addr / self.line_bytes);
+        let w = self.word_index(addr);
+        self.stats.hits += hits;
+        let e = self.cache.lookup(line).expect("spin line resident");
+        if let Some(r) = final_ready {
+            debug_assert!(self.resp.is_none());
+            self.resp = Some((r, CoreResp::LoadValue(e.data[w])));
+        }
+    }
+
+    /// Takes the pending response regardless of its ready cycle (the
+    /// fast-forward replay consumes it as part of a skipped iteration).
+    pub fn take_resp_for_replay(&mut self) -> Option<CoreResp> {
+        self.resp.take().map(|(_, r)| r)
     }
 }
 

@@ -51,7 +51,7 @@ impl<S: TraceSink> MemorySystem<S> {
                 })
                 .collect(),
             noc: Noc::traced(cfg.mesh, cfg.noc, tracer),
-            mem: Memory::new(),
+            mem: Memory::default(),
             now: 0,
             out_scratch: Vec::new(),
         }
@@ -137,6 +137,77 @@ impl<S: TraceSink> MemorySystem<S> {
         }
         self.noc.tick();
         self.now += 1;
+    }
+
+    /// The earliest cycle at which the memory system can change state
+    /// on its own, or `None` when it is fully message/request driven
+    /// and idle. `Some(now)` means the very next tick has work.
+    ///
+    /// Used by the fast-forward scheduler: every tick strictly before
+    /// the returned cycle is a provable no-op (no home timer matures,
+    /// no message is delivered, no flit arrives anywhere).
+    pub fn next_event(&self) -> Option<Cycle> {
+        let mut next = self.noc.next_event();
+        for h in &self.homes {
+            next = match (next, h.next_event(self.now)) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        next
+    }
+
+    /// Jumps the memory-system clock (and the NoC's) to `t` without
+    /// ticking the cycles in between. Only legal when
+    /// [`next_event`](Self::next_event) reports nothing strictly
+    /// before `t`.
+    pub fn skip_to(&mut self, t: Cycle) {
+        debug_assert!(t >= self.now);
+        debug_assert!(
+            self.next_event().is_none_or(|e| e >= t),
+            "memory-system skip over a live event"
+        );
+        self.noc.skip_to(t);
+        self.now = t;
+    }
+
+    // --- fast-forward support: per-core L1 spin hooks -------------------
+
+    /// True when `core`'s L1 has protocol work in flight (outstanding
+    /// miss or a deferred coherence message).
+    pub fn l1_busy(&self, core: CoreId) -> bool {
+        let l1 = &self.l1s[core.index()];
+        l1.miss_outstanding() || l1.has_deferred()
+    }
+
+    /// The ready cycle of `core`'s pending response, if any.
+    pub fn resp_ready_at(&self, core: CoreId) -> Option<Cycle> {
+        self.l1s[core.index()].resp_ready_at()
+    }
+
+    /// `core`'s pending response if it is a load: `(ready, value)`.
+    pub fn peek_resp_load(&self, core: CoreId) -> Option<(Cycle, u64)> {
+        self.l1s[core.index()].peek_resp_load()
+    }
+
+    /// See [`L1Ctrl::spin_probe_load`].
+    pub fn spin_probe_load(&self, core: CoreId, addr: u64) -> Option<u64> {
+        self.l1s[core.index()].spin_probe_load(addr)
+    }
+
+    /// See [`L1Ctrl::line_value`].
+    pub fn spin_line_value(&self, core: CoreId, addr: u64) -> Option<u64> {
+        self.l1s[core.index()].line_value(addr)
+    }
+
+    /// See [`L1Ctrl::spin_replay`].
+    pub fn spin_replay(&mut self, core: CoreId, addr: u64, hits: u64, final_ready: Option<Cycle>) {
+        self.l1s[core.index()].spin_replay(addr, hits, final_ready);
+    }
+
+    /// See [`L1Ctrl::take_resp_for_replay`].
+    pub fn take_resp_for_replay(&mut self, core: CoreId) -> Option<CoreResp> {
+        self.l1s[core.index()].take_resp_for_replay()
     }
 
     /// Sends the scratch buffer's messages from `src`.

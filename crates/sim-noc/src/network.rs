@@ -4,10 +4,11 @@ use crate::msg::{flits_for, Flit, Message, PacketInfo};
 use crate::router::{Router, WormLock, NUM_PORTS, NUM_VCS};
 use crate::stats::NocStats;
 use sim_base::config::NocConfig;
+use sim_base::fxmap::FxHashMap;
 use sim_base::geom::Dir;
 use sim_base::trace::{Event, NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle, Mesh2D};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A flit in flight on a link (plus the upstream router pipeline).
 #[derive(Clone, Copy, Debug)]
@@ -50,9 +51,9 @@ pub struct Noc<T, S: TraceSink = NullSink> {
     /// Flits crossing the final router toward delivery.
     eject: VecDeque<EjectEntry>,
     /// Per-packet routing/bookkeeping state.
-    packets: HashMap<u64, PacketInfo>,
+    packets: FxHashMap<u64, PacketInfo>,
     /// Payloads parked while their flits traverse the mesh.
-    payloads: HashMap<u64, Message<T>>,
+    payloads: FxHashMap<u64, Message<T>>,
     /// Same-tile messages bypassing the mesh: (deliver_at, message).
     bypass: VecDeque<(Cycle, Message<T>)>,
     /// Delivered messages per tile.
@@ -90,8 +91,8 @@ impl<T, S: TraceSink> Noc<T, S> {
             inject_q: (0..n).map(|_| Default::default()).collect(),
             wire: VecDeque::new(),
             eject: VecDeque::new(),
-            packets: HashMap::new(),
-            payloads: HashMap::new(),
+            packets: FxHashMap::default(),
+            payloads: FxHashMap::default(),
             bypass: VecDeque::new(),
             delivered: (0..n).map(|_| VecDeque::new()).collect(),
             next_pkt: 0,
@@ -205,6 +206,62 @@ impl<T, S: TraceSink> Noc<T, S> {
     /// Pops one delivered message for `tile`, if any.
     pub fn recv(&mut self, tile: CoreId) -> Option<Message<T>> {
         self.delivered[tile.index()].pop_front()
+    }
+
+    /// True when any delivered message is waiting to be received.
+    pub fn has_deliveries(&self) -> bool {
+        self.delivered.iter().any(|q| !q.is_empty())
+    }
+
+    /// The earliest cycle at which the network can change observable
+    /// state, or `None` when it is completely empty.
+    ///
+    /// Returns `Some(now)` when receivers already have work (delivered
+    /// or matured-bypass messages) or an in-transit arrival matures this
+    /// very cycle, `Some(now + 1)` while flits are buffered in routers
+    /// or injection queues (arbitration makes progress every cycle), and
+    /// the earliest in-transit arrival when every flit is on a wire or
+    /// crossing the ejection pipeline — all ticks strictly before the
+    /// reported cycle are provable no-ops.
+    pub fn next_event(&self) -> Option<Cycle> {
+        if self.has_deliveries() || !self.bypass.is_empty() {
+            // Bypass entries are stamped with their send cycle, so a
+            // non-empty bypass queue always matures by the next tick.
+            return Some(self.now);
+        }
+        if self.active_flits == 0 {
+            return None;
+        }
+        // Earliest scheduled arrival. Both queues are FIFO in arrival
+        // order (each adds a constant latency to its push cycle), so the
+        // fronts are the minima.
+        let w = self.wire.front().map(|e| e.arrive);
+        let e = self.eject.front().map(|e| e.arrive);
+        let front = match (w, e) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        debug_assert!(front.is_none_or(|f| f >= self.now), "stale arrival");
+        if self.wire.len() + self.eject.len() < self.active_flits {
+            // Something is buffered in a router or injection queue;
+            // arbitration may move it on the very next tick — unless an
+            // already-matured arrival changes state even sooner.
+            return Some(front.map_or(self.now + 1, |f| f.min(self.now + 1)));
+        }
+        front
+    }
+
+    /// Jumps the network clock to `t` without ticking the cycles in
+    /// between. Only legal when [`next_event`](Self::next_event)
+    /// reports no observable state change strictly before `t` — every
+    /// skipped tick would have been a no-op.
+    pub fn skip_to(&mut self, t: Cycle) {
+        debug_assert!(t >= self.now);
+        debug_assert!(
+            self.next_event().is_none_or(|e| e >= t),
+            "NoC skip over a live event"
+        );
+        self.now = t;
     }
 
     /// Next output direction for a packet at router `r`.

@@ -47,6 +47,44 @@ pub fn cycles_per_barrier(total_cycles: u64, iters: u64) -> f64 {
     total_cycles as f64 / (iters * BARRIERS_PER_ITER) as f64
 }
 
+/// The imbalanced variant: before each barrier, core `c` computes for
+/// `c * stagger` cycles, so the cores arrive spread out in time and the
+/// early arrivals sit in the barrier's wait loop. This is the shape of a
+/// real barrier-period — compute with load imbalance, then
+/// synchronization — and makes the run's cost be dominated by barrier
+/// *waiting* rather than by arrival contention, the regime the
+/// quiescence-skipping scheduler targets (and the one Figure 6's
+/// application runs live in).
+pub fn build_imbalanced(n_cores: usize, kind: BarrierKind, iters: u64, stagger: u32) -> Workload {
+    assert!(iters >= 1);
+    let env = barrier_env(kind, n_cores);
+    let progs = (0..n_cores)
+        .map(|c| {
+            let mut b = ProgBuilder::new();
+            let iter_reg = Reg(10);
+            b.li(iter_reg, iters as i64);
+            b.label("loop");
+            for k in 0..BARRIERS_PER_ITER {
+                if c > 0 {
+                    b.busy(c as u32 * stagger);
+                }
+                env.emit(&mut b, c, &format!("k{k}"));
+            }
+            b.addi(iter_reg, iter_reg, -1);
+            b.bne(iter_reg, Reg::ZERO, "loop");
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "Synthetic-imbalanced".into(),
+        progs,
+        pokes: Vec::new(),
+        barriers_per_core: iters * BARRIERS_PER_ITER,
+        kind,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

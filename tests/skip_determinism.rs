@@ -1,0 +1,258 @@
+//! Determinism of the quiescence-aware cycle-skipping scheduler.
+//!
+//! The skip scheduler (see `DESIGN.md`, "Quiescence model") jumps the
+//! clock over provably-dead spans and replays their statistics in closed
+//! form. Its single correctness contract: a run with skipping enabled is
+//! **bit-identical** — same [`sim_cmp::SystemReport`], same architectural
+//! memory — to the same run ticked cycle by cycle. These tests enforce
+//! that over every workload generator and barrier flavour, plus the
+//! component-level `next_event` contract ("never under-report": a
+//! component must not change observable state before the cycle its
+//! `next_event` names).
+
+use gline_core::BarrierNetwork;
+use sim_base::check::forall_cases;
+use sim_base::config::{CmpConfig, GlineConfig};
+use sim_base::stats::MsgClass;
+use sim_base::{CoreId, Cycle, Mesh2D};
+use sim_cmp::runtime::BarrierKind;
+use sim_cmp::SystemReport;
+use sim_mem::{CoreReq, MemorySystem};
+use sim_noc::{Message, Noc};
+use workloads::common::Workload;
+use workloads::{em3d, livermore, ocean, synthetic, unstructured};
+
+/// Runs `w` twice — skip on and `--no-skip` — and demands bit-identical
+/// reports and a strictly useful scheduler (skips must not change the
+/// cycle count either, which the report comparison already covers).
+fn assert_skip_invariant(w: &Workload) {
+    let cfg = CmpConfig::icpp2010_with_cores(w.progs.len());
+    let mut fast = w.into_system(cfg);
+    let mut slow = w.into_system(cfg);
+    slow.set_skip_enabled(false);
+    assert!(fast.skip_enabled() && !slow.skip_enabled());
+    let cf = fast.run(50_000_000).expect("fast run must complete");
+    let cs = slow.run(50_000_000).expect("slow run must complete");
+    assert_eq!(cf, cs, "{}: cycle counts diverge", w.name);
+    let rf: SystemReport = fast.report();
+    let rs: SystemReport = slow.report();
+    assert_eq!(rf, rs, "{}: reports diverge with skipping on", w.name);
+}
+
+#[test]
+fn synthetic_all_barrier_kinds_skip_invariant() {
+    for kind in BarrierKind::ALL {
+        assert_skip_invariant(&synthetic::build(8, kind, 6));
+    }
+}
+
+#[test]
+fn synthetic_paper_mesh_skip_invariant() {
+    assert_skip_invariant(&synthetic::build(32, BarrierKind::Gl, 4));
+    assert_skip_invariant(&synthetic::build(32, BarrierKind::Csw, 2));
+}
+
+#[test]
+fn synthetic_imbalanced_skip_invariant() {
+    // The barrier-wait-heavy shape (staggered arrival, long spins): the
+    // regime where the scheduler elides most cycles, so the bit-identity
+    // claim is doing the most work.
+    for kind in BarrierKind::ALL {
+        assert_skip_invariant(&synthetic::build_imbalanced(8, kind, 3, 300));
+    }
+    assert_skip_invariant(&synthetic::build_imbalanced(32, BarrierKind::Csw, 2, 500));
+}
+
+#[test]
+fn ocean_skip_invariant() {
+    for kind in [BarrierKind::Gl, BarrierKind::Csw] {
+        assert_skip_invariant(&ocean::build(8, kind, ocean::OceanParams::scaled(10, 2)));
+    }
+}
+
+#[test]
+fn em3d_skip_invariant() {
+    for kind in [BarrierKind::Gl, BarrierKind::Dsw] {
+        assert_skip_invariant(&em3d::build(8, kind, em3d::Em3dParams::scaled(24, 2)));
+    }
+}
+
+#[test]
+fn livermore_kernels_skip_invariant() {
+    let p = livermore::KernelParams::scaled(32, 2);
+    assert_skip_invariant(&livermore::kernel2(4, BarrierKind::Gl, p));
+    assert_skip_invariant(&livermore::kernel3(4, BarrierKind::Csw, p));
+    assert_skip_invariant(&livermore::kernel6(4, BarrierKind::Gl, p));
+}
+
+#[test]
+fn unstructured_skip_invariant() {
+    // Locks + barriers: exercises the lock-test spin recognizer.
+    let p = unstructured::UnstructuredParams::scaled(12, 24, 2);
+    for kind in [BarrierKind::Gl, BarrierKind::Csw] {
+        assert_skip_invariant(&unstructured::build(4, kind, p));
+    }
+}
+
+#[test]
+fn architectural_memory_identical_with_skip() {
+    let w = ocean::build(8, BarrierKind::Gl, ocean::OceanParams::scaled(10, 2));
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+    let mut fast = w.into_system(cfg);
+    let mut slow = w.into_system(cfg);
+    slow.set_skip_enabled(false);
+    fast.run(50_000_000).unwrap();
+    slow.run(50_000_000).unwrap();
+    for (addr, _) in ocean::expected(ocean::OceanParams::scaled(10, 2), 8)
+        .iter()
+        .enumerate()
+    {
+        let a = ocean::point_addr(ocean::OceanParams::scaled(10, 2), addr / 10, addr % 10);
+        assert_eq!(fast.peek_word(a), slow.peek_word(a));
+    }
+}
+
+// ---------------------------------------------------------------------
+// `next_event` never under-reports.
+// ---------------------------------------------------------------------
+
+/// NoC: whenever a delivery becomes receivable during the tick of cycle
+/// `c`, the `next_event` reported *before* that tick must have been
+/// `Some(t)` with `t <= c` — otherwise a skipping simulator could have
+/// jumped past the arrival.
+#[test]
+fn noc_next_event_never_under_reports() {
+    forall_cases("noc_next_event", 24, |rng| {
+        let mesh = Mesh2D::new(4, 4);
+        let mut noc: Noc<u64> = Noc::new(mesh, CmpConfig::icpp2010().noc);
+        let n = mesh.num_tiles() as u64;
+        let sends = 3 + rng.next_below(12);
+        let mut pending: u64 = 0;
+        let mut send_at: Vec<(Cycle, CoreId, CoreId)> = (0..sends)
+            .map(|_| {
+                (
+                    rng.next_below(60),
+                    CoreId::from(rng.next_below(n) as usize),
+                    CoreId::from(rng.next_below(n) as usize),
+                )
+            })
+            .collect();
+        send_at.sort();
+        let mut cycle: Cycle = 0;
+        while !send_at.is_empty() || pending > 0 {
+            while send_at.first().is_some_and(|&(t, _, _)| t == cycle) {
+                let (_, src, dst) = send_at.remove(0);
+                noc.send(Message {
+                    src,
+                    dst,
+                    class: MsgClass::Request,
+                    payload_bytes: if rng.chance(0.5) { 64 } else { 0 },
+                    payload: cycle,
+                });
+                pending += 1;
+            }
+            let ne = noc.next_event();
+            noc.tick();
+            let mut arrived = 0;
+            for t in mesh.tiles() {
+                while noc.recv(t).is_some() {
+                    arrived += 1;
+                }
+            }
+            if arrived > 0 {
+                let t = ne.expect("delivery arrived while next_event claimed quiescence");
+                assert!(t <= cycle, "delivery in cycle {cycle}, next_event said {t}");
+            }
+            pending -= arrived;
+            cycle += 1;
+            assert!(cycle < 10_000, "NoC property run livelocked");
+        }
+        assert_eq!(noc.next_event(), None, "drained NoC must report quiescence");
+    });
+}
+
+/// Memory system: a core's response must never become ready before the
+/// minimum of the hierarchy's reported next events at request time.
+#[test]
+fn memory_next_event_never_under_reports() {
+    forall_cases("mem_next_event", 16, |rng| {
+        let cfg = CmpConfig::icpp2010_with_cores(4);
+        let mut mem = MemorySystem::new(&cfg);
+        let cores: Vec<CoreId> = (0..4).map(CoreId::from).collect();
+        for round in 0..3u64 {
+            for (i, &c) in cores.iter().enumerate() {
+                let addr = 0x1000 * (1 + rng.next_below(4)) + 64 * i as u64;
+                if rng.chance(0.5) {
+                    mem.request(c, CoreReq::Load { addr });
+                } else {
+                    mem.request(c, CoreReq::Store { addr, value: round });
+                }
+            }
+            let mut outstanding = cores.len();
+            let mut guard = 0;
+            while outstanding > 0 {
+                let ne = mem.next_event();
+                let before = mem.now();
+                mem.tick();
+                for &c in &cores {
+                    if mem.poll(c).is_some() {
+                        // The response became observable during the tick
+                        // of cycle `before`; the hierarchy must have
+                        // admitted an event no later than that.
+                        let t = ne.expect("response completed while next_event claimed quiescence");
+                        assert!(t <= before + 1, "resp in cycle {before}, next_event {t}");
+                        outstanding -= 1;
+                    }
+                }
+                guard += 1;
+                assert!(guard < 100_000, "memory property run livelocked");
+            }
+        }
+        // Fully drained: the hierarchy parks.
+        for _ in 0..8 {
+            mem.tick();
+        }
+        assert_eq!(mem.next_event(), None, "idle hierarchy must be quiescent");
+    });
+}
+
+/// Barrier network: `bar_reg` values and completion stats must never
+/// change across a tick for which `next_event` claimed quiescence.
+#[test]
+fn gline_next_event_never_under_reports() {
+    forall_cases("gline_next_event", 24, |rng| {
+        let mesh = Mesh2D::new(2 + rng.next_below(3) as u16, 2 + rng.next_below(4) as u16);
+        let n = mesh.num_tiles();
+        let mut net = BarrierNetwork::new(mesh, GlineConfig::default());
+        let mut arrive: Vec<Cycle> = (0..n).map(|_| rng.next_below(24)).collect();
+        // Everybody eventually arrives, so the barrier completes.
+        arrive[rng.next_below(n as u64) as usize] = 0;
+        let mut cycle: Cycle = 0;
+        let mut done = false;
+        while !done {
+            let external = arrive.contains(&cycle);
+            for (i, &a) in arrive.iter().enumerate() {
+                if a == cycle {
+                    net.write_bar_reg(CoreId::from(i), 0, 1);
+                }
+            }
+            let quiescent = net.next_event().is_none();
+            let regs_before: Vec<u64> = (0..n).map(|i| net.bar_reg(CoreId::from(i), 0)).collect();
+            let barriers_before = net.stats(0).barriers_completed;
+            net.tick();
+            if quiescent && !external {
+                let regs_after: Vec<u64> =
+                    (0..n).map(|i| net.bar_reg(CoreId::from(i), 0)).collect();
+                assert_eq!(regs_before, regs_after, "bar_reg changed while quiescent");
+                assert_eq!(
+                    barriers_before,
+                    net.stats(0).barriers_completed,
+                    "a barrier completed while quiescent"
+                );
+            }
+            done = net.stats(0).barriers_completed == 1 && net.all_released(0);
+            cycle += 1;
+            assert!(cycle < 4096, "barrier property run livelocked");
+        }
+    });
+}
