@@ -3,14 +3,17 @@
 //! Usage:
 //! ```text
 //! figures [--table1] [--table2] [--fig2] [--fig5] [--fig6] [--fig7]
-//!         [--all] [--full] [--json FILE]
+//!         [--all] [--full] [--json FILE] [--jobs N]
 //! ```
 //!
 //! With no selection flags, `--all` is implied. `--full` runs the larger
 //! workload sizes; the default quick sizes finish in minutes. `--json`
-//! additionally writes the raw experiment data as JSON.
+//! additionally writes the raw experiment data as JSON. `--jobs N` sets
+//! the worker-thread count for the simulation sweeps (default: all host
+//! cores; the output is bit-identical for any N).
 
 use bench::experiments as exp;
+use bench::sweep::workers_from_args;
 use bench::Scale;
 use sim_base::json::{Json, ToJson};
 use std::io::Write;
@@ -60,9 +63,13 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let workers = workers_from_args(&args);
     let mut json = JsonOut::default();
 
-    println!("gline-cmp evaluation harness — scale: {scale:?} (use --full for larger runs)\n");
+    println!(
+        "gline-cmp evaluation harness — scale: {scale:?}, {workers} worker thread(s) \
+         (use --full for larger runs, --jobs N to set workers)\n"
+    );
 
     if all || has("--table1") {
         println!("{}", exp::table1());
@@ -72,19 +79,19 @@ fn main() {
     }
     if all || has("--table2") {
         eprintln!("[table2] running the benchmark suite under DSW…");
-        let rows = exp::table2(scale);
+        let rows = exp::table2(scale, workers);
         println!("{}", exp::render_table2(&rows));
         json.table2 = Some(rows);
     }
     if all || has("--fig5") {
         eprintln!("[fig5] sweeping core counts × barrier implementations…");
-        let rows = exp::fig5(scale);
+        let rows = exp::fig5(scale, workers);
         println!("{}", exp::render_fig5(&rows));
         json.fig5 = Some(rows);
     }
     if all || has("--fig6") || has("--fig7") {
         eprintln!("[fig6/fig7] running the benchmark suite under DSW and GL…");
-        let rows = exp::fig6_fig7(scale);
+        let rows = exp::fig6_fig7(scale, workers);
         if all || has("--fig6") {
             println!("{}", exp::render_fig6(&rows));
         }

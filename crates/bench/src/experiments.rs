@@ -1,5 +1,11 @@
 //! Experiment definitions: one function per table/figure of the paper.
+//!
+//! The multi-run experiments ([`table2`], [`fig5`], [`fig6_fig7`]) take
+//! a `workers` count and fan their independent simulations across host
+//! cores via [`crate::sweep::sweep`]; results come back in job order,
+//! so the output is bit-identical to a `workers = 1` run.
 
+use crate::sweep::sweep;
 use sim_base::config::CmpConfig;
 use sim_base::json::{Json, ToJson};
 use sim_base::stats::{MsgClass, TimeCat};
@@ -179,32 +185,29 @@ impl ToJson for Table2Row {
     }
 }
 
-/// Regenerates Table 2: per-benchmark barrier counts and periods.
-pub fn table2(scale: Scale) -> Vec<Table2Row> {
-    let mut rows = Vec::new();
-    // Synthetic first, like the paper.
-    {
-        let iters = 50 * scale.factor();
-        let w = synthetic::build(BENCH_CORES, BarrierKind::Dsw, iters);
-        let rep = run_workload(&w, BENCH_CORES);
-        rows.push(Table2Row {
-            benchmark: "Synthetic".into(),
-            barriers: w.total_barriers(),
-            barrier_period: rep.cycles / w.total_barriers(),
-            cycles: rep.cycles,
-        });
-    }
+/// Regenerates Table 2: per-benchmark barrier counts and periods,
+/// fanning the runs across `workers` threads.
+pub fn table2(scale: Scale, workers: usize) -> Vec<Table2Row> {
+    // Synthetic first, like the paper. Workloads are generated
+    // serially (cheap); only the simulations run in parallel.
+    let iters = 50 * scale.factor();
+    let mut names = vec!["Synthetic"];
+    let mut ws = vec![synthetic::build(BENCH_CORES, BarrierKind::Dsw, iters)];
     for (name, build) in benchmarks(scale) {
-        let w = build(BENCH_CORES, BarrierKind::Dsw);
-        let rep = run_workload(&w, BENCH_CORES);
-        rows.push(Table2Row {
+        names.push(name);
+        ws.push(build(BENCH_CORES, BarrierKind::Dsw));
+    }
+    let reps = sweep(&ws, workers, |w| run_workload(w, BENCH_CORES));
+    names
+        .into_iter()
+        .zip(ws.iter().zip(reps))
+        .map(|(name, (w, rep))| Table2Row {
             benchmark: name.into(),
             barriers: w.total_barriers(),
             barrier_period: rep.cycles / w.total_barriers().max(1),
             cycles: rep.cycles,
-        });
-    }
-    rows
+        })
+        .collect()
 }
 
 /// Renders Table 2 rows.
@@ -295,27 +298,29 @@ impl ToJson for Fig5Row {
 }
 
 /// Regenerates Figure 5: the synthetic benchmark (loop of 4 consecutive
-/// barriers) swept over core counts.
-pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
+/// barriers) swept over core counts × barrier kinds, fanned across
+/// `workers` threads.
+pub fn fig5(scale: Scale, workers: usize) -> Vec<Fig5Row> {
     let iters = 25 * scale.factor();
-    [1usize, 2, 4, 8, 16, 32]
+    const CORES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+    const KINDS: [BarrierKind; 3] = [BarrierKind::Csw, BarrierKind::Dsw, BarrierKind::Gl];
+    let jobs: Vec<(usize, BarrierKind)> = CORES
         .iter()
-        .map(|&n| {
-            let mut vals = [0.0f64; 3];
-            for (i, kind) in [BarrierKind::Csw, BarrierKind::Dsw, BarrierKind::Gl]
-                .into_iter()
-                .enumerate()
-            {
-                let w = synthetic::build(n, kind, iters);
-                let rep = run_workload(&w, n);
-                vals[i] = synthetic::cycles_per_barrier(rep.cycles, iters);
-            }
-            Fig5Row {
-                cores: n,
-                csw: vals[0],
-                dsw: vals[1],
-                gl: vals[2],
-            }
+        .flat_map(|&n| KINDS.iter().map(move |&k| (n, k)))
+        .collect();
+    let vals = sweep(&jobs, workers, |&(n, kind)| {
+        let w = synthetic::build(n, kind, iters);
+        let rep = run_workload(&w, n);
+        synthetic::cycles_per_barrier(rep.cycles, iters)
+    });
+    CORES
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| Fig5Row {
+            cores: n,
+            csw: vals[i * 3],
+            dsw: vals[i * 3 + 1],
+            gl: vals[i * 3 + 2],
         })
         .collect()
 }
@@ -385,12 +390,21 @@ impl ToJson for Fig67Row {
 }
 
 /// Regenerates the data behind Figures 6 and 7 (one run per benchmark
-/// per barrier implementation on the 32-core machine).
-pub fn fig6_fig7(scale: Scale) -> Vec<Fig67Row> {
+/// per barrier implementation on the 32-core machine), fanning the
+/// `benchmark × kind` runs across `workers` threads.
+pub fn fig6_fig7(scale: Scale, workers: usize) -> Vec<Fig67Row> {
+    let mut names = Vec::new();
+    let mut ws = Vec::new();
+    for (name, build) in benchmarks(scale) {
+        names.push(name);
+        ws.push(build(BENCH_CORES, BarrierKind::Dsw));
+        ws.push(build(BENCH_CORES, BarrierKind::Gl));
+    }
+    let reps = sweep(&ws, workers, |w| run_workload(w, BENCH_CORES));
     let mut rows = Vec::new();
-    for (i, (name, build)) in benchmarks(scale).into_iter().enumerate() {
-        let dsw = run_workload(&build(BENCH_CORES, BarrierKind::Dsw), BENCH_CORES);
-        let gl = run_workload(&build(BENCH_CORES, BarrierKind::Gl), BENCH_CORES);
+    for (i, name) in names.into_iter().enumerate() {
+        let dsw = reps[i * 2].clone();
+        let gl = reps[i * 2 + 1].clone();
         let bars = |rep: &SystemReport| -> Vec<(String, f64)> {
             rep.figure6_bar(&dsw)
                 .iter()

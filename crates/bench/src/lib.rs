@@ -10,5 +10,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod sweep;
 
 pub use experiments::{Scale, BENCH_CORES};
+pub use sweep::sweep;

@@ -1,0 +1,244 @@
+//! Deterministic active-set scheduling primitive.
+//!
+//! An [`ActiveSet`] is a set of small component indices (routers, home
+//! banks, tiles, cores) that can possibly make progress this cycle.
+//! Subsystems update membership on enqueue/dequeue *edges* — a flit
+//! arrives, a transaction starts, a queue drains — so a quiet component
+//! costs zero per-tick work even while its neighbours are busy.
+//!
+//! The contract that makes active-set iteration bit-identical to a
+//! dense scan (see DESIGN.md §10) is:
+//!
+//! 1. **Superset invariant**: a component that can transition this
+//!    cycle is in the set. The converse need not hold — stale members
+//!    are allowed as long as visiting them is a no-op (the dense scan
+//!    skips them with the same guard).
+//! 2. **Deterministic order**: iteration visits members in ascending
+//!    index order, exactly the order of the dense `for i in 0..n` loop.
+//!
+//! Internally the set is a dense membership bitmap plus an unsorted
+//! insertion list: `insert` is O(1) amortized with flag-based dedup,
+//! `remove` is O(1) (the list entry goes stale and is dropped at the
+//! next compaction), and [`collect_sorted`](ActiveSet::collect_sorted)
+//! compacts and sorts on demand. In steady state no operation
+//! allocates (capacity is retained), which keeps the simulator's
+//! zero-allocation tick property (`tests/zero_alloc.rs`).
+
+/// A deterministically-ordered set of component indices `0..n`.
+#[derive(Clone, Debug)]
+pub struct ActiveSet {
+    /// Membership bitmap: the single source of truth.
+    in_set: Vec<bool>,
+    /// Insertion list; may hold stale (removed) or duplicate entries
+    /// until the next compaction.
+    list: Vec<u32>,
+    /// Live member count (tracks the bitmap, not the list).
+    len: usize,
+}
+
+impl ActiveSet {
+    /// An empty set over the index domain `0..n`.
+    pub fn new(n: usize) -> ActiveSet {
+        assert!(n <= u32::MAX as usize, "index domain too large");
+        ActiveSet {
+            in_set: vec![false; n],
+            list: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no member is live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `i` is a live member.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.in_set[i]
+    }
+
+    /// Inserts `i`; a no-op if already present.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        if !self.in_set[i] {
+            self.in_set[i] = true;
+            self.len += 1;
+            self.list.push(i as u32);
+            // Keep the lazy list proportional to the live count so
+            // [`for_each_live`](Self::for_each_live) stays O(len) even
+            // for callers that maintain the set without ever draining
+            // it through `collect_sorted` (e.g. the dense scheduling
+            // path, or a set only consulted by `next_event`). At least
+            // half the entries are stale/duplicate when this fires, so
+            // the sweep amortizes to O(1) per insert.
+            if self.list.len() >= 32 && self.list.len() >= 2 * self.len {
+                self.compact();
+            }
+        }
+    }
+
+    /// Drops stale and duplicate list entries in place, keeping the
+    /// first live copy of each member (relative order preserved).
+    fn compact(&mut self) {
+        let in_set = &mut self.in_set;
+        self.list.retain(|&i| {
+            let keep = in_set[i as usize];
+            if keep {
+                // Clear the flag so a duplicate live entry is dropped.
+                in_set[i as usize] = false;
+            }
+            keep
+        });
+        for &i in &self.list {
+            self.in_set[i as usize] = true;
+        }
+        debug_assert_eq!(self.list.len(), self.len, "list/bitmap divergence");
+    }
+
+    /// Removes `i`; a no-op if absent. O(1): the list entry goes stale
+    /// and is dropped by the next [`collect_sorted`](Self::collect_sorted).
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        if self.in_set[i] {
+            self.in_set[i] = false;
+            self.len -= 1;
+        }
+    }
+
+    /// Compacts the internal list and copies the live members into
+    /// `out` in ascending index order (the dense-scan order).
+    ///
+    /// The snapshot semantics are deliberate: callers iterate `out`
+    /// while freely calling [`insert`](Self::insert)/
+    /// [`remove`](Self::remove) on the set mid-iteration.
+    pub fn collect_sorted(&mut self, out: &mut Vec<u32>) {
+        let in_set = &self.in_set;
+        self.list.retain(|&i| in_set[i as usize]);
+        self.list.sort_unstable();
+        self.list.dedup();
+        debug_assert_eq!(self.list.len(), self.len, "list/bitmap divergence");
+        out.clear();
+        out.extend_from_slice(&self.list);
+    }
+
+    /// Visits every live member in unspecified order, without
+    /// compacting. A member removed and re-inserted between compactions
+    /// is visited once per list entry, so callers must be order- and
+    /// duplicate-insensitive (e.g. a running `min`).
+    pub fn for_each_live(&self, mut f: impl FnMut(usize)) {
+        for &i in &self.list {
+            if self.in_set[i as usize] {
+                f(i as usize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ActiveSet::new(8);
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(1);
+        s.insert(3); // dedup
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(1) && !s.contains(0));
+        s.remove(3);
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn collect_sorted_is_ascending_and_compacts() {
+        let mut s = ActiveSet::new(16);
+        for i in [9, 2, 11, 5, 2] {
+            s.insert(i);
+        }
+        s.remove(5);
+        s.insert(5); // duplicate list entry, still one live member
+        let mut out = Vec::new();
+        s.collect_sorted(&mut out);
+        assert_eq!(out, vec![2, 5, 9, 11]);
+        // Compaction dropped stale/duplicate entries.
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn mid_iteration_removal_is_safe() {
+        let mut s = ActiveSet::new(8);
+        for i in 0..8 {
+            s.insert(i);
+        }
+        let mut out = Vec::new();
+        s.collect_sorted(&mut out);
+        for &i in &out {
+            s.remove(i as usize);
+        }
+        assert!(s.is_empty());
+        s.collect_sorted(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn for_each_live_skips_removed() {
+        let mut s = ActiveSet::new(8);
+        s.insert(1);
+        s.insert(4);
+        s.insert(6);
+        s.remove(4);
+        let mut seen = Vec::new();
+        s.for_each_live(|i| seen.push(i));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 6]);
+    }
+
+    #[test]
+    fn uncompacted_churn_stays_bounded() {
+        // A caller that only ever inserts/removes (never collects) must
+        // not grow the lazy list without bound.
+        let mut s = ActiveSet::new(8);
+        for round in 0..10_000 {
+            for i in 0..8 {
+                s.insert(i);
+            }
+            for i in 0..8 {
+                s.remove(i);
+            }
+            if round % 1000 == 0 {
+                let mut seen = Vec::new();
+                s.for_each_live(|i| seen.push(i));
+                assert!(seen.is_empty());
+            }
+        }
+        assert!(s.list.len() <= 64, "lazy list grew to {}", s.list.len());
+        for i in 0..8 {
+            s.insert(i);
+        }
+        let mut out = Vec::new();
+        s.collect_sorted(&mut out);
+        assert_eq!(out, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn steady_state_reinsertion_does_not_grow() {
+        let mut s = ActiveSet::new(4);
+        let mut out = Vec::new();
+        for _ in 0..1000 {
+            s.insert(2);
+            s.collect_sorted(&mut out);
+            s.remove(2);
+            s.collect_sorted(&mut out);
+        }
+        assert!(s.list.capacity() <= 16, "list grew without bound");
+    }
+}

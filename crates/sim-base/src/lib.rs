@@ -22,10 +22,14 @@
 //! * [`fxmap`] — an in-tree FxHash-style hasher and map aliases for the
 //!   simulator's hot-path, trusted-key maps (fast and seedless, so
 //!   iteration order is deterministic).
+//! * [`active`] — the deterministic active-set scheduling primitive
+//!   behind the sparse (work-list) tick paths of the NoC, the memory
+//!   hierarchy and the core scheduler.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod active;
 pub mod check;
 pub mod clock;
 pub mod config;
@@ -37,6 +41,7 @@ pub mod rng;
 pub mod stats;
 pub mod trace;
 
+pub use active::ActiveSet;
 pub use clock::{Clock, Cycle};
 pub use config::CmpConfig;
 pub use fxmap::{FxHashMap, FxHashSet};

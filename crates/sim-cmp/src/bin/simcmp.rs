@@ -19,6 +19,13 @@
 //!                      tick every cycle (debugging escape hatch; the
 //!                      report is bit-identical either way, traced runs
 //!                      always tick every cycle)
+//!   --no-active-set    disable active-set micro-scheduling and visit
+//!                      every router/home/core each ticked cycle
+//!                      (debugging escape hatch; the report is
+//!                      bit-identical either way)
+//!   --sched-stats      print scheduler diagnostics after the run:
+//!                      skip attempt/success/backoff counters and the
+//!                      mean active-set occupancy per subsystem
 //!   --trace FILE       record every event and write a Chrome
 //!                      trace_event JSON file (open in about://tracing
 //!                      or Perfetto)
@@ -60,12 +67,15 @@ struct Opts {
     progress: Option<u64>,
     cores: usize,
     no_skip: bool,
+    no_active_set: bool,
+    sched_stats: bool,
 }
 
 /// Runs the system to completion and prints the report. Monomorphized
 /// per trace sink so the untraced path stays zero-cost.
 fn run_system<S: TraceSink>(mut sys: System<BarrierNetwork<S>, S>, opts: &Opts) {
     sys.set_skip_enabled(!opts.no_skip);
+    sys.set_active_set_enabled(!opts.no_active_set);
     for &(a, v) in &opts.pokes {
         sys.poke_word(a, v);
     }
@@ -109,6 +119,26 @@ fn run_system<S: TraceSink>(mut sys: System<BarrierNetwork<S>, S>, opts: &Opts) 
                     }
                 }
             }
+            if opts.sched_stats {
+                let skip = sys.skip_stats();
+                let core = sys.core_sched_stats();
+                let mem = sys.mem_sched_stats();
+                let noc = sys.noc_sched_stats();
+                eprintln!(
+                    "skip: {} attempts, {} skips ({} cycles), {} backed off",
+                    skip.attempts, skip.skips, skip.cycles_skipped, skip.backed_off
+                );
+                eprintln!(
+                    "active sets: {:.2} cores, {:.2} homes, {:.2} routers (mean per ticked cycle)",
+                    core.mean_active_cores(),
+                    mem.mean_busy_homes(),
+                    noc.mean_active_routers()
+                );
+                eprintln!(
+                    "core parking: {} stall steps, {} spin steps elided",
+                    core.parked_steps, core.spin_parked_steps
+                );
+            }
             for &a in &opts.peeks {
                 println!("[0x{a:x}] = {}", sys.peek_word(a));
             }
@@ -125,7 +155,8 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: simcmp PROGRAM.s [PROGRAM2.s …] [--cores N] [--max-cycles N]");
         eprintln!("              [--poke ADDR=VAL]… [--peek ADDR]… [--json] [--breakdown]");
-        eprintln!("              [--no-skip] [--trace FILE] [--trace-last N]");
+        eprintln!("              [--no-skip] [--no-active-set] [--sched-stats]");
+        eprintln!("              [--trace FILE] [--trace-last N]");
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
 
@@ -138,6 +169,8 @@ fn main() {
     let mut breakdown = false;
     let mut progress: Option<u64> = None;
     let mut no_skip = false;
+    let mut no_active_set = false;
+    let mut sched_stats = false;
     let mut trace_file: Option<String> = None;
     let mut trace_last: Option<usize> = None;
 
@@ -173,6 +206,8 @@ fn main() {
             "--json" => json = true,
             "--breakdown" => breakdown = true,
             "--no-skip" => no_skip = true,
+            "--no-active-set" => no_active_set = true,
+            "--sched-stats" => sched_stats = true,
             "--progress" => {
                 progress = Some(
                     it.next()
@@ -238,6 +273,8 @@ fn main() {
         progress,
         cores,
         no_skip,
+        no_active_set,
+        sched_stats,
     };
 
     if let Some(path) = trace_file {

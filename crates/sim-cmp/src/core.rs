@@ -79,6 +79,19 @@ pub struct SpinPlan {
     kind: SpinKind,
 }
 
+impl SpinPlan {
+    /// True when the spin probes an L1-resident line (the `Mem` loop
+    /// shapes). Such a spin can be parked per-core by the active-set
+    /// scheduler: its probed value — and with it the loop's behaviour —
+    /// can only change when a protocol message is delivered to the
+    /// core's L1, which is exactly the unpark trigger. G-line `bar`
+    /// spins are excluded (the barrier network changes `bar_reg`
+    /// without any L1 traffic).
+    pub(crate) fn probes_memory(&self) -> bool {
+        matches!(self.kind, SpinKind::Mem { .. })
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 enum SpinKind {
     /// `top: barr rd ; b<cond> …, top` — one iteration per cycle, no
@@ -182,7 +195,7 @@ impl Core {
     }
 
     /// The category this core's current cycle belongs to.
-    fn category(&self) -> TimeCat {
+    pub(crate) fn category(&self) -> TimeCat {
         match self.region {
             Region::Barrier => TimeCat::Barrier,
             Region::Lock => TimeCat::Lock,
@@ -675,6 +688,38 @@ impl Core {
         })
     }
 
+    /// The first cycle at which this core can possibly do more than
+    /// charge its current stall category, or `None` when it cannot be
+    /// parked (it is ready, halted, or waiting on a miss whose
+    /// completion cycle the memory system has not scheduled yet).
+    ///
+    /// Until that cycle, every `step` is provably a pure breakdown
+    /// charge: a `WaitMem` step polls (getting `None` before the
+    /// response's ready cycle) and returns; a `BusyUntil` step checks
+    /// the expiry and returns. The active-set scheduler uses this to
+    /// skip the core's steps entirely and charge the span lazily at
+    /// wake-up (via [`ff_stall`](Self::ff_stall)), which is
+    /// bit-identical because the status — and with it the charged
+    /// category — cannot change while the core is parked.
+    pub(crate) fn park_until<S: TraceSink>(&self, mem: &MemorySystem<S>) -> Option<Cycle> {
+        match self.status {
+            Status::BusyUntil { until } => Some(until),
+            Status::WaitMem { .. } => mem.resp_ready_at(self.id),
+            Status::Ready | Status::Halted => None,
+        }
+    }
+
+    /// True when the core is stalled on a memory access whose response
+    /// the L1 has not scheduled yet (the miss is still in flight in the
+    /// protocol). Until a message reaches this tile, every `step` is
+    /// provably a pure breakdown charge — `poll` keeps returning `None`
+    /// because only a delivery can install the response (or service a
+    /// deferred coherence message) — so the active-set scheduler parks
+    /// the core on the delivery trigger instead of a wake cycle.
+    pub(crate) fn waiting_on_unscheduled_resp<S: TraceSink>(&self, mem: &MemorySystem<S>) -> bool {
+        matches!(self.status, Status::WaitMem { .. }) && mem.resp_ready_at(self.id).is_none()
+    }
+
     /// Applies `k = target - now` skipped cycles of a parked core: each
     /// cycle only charges one breakdown category, exactly as `step`
     /// would.
@@ -701,7 +746,11 @@ impl Core {
     ) {
         debug_assert!(!S::ENABLED, "spin replay is only legal untraced");
         let k = target - now;
-        debug_assert!(k >= 2, "a 1-cycle skip is just a tick");
+        // Whole-machine skips always have k >= 2 (a 1-cycle skip is
+        // just a tick), but a per-core spin park may be woken by an L1
+        // delivery after a single elided cycle; the arithmetic below is
+        // exact for k = 1 too (one phase-A or phase-B cycle).
+        debug_assert!(k >= 1, "replay of an empty span");
         match plan.kind {
             SpinKind::Gline { rd, value } => {
                 // One full iteration (barr + taken branch) per cycle.
@@ -772,6 +821,46 @@ impl Core {
                 }
             }
         }
+    }
+
+    /// Pure preview of what [`ff_replay`](Self::ff_replay) would charge
+    /// for `k` elided cycles of a memory-probing `plan`: `(category_a,
+    /// a_cycles, category_b, b_cycles, retired, l1_hits)`. Used by
+    /// `System::report` to fold a spin-parked core's pending span into
+    /// a mid-run report without mutating anything; the numbers match
+    /// the eventual replay exactly because the core's region and the
+    /// plan are frozen while parked.
+    pub(crate) fn spin_pending_stats(
+        &self,
+        plan: &SpinPlan,
+        k: u64,
+    ) -> (TimeCat, u64, TimeCat, u64, u64, u64) {
+        let SpinKind::Mem {
+            iter_retires,
+            phase_b,
+            ..
+        } = plan.kind
+        else {
+            unreachable!("only memory-probing spins are parked per-core");
+        };
+        let (a_cycles, b_cycles) = if phase_b {
+            (k / 2, k.div_ceil(2))
+        } else {
+            (k.div_ceil(2), k / 2)
+        };
+        let cat_a = region_cat(self.region);
+        let cat_b = match self.region {
+            Region::Normal => TimeCat::Read,
+            r => region_cat(r),
+        };
+        (
+            cat_a,
+            a_cycles,
+            cat_b,
+            b_cycles,
+            a_cycles * (iter_retires - 1) + b_cycles,
+            a_cycles,
+        )
     }
 
     fn check_pc(&mut self, prog: &Program) {

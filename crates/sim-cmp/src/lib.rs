@@ -28,4 +28,4 @@ pub use crate::core::Core;
 pub use energy::{EnergyEstimate, EnergyModel};
 pub use runtime::BarrierKind;
 pub use stats::SystemReport;
-pub use system::{SkipStats, System};
+pub use system::{CoreSchedStats, SkipStats, System};

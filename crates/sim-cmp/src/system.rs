@@ -33,7 +33,50 @@ pub struct System<B: BarrierHw = BarrierNetwork, S: TraceSink = NullSink> {
     /// of [`SystemReport`], so skip-on and skip-off reports stay
     /// bit-identical).
     skip_stats: SkipStats,
+    /// Active-set micro-scheduling (see
+    /// [`Self::set_active_set_enabled`]).
+    active_set_enabled: bool,
+    /// Per-core park state: `Some((wake, anchor))` while the core's
+    /// steps are pure stall charges. The span `[anchor, wake)` is
+    /// charged lazily at wake-up; [`Self::report`] folds the pending
+    /// part in so mid-run reports stay bit-identical.
+    parked: Vec<Option<(Cycle, Cycle)>>,
+    /// Per-core spin park state: `Some((plan, anchor))` while the core
+    /// sits in a recognized memory-probing spin loop whose probed line
+    /// provably cannot change (no protocol message is queued for its
+    /// tile). The elided span `[anchor, now)` is replayed in closed
+    /// form at wake-up — the cycle a message is about to reach the
+    /// tile — and [`Self::report`] folds the pending part in purely.
+    /// Disjoint from `parked` (a core is `Ready`/mid-spin here, stalled
+    /// there).
+    spin_parked: Vec<Option<(SpinPlan, Cycle)>>,
+    /// Per-core miss park state: `Some(anchor)` while the core waits on
+    /// a memory access whose response is still in flight (not yet
+    /// scheduled by its L1). Every elided step is a pure breakdown
+    /// charge; the wake trigger is the same delivery predicate as
+    /// `spin_parked`'s, because only a message reaching the tile can
+    /// install the response. Disjoint from both other park states.
+    miss_parked: Vec<Option<Cycle>>,
+    /// Current fast-forward failure backoff (0 = none): after a failed
+    /// attempt, skip attempts are suppressed for this many cycles,
+    /// doubling per consecutive failure up to [`MAX_FF_BACKOFF`].
+    ff_backoff: u64,
+    /// First cycle at which fast-forward attempts resume.
+    ff_resume_at: Cycle,
+    /// Core-scheduler occupancy counters (diagnostics only).
+    sched: CoreSchedStats,
 }
+
+/// Cap on the fast-forward failure backoff. In coherence-bound phases
+/// the machine is never quiescent, so attempts settle at one per
+/// `MAX_FF_BACKOFF` cycles and the attempt overhead vanishes; in
+/// bursty phases a successful skip resets the backoff to zero, and at
+/// most this many skippable cycles are ticked densely before the next
+/// attempt notices a quiescent span. The cap can sit this high because
+/// densely ticked cycles are cheap once the cores park (§10): a
+/// backed-off cycle with everything parked touches only the empty
+/// active sets, so the transition latency it buys costs microseconds.
+const MAX_FF_BACKOFF: u64 = 512;
 
 /// How well the cycle-skipping scheduler is doing on a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,6 +91,36 @@ pub struct SkipStats {
     pub fail_blocked: u64,
     /// Attempts aborted because the earliest event was within a cycle.
     pub fail_near: u64,
+    /// Cycles on which an attempt was suppressed by the failure
+    /// backoff (the machine ticked densely instead).
+    pub backed_off: u64,
+}
+
+/// Core-scheduler occupancy counters (diagnostics only; not part of
+/// [`SystemReport`], so sparse and dense runs stay bit-identical).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreSchedStats {
+    /// Ticks performed.
+    pub ticks: u64,
+    /// Core steps actually executed.
+    pub core_steps: u64,
+    /// Core steps elided because the core was parked on a stall (pure
+    /// breakdown charges applied lazily at wake-up).
+    pub parked_steps: u64,
+    /// Core steps elided because the core was parked in a recognized
+    /// memory-probing spin loop (replayed in closed form at wake-up).
+    pub spin_parked_steps: u64,
+}
+
+impl CoreSchedStats {
+    /// Mean number of cores stepped per tick.
+    pub fn mean_active_cores(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.core_steps as f64 / self.ticks as f64
+        }
+    }
 }
 
 impl<B: BarrierHw> System<B> {
@@ -93,6 +166,13 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
             skip_enabled: true,
             ff_plans: vec![None; cfg.num_cores()],
             skip_stats: SkipStats::default(),
+            active_set_enabled: true,
+            parked: vec![None; cfg.num_cores()],
+            spin_parked: vec![None; cfg.num_cores()],
+            miss_parked: vec![None; cfg.num_cores()],
+            ff_backoff: 0,
+            ff_resume_at: 0,
+            sched: CoreSchedStats::default(),
         }
     }
 }
@@ -180,12 +260,140 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
 
     /// Advances the whole machine one cycle.
     pub fn tick(&mut self) {
-        for (core, prog) in self.cores.iter_mut().zip(&self.progs) {
-            core.step(prog, &mut self.mem, &mut self.gline, self.now, &self.tracer);
+        let now = self.now;
+        self.sched.ticks += 1;
+        if self.active_set_enabled {
+            for i in 0..self.cores.len() {
+                if let Some((wake, _)) = self.parked[i] {
+                    if now < wake {
+                        self.sched.parked_steps += 1;
+                        continue;
+                    }
+                    let (_, anchor) = self.parked[i].take().expect("checked above");
+                    self.cores[i].ff_stall(now - anchor);
+                }
+                if let Some((plan, anchor)) = self.spin_parked[i] {
+                    // The probed line can only change when a protocol
+                    // message reaches this tile, and deliveries for this
+                    // cycle were queued by the previous cycle's NoC tick
+                    // — so the check is exact and runs one cycle ahead
+                    // of the mutation.
+                    if !self.mem.has_delivery_for(CoreId::from(i)) {
+                        self.sched.spin_parked_steps += 1;
+                        continue;
+                    }
+                    // A message lands this cycle (during `mem.tick`,
+                    // after the cores step, exactly as it would have in
+                    // a dense run): replay the elided span against the
+                    // still-frozen line, then step this cycle live.
+                    self.spin_parked[i] = None;
+                    self.cores[i].ff_replay(plan, now, anchor, &mut self.mem);
+                }
+                if let Some(anchor) = self.miss_parked[i] {
+                    if !self.mem.has_delivery_for(CoreId::from(i)) {
+                        self.sched.parked_steps += 1;
+                        continue;
+                    }
+                    // The inbound message may carry (or unblock) the
+                    // response; settle the elided charge-only span and
+                    // step live from here on.
+                    self.miss_parked[i] = None;
+                    self.cores[i].ff_stall(now - anchor);
+                }
+                let core = &mut self.cores[i];
+                if core.halted() {
+                    continue;
+                }
+                // Park a core whose miss is still in flight: its L1
+                // cannot schedule the response (and the core cannot do
+                // anything but charge its stall category) until a
+                // protocol message reaches this tile.
+                if core.waiting_on_unscheduled_resp(&self.mem)
+                    && !self.mem.has_delivery_for(CoreId::from(i))
+                {
+                    debug_assert!(self.parked[i].is_none() && self.spin_parked[i].is_none());
+                    self.miss_parked[i] = Some(now);
+                    self.sched.parked_steps += 1;
+                    continue;
+                }
+                // Park instead of stepping when the core sits at a
+                // recognized memory-probing spin and no message is
+                // inbound: every elided step is a closed-form replay at
+                // wake-up. G-line spins are left to the whole-machine
+                // skip — `bar_reg` changes without L1 traffic, so they
+                // have no per-core wake trigger.
+                if !S::ENABLED && !self.mem.has_delivery_for(CoreId::from(i)) {
+                    if let FfClass::Spin(plan) =
+                        core.ff_classify(&self.progs[i], &self.mem, &self.gline, now)
+                    {
+                        if plan.probes_memory() {
+                            debug_assert!(self.parked[i].is_none());
+                            self.spin_parked[i] = Some((plan, now));
+                            self.sched.spin_parked_steps += 1;
+                            continue;
+                        }
+                    }
+                }
+                self.sched.core_steps += 1;
+                core.step(
+                    &self.progs[i],
+                    &mut self.mem,
+                    &mut self.gline,
+                    now,
+                    &self.tracer,
+                );
+                // Park the core if its next state change is provably
+                // more than one cycle out; its skipped steps are pure
+                // stall charges, applied at wake-up.
+                if let Some(wake) = core.park_until(&self.mem) {
+                    if wake > now + 1 {
+                        self.parked[i] = Some((wake, now + 1));
+                    }
+                }
+            }
+        } else {
+            for (core, prog) in self.cores.iter_mut().zip(&self.progs) {
+                if !core.halted() {
+                    self.sched.core_steps += 1;
+                }
+                core.step(prog, &mut self.mem, &mut self.gline, now, &self.tracer);
+            }
         }
         self.mem.tick();
         self.gline.tick();
         self.now += 1;
+    }
+
+    /// Charges every parked core's pending stall span and unparks it.
+    /// Called before a whole-machine fast-forward (whose closed-form
+    /// replay charges from `now` onward) and when active-set scheduling
+    /// is turned off mid-run.
+    fn flush_parks(&mut self) {
+        for i in 0..self.cores.len() {
+            if let Some((_, anchor)) = self.parked[i].take() {
+                self.cores[i].ff_stall(self.now - anchor);
+            }
+            if let Some(anchor) = self.miss_parked[i].take() {
+                self.cores[i].ff_stall(self.now - anchor);
+            }
+        }
+    }
+
+    /// Replays every spin-parked core's elided span up to `now` and
+    /// unparks it. Legal between ticks: every elided cycle provably saw
+    /// the frozen probed line (a pending delivery unparks the core
+    /// before the line can change), so the closed-form replay is exact.
+    /// Called when active-set scheduling is turned off mid-run (the
+    /// dense loop steps every core). Whole-machine fast-forward does
+    /// NOT flush: it replays each spin-parked core from its own anchor
+    /// straight to the jump target, so failed attempts never disturb
+    /// the parks.
+    fn flush_spin_parks(&mut self) {
+        for i in 0..self.cores.len() {
+            if let Some((plan, anchor)) = self.spin_parked[i].take() {
+                self.cores[i].ff_replay(plan, self.now, anchor, &mut self.mem);
+            }
+        }
     }
 
     /// Enables or disables quiescence-aware cycle skipping (on by
@@ -212,12 +420,66 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
         self.skip_stats
     }
 
+    /// Enables or disables active-set micro-scheduling across the whole
+    /// machine — core parking here, busy-bank work lists in the memory
+    /// hierarchy, router/injection/delivery work lists in the NoC (on
+    /// by default). A component outside its subsystem's active set
+    /// provably cannot transition this cycle, so reports, architectural
+    /// memory and event traces are bit-identical either way; disabling
+    /// is an escape hatch for debugging (`--no-active-set` in the CLI)
+    /// and the reference path for `tests/active_set_determinism.rs`.
+    pub fn set_active_set_enabled(&mut self, on: bool) {
+        if !on {
+            // The dense loop steps every core; settle pending park
+            // charges and spin replays first.
+            self.flush_parks();
+            self.flush_spin_parks();
+        }
+        self.active_set_enabled = on;
+        self.mem.set_active_set_enabled(on);
+    }
+
+    /// Whether active-set micro-scheduling is enabled.
+    pub fn active_set_enabled(&self) -> bool {
+        self.active_set_enabled
+    }
+
+    /// Core-scheduler occupancy counters for this run so far.
+    pub fn core_sched_stats(&self) -> CoreSchedStats {
+        self.sched
+    }
+
+    /// Memory-hierarchy occupancy counters for this run so far.
+    pub fn mem_sched_stats(&self) -> sim_mem::MemSchedStats {
+        self.mem.sched_stats()
+    }
+
+    /// NoC occupancy counters for this run so far.
+    pub fn noc_sched_stats(&self) -> sim_noc::NocSchedStats {
+        self.mem.noc_sched_stats()
+    }
+
     /// Advances one cycle — or, if skipping is permitted and the whole
     /// machine is quiescent, jumps to the next event (clamped to
     /// `horizon`, which callers use for deadline and progress-boundary
-    /// alignment).
+    /// alignment). Failed skip attempts are throttled with an
+    /// exponential backoff so coherence-bound phases do not pay the
+    /// attempt cost every cycle.
     fn advance(&mut self, horizon: Cycle) {
-        if S::ENABLED || !self.skip_enabled || !self.try_fast_forward(horizon) {
+        if S::ENABLED || !self.skip_enabled || horizon <= self.now + 1 {
+            self.tick();
+            return;
+        }
+        if self.now < self.ff_resume_at {
+            self.skip_stats.backed_off += 1;
+            self.tick();
+            return;
+        }
+        if self.try_fast_forward(horizon) {
+            self.ff_backoff = 0;
+        } else {
+            self.ff_backoff = (self.ff_backoff * 2).clamp(1, MAX_FF_BACKOFF);
+            self.ff_resume_at = self.now + self.ff_backoff;
             self.tick();
         }
     }
@@ -248,6 +510,14 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
         }
         for (i, core) in self.cores.iter().enumerate() {
             self.ff_plans[i] = None;
+            if self.spin_parked[i].is_some() {
+                // Already a recognized spin, frozen since its anchor:
+                // no delivery has reached its tile (the park's wake
+                // trigger), and none will before `target` (the clamp on
+                // `mem.next_event` above). Replayed from its own anchor
+                // on success; imposes no wake-up of its own.
+                continue;
+            }
             match core.ff_classify(&self.progs[i], &self.mem, &self.gline, self.now) {
                 FfClass::Blocked => {
                     self.skip_stats.fail_blocked += 1;
@@ -265,11 +535,18 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
         let k = target - self.now;
         self.skip_stats.skips += 1;
         self.skip_stats.cycles_skipped += k;
-        for (i, core) in self.cores.iter_mut().enumerate() {
-            if let Some(plan) = self.ff_plans[i] {
-                core.ff_replay(plan, target, self.now, &mut self.mem);
-            } else if !core.halted() {
-                core.ff_stall(k);
+        // Parked spans are charged lazily; settle stall and miss parks
+        // up to `now` before the closed-form replay charges
+        // `now..target`. Spin parks replay their whole `[anchor,
+        // target)` span in one step instead.
+        self.flush_parks();
+        for i in 0..self.cores.len() {
+            if let Some((plan, anchor)) = self.spin_parked[i].take() {
+                self.cores[i].ff_replay(plan, target, anchor, &mut self.mem);
+            } else if let Some(plan) = self.ff_plans[i] {
+                self.cores[i].ff_replay(plan, target, self.now, &mut self.mem);
+            } else if !self.cores[i].halted() {
+                self.cores[i].ff_stall(k);
             }
         }
         self.mem.skip_to(target);
@@ -344,7 +621,36 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
 
     /// Gathers the run's statistics.
     pub fn report(&self) -> SystemReport {
-        let per_core: Vec<TimeBreakdown> = self.cores.iter().map(Core::breakdown).collect();
+        let mut per_core: Vec<TimeBreakdown> = self.cores.iter().map(Core::breakdown).collect();
+        // Parked cores' stall spans are charged lazily at wake-up; fold
+        // the pending `[anchor, now)` span in so a mid-run report is
+        // bit-identical to the dense path's (the charged category is
+        // frozen while parked).
+        for (i, p) in self.parked.iter().enumerate() {
+            if let Some((_, anchor)) = *p {
+                per_core[i].add(self.cores[i].category(), self.now - anchor);
+            }
+        }
+        for (i, p) in self.miss_parked.iter().enumerate() {
+            if let Some(anchor) = *p {
+                per_core[i].add(self.cores[i].category(), self.now - anchor);
+            }
+        }
+        // Same for spin-parked cores, whose pending spans also carry
+        // retires and L1 hits; `spin_pending_stats` previews exactly
+        // what the eventual replay will charge.
+        let mut pending_retired = 0;
+        let mut pending_l1_hits = 0;
+        for (i, p) in self.spin_parked.iter().enumerate() {
+            if let Some((plan, anchor)) = p {
+                let (cat_a, a, cat_b, b, retired, hits) =
+                    self.cores[i].spin_pending_stats(plan, self.now - anchor);
+                per_core[i].add(cat_a, a);
+                per_core[i].add(cat_b, b);
+                pending_retired += retired;
+                pending_l1_hits += hits;
+            }
+        }
         let mut total_time = TimeBreakdown::new();
         for b in &per_core {
             total_time += *b;
@@ -368,8 +674,8 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
             gl_barriers: gl.barriers_completed,
             gl_mean_latency: gl.mean_latency(),
             gl_signals: gl.signals,
-            instructions: self.cores.iter().map(Core::retired).sum(),
-            l1_hits,
+            instructions: self.cores.iter().map(Core::retired).sum::<u64>() + pending_retired,
+            l1_hits: l1_hits + pending_l1_hits,
             l1_misses,
             l2_hits: home.l2_hits,
             l2_misses: home.l2_misses,

@@ -233,6 +233,16 @@ impl<S: TraceSink> HomeCtrl<S> {
         self.active.is_empty() && self.queue.values().all(VecDeque::is_empty)
     }
 
+    /// True while any transaction is in flight. This is the exact guard
+    /// [`tick`](Self::tick) early-returns on, and queued requests imply
+    /// an active transaction (a request is queued only behind one, and
+    /// completion immediately starts the next), so a bank outside the
+    /// memory system's busy set can make no progress on its own.
+    #[inline]
+    pub fn is_busy(&self) -> bool {
+        !self.active.is_empty()
+    }
+
     /// Folds dirty data into the L2 (inserting or evicting as needed) or,
     /// if the set cannot take it, directly into memory.
     fn absorb_data(&mut self, line: LineAddr, data: LineData, mem: &mut Memory) {

@@ -48,4 +48,4 @@ pub mod proto;
 pub mod system;
 
 pub use proto::{CoreReq, CoreResp, ProtoMsg};
-pub use system::MemorySystem;
+pub use system::{MemSchedStats, MemorySystem};

@@ -4,11 +4,36 @@
 use crate::home::{DirState, HomeCtrl, HomeStats, Memory};
 use crate::l1::{L1Ctrl, L1Stats, OutMsg};
 use crate::proto::{CoreReq, CoreResp, ProtoMsg};
+use sim_base::active::ActiveSet;
 use sim_base::config::CmpConfig;
 use sim_base::ids::LineAddr;
 use sim_base::trace::{NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
-use sim_noc::{Message, Noc, NocStats};
+use sim_noc::{Message, Noc, NocSchedStats, NocStats};
+
+/// Active-set occupancy counters for the memory hierarchy (diagnostics
+/// only — never part of a report, so sparse and dense runs stay
+/// bit-identical).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemSchedStats {
+    /// Ticks performed.
+    pub ticks: u64,
+    /// Home banks visited with a transaction in flight.
+    pub home_visits: u64,
+    /// Tiles visited that had at least one delivered message.
+    pub delivery_visits: u64,
+}
+
+impl MemSchedStats {
+    /// Mean number of busy home banks per tick.
+    pub fn mean_busy_homes(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.home_visits as f64 / self.ticks as f64
+        }
+    }
+}
 
 /// The full memory hierarchy of the CMP.
 ///
@@ -25,6 +50,15 @@ pub struct MemorySystem<S: TraceSink = NullSink> {
     mem: Memory,
     now: Cycle,
     out_scratch: Vec<OutMsg>,
+    /// Home banks with a transaction in flight — the per-tick work
+    /// list. Maintained on every state edge (message handled, bank
+    /// ticked) in both scheduling modes, so it is always exact.
+    busy_homes: ActiveSet,
+    /// Scratch for snapshotting a work list during a tick.
+    sched_scratch: Vec<u32>,
+    /// Gate for the sparse tick path (`--no-active-set` escape hatch).
+    active_set_enabled: bool,
+    sched: MemSchedStats,
 }
 
 impl MemorySystem {
@@ -54,6 +88,10 @@ impl<S: TraceSink> MemorySystem<S> {
             mem: Memory::default(),
             now: 0,
             out_scratch: Vec::new(),
+            busy_homes: ActiveSet::new(n),
+            sched_scratch: Vec::new(),
+            active_set_enabled: true,
+            sched: MemSchedStats::default(),
         }
     }
 
@@ -112,31 +150,86 @@ impl<S: TraceSink> MemorySystem<S> {
     /// Advances the memory system one cycle.
     pub fn tick(&mut self) {
         let now = self.now;
-        // Home timers (L2/memory waits maturing this cycle).
-        for i in 0..self.homes.len() {
-            self.homes[i].tick(now, &mut self.mem, &mut self.out_scratch);
-            self.flush_out(CoreId::from(i));
-        }
-        // Deliveries from the network.
-        for i in 0..self.l1s.len() {
-            let tile = CoreId::from(i);
-            while let Some(m) = self.noc.recv(tile) {
-                if m.payload.for_home() {
-                    self.homes[i].handle(
-                        m.src,
-                        m.payload,
-                        now,
-                        &mut self.mem,
-                        &mut self.out_scratch,
-                    );
-                } else {
-                    self.l1s[i].handle(m.payload, now, &mut self.out_scratch);
+        self.sched.ticks += 1;
+        if self.active_set_enabled {
+            // Home timers: only banks with a transaction in flight (an
+            // idle bank's tick early-returns on exactly this guard).
+            // Bank-to-bank interaction only happens through the NoC, a
+            // cycle later, so visiting the busy subset in ascending
+            // order is bit-identical to the dense scan.
+            if !self.busy_homes.is_empty() {
+                let mut homes = std::mem::take(&mut self.sched_scratch);
+                self.busy_homes.collect_sorted(&mut homes);
+                for &i in &homes {
+                    let i = i as usize;
+                    self.sched.home_visits += 1;
+                    self.homes[i].tick(now, &mut self.mem, &mut self.out_scratch);
+                    self.flush_out(CoreId::from(i));
+                    self.sync_home(i);
                 }
-                self.flush_out(tile);
+                self.sched_scratch = homes;
+            }
+            // Deliveries: only tiles the NoC holds messages for.
+            // Handling a message can send new ones, but they mature in
+            // a later NoC tick, so the snapshot is exact.
+            if self.noc.has_deliveries() {
+                let mut tiles = std::mem::take(&mut self.sched_scratch);
+                self.noc.collect_delivery_tiles(&mut tiles);
+                for &i in &tiles {
+                    if self.deliver_tile(i as usize, now) {
+                        self.sched.delivery_visits += 1;
+                    }
+                }
+                self.sched_scratch = tiles;
+            }
+        } else {
+            // Dense reference path (`--no-active-set`): every bank and
+            // tile, every cycle. Work-list membership is still
+            // maintained so the sparse path can be re-enabled mid-run.
+            for i in 0..self.homes.len() {
+                if self.homes[i].is_busy() {
+                    self.sched.home_visits += 1;
+                }
+                self.homes[i].tick(now, &mut self.mem, &mut self.out_scratch);
+                self.flush_out(CoreId::from(i));
+                self.sync_home(i);
+            }
+            for i in 0..self.l1s.len() {
+                if self.deliver_tile(i, now) {
+                    self.sched.delivery_visits += 1;
+                }
             }
         }
         self.noc.tick();
         self.now += 1;
+    }
+
+    /// Drains and handles every delivered message for tile `i`.
+    /// Returns true when at least one message was handled.
+    fn deliver_tile(&mut self, i: usize, now: Cycle) -> bool {
+        let tile = CoreId::from(i);
+        let mut any = false;
+        while let Some(m) = self.noc.recv(tile) {
+            any = true;
+            if m.payload.for_home() {
+                self.homes[i].handle(m.src, m.payload, now, &mut self.mem, &mut self.out_scratch);
+                self.sync_home(i);
+            } else {
+                self.l1s[i].handle(m.payload, now, &mut self.out_scratch);
+            }
+            self.flush_out(tile);
+        }
+        any
+    }
+
+    /// Re-derives home `i`'s busy-set membership from its state.
+    #[inline]
+    fn sync_home(&mut self, i: usize) {
+        if self.homes[i].is_busy() {
+            self.busy_homes.insert(i);
+        } else {
+            self.busy_homes.remove(i);
+        }
     }
 
     /// The earliest cycle at which the memory system can change state
@@ -145,16 +238,42 @@ impl<S: TraceSink> MemorySystem<S> {
     ///
     /// Used by the fast-forward scheduler: every tick strictly before
     /// the returned cycle is a provable no-op (no home timer matures,
-    /// no message is delivered, no flit arrives anywhere).
+    /// no message is delivered, no flit arrives anywhere). Only busy
+    /// banks are consulted — an idle bank owns no timer — which keeps
+    /// the cost of a *failed* skip attempt proportional to the number
+    /// of in-flight transactions, not the machine size.
     pub fn next_event(&self) -> Option<Cycle> {
         let mut next = self.noc.next_event();
-        for h in &self.homes {
-            next = match (next, h.next_event(self.now)) {
+        self.busy_homes.for_each_live(|i| {
+            next = match (next, self.homes[i].next_event(self.now)) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
-        }
+        });
         next
+    }
+
+    /// Enables or disables active-set micro-scheduling here and in the
+    /// NoC (on by default; `--no-active-set` escape hatch). Reports and
+    /// traces are bit-identical either way.
+    pub fn set_active_set_enabled(&mut self, on: bool) {
+        self.active_set_enabled = on;
+        self.noc.set_active_set_enabled(on);
+    }
+
+    /// Whether active-set micro-scheduling is enabled.
+    pub fn active_set_enabled(&self) -> bool {
+        self.active_set_enabled
+    }
+
+    /// Active-set occupancy counters for the memory hierarchy.
+    pub fn sched_stats(&self) -> MemSchedStats {
+        self.sched
+    }
+
+    /// Active-set occupancy counters for the underlying NoC.
+    pub fn noc_sched_stats(&self) -> NocSchedStats {
+        self.noc.sched_stats()
     }
 
     /// Jumps the memory-system clock (and the NoC's) to `t` without
@@ -169,6 +288,15 @@ impl<S: TraceSink> MemorySystem<S> {
         );
         self.noc.skip_to(t);
         self.now = t;
+    }
+
+    /// True when a protocol message is already queued for delivery to
+    /// `tile` — it will be handled by this cycle's [`tick`](Self::tick),
+    /// mutating the tile's L1 or home bank. The per-core spin-parking
+    /// scheduler uses this as its (exact) wake trigger: a parked core's
+    /// probed line cannot change until this returns true.
+    pub fn has_delivery_for(&self, tile: CoreId) -> bool {
+        self.noc.has_delivery_for(tile)
     }
 
     // --- fast-forward support: per-core L1 spin hooks -------------------

@@ -36,5 +36,5 @@ pub mod router;
 pub mod stats;
 
 pub use msg::Message;
-pub use network::Noc;
+pub use network::{Noc, NocSchedStats};
 pub use stats::NocStats;

@@ -3,6 +3,7 @@
 use crate::msg::{flits_for, Flit, Message, PacketInfo};
 use crate::router::{Router, WormLock, NUM_PORTS, NUM_VCS};
 use crate::stats::NocStats;
+use sim_base::active::ActiveSet;
 use sim_base::config::NocConfig;
 use sim_base::fxmap::FxHashMap;
 use sim_base::geom::Dir;
@@ -30,6 +31,30 @@ struct EjectEntry {
 /// Default number of cycles a packet may live before the deadlock
 /// watchdog trips.
 const DEFAULT_WATCHDOG: u64 = 1_000_000;
+
+/// Active-set occupancy counters (diagnostics only — never part of a
+/// report, so sparse and dense runs stay bit-identical).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NocSchedStats {
+    /// Ticks performed.
+    pub ticks: u64,
+    /// Routers visited by phase-3 arbitration (routers with buffered
+    /// flits; the dense scan visits the same ones after its guard).
+    pub router_visits: u64,
+    /// Tiles visited by phase-2 injection (tiles with queued flits).
+    pub inject_visits: u64,
+}
+
+impl NocSchedStats {
+    /// Mean number of routers arbitrated per tick.
+    pub fn mean_active_routers(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.router_visits as f64 / self.ticks as f64
+        }
+    }
+}
 
 /// The cycle-level mesh NoC, generic over the payload type `T` and a
 /// [`TraceSink`] (the default [`NullSink`] compiles tracing away).
@@ -62,6 +87,23 @@ pub struct Noc<T, S: TraceSink = NullSink> {
     now: Cycle,
     /// Flits anywhere in the system (fast-path check).
     active_flits: usize,
+    /// Flits buffered in each router's input VCs (mirrors
+    /// [`Router::buffered`], maintained on enqueue/dequeue edges).
+    router_flits: Vec<u32>,
+    /// Routers with buffered flits — the phase-3 arbitration work list.
+    active_routers: ActiveSet,
+    /// Tiles with a non-empty NI injection queue — the phase-2 work list.
+    inject_tiles: ActiveSet,
+    /// Tiles with undelivered messages (exact: maintained by
+    /// delivery-queue push/pop edges).
+    delivery_tiles: ActiveSet,
+    /// Total undelivered messages across all tiles.
+    delivered_count: usize,
+    /// Scratch for snapshotting an active set during a tick.
+    sched_scratch: Vec<u32>,
+    /// Gate for the sparse tick paths (`--no-active-set` escape hatch).
+    active_set_enabled: bool,
+    sched: NocSchedStats,
     watchdog: u64,
     stats: NocStats,
     tracer: Tracer<S>,
@@ -98,6 +140,14 @@ impl<T, S: TraceSink> Noc<T, S> {
             next_pkt: 0,
             now: 0,
             active_flits: 0,
+            router_flits: vec![0; n],
+            active_routers: ActiveSet::new(n),
+            inject_tiles: ActiveSet::new(n),
+            delivery_tiles: ActiveSet::new(n),
+            delivered_count: 0,
+            sched_scratch: Vec::new(),
+            active_set_enabled: true,
+            sched: NocSchedStats::default(),
             watchdog: DEFAULT_WATCHDOG,
             stats: NocStats::default(),
             tracer,
@@ -133,6 +183,25 @@ impl<T, S: TraceSink> Noc<T, S> {
     /// network longer than `cycles`.
     pub fn set_watchdog(&mut self, cycles: u64) {
         self.watchdog = cycles;
+    }
+
+    /// Enables or disables active-set micro-scheduling (on by default).
+    /// When disabled, [`tick`](Self::tick) falls back to the dense
+    /// every-router/every-tile scan; results are bit-identical either
+    /// way (the work lists merely skip components the dense scan would
+    /// also skip with its own guards).
+    pub fn set_active_set_enabled(&mut self, on: bool) {
+        self.active_set_enabled = on;
+    }
+
+    /// Whether active-set micro-scheduling is enabled.
+    pub fn active_set_enabled(&self) -> bool {
+        self.active_set_enabled
+    }
+
+    /// Active-set occupancy counters for this run so far.
+    pub fn sched_stats(&self) -> NocSchedStats {
+        self.sched
     }
 
     /// True when no message is anywhere in the network.
@@ -200,17 +269,49 @@ impl<T, S: TraceSink> Noc<T, S> {
             });
         }
         self.active_flits += nflits as usize;
+        self.inject_tiles.insert(msg.src.index());
         self.payloads.insert(pkt, msg);
     }
 
     /// Pops one delivered message for `tile`, if any.
     pub fn recv(&mut self, tile: CoreId) -> Option<Message<T>> {
-        self.delivered[tile.index()].pop_front()
+        let q = &mut self.delivered[tile.index()];
+        let msg = q.pop_front();
+        if msg.is_some() {
+            self.delivered_count -= 1;
+            if q.is_empty() {
+                self.delivery_tiles.remove(tile.index());
+            }
+        }
+        msg
     }
 
     /// True when any delivered message is waiting to be received.
     pub fn has_deliveries(&self) -> bool {
-        self.delivered.iter().any(|q| !q.is_empty())
+        self.delivered_count > 0
+    }
+
+    /// True when `tile` has at least one delivered message waiting.
+    /// Exact and one tick ahead of the receiver: messages become
+    /// deliverable during the previous cycle's [`tick`](Self::tick), so
+    /// at the top of a cycle this predicate names precisely the tiles
+    /// whose controllers will be handed a message this cycle.
+    pub fn has_delivery_for(&self, tile: CoreId) -> bool {
+        !self.delivered[tile.index()].is_empty()
+    }
+
+    /// Snapshots the tiles with undelivered messages into `out`, in
+    /// ascending tile order (the order a dense `for tile in 0..n` recv
+    /// scan would find them).
+    pub fn collect_delivery_tiles(&mut self, out: &mut Vec<u32>) {
+        self.delivery_tiles.collect_sorted(out);
+    }
+
+    /// Records a message delivery to `tile`'s queue bookkeeping.
+    #[inline]
+    fn note_delivery(&mut self, tile: usize) {
+        self.delivered_count += 1;
+        self.delivery_tiles.insert(tile);
     }
 
     /// The earliest cycle at which the network can change observable
@@ -274,15 +375,20 @@ impl<T, S: TraceSink> Noc<T, S> {
     /// Advances the network one cycle.
     pub fn tick(&mut self) {
         let now = self.now;
+        self.sched.ticks += 1;
 
         // Phase 1: bypass + wire + ejection arrivals scheduled for `now`.
         while self.bypass.front().is_some_and(|(t, _)| *t <= now) {
             let (_, msg) = self.bypass.pop_front().expect("checked non-empty");
-            self.delivered[msg.dst.index()].push_back(msg);
+            let dst = msg.dst.index();
+            self.delivered[dst].push_back(msg);
+            self.note_delivery(dst);
         }
         while self.wire.front().is_some_and(|w| w.arrive <= now) {
             let w = self.wire.pop_front().expect("checked non-empty");
             self.routers[w.router].in_buf[w.in_port][w.vc].push_back(w.flit);
+            self.router_flits[w.router] += 1;
+            self.active_routers.insert(w.router);
         }
         while self.eject.front().is_some_and(|e| e.arrive <= now) {
             let e = self.eject.pop_front().expect("checked non-empty");
@@ -295,24 +401,10 @@ impl<T, S: TraceSink> Noc<T, S> {
             return;
         }
 
-        // Phase 2: NI injection into the local input VCs.
-        for (tile, q3) in self.inject_q.iter_mut().enumerate() {
-            for (vc, q) in q3.iter_mut().enumerate() {
-                let buf = &mut self.routers[tile].in_buf[Dir::Local.index()][vc];
-                while !q.is_empty() && (buf.len() as u32) < self.cfg.vc_buffer_flits {
-                    buf.push_back(q.pop_front().expect("checked non-empty"));
-                }
-            }
-        }
-
-        // Phase 3: per-router, per-output-port arbitration.
-        for r in 0..self.routers.len() {
-            if self.routers[r].buffered() == 0 {
-                continue;
-            }
-            for out in Dir::ALL {
-                self.arbitrate(r, out, now);
-            }
+        if self.active_set_enabled {
+            self.tick_sparse(now);
+        } else {
+            self.tick_dense(now);
         }
 
         // Deadlock watchdog (amortized).
@@ -330,6 +422,100 @@ impl<T, S: TraceSink> Noc<T, S> {
         }
 
         self.now += 1;
+    }
+
+    /// Phases 2 and 3 over the active-set work lists: only tiles with
+    /// queued flits and routers with buffered flits are visited. These
+    /// are exactly the components the dense scan does work on (its
+    /// guards skip the rest), and both work lists iterate in ascending
+    /// index order, so the two paths are bit-identical.
+    fn tick_sparse(&mut self, now: Cycle) {
+        // Phase 2: NI injection into the local input VCs.
+        if !self.inject_tiles.is_empty() {
+            let mut tiles = std::mem::take(&mut self.sched_scratch);
+            self.inject_tiles.collect_sorted(&mut tiles);
+            for &tile in &tiles {
+                self.sched.inject_visits += 1;
+                if self.inject_tile(tile as usize) {
+                    self.inject_tiles.remove(tile as usize);
+                }
+            }
+            self.sched_scratch = tiles;
+        }
+        // Phase 3: per-router, per-output-port arbitration. Arbitration
+        // moves flits onto wires and ejection pipelines — never directly
+        // into another router's input buffer — so membership cannot grow
+        // mid-iteration and the snapshot is exact.
+        let mut routers = std::mem::take(&mut self.sched_scratch);
+        self.active_routers.collect_sorted(&mut routers);
+        for &r in &routers {
+            let r = r as usize;
+            if self.router_flits[r] == 0 {
+                self.active_routers.remove(r);
+                continue;
+            }
+            self.sched.router_visits += 1;
+            for out in Dir::ALL {
+                self.arbitrate(r, out, now);
+            }
+            if self.router_flits[r] == 0 {
+                self.active_routers.remove(r);
+            }
+        }
+        self.sched_scratch = routers;
+    }
+
+    /// Phases 2 and 3 as a dense every-tile/every-router scan (the
+    /// `--no-active-set` reference path). Work-list membership is still
+    /// maintained so the sparse path can be re-enabled mid-run.
+    fn tick_dense(&mut self, now: Cycle) {
+        // Phase 2: NI injection into the local input VCs.
+        for tile in 0..self.inject_q.len() {
+            if self.inject_tiles.contains(tile) {
+                self.sched.inject_visits += 1;
+            }
+            if self.inject_tile(tile) {
+                self.inject_tiles.remove(tile);
+            }
+        }
+        // Phase 3: per-router, per-output-port arbitration.
+        for r in 0..self.routers.len() {
+            debug_assert_eq!(self.router_flits[r] as usize, self.routers[r].buffered());
+            if self.router_flits[r] == 0 {
+                self.active_routers.remove(r);
+                continue;
+            }
+            self.sched.router_visits += 1;
+            for out in Dir::ALL {
+                self.arbitrate(r, out, now);
+            }
+            if self.router_flits[r] == 0 {
+                self.active_routers.remove(r);
+            }
+        }
+    }
+
+    /// Phase-2 NI injection for one tile: moves queued flits into the
+    /// local input VCs while they have space. Returns true when every
+    /// injection queue of the tile is now empty.
+    fn inject_tile(&mut self, tile: usize) -> bool {
+        let mut moved = 0u32;
+        let mut empty = true;
+        let q3 = &mut self.inject_q[tile];
+        let bufs = &mut self.routers[tile].in_buf[Dir::Local.index()];
+        for (vc, q) in q3.iter_mut().enumerate() {
+            let buf = &mut bufs[vc];
+            while !q.is_empty() && (buf.len() as u32) < self.cfg.vc_buffer_flits {
+                buf.push_back(q.pop_front().expect("checked non-empty"));
+                moved += 1;
+            }
+            empty &= q.is_empty();
+        }
+        if moved > 0 {
+            self.router_flits[tile] += moved;
+            self.active_routers.insert(tile);
+        }
+        empty
     }
 
     /// Picks and forwards at most one flit through output `out` of router
@@ -368,6 +554,7 @@ impl<T, S: TraceSink> Noc<T, S> {
             let flit = self.routers[r].in_buf[p][vc]
                 .pop_front()
                 .expect("head exists");
+            self.router_flits[r] -= 1;
             self.routers[r].rr[out_i] = (slot + 1) % (NUM_PORTS * NUM_VCS);
             // Wormhole lock maintenance.
             self.routers[r].out_lock[out_i][vc] = if flit.is_tail {
@@ -441,6 +628,7 @@ impl<T, S: TraceSink> Noc<T, S> {
                 latency: now - info.injected_at,
             });
             self.delivered[info.dst.index()].push_back(msg);
+            self.note_delivery(info.dst.index());
         }
     }
 }

@@ -85,6 +85,26 @@ pub fn build_imbalanced(n_cores: usize, kind: BarrierKind, iters: u64, stagger: 
     }
 }
 
+/// The scheduler-bench matrix: for every barrier implementation
+/// (GL, CSW, DSW), the contended variant (back-to-back barriers, all
+/// cores arriving together — the coherence-bound regime) and the
+/// imbalanced variant (staggered arrivals — the wait-bound regime).
+/// Each entry is `(label, workload)`; labels are stable and unique, so
+/// benches and sweep jobs can key results by them.
+pub fn barrier_matrix(n_cores: usize, iters: u64, stagger: u32) -> Vec<(&'static str, Workload)> {
+    let mut out = Vec::new();
+    for kind in BarrierKind::ALL {
+        let (contended, imbalanced) = match kind {
+            BarrierKind::Gl => ("contended GL", "imbalanced GL"),
+            BarrierKind::Csw => ("contended CSW", "imbalanced CSW"),
+            BarrierKind::Dsw => ("contended DSW", "imbalanced DSW"),
+        };
+        out.push((contended, build(n_cores, kind, iters)));
+        out.push((imbalanced, build_imbalanced(n_cores, kind, iters, stagger)));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +118,26 @@ mod tests {
             assert_eq!(sys.report().gl_barriers, iters * BARRIERS_PER_ITER);
         }
         cycles_per_barrier(cycles, iters)
+    }
+
+    #[test]
+    fn barrier_matrix_covers_every_kind_and_shape() {
+        let m = barrier_matrix(4, 2, 100);
+        assert_eq!(m.len(), 6);
+        let labels: Vec<_> = m.iter().map(|(l, _)| *l).collect();
+        for l in [
+            "contended GL",
+            "imbalanced GL",
+            "contended CSW",
+            "imbalanced CSW",
+            "contended DSW",
+            "imbalanced DSW",
+        ] {
+            assert!(labels.contains(&l), "missing {l}");
+        }
+        for (_, w) in &m {
+            assert_eq!(w.progs.len(), 4);
+        }
     }
 
     #[test]

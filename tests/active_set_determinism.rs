@@ -1,0 +1,193 @@
+//! Determinism of active-set micro-scheduling.
+//!
+//! The active-set scheduler (see `DESIGN.md` §10) visits only routers
+//! with buffered flits, home banks with live transactions, and cores
+//! that are not parked on a known wake cycle — instead of scanning
+//! every component every cycle. Its correctness contract mirrors the
+//! cycle-skipping scheduler's: a run with active sets enabled is
+//! **bit-identical** — same [`sim_cmp::SystemReport`], same
+//! architectural memory, same event trace — to the same run with
+//! `--no-active-set`. These tests enforce that over every workload
+//! generator and barrier flavour, mirroring `skip_determinism.rs`.
+
+use sim_base::config::CmpConfig;
+use sim_base::trace::{ChromeTraceSink, Tracer};
+use sim_cmp::runtime::BarrierKind;
+use sim_cmp::{System, SystemReport};
+use workloads::common::Workload;
+use workloads::{em3d, livermore, ocean, synthetic, unstructured};
+
+/// Runs `w` twice — active sets on and `--no-active-set` — and demands
+/// bit-identical reports. Cycle skipping stays enabled in both runs
+/// (its own invariance is covered by `skip_determinism.rs`); here it
+/// exercises the composition of parking with whole-machine
+/// fast-forwarding.
+fn assert_active_set_invariant(w: &Workload) {
+    let cfg = CmpConfig::icpp2010_with_cores(w.progs.len());
+    let mut fast = w.into_system(cfg);
+    let mut slow = w.into_system(cfg);
+    slow.set_active_set_enabled(false);
+    assert!(fast.active_set_enabled() && !slow.active_set_enabled());
+    let cf = fast.run(50_000_000).expect("fast run must complete");
+    let cs = slow.run(50_000_000).expect("slow run must complete");
+    assert_eq!(cf, cs, "{}: cycle counts diverge", w.name);
+    let rf: SystemReport = fast.report();
+    let rs: SystemReport = slow.report();
+    assert_eq!(rf, rs, "{}: reports diverge with active sets on", w.name);
+}
+
+#[test]
+fn synthetic_all_barrier_kinds_active_set_invariant() {
+    for kind in BarrierKind::ALL {
+        assert_active_set_invariant(&synthetic::build(8, kind, 6));
+    }
+}
+
+#[test]
+fn synthetic_paper_mesh_active_set_invariant() {
+    assert_active_set_invariant(&synthetic::build(32, BarrierKind::Gl, 4));
+    assert_active_set_invariant(&synthetic::build(32, BarrierKind::Csw, 2));
+}
+
+#[test]
+fn synthetic_imbalanced_active_set_invariant() {
+    // Staggered arrivals: cores park while waiting, homes and routers
+    // drain to empty between episodes — the regime where the sets are
+    // smallest and the lazy-removal bookkeeping is doing the most work.
+    for kind in BarrierKind::ALL {
+        assert_active_set_invariant(&synthetic::build_imbalanced(8, kind, 3, 300));
+    }
+    assert_active_set_invariant(&synthetic::build_imbalanced(32, BarrierKind::Csw, 2, 500));
+}
+
+#[test]
+fn barrier_matrix_active_set_invariant() {
+    // The exact matrix the active_set bench measures.
+    for (_, w) in synthetic::barrier_matrix(8, 2, 200) {
+        assert_active_set_invariant(&w);
+    }
+}
+
+#[test]
+fn ocean_active_set_invariant() {
+    for kind in [BarrierKind::Gl, BarrierKind::Csw] {
+        assert_active_set_invariant(&ocean::build(8, kind, ocean::OceanParams::scaled(10, 2)));
+    }
+}
+
+#[test]
+fn em3d_active_set_invariant() {
+    for kind in [BarrierKind::Gl, BarrierKind::Dsw] {
+        assert_active_set_invariant(&em3d::build(8, kind, em3d::Em3dParams::scaled(24, 2)));
+    }
+}
+
+#[test]
+fn livermore_kernels_active_set_invariant() {
+    let p = livermore::KernelParams::scaled(32, 2);
+    assert_active_set_invariant(&livermore::kernel2(4, BarrierKind::Gl, p));
+    assert_active_set_invariant(&livermore::kernel3(4, BarrierKind::Csw, p));
+    assert_active_set_invariant(&livermore::kernel6(4, BarrierKind::Gl, p));
+}
+
+#[test]
+fn unstructured_active_set_invariant() {
+    // Locks + barriers: cores block on lock acquires and home banks
+    // serialize the contended line, so the busy-home set churns.
+    let p = unstructured::UnstructuredParams::scaled(12, 24, 2);
+    for kind in [BarrierKind::Gl, BarrierKind::Csw] {
+        assert_active_set_invariant(&unstructured::build(4, kind, p));
+    }
+}
+
+#[test]
+fn architectural_memory_identical_with_active_set() {
+    let w = ocean::build(8, BarrierKind::Gl, ocean::OceanParams::scaled(10, 2));
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+    let mut fast = w.into_system(cfg);
+    let mut slow = w.into_system(cfg);
+    slow.set_active_set_enabled(false);
+    fast.run(50_000_000).unwrap();
+    slow.run(50_000_000).unwrap();
+    for (addr, _) in ocean::expected(ocean::OceanParams::scaled(10, 2), 8)
+        .iter()
+        .enumerate()
+    {
+        let a = ocean::point_addr(ocean::OceanParams::scaled(10, 2), addr / 10, addr % 10);
+        assert_eq!(fast.peek_word(a), slow.peek_word(a));
+    }
+}
+
+/// Traced runs keep active sets enabled (parked cores are in known
+/// wait states and emit no events, so parking is trace-transparent,
+/// unlike cycle skipping which tracing disables). The full event
+/// stream must still be identical to a `--no-active-set` traced run.
+#[test]
+fn event_trace_identical_with_active_set() {
+    for (kind, n, iters) in [
+        (BarrierKind::Csw, 8, 3),
+        (BarrierKind::Gl, 8, 3),
+        (BarrierKind::Dsw, 4, 2),
+    ] {
+        let w = synthetic::build_imbalanced(n, kind, iters, 200);
+        let cfg = CmpConfig::icpp2010_with_cores(n);
+
+        let run_traced = |active: bool| {
+            let tracer = Tracer::new(ChromeTraceSink::new());
+            let mut sys = System::traced(cfg, w.progs.clone(), tracer.clone());
+            sys.set_active_set_enabled(active);
+            sys.run(50_000_000).expect("traced run completes");
+            let rep = sys.report();
+            let events = tracer.with_sink(|s| s.events().to_vec());
+            (rep, events)
+        };
+
+        let (rep_on, ev_on) = run_traced(true);
+        let (rep_off, ev_off) = run_traced(false);
+        assert_eq!(rep_on, rep_off, "{kind:?}: traced reports diverge");
+        assert!(!ev_on.is_empty(), "{kind:?}: traced run recorded no events");
+        assert_eq!(
+            ev_on.len(),
+            ev_off.len(),
+            "{kind:?}: event counts diverge with active sets on"
+        );
+        assert_eq!(ev_on, ev_off, "{kind:?}: event streams diverge");
+    }
+}
+
+/// Toggling the active-set scheduler mid-run must not perturb the
+/// final state: parked cores are flushed on disable, so a run that
+/// flips the flag every few thousand cycles still matches a dense run.
+#[test]
+fn mid_run_toggle_active_set_invariant() {
+    let w = synthetic::build_imbalanced(8, BarrierKind::Csw, 4, 300);
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+    let mut toggled = w.into_system(cfg);
+    let mut on = true;
+    let mut guard = 0u64;
+    while !toggled.all_halted() {
+        toggled.set_active_set_enabled(on);
+        on = !on;
+        for _ in 0..2_000 {
+            if toggled.all_halted() {
+                break;
+            }
+            toggled.tick();
+        }
+        guard += 1;
+        assert!(guard < 50_000, "toggled run livelocked");
+    }
+    let mut baseline = w.into_system(cfg);
+    baseline.set_active_set_enabled(false);
+    baseline.run(50_000_000).unwrap();
+    assert_eq!(
+        baseline.now(),
+        toggled.now(),
+        "mid-run toggle changed cycles"
+    );
+    assert_eq!(
+        baseline.report(),
+        toggled.report(),
+        "mid-run toggle diverges"
+    );
+}
