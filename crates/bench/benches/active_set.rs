@@ -162,6 +162,7 @@ fn bench(c: &mut Criterion) {
     let json = Json::obj([
         ("benchmark", Json::from("synthetic barrier matrix")),
         ("cores", Json::from(BENCH_CORES as u64)),
+        ("host", bench::sweep::host_json(workers)),
         ("iters", Json::from(iters)),
         ("stagger", Json::from(stagger)),
         ("workloads", Json::arr(entries)),

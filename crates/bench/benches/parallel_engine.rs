@@ -1,0 +1,186 @@
+//! Wall-clock scaling of the sharded-tick parallel engine
+//! (`DESIGN.md` §11).
+//!
+//! Runs the compute-bearing synthetic matrix (GL/CSW/DSW × contended /
+//! imbalanced — [`synthetic::compute_matrix`], whose cores are live
+//! almost every cycle, so the compute phase has real work to shard) on
+//! the 32-core machine with the serial engine and with 2/4/8 worker
+//! threads. Every parallel run must be **bit-identical** to the serial
+//! one — same `SystemReport`, same skip and scheduler statistics — and
+//! the wall-clock ratio is the engine's win. The headline number is
+//! contended CSW at 4 workers, the coherence-bound regime where
+//! neither cycle skipping nor core parking can help, leaving raw
+//! per-cycle work as the only thing left to parallelize.
+//!
+//! Results land in `BENCH_parallel_engine.json` at the repo root. The
+//! ≥ 1.7x speedup floor is only enforced on hosts that actually have
+//! ≥ 4 cores (and never in the CI smoke's `--test` mode); the JSON's
+//! `host` and `speedup_floor_enforced` fields record what this run
+//! could and did check.
+
+use std::time::Instant;
+
+use bench::experiments::BENCH_CORES;
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_base::config::CmpConfig;
+use sim_base::json::Json;
+use sim_base::shard::available_workers;
+use sim_cmp::{CoreSchedStats, SkipStats, SystemReport};
+use workloads::common::Workload;
+use workloads::synthetic;
+
+/// Worker counts measured per matrix entry (1 = the serial engine).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One timed end-to-end run at a given worker count.
+struct Run {
+    wall_s: f64,
+    cycles: u64,
+    ticks_per_s: f64,
+    report: SystemReport,
+    skip: SkipStats,
+    sched: CoreSchedStats,
+}
+
+fn measure(w: &Workload, workers: usize) -> Run {
+    let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(w.progs.len()));
+    let start = Instant::now();
+    let cycles = if workers == 1 {
+        sys.run(20_000_000_000).expect("workload completes")
+    } else {
+        sys.run_with_workers(20_000_000_000, workers)
+            .expect("workload completes")
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    Run {
+        wall_s,
+        cycles,
+        ticks_per_s: cycles as f64 / wall_s.max(1e-9),
+        report: sys.report(),
+        skip: sys.skip_stats(),
+        sched: sys.core_sched_stats(),
+    }
+}
+
+/// Min-of-`reps` measurement (host noise only ever adds wall-clock).
+fn best_of(w: &Workload, workers: usize, reps: usize) -> Run {
+    let mut best = measure(w, workers);
+    for _ in 1..reps {
+        let r = measure(w, workers);
+        if r.wall_s < best.wall_s {
+            best = r;
+        }
+    }
+    best
+}
+
+fn bench(c: &mut Criterion) {
+    // `cargo bench -- --test` (the CI smoke pass) runs scaled-down
+    // workloads; a real `cargo bench` uses the full sizes and — on a
+    // host with enough cores — enforces the speedup floor.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (iters, work, stagger, reps) = if test_mode {
+        (1, 50, 200, 1)
+    } else {
+        (4, 2000, 1000, 3)
+    };
+    let matrix = synthetic::compute_matrix(BENCH_CORES, iters, work, stagger);
+
+    let mut entries = Vec::new();
+    let mut headline_speedup = 0.0; // contended CSW at 4 workers
+    for (name, w) in &matrix {
+        best_of(w, 1, 1); // warm-up
+        let serial = best_of(w, 1, reps);
+        eprintln!(
+            "[parallel_engine] {name}: {} cycles; serial {:>9.2} ms ({:.2e} ticks/s)",
+            serial.cycles,
+            serial.wall_s * 1e3,
+            serial.ticks_per_s
+        );
+        let mut points = vec![Json::obj([
+            ("workers", Json::from(1u64)),
+            ("wall_s", Json::from(serial.wall_s)),
+            ("ticks_per_s", Json::from(serial.ticks_per_s)),
+            ("speedup", Json::from(1.0)),
+        ])];
+        for &workers in &WORKER_COUNTS[1..] {
+            let r = best_of(w, workers, reps);
+            assert_eq!(serial.cycles, r.cycles, "{name}@{workers}: cycle count");
+            assert_eq!(serial.report, r.report, "{name}@{workers}: report");
+            assert_eq!(serial.skip, r.skip, "{name}@{workers}: skip stats");
+            assert_eq!(serial.sched, r.sched, "{name}@{workers}: sched stats");
+            let speedup = serial.wall_s / r.wall_s.max(1e-9);
+            eprintln!(
+                "[parallel_engine]   {workers} workers: {:>9.2} ms ({:.2e} ticks/s, {speedup:.2}x)",
+                r.wall_s * 1e3,
+                r.ticks_per_s
+            );
+            if *name == "contended CSW" && workers == 4 {
+                headline_speedup = speedup;
+            }
+            points.push(Json::obj([
+                ("workers", Json::from(workers as u64)),
+                ("wall_s", Json::from(r.wall_s)),
+                ("ticks_per_s", Json::from(r.ticks_per_s)),
+                ("speedup", Json::from(speedup)),
+            ]));
+        }
+        entries.push(Json::obj([
+            ("name", Json::from(*name)),
+            ("cycles", Json::from(serial.cycles)),
+            ("points", Json::arr(points)),
+        ]));
+    }
+
+    // The floor only means something on a host that can actually run 4
+    // workers in parallel; on smaller hosts the bit-identity checks
+    // above still ran, and the JSON records that the floor did not.
+    let enforce_floor = !test_mode && available_workers() >= 4;
+    let json = Json::obj([
+        ("benchmark", Json::from("synthetic compute matrix")),
+        ("cores", Json::from(BENCH_CORES as u64)),
+        (
+            "host",
+            bench::sweep::host_json(*WORKER_COUNTS.last().unwrap()),
+        ),
+        ("iters", Json::from(iters)),
+        ("work", Json::from(work as u64)),
+        ("stagger", Json::from(stagger as u64)),
+        ("workloads", Json::arr(entries)),
+        ("contended_csw_speedup_at_4", Json::from(headline_speedup)),
+        ("speedup_floor_enforced", Json::from(enforce_floor)),
+    ]);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_parallel_engine.json"
+    );
+    std::fs::write(path, json.pretty()).expect("write BENCH_parallel_engine.json");
+    eprintln!("[parallel_engine] wrote {path}");
+    if enforce_floor {
+        assert!(
+            headline_speedup >= 1.7,
+            "the sharded-tick engine must buy >= 1.7x wall-clock at 4 workers on the \
+             contended CSW workload, got {headline_speedup:.2}x"
+        );
+    }
+
+    // Harness samples for trend tracking alongside the other benches.
+    let contended = &matrix
+        .iter()
+        .find(|(n, _)| *n == "contended CSW")
+        .expect("matrix has contended CSW")
+        .1;
+    let mut g = c.benchmark_group("parallel_engine");
+    g.sample_size(10);
+    for workers in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("contended_csw", format!("{workers}w")),
+            &workers,
+            |b, &workers| b.iter(|| measure(contended, workers).cycles),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,16 +10,14 @@
 //! scheduling. Each simulation itself stays single-threaded and
 //! deterministic; only the fan-out is concurrent.
 
-use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Default worker count: the host's available parallelism (1 if
-/// unknown).
+/// unknown). Shared with the simulator's sharded-tick engine so every
+/// "how parallel is this host" answer in the workspace agrees.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    sim_base::shard::available_workers()
 }
 
 /// Parses a `--jobs N` flag out of `args`, defaulting to
@@ -30,6 +28,24 @@ pub fn workers_from_args(args: &[String]) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(default_workers)
+}
+
+/// Host-parallelism provenance for `BENCH_*.json` outputs: how many
+/// cores the host advertised and how many workers the producing process
+/// actually used. Benchmark JSON is meaningless for cross-host
+/// comparison without this, so every writer embeds it under a `host`
+/// key.
+pub fn host_json(workers_used: usize) -> sim_base::json::Json {
+    sim_base::json::Json::obj([
+        (
+            "available_cores",
+            sim_base::json::Json::from(sim_base::shard::available_workers() as u64),
+        ),
+        (
+            "workers_used",
+            sim_base::json::Json::from(workers_used as u64),
+        ),
+    ])
 }
 
 /// Runs `run` over every job and returns the results **in job order**.
@@ -47,7 +63,9 @@ where
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
-    let workers = workers.max(1).min(jobs.len().max(1));
+    // One clamp rule for the whole workspace: at least one worker,
+    // never more than there are items to divide.
+    let workers = sim_base::shard::clamp_workers(workers, jobs.len());
     if workers == 1 {
         return jobs.iter().map(&run).collect();
     }

@@ -79,11 +79,13 @@ pub mod cluster;
 pub mod controller;
 pub mod line;
 pub mod network;
+pub mod shadow;
 pub mod stats;
 pub mod tdm;
 
 pub use cluster::ClusteredBarrierNetwork;
 pub use line::{GLine, Sensed};
 pub use network::{BarrierHw, BarrierNetwork, CtxId};
+pub use shadow::GlineShadow;
 pub use stats::GlineStats;
 pub use tdm::TdmBarrierNetwork;

@@ -78,6 +78,12 @@ struct Context<S: TraceSink> {
     last_arrival: Cycle,
     stats: GlineStats,
     tracer: Tracer<S>,
+    /// Memoized [`is_quiescent`](Self::is_quiescent), recomputed at
+    /// every mutation point (end of tick, arrival, gated release) so it
+    /// is always *exact* — `next_event` through the memo answers
+    /// identically to the direct computation, and a quiescent tick can
+    /// early-return (a provable state- and trace-no-op).
+    quiescent: bool,
 }
 
 impl<S: TraceSink> Context<S> {
@@ -131,7 +137,7 @@ impl<S: TraceSink> Context<S> {
             .collect();
         let num_cores = mesh.num_tiles();
         let active_upper_rows = (1..mesh.rows).filter(|&r| row_active[r as usize]).count() as u32;
-        Context {
+        let mut ctx = Context {
             ctx_id,
             bar_reg: vec![0; num_cores],
             slave_h: mesh
@@ -160,7 +166,10 @@ impl<S: TraceSink> Context<S> {
             last_arrival: 0,
             stats: GlineStats::default(),
             tracer,
-        }
+            quiescent: false,
+        };
+        ctx.quiescent = ctx.is_quiescent(mesh);
+        ctx
     }
 
     fn write_bar_reg(&mut self, core: CoreId, value: u64, now: Cycle) {
@@ -187,6 +196,15 @@ impl<S: TraceSink> Context<S> {
     }
 
     fn tick(&mut self, mesh: Mesh2D, now: Cycle) {
+        if self.quiescent {
+            // A quiescent tick is a provable no-op: every G-line is
+            // idle, every controller is stable under held inputs (so
+            // latch/transmit/receive change nothing and emit nothing)
+            // and the episode guard below cannot fire. The memo is
+            // exact, so skipping the scan is bit- and trace-identical.
+            debug_assert!(self.is_quiescent(mesh));
+            return;
+        }
         let nrows = mesh.rows as usize;
         let ctx = self.ctx_id;
 
@@ -456,6 +474,8 @@ impl<S: TraceSink> Context<S> {
                 .record(self.first_arrival, self.last_arrival, now);
             self.arrived = 0;
         }
+
+        self.quiescent = self.is_quiescent(mesh);
     }
 
     /// True when a tick of this context is a provable no-op: every
@@ -666,7 +686,9 @@ impl<S: TraceSink> BarrierNetwork<S> {
     /// nonzero value into its `bar_reg`.
     pub fn write_bar_reg(&mut self, core: CoreId, ctx: CtxId, value: u64) {
         let now = self.now;
-        self.contexts[ctx].write_bar_reg(core, value, now);
+        let c = &mut self.contexts[ctx];
+        c.write_bar_reg(core, value, now);
+        c.quiescent = c.is_quiescent(self.mesh);
     }
 
     /// Reads core `core`'s `bar_reg` for context `ctx`. Cores spin on this
@@ -705,6 +727,7 @@ impl<S: TraceSink> BarrierNetwork<S> {
                 to: after.label(),
             });
         }
+        c.quiescent = c.is_quiescent(self.mesh);
     }
 
     /// Advances the network by one clock cycle.
@@ -732,7 +755,7 @@ impl<S: TraceSink> BarrierNetwork<S> {
     /// release). Otherwise a barrier episode is in flight and every cycle
     /// matters, so the answer is the very next one.
     pub fn next_event(&self) -> Option<Cycle> {
-        if self.contexts.iter().all(|c| c.is_quiescent(self.mesh)) {
+        if self.contexts.iter().all(|c| c.quiescent) {
             None
         } else {
             Some(self.now + 1)

@@ -1,0 +1,150 @@
+//! A write-latching shadow of a barrier network, for the parallel
+//! compute phase of the sharded-tick engine (`DESIGN.md` §11).
+//!
+//! During a parallel compute phase every worker drives its shard of
+//! cores against a [`GlineShadow`] instead of the real network: reads
+//! pass through to the (frozen) network, and `bar_reg` arrival writes
+//! latch into a per-worker buffer. At the exchange barrier the
+//! coordinator replays every worker's latched writes into the real
+//! network **in ascending core order** — the order the serial core loop
+//! produces — before ticking it, so the network's episode accounting
+//! (`first_arrival`, arrival counts, trace ordering) is bit-identical
+//! to the serial engine.
+//!
+//! This is how the wired-AND/S-CSMA gather "splits" across shards: each
+//! worker accumulates its partial set of arrivals independently, and
+//! the deterministic replay is the reduction.
+//!
+//! The one read a core performs on the network — its **own** `bar_reg`
+//! slot — consults the latch first, so a core that arrives and spins in
+//! the same cycle observes its own write exactly as it would serially.
+//! Cross-shard reads are impossible by construction (core `k` is the
+//! only writer and the only reader of slot `k` during a compute phase).
+
+use crate::network::{BarrierHw, CtxId};
+use crate::stats::GlineStats;
+use sim_base::{CoreId, Cycle};
+
+/// One worker's shadow view of the barrier hardware for a single
+/// compute phase. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct GlineShadow<'a, B: BarrierHw + ?Sized> {
+    inner: &'a B,
+    /// Latched `(core, ctx, value)` arrival writes, in program order.
+    writes: Vec<(CoreId, CtxId, u64)>,
+}
+
+impl<'a, B: BarrierHw + ?Sized> GlineShadow<'a, B> {
+    /// Wraps `inner`, latching writes into `writes` (passed in so the
+    /// engine can reuse the allocation across cycles; it need not be
+    /// empty-capacity but must be empty).
+    pub fn new(inner: &'a B, writes: Vec<(CoreId, CtxId, u64)>) -> GlineShadow<'a, B> {
+        debug_assert!(writes.is_empty(), "stale latched writes");
+        GlineShadow { inner, writes }
+    }
+
+    /// Consumes the shadow, returning the latched writes for replay.
+    pub fn into_writes(self) -> Vec<(CoreId, CtxId, u64)> {
+        self.writes
+    }
+}
+
+impl<B: BarrierHw + ?Sized> BarrierHw for GlineShadow<'_, B> {
+    fn num_cores(&self) -> usize {
+        self.inner.num_cores()
+    }
+
+    fn write_bar_reg(&mut self, core: CoreId, ctx: CtxId, value: u64) {
+        self.writes.push((core, ctx, value));
+    }
+
+    fn bar_reg(&self, core: CoreId, ctx: CtxId) -> u64 {
+        // Latest latched write wins — a core reading its own slot after
+        // arriving in the same cycle must see the arrival, exactly as
+        // the serial engine's immediate write provides.
+        for &(c, x, v) in self.writes.iter().rev() {
+            if c == core && x == ctx {
+                return v;
+            }
+        }
+        self.inner.bar_reg(core, ctx)
+    }
+
+    fn all_released(&self, ctx: CtxId) -> bool {
+        // A latched (nonzero) arrival means this context cannot be
+        // all-released once the writes land.
+        self.inner.all_released(ctx) && !self.writes.iter().any(|&(_, x, _)| x == ctx)
+    }
+
+    fn tick(&mut self) {
+        unreachable!("the barrier network ticks only in the exchange phase");
+    }
+
+    fn now(&self) -> Cycle {
+        self.inner.now()
+    }
+
+    fn num_contexts(&self) -> usize {
+        self.inner.num_contexts()
+    }
+
+    fn stats(&self, ctx: CtxId) -> GlineStats {
+        self.inner.stats(ctx)
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        self.inner.next_event()
+    }
+
+    fn skip_to(&mut self, _t: Cycle) {
+        unreachable!("the barrier network skips only in the exchange phase");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::BarrierNetwork;
+    use sim_base::config::GlineConfig;
+    use sim_base::Mesh2D;
+
+    #[test]
+    fn shadow_latches_writes_and_reads_back_own_slot() {
+        let net = BarrierNetwork::new(Mesh2D::new(2, 2), GlineConfig::default());
+        let mut sh = GlineShadow::new(&net, Vec::new());
+        assert_eq!(sh.bar_reg(CoreId(1), 0), 0, "passthrough before write");
+        sh.write_bar_reg(CoreId(1), 0, 7);
+        assert_eq!(sh.bar_reg(CoreId(1), 0), 7, "own write visible");
+        assert_eq!(sh.bar_reg(CoreId(0), 0), 0, "other slots untouched");
+        assert!(!sh.all_released(0), "latched arrival blocks all_released");
+        assert_eq!(sh.into_writes(), vec![(CoreId(1), 0, 7)]);
+    }
+
+    #[test]
+    fn replaying_latched_writes_matches_direct_writes() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut direct = BarrierNetwork::new(mesh, GlineConfig::default());
+        let mut latched = BarrierNetwork::new(mesh, GlineConfig::default());
+
+        let mut sh = GlineShadow::new(&latched, Vec::new());
+        for i in 0..4usize {
+            sh.write_bar_reg(CoreId::from(i), 0, 1);
+        }
+        let writes = sh.into_writes();
+        for (core, ctx, v) in writes {
+            latched.write_bar_reg(core, ctx, v);
+        }
+        for i in 0..4usize {
+            direct.write_bar_reg(CoreId::from(i), 0, 1);
+        }
+        for _ in 0..4 {
+            direct.tick();
+            latched.tick();
+        }
+        assert!(direct.all_released(0) && latched.all_released(0));
+        let (ds, ls) = (direct.stats(0), latched.stats(0));
+        assert_eq!(ds.barriers_completed, ls.barriers_completed);
+        assert_eq!(ds.latency.sum(), ls.latency.sum());
+        assert_eq!(ds.signals, ls.signals);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sharding primitives for the parallel tick engine.
+//!
+//! The sharded-tick engine (see `DESIGN.md` §11) partitions the tiles of
+//! the simulated chip across worker threads and runs every simulated
+//! cycle in two phases — a parallel *compute* phase and a serialized
+//! *exchange* phase — separated by a thread barrier. This module holds
+//! the pieces that are independent of what is being sharded:
+//!
+//! * [`SpinBarrier`] — a sense-reversing centralized thread barrier,
+//!   which is our own paper's CSW barrier applied to the simulator
+//!   itself (§2.1 of the paper; Mellor-Crummey & Scott's
+//!   "sense-reversing centralized barrier").
+//! * [`available_workers`] / [`clamp_workers`] — the one place worker
+//!   counts are derived and clamped, shared by the parallel engine and
+//!   `bench::sweep` so every consumer agrees on the fallback logic.
+//! * [`shard_ranges`] — the deterministic tile partition: contiguous,
+//!   ascending, balanced to within one tile.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// How long a waiter busy-spins on the sense flag before yielding the
+/// CPU. Small, because the benches run on hosts where workers may
+/// outnumber cores; on a loaded machine a stubborn spin inverts the
+/// speedup the barrier exists to buy.
+const SPIN_LIMIT: u32 = 64;
+
+/// A sense-reversing centralized barrier for a fixed set of threads.
+///
+/// Every participant keeps a thread-local `sense: bool` (starting
+/// `false`) and calls [`wait`](Self::wait) with a mutable reference to
+/// it. The last thread to arrive flips the shared sense and releases
+/// the rest — two atomics total per episode, no re-initialization
+/// between episodes, and immediately reusable (the reversal is what
+/// makes back-to-back episodes safe, exactly as in the CSW barrier the
+/// simulated machine runs in software).
+#[derive(Debug)]
+pub struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// A barrier for `n` participating threads. `n` must be nonzero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a barrier needs at least one participant");
+        Self {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Blocks until all `n` participants have called `wait` with this
+    /// episode's sense. `local_sense` is the caller's thread-local
+    /// sense flag; initialize it to `false` and pass the same variable
+    /// to every `wait` on this barrier.
+    ///
+    /// Memory ordering: every write made before `wait` by any
+    /// participant happens-before every read after `wait` in all
+    /// participants (AcqRel on the arrival counter, Release on the
+    /// sense flip, Acquire on the sense spin).
+    pub fn wait(&self, local_sense: &mut bool) {
+        let sense = !*local_sense;
+        *local_sense = sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != sense {
+                if spins < SPIN_LIMIT {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// The host's available parallelism, falling back to 1 when the
+/// runtime cannot tell (the same fallback every consumer previously
+/// duplicated).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Clamps a requested worker count into `1..=cap`. `cap` is the number
+/// of independently schedulable work items (tiles for the parallel
+/// engine, jobs for a sweep) — more workers than items only adds
+/// barrier traffic.
+pub fn clamp_workers(requested: usize, cap: usize) -> usize {
+    requested.max(1).min(cap.max(1))
+}
+
+/// Partitions `n_items` tiles into `workers` contiguous, ascending
+/// ranges `(lo, hi)` (half-open), balanced to within one tile: the
+/// first `n_items % workers` shards get the extra tile. The partition
+/// depends only on `(n_items, workers)`, never on thread identity —
+/// part of the determinism argument of `DESIGN.md` §11.
+pub fn shard_ranges(n_items: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = clamp_workers(workers, n_items);
+    let base = n_items / workers;
+    let extra = n_items % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut lo = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    debug_assert_eq!(lo, n_items);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn clamp_workers_bounds() {
+        assert_eq!(clamp_workers(0, 32), 1);
+        assert_eq!(clamp_workers(4, 32), 4);
+        assert_eq!(clamp_workers(64, 32), 32);
+        assert_eq!(clamp_workers(8, 0), 1);
+        assert_eq!(clamp_workers(0, 0), 1);
+    }
+
+    #[test]
+    fn shard_ranges_cover_contiguously() {
+        for n in [1usize, 7, 8, 31, 32, 33] {
+            for w in [1usize, 2, 3, 4, 8, 40] {
+                let ranges = shard_ranges(n, w);
+                assert_eq!(ranges.len(), clamp_workers(w, n));
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges.last().unwrap().1, n);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0, "gap in {n}x{w}");
+                }
+                let max = ranges.iter().map(|(l, h)| h - l).max().unwrap();
+                let min = ranges.iter().map(|(l, h)| h - l).min().unwrap();
+                assert!(max - min <= 1, "imbalance in {n}x{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        // 4 threads × many episodes: inside each episode every thread
+        // increments a shared counter; after the barrier every thread
+        // must observe all increments of the episode.
+        const THREADS: usize = 4;
+        const EPISODES: u64 = 200;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let mut sense = false;
+                    for ep in 1..=EPISODES {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(&mut sense);
+                        assert_eq!(counter.load(Ordering::Relaxed), ep * THREADS as u64);
+                        barrier.wait(&mut sense);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("barrier worker panicked");
+        }
+    }
+
+    #[test]
+    fn single_thread_barrier_never_blocks() {
+        let b = SpinBarrier::new(1);
+        let mut sense = false;
+        for _ in 0..10 {
+            b.wait(&mut sense);
+        }
+    }
+}

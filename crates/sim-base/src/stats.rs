@@ -273,6 +273,30 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.sum
     }
+
+    /// Folds another histogram into this one, as if every sample of
+    /// `other` had been [`record`](Self::record)ed here directly.
+    ///
+    /// This is the shard-merge operation of the parallel engines: it is
+    /// associative and commutative (bucket counts, counts and saturating
+    /// sums add; min/max combine), so any reduction order over per-shard
+    /// histograms yields the identical merged histogram. Property-tested
+    /// below.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        // The empty sentinels (min = u64::MAX, max = 0) are the
+        // identities of min/max, so empty histograms merge as no-ops
+        // and the result stays field-identical to direct recording.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -356,6 +380,101 @@ mod tests {
         assert_eq!(h.max(), Some(u64::MAX));
         // The mean of a clamped sum is still finite and sane.
         assert!(h.mean() <= u64::MAX as f64);
+    }
+
+    /// Draws a histogram of 0..=24 samples spanning empty, tiny and
+    /// huge (near-saturating) values — the shapes the shard merge has
+    /// to get right.
+    fn arbitrary_histogram(rng: &mut crate::rng::SplitMix64) -> Histogram {
+        let mut h = Histogram::new();
+        for _ in 0..rng.next_below(25) {
+            let v = match rng.next_below(4) {
+                0 => rng.next_below(4),
+                1 => rng.next_below(1 << 20),
+                2 => rng.next_u64(),
+                _ => u64::MAX - rng.next_below(3),
+            };
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn histogram_merge_matches_direct_recording() {
+        // merge(a, b) must be field-identical to recording all of a's
+        // and b's samples into one histogram; replay the samples by
+        // regenerating them from the same seeds.
+        crate::check::forall("histogram_merge_direct", |rng| {
+            let samples: Vec<u64> = (0..rng.next_below(40))
+                .map(|_| match rng.next_below(3) {
+                    0 => rng.next_below(8),
+                    1 => rng.next_below(1 << 30),
+                    _ => rng.next_u64(),
+                })
+                .collect();
+            let split = if samples.is_empty() {
+                0
+            } else {
+                rng.next_below(samples.len() as u64 + 1) as usize
+            };
+            let mut merged = Histogram::new();
+            let mut right = Histogram::new();
+            for v in &samples[..split] {
+                merged.record(*v);
+            }
+            for v in &samples[split..] {
+                right.record(*v);
+            }
+            merged.merge(&right);
+            let mut direct = Histogram::new();
+            for v in &samples {
+                direct.record(*v);
+            }
+            assert_eq!(merged, direct, "merge diverges from direct recording");
+        });
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative() {
+        crate::check::forall("histogram_merge_commutes", |rng| {
+            let a = arbitrary_histogram(rng);
+            let b = arbitrary_histogram(rng);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge must commute");
+        });
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        crate::check::forall("histogram_merge_assoc", |rng| {
+            let a = arbitrary_histogram(rng);
+            let b = arbitrary_histogram(rng);
+            let c = arbitrary_histogram(rng);
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "merge must associate");
+        });
+    }
+
+    #[test]
+    fn histogram_merge_empty_is_identity() {
+        crate::check::forall("histogram_merge_identity", |rng| {
+            let a = arbitrary_histogram(rng);
+            let mut left = Histogram::new();
+            left.merge(&a);
+            assert_eq!(left, a, "empty.merge(a) != a");
+            let mut right = a.clone();
+            right.merge(&Histogram::new());
+            assert_eq!(right, a, "a.merge(empty) != a");
+        });
     }
 
     #[test]

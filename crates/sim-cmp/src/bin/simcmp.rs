@@ -26,6 +26,12 @@
 //!   --sched-stats      print scheduler diagnostics after the run:
 //!                      skip attempt/success/backoff counters and the
 //!                      mean active-set occupancy per subsystem
+//!   --workers N        advance each cycle with N shard threads (the
+//!                      sharded-tick parallel engine; default from the
+//!                      SIMCMP_WORKERS environment variable, else 1 =
+//!                      serial). Reports are bit-identical for every
+//!                      worker count; traced runs always use the
+//!                      serial engine
 //!   --trace FILE       record every event and write a Chrome
 //!                      trace_event JSON file (open in about://tracing
 //!                      or Perfetto)
@@ -69,6 +75,7 @@ struct Opts {
     no_skip: bool,
     no_active_set: bool,
     sched_stats: bool,
+    workers: usize,
 }
 
 /// Runs the system to completion and prints the report. Monomorphized
@@ -80,15 +87,24 @@ fn run_system<S: TraceSink>(mut sys: System<BarrierNetwork<S>, S>, opts: &Opts) 
         sys.poke_word(a, v);
     }
     let outcome = match opts.progress {
-        Some(every) => sys.run_with_progress(opts.max_cycles, every, |rep| {
-            eprintln!(
-                "[cycle {:>10}] {} instructions, {} NoC messages, {} GL barriers",
-                rep.cycles,
-                rep.instructions,
-                rep.traffic.total(),
-                rep.gl_barriers
-            );
-        }),
+        Some(every) => {
+            if opts.workers > 1 {
+                eprintln!(
+                    "simcmp: --progress uses the serial engine (--workers {} ignored)",
+                    opts.workers
+                );
+            }
+            sys.run_with_progress(opts.max_cycles, every, |rep| {
+                eprintln!(
+                    "[cycle {:>10}] {} instructions, {} NoC messages, {} GL barriers",
+                    rep.cycles,
+                    rep.instructions,
+                    rep.traffic.total(),
+                    rep.gl_barriers
+                );
+            })
+        }
+        None if opts.workers > 1 => sys.run_with_workers(opts.max_cycles, opts.workers),
         None => sys.run(opts.max_cycles),
     };
     match outcome {
@@ -155,7 +171,7 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: simcmp PROGRAM.s [PROGRAM2.s …] [--cores N] [--max-cycles N]");
         eprintln!("              [--poke ADDR=VAL]… [--peek ADDR]… [--json] [--breakdown]");
-        eprintln!("              [--no-skip] [--no-active-set] [--sched-stats]");
+        eprintln!("              [--no-skip] [--no-active-set] [--sched-stats] [--workers N]");
         eprintln!("              [--trace FILE] [--trace-last N]");
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
@@ -171,6 +187,12 @@ fn main() {
     let mut no_skip = false;
     let mut no_active_set = false;
     let mut sched_stats = false;
+    // The env default lets CI run the whole suite under the parallel
+    // engine without touching every invocation.
+    let mut workers = std::env::var("SIMCMP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1usize);
     let mut trace_file: Option<String> = None;
     let mut trace_last: Option<usize> = None;
 
@@ -208,6 +230,13 @@ fn main() {
             "--no-skip" => no_skip = true,
             "--no-active-set" => no_active_set = true,
             "--sched-stats" => sched_stats = true,
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .unwrap_or_else(|| die("--workers needs a thread count >= 1"));
+            }
             "--progress" => {
                 progress = Some(
                     it.next()
@@ -275,6 +304,7 @@ fn main() {
         no_skip,
         no_active_set,
         sched_stats,
+        workers,
     };
 
     if let Some(path) = trace_file {

@@ -20,7 +20,7 @@ use sim_base::{CoreId, Cycle};
 use sim_isa::inst::{Inst, Region};
 use sim_isa::reg::{Reg, NUM_REGS};
 use sim_isa::Program;
-use sim_mem::{CoreReq, CoreResp, MemorySystem};
+use sim_mem::{CoreMem, CoreReq, CoreResp};
 
 /// The Figure-6 category a region's cycles default to when not stalled.
 fn region_cat(r: Region) -> TimeCat {
@@ -206,13 +206,16 @@ impl Core {
         }
     }
 
-    /// Runs one cycle. Interacts with the memory hierarchy and the
-    /// G-line barrier hardware (flat, clustered or TDM — anything
-    /// implementing [`BarrierHw`]); must be called before their `tick`s.
-    pub fn step<B: BarrierHw + ?Sized, S: TraceSink>(
+    /// Runs one cycle. Interacts with the memory hierarchy (the whole
+    /// [`sim_mem::MemorySystem`] serially, or a [`sim_mem::LaneMem`]
+    /// shard view in the parallel engine — anything implementing
+    /// [`CoreMem`]) and the G-line barrier hardware (flat, clustered or
+    /// TDM — anything implementing [`BarrierHw`]); must be called
+    /// before their `tick`s.
+    pub fn step<B: BarrierHw + ?Sized, M: CoreMem, S: TraceSink>(
         &mut self,
         prog: &Program,
-        mem: &mut MemorySystem<S>,
+        mem: &mut M,
         gline: &mut B,
         now: Cycle,
         tracer: &Tracer<S>,
@@ -239,10 +242,10 @@ impl Core {
         }
     }
 
-    fn step_inner<B: BarrierHw + ?Sized, S: TraceSink>(
+    fn step_inner<B: BarrierHw + ?Sized, M: CoreMem, S: TraceSink>(
         &mut self,
         prog: &Program,
-        mem: &mut MemorySystem<S>,
+        mem: &mut M,
         gline: &mut B,
         now: Cycle,
         tracer: &Tracer<S>,
@@ -438,10 +441,10 @@ impl Core {
 
     /// How this core constrains a skip decision at cycle `now` (i.e.
     /// immediately before the `step` for cycle `now` would run).
-    pub fn ff_classify<B: BarrierHw + ?Sized, S: TraceSink>(
+    pub fn ff_classify<B: BarrierHw + ?Sized, M: CoreMem>(
         &self,
         prog: &Program,
-        mem: &MemorySystem<S>,
+        mem: &M,
         gline: &B,
         now: Cycle,
     ) -> FfClass {
@@ -480,10 +483,10 @@ impl Core {
     }
 
     /// Recognizes a spin loop with the core `Ready` at the loop top.
-    fn match_phase_a<B: BarrierHw + ?Sized, S: TraceSink>(
+    fn match_phase_a<B: BarrierHw + ?Sized, M: CoreMem>(
         &self,
         prog: &Program,
-        mem: &MemorySystem<S>,
+        mem: &M,
         gline: &B,
     ) -> Option<SpinPlan> {
         let top = self.pc;
@@ -612,12 +615,7 @@ impl Core {
     /// `WaitMem` with a load response pending, `pc` points at the loop's
     /// back-branch, and the branch (with the pending value) jumps back to
     /// a loop body this core would keep spinning in.
-    fn match_phase_b<S: TraceSink>(
-        &self,
-        prog: &Program,
-        mem: &MemorySystem<S>,
-        rd: Reg,
-    ) -> Option<SpinPlan> {
+    fn match_phase_b<M: CoreMem>(&self, prog: &Program, mem: &M, rd: Reg) -> Option<SpinPlan> {
         if mem.l1_busy(self.id) {
             return None;
         }
@@ -701,7 +699,7 @@ impl Core {
     /// wake-up (via [`ff_stall`](Self::ff_stall)), which is
     /// bit-identical because the status — and with it the charged
     /// category — cannot change while the core is parked.
-    pub(crate) fn park_until<S: TraceSink>(&self, mem: &MemorySystem<S>) -> Option<Cycle> {
+    pub(crate) fn park_until<M: CoreMem>(&self, mem: &M) -> Option<Cycle> {
         match self.status {
             Status::BusyUntil { until } => Some(until),
             Status::WaitMem { .. } => mem.resp_ready_at(self.id),
@@ -716,7 +714,7 @@ impl Core {
     /// because only a delivery can install the response (or service a
     /// deferred coherence message) — so the active-set scheduler parks
     /// the core on the delivery trigger instead of a wake cycle.
-    pub(crate) fn waiting_on_unscheduled_resp<S: TraceSink>(&self, mem: &MemorySystem<S>) -> bool {
+    pub(crate) fn waiting_on_unscheduled_resp<M: CoreMem>(&self, mem: &M) -> bool {
         matches!(self.status, Status::WaitMem { .. }) && mem.resp_ready_at(self.id).is_none()
     }
 
@@ -737,14 +735,15 @@ impl Core {
     /// Replays `k = target - now` cycles of a recognized spin loop in
     /// O(1), leaving the core (and its L1, via `mem`) in exactly the
     /// state `k` normal `step`s would have produced.
-    pub fn ff_replay<S: TraceSink>(
+    /// Callers guarantee the run is untraced (traced runs disable both
+    /// cycle skipping and the parallel path, the only routes here).
+    pub fn ff_replay<M: CoreMem>(
         &mut self,
         plan: SpinPlan,
         target: Cycle,
         now: Cycle,
-        mem: &mut MemorySystem<S>,
+        mem: &mut M,
     ) {
-        debug_assert!(!S::ENABLED, "spin replay is only legal untraced");
         let k = target - now;
         // Whole-machine skips always have k >= 2 (a 1-cycle skip is
         // just a tick), but a per-core spin park may be woken by an L1
@@ -878,6 +877,7 @@ mod tests {
     use super::*;
     use sim_base::config::{CmpConfig, GlineConfig};
     use sim_isa::assemble;
+    use sim_mem::MemorySystem;
 
     fn machine() -> (MemorySystem, gline_core::BarrierNetwork) {
         let cfg = CmpConfig::icpp2010_with_cores(4);

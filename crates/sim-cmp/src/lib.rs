@@ -20,6 +20,7 @@
 
 pub mod core;
 pub mod energy;
+mod par;
 pub mod runtime;
 pub mod stats;
 pub mod system;

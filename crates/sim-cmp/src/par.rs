@@ -1,0 +1,247 @@
+//! The sharded-tick parallel engine (`DESIGN.md` §11).
+//!
+//! [`System::run_with_workers`](crate::System::run_with_workers)
+//! partitions the tiles into contiguous shards, one per worker thread,
+//! and advances the machine in alternating phases:
+//!
+//! * **Compute** (parallel): every worker steps its shard's cores for
+//!   one cycle against *frozen* shared state — the previous exchange's
+//!   NoC delivery flags, the barrier network as of the cycle start —
+//!   writing only shard-local state (its cores, their L1 lanes, its
+//!   park arrays) plus two deterministic outboxes: latched `bar_reg`
+//!   arrival writes and L1 protocol messages.
+//! * **Exchange** (serialized on the coordinator): latched barrier
+//!   writes replay into the real network in ascending core order, tile
+//!   outboxes flush into the NoC in ascending tile order — both exactly
+//!   the orders the serial core loop produces — then the shared
+//!   components (`mem.tick`, `gline.tick`) advance and the clock
+//!   increments.
+//!
+//! The two phases are separated by a sense-reversing
+//! [`SpinBarrier`]; the coordinator (the caller's thread) doubles as
+//! worker 0. Because every cross-shard effect is buffered and applied
+//! in a thread-independent order, the parallel engine is **bit-identical**
+//! to the serial one: same [`SystemReport`](crate::SystemReport), same
+//! architectural memory, same scheduler statistics — the property
+//! `tests/parallel_determinism.rs` proves.
+//!
+//! # Safety model
+//!
+//! All sharing goes through [`CycleCtx`], whose `unsafe impl Sync`
+//! carries the proof obligations:
+//!
+//! * [`Ptrs`] is refreshed by the coordinator **while every worker is
+//!   parked at the release barrier**, and read by workers only between
+//!   the release and join barriers. The barrier's `AcqRel` protocol
+//!   provides the happens-before edges both ways.
+//! * Workers dereference disjoint index ranges (their shard) of the
+//!   core/park/lane arrays; `WorkerOut` slots are indexed by worker id.
+//! * The tracer and barrier-network pointers are shared read-only. The
+//!   tracer is an `Rc`-based handle and **not** `Sync`; the parallel
+//!   path is gated on `!S::ENABLED` (see
+//!   [`System::run_with_workers`](crate::System::run_with_workers)), and
+//!   every tracer touch in the core/memory/network models is gated on
+//!   `S::ENABLED`, so no worker ever touches the `Rc` — the handle is
+//!   only carried to satisfy signatures.
+
+use crate::core::{Core, FfClass, SpinPlan};
+use crate::system::CoreSchedStats;
+use gline_core::{BarrierHw, CtxId, GlineShadow};
+use sim_base::shard::SpinBarrier;
+use sim_base::trace::{TraceSink, Tracer};
+use sim_base::{CoreId, Cycle};
+use sim_mem::TileLanes;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One worker's per-phase output, merged by the coordinator during the
+/// exchange phase (ascending worker order). Allocations are reused
+/// across cycles.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerOut {
+    /// Latched `bar_reg` arrival writes, in shard program order.
+    pub(crate) latch: Vec<(CoreId, CtxId, u64)>,
+    /// Scheduler-counter delta for this phase (`ticks` stays zero; the
+    /// coordinator counts ticks).
+    pub(crate) sched: CoreSchedStats,
+}
+
+/// The coordinator's per-cycle snapshot of the machine, shared with the
+/// workers through [`CycleCtx`]. Re-derived from `&mut System` every
+/// cycle so no pointer outlives the borrows it came from.
+#[derive(Debug)]
+pub(crate) struct Ptrs<B: BarrierHw, S: TraceSink> {
+    pub(crate) cores: *mut Core,
+    pub(crate) progs: *const sim_isa::Program,
+    pub(crate) parked: *mut Option<(Cycle, Cycle)>,
+    pub(crate) spin_parked: *mut Option<(SpinPlan, Cycle)>,
+    pub(crate) miss_parked: *mut Option<Cycle>,
+    pub(crate) lanes: TileLanes<S>,
+    /// Frozen NoC delivery flags, one per tile (exact: the delivered
+    /// queues only mutate in `mem.tick`, during the exchange phase).
+    pub(crate) flags: *const bool,
+    pub(crate) gline: *const B,
+    pub(crate) tracer: *const Tracer<S>,
+    pub(crate) now: Cycle,
+    pub(crate) active_set: bool,
+}
+
+/// Everything the worker threads share for the lifetime of one
+/// `run_with_workers` scope.
+pub(crate) struct CycleCtx<B: BarrierHw, S: TraceSink> {
+    /// The cycle's pointer snapshot (coordinator-written, see module
+    /// docs for the phase discipline).
+    pub(crate) ptrs: UnsafeCell<Ptrs<B, S>>,
+    /// Shutdown flag, checked by workers after each release barrier.
+    pub(crate) stop: AtomicBool,
+    /// The phase barrier; all workers plus the coordinator participate.
+    pub(crate) barrier: SpinBarrier,
+    /// Shard `w`'s half-open tile range.
+    pub(crate) shards: Vec<(usize, usize)>,
+    /// Shard `w`'s output slot (worker-written during compute,
+    /// coordinator-drained during exchange).
+    pub(crate) outs: Vec<UnsafeCell<WorkerOut>>,
+}
+
+// SAFETY: see the module-level safety model — phase-disciplined access
+// to `ptrs`/`outs` with happens-before provided by `barrier`, disjoint
+// shard ranges behind the raw pointers, and a `!S::ENABLED` gate that
+// keeps the non-Sync tracer handle untouched off the coordinator.
+unsafe impl<B: BarrierHw, S: TraceSink> Sync for CycleCtx<B, S> {}
+
+impl<B: BarrierHw, S: TraceSink> CycleCtx<B, S> {
+    /// Builds the shared context for `shards.len()` participants.
+    /// `init` is a throwaway snapshot — workers never read `ptrs`
+    /// before the coordinator's first refresh.
+    pub(crate) fn new(shards: Vec<(usize, usize)>, init: Ptrs<B, S>) -> CycleCtx<B, S> {
+        let n = shards.len();
+        CycleCtx {
+            ptrs: UnsafeCell::new(init),
+            stop: AtomicBool::new(false),
+            barrier: SpinBarrier::new(n),
+            shards,
+            outs: (0..n)
+                .map(|_| UnsafeCell::new(WorkerOut::default()))
+                .collect(),
+        }
+    }
+}
+
+/// The body of worker `w` (`w >= 1`; the coordinator runs shard 0
+/// inline). Parks at the release barrier, computes its shard, parks at
+/// the join barrier, repeats until the stop flag is raised.
+pub(crate) fn worker_loop<B: BarrierHw, S: TraceSink>(ctx: &CycleCtx<B, S>, w: usize) {
+    let mut sense = false;
+    loop {
+        ctx.barrier.wait(&mut sense);
+        if ctx.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let (lo, hi) = ctx.shards[w];
+        // SAFETY: between the release and join barriers the coordinator
+        // does not touch `ptrs` or any shared machine state, shard
+        // ranges are disjoint, and `outs[w]` belongs to this worker.
+        unsafe {
+            shard_phase(&*ctx.ptrs.get(), lo, hi, &mut *ctx.outs[w].get());
+        }
+        ctx.barrier.wait(&mut sense);
+    }
+}
+
+/// Steps cores `lo..hi` for one cycle against the frozen snapshot —
+/// a verbatim mirror of the per-core body of
+/// [`System::tick`](crate::System::tick), with the memory system
+/// replaced by the tile's [lane](sim_mem::LaneMem), the barrier network
+/// by a write-latching [`GlineShadow`], the delivery predicate by the
+/// frozen flags, and the scheduler counters by the worker's delta.
+///
+/// # Safety
+///
+/// Caller must uphold the [`CycleCtx`] phase discipline: `p` valid for
+/// the current cycle, `lo..hi` disjoint from every concurrent caller's
+/// range, `out` exclusively owned.
+pub(crate) unsafe fn shard_phase<B: BarrierHw, S: TraceSink>(
+    p: &Ptrs<B, S>,
+    lo: usize,
+    hi: usize,
+    out: &mut WorkerOut,
+) {
+    let now = p.now;
+    let mut gl = GlineShadow::new(&*p.gline, std::mem::take(&mut out.latch));
+    let tracer = &*p.tracer;
+    if p.active_set {
+        for i in lo..hi {
+            let core = &mut *p.cores.add(i);
+            let prog = &*p.progs.add(i);
+            let mut lane = p.lanes.lane(i);
+            let delivery = *p.flags.add(i);
+            let parked = &mut *p.parked.add(i);
+            let spin_parked = &mut *p.spin_parked.add(i);
+            let miss_parked = &mut *p.miss_parked.add(i);
+            if let Some((wake, _)) = *parked {
+                if now < wake {
+                    out.sched.parked_steps += 1;
+                    continue;
+                }
+                let (_, anchor) = parked.take().expect("checked above");
+                core.ff_stall(now - anchor);
+            }
+            if let Some((plan, anchor)) = *spin_parked {
+                // Same exactness argument as the serial loop: the
+                // probed line only changes when a message reaches this
+                // tile, and this cycle's deliveries were frozen into
+                // the flags before the phase began.
+                if !delivery {
+                    out.sched.spin_parked_steps += 1;
+                    continue;
+                }
+                *spin_parked = None;
+                core.ff_replay(plan, now, anchor, &mut lane);
+            }
+            if let Some(anchor) = *miss_parked {
+                if !delivery {
+                    out.sched.parked_steps += 1;
+                    continue;
+                }
+                *miss_parked = None;
+                core.ff_stall(now - anchor);
+            }
+            if core.halted() {
+                continue;
+            }
+            if core.waiting_on_unscheduled_resp(&lane) && !delivery {
+                debug_assert!(parked.is_none() && spin_parked.is_none());
+                *miss_parked = Some(now);
+                out.sched.parked_steps += 1;
+                continue;
+            }
+            if !S::ENABLED && !delivery {
+                if let FfClass::Spin(plan) = core.ff_classify(prog, &lane, &gl, now) {
+                    if plan.probes_memory() {
+                        debug_assert!(parked.is_none());
+                        *spin_parked = Some((plan, now));
+                        out.sched.spin_parked_steps += 1;
+                        continue;
+                    }
+                }
+            }
+            out.sched.core_steps += 1;
+            core.step(prog, &mut lane, &mut gl, now, tracer);
+            if let Some(wake) = core.park_until(&lane) {
+                if wake > now + 1 {
+                    *parked = Some((wake, now + 1));
+                }
+            }
+        }
+    } else {
+        for i in lo..hi {
+            let core = &mut *p.cores.add(i);
+            let mut lane = p.lanes.lane(i);
+            if !core.halted() {
+                out.sched.core_steps += 1;
+            }
+            core.step(&*p.progs.add(i), &mut lane, &mut gl, now, tracer);
+        }
+    }
+    out.latch = gl.into_writes();
+}

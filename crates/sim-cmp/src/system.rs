@@ -1,6 +1,7 @@
 //! The assembled machine.
 
 use crate::core::{Core, FfClass, SpinPlan};
+use crate::par;
 use crate::stats::SystemReport;
 use gline_core::{BarrierHw, BarrierNetwork};
 use sim_base::config::CmpConfig;
@@ -120,6 +121,29 @@ impl CoreSchedStats {
         } else {
             self.core_steps as f64 / self.ticks as f64
         }
+    }
+}
+
+// Shard merges for the parallel engine: every field is an independent
+// event count, so the merge is fieldwise addition — associative,
+// commutative, with `default()` as identity (property-tested below).
+impl std::ops::AddAssign for CoreSchedStats {
+    fn add_assign(&mut self, o: CoreSchedStats) {
+        self.ticks += o.ticks;
+        self.core_steps += o.core_steps;
+        self.parked_steps += o.parked_steps;
+        self.spin_parked_steps += o.spin_parked_steps;
+    }
+}
+
+impl std::ops::AddAssign for SkipStats {
+    fn add_assign(&mut self, o: SkipStats) {
+        self.attempts += o.attempts;
+        self.skips += o.skips;
+        self.cycles_skipped += o.cycles_skipped;
+        self.fail_blocked += o.fail_blocked;
+        self.fail_near += o.fail_near;
+        self.backed_off += o.backed_off;
     }
 }
 
@@ -619,6 +643,164 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
         Ok(self.now - start)
     }
 
+    /// Like [`run`](Self::run), but advances each cycle with `workers`
+    /// shard threads — the sharded-tick parallel engine (`DESIGN.md`
+    /// §11). Results are **bit-identical** to [`run`](Self::run): same
+    /// [`SystemReport`], same architectural memory, same scheduler and
+    /// skip statistics (`tests/parallel_determinism.rs`).
+    ///
+    /// `workers` is clamped to `1..=num_cores`; a clamped value of 1 —
+    /// or a traced system, whose event stream is defined by the serial
+    /// interleaving — falls back to the serial engine.
+    ///
+    /// # Errors
+    /// Same deadlock guard as [`run`](Self::run).
+    pub fn run_with_workers(&mut self, max_cycles: u64, workers: usize) -> Result<Cycle, String> {
+        let start = self.now;
+        self.advance_until_with_workers(start + max_cycles + 1, workers);
+        if self.now - start > max_cycles {
+            let stuck: Vec<String> = self
+                .cores
+                .iter()
+                .filter(|c| !c.halted())
+                .map(|c| format!("{:?}", c.id()))
+                .collect();
+            Err(format!(
+                "system did not halt within {max_cycles} cycles; still running: {}",
+                stuck.join(", ")
+            ))
+        } else {
+            Ok(self.now - start)
+        }
+    }
+
+    /// Advances the machine with `workers` shard threads until every
+    /// core halts or the clock reaches `until` (whichever comes first;
+    /// skips clamp to `until` exactly like [`run`](Self::run)'s
+    /// deadline horizon). The worker pool lives only for this call, so
+    /// the worker count may differ from one call to the next — the
+    /// machine state cannot tell the difference.
+    pub fn advance_until_with_workers(&mut self, until: Cycle, workers: usize) {
+        let n = self.cores.len();
+        let w = sim_base::shard::clamp_workers(workers, n);
+        if S::ENABLED || w <= 1 {
+            while !self.all_halted() && self.now < until {
+                self.advance(until);
+            }
+            return;
+        }
+        let shards = sim_base::shard::shard_ranges(n, w);
+        let mut flags: Vec<bool> = Vec::with_capacity(n);
+        self.mem.delivery_flags(&mut flags);
+        let init = self.cycle_ptrs(&flags);
+        let ctx = par::CycleCtx::new(shards, init);
+        let mut sense = false;
+        std::thread::scope(|scope| {
+            for wk in 1..w {
+                let ctx = &ctx;
+                scope.spawn(move || par::worker_loop(ctx, wk));
+            }
+            while !self.all_halted() && self.now < until {
+                self.advance_parallel(&ctx, &mut sense, &mut flags, until);
+            }
+            ctx.stop.store(true, std::sync::atomic::Ordering::Release);
+            // Wake the workers one last time so they observe the stop
+            // flag (the release-barrier wait is the wake edge).
+            ctx.barrier.wait(&mut sense);
+        });
+    }
+
+    /// [`advance`](Self::advance) with the dense tick replaced by a
+    /// sharded parallel tick. The skip path is untouched: quiescence
+    /// probing and closed-form replay run on the coordinator while the
+    /// workers sit parked at the release barrier — parking *is* the
+    /// AND-reduction of the per-shard quiescence votes, because a
+    /// parked worker has published all its state to the coordinator.
+    fn advance_parallel(
+        &mut self,
+        ctx: &par::CycleCtx<B, S>,
+        sense: &mut bool,
+        flags: &mut Vec<bool>,
+        horizon: Cycle,
+    ) {
+        if S::ENABLED || !self.skip_enabled || horizon <= self.now + 1 {
+            self.tick_parallel(ctx, sense, flags);
+            return;
+        }
+        if self.now < self.ff_resume_at {
+            self.skip_stats.backed_off += 1;
+            self.tick_parallel(ctx, sense, flags);
+            return;
+        }
+        if self.try_fast_forward(horizon) {
+            self.ff_backoff = 0;
+        } else {
+            self.ff_backoff = (self.ff_backoff * 2).clamp(1, MAX_FF_BACKOFF);
+            self.ff_resume_at = self.now + self.ff_backoff;
+            self.tick_parallel(ctx, sense, flags);
+        }
+    }
+
+    /// One sharded-tick cycle: freeze the delivery flags, publish the
+    /// cycle's pointer snapshot, run the compute phase (this thread
+    /// doubles as worker 0), then serialize the exchange — latched
+    /// barrier arrivals in ascending core order, outbox flushes in
+    /// ascending tile order, shared component ticks — exactly the
+    /// serial [`tick`](Self::tick)'s effect order.
+    fn tick_parallel(
+        &mut self,
+        ctx: &par::CycleCtx<B, S>,
+        sense: &mut bool,
+        flags: &mut Vec<bool>,
+    ) {
+        self.sched.ticks += 1;
+        self.mem.delivery_flags(flags);
+        // SAFETY: every worker is parked at the release barrier, so the
+        // snapshot write is exclusive; the raw pointers are re-derived
+        // here and die at the join barrier below.
+        unsafe {
+            *ctx.ptrs.get() = self.cycle_ptrs(flags);
+        }
+        ctx.barrier.wait(sense); // release: compute phase begins
+        let (lo, hi) = ctx.shards[0];
+        // SAFETY: shard 0 is this thread's; between the barriers `self`
+        // is only touched through the snapshot, like any other worker.
+        unsafe {
+            par::shard_phase(&*ctx.ptrs.get(), lo, hi, &mut *ctx.outs[0].get());
+        }
+        ctx.barrier.wait(sense); // join: all shard effects are visible
+        for out in &ctx.outs {
+            // SAFETY: workers are parked again; the outs are ours.
+            let out = unsafe { &mut *out.get() };
+            for (core, bctx, v) in out.latch.drain(..) {
+                self.gline.write_bar_reg(core, bctx, v);
+            }
+            self.sched += out.sched;
+            out.sched = CoreSchedStats::default();
+        }
+        self.mem.flush_shard_outboxes();
+        self.mem.tick();
+        self.gline.tick();
+        self.now += 1;
+    }
+
+    /// The per-cycle pointer snapshot handed to the workers.
+    fn cycle_ptrs(&mut self, flags: &[bool]) -> par::Ptrs<B, S> {
+        par::Ptrs {
+            cores: self.cores.as_mut_ptr(),
+            progs: self.progs.as_ptr(),
+            parked: self.parked.as_mut_ptr(),
+            spin_parked: self.spin_parked.as_mut_ptr(),
+            miss_parked: self.miss_parked.as_mut_ptr(),
+            lanes: self.mem.tile_lanes(),
+            flags: flags.as_ptr(),
+            gline: &self.gline,
+            tracer: &self.tracer,
+            now: self.now,
+            active_set: self.active_set_enabled,
+        }
+    }
+
     /// Gathers the run's statistics.
     pub fn report(&self) -> SystemReport {
         let mut per_core: Vec<TimeBreakdown> = self.cores.iter().map(Core::breakdown).collect();
@@ -1052,5 +1234,107 @@ halt",
         let mut sys = System::homogeneous(cfg(2), prog);
         let err = sys.run(10_000).unwrap_err();
         assert!(err.contains("core0") && err.contains("core1"), "{err}");
+    }
+
+    #[test]
+    fn parallel_deadlock_guard_matches_serial() {
+        let prog = assemble("l: ld r1, 0(r0)\nbeq r0, r0, l").unwrap();
+        let mut serial = System::homogeneous(cfg(4), prog.clone());
+        let mut par = System::homogeneous(cfg(4), prog);
+        let want = serial.run(10_000).unwrap_err();
+        let got = par.run_with_workers(10_000, 2).unwrap_err();
+        assert_eq!(want, got);
+        assert_eq!(serial.now(), par.now());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        // A quick in-crate smoke; the exhaustive sweep lives in
+        // tests/parallel_determinism.rs.
+        let build = || {
+            let n = 8;
+            let env = BarrierEnv::new(BarrierKind::Csw, n, 4096);
+            let progs: Vec<Program> = (0..n)
+                .map(|c| {
+                    let mut b = ProgBuilder::new();
+                    for it in 0..3 {
+                        b.li(Reg(1), (0x4000 + c * 64) as i64)
+                            .li(Reg(2), it as i64)
+                            .st(Reg(2), 0, Reg(1));
+                        env.emit(&mut b, c, &format!("i{it}"));
+                    }
+                    b.halt();
+                    b.build()
+                })
+                .collect();
+            System::new(cfg(n), progs)
+        };
+        let mut serial = build();
+        let t0 = serial.run(10_000_000).unwrap();
+        for workers in [2, 3, 8] {
+            let mut par = build();
+            let t = par.run_with_workers(10_000_000, workers).unwrap();
+            assert_eq!(t0, t, "{workers} workers: cycle count diverged");
+            assert_eq!(serial.report(), par.report(), "{workers} workers");
+            assert_eq!(serial.skip_stats(), par.skip_stats(), "{workers} workers");
+            assert_eq!(
+                serial.core_sched_stats(),
+                par.core_sched_stats(),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn sched_stat_merges_are_associative_and_commutative() {
+        let sk = |s: u64| SkipStats {
+            attempts: s,
+            skips: s.wrapping_mul(3) % 7,
+            cycles_skipped: s * 11,
+            fail_blocked: s % 2,
+            fail_near: s % 5,
+            backed_off: s * 2,
+        };
+        let cs = |s: u64| CoreSchedStats {
+            ticks: s,
+            core_steps: s * 13,
+            parked_steps: s % 3,
+            spin_parked_steps: s * 7 % 11,
+        };
+        for (a, b, c) in [(1u64, 2, 3), (0, 9, 4), (17, 0, 0), (5, 5, 5)] {
+            // Commutative.
+            let (mut ab, mut ba) = (sk(a), sk(b));
+            ab += sk(b);
+            ba += sk(a);
+            assert_eq!(ab, ba);
+            let (mut cab, mut cba) = (cs(a), cs(b));
+            cab += cs(b);
+            cba += cs(a);
+            assert_eq!(cab, cba);
+            // Associative.
+            let mut left = sk(a);
+            left += sk(b);
+            left += sk(c);
+            let mut bc = sk(b);
+            bc += sk(c);
+            let mut right = sk(a);
+            right += bc;
+            assert_eq!(left, right);
+            let mut cleft = cs(a);
+            cleft += cs(b);
+            cleft += cs(c);
+            let mut cbc = cs(b);
+            cbc += cs(c);
+            let mut cright = cs(a);
+            cright += cbc;
+            assert_eq!(cleft, cright);
+            // Default is the identity.
+            let mut id = sk(a);
+            id += SkipStats::default();
+            assert_eq!(id, sk(a));
+            let mut cid = cs(a);
+            cid += CoreSchedStats::default();
+            assert_eq!(cid, cs(a));
+        }
     }
 }

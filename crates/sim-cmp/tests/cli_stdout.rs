@@ -1,0 +1,68 @@
+//! Regression: machine-readable stdout must stay machine-readable.
+//! `--json` pipelines (`simcmp … --json | jq`) break if any diagnostic
+//! — in particular `--sched-stats` — leaks onto stdout, so everything
+//! except the report JSON and `--peek` lines goes to stderr.
+
+use sim_base::json::parse;
+use std::process::Command;
+
+const PROGRAM: &str = "\
+    li r1, 0x8000\n\
+    li r2, 7\n\
+    st r2, 0(r1)\n\
+    ld r3, 0(r1)\n\
+    li r1, 1\n\
+    barw r1\n\
+spin:\n\
+    barr r2\n\
+    bne r2, r0, spin\n\
+    halt\n";
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("simcmp_cli_stdout_{}_{name}", std::process::id()));
+    p
+}
+
+fn run(args: &[&str], env_workers: Option<&str>) -> (String, String) {
+    let prog = tmp("prog.s");
+    std::fs::write(&prog, PROGRAM).unwrap();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_simcmp"));
+    cmd.arg(&prog).args(args);
+    match env_workers {
+        Some(w) => cmd.env("SIMCMP_WORKERS", w),
+        None => cmd.env_remove("SIMCMP_WORKERS"),
+    };
+    let out = cmd.output().expect("simcmp runs");
+    let _ = std::fs::remove_file(&prog);
+    assert!(out.status.success(), "simcmp exited with {}", out.status);
+    (
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn json_with_sched_stats_keeps_stdout_pure() {
+    let (stdout, stderr) = run(&["--cores", "4", "--json", "--sched-stats"], None);
+    // The whole of stdout must be one valid JSON document — no
+    // diagnostics interleaved before, after, or inside it.
+    let rep = parse(stdout.trim()).unwrap_or_else(|e| {
+        panic!("stdout is not pure JSON ({e}):\n{stdout}");
+    });
+    assert!(rep.get("cycles").is_some(), "report JSON has cycles");
+    // The diagnostics still appear — on stderr.
+    assert!(
+        stderr.contains("skip:") && stderr.contains("active sets:"),
+        "sched-stats diagnostics missing from stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn parallel_engine_emits_identical_report_json() {
+    let (serial, _) = run(&["--cores", "8", "--json"], None);
+    let (flagged, _) = run(&["--cores", "8", "--json", "--workers", "4"], None);
+    let (envved, _) = run(&["--cores", "8", "--json"], Some("4"));
+    assert_eq!(serial, flagged, "--workers 4 changed the report");
+    assert_eq!(serial, envved, "SIMCMP_WORKERS=4 changed the report");
+}

@@ -3,6 +3,7 @@
 
 use crate::home::{DirState, HomeCtrl, HomeStats, Memory};
 use crate::l1::{L1Ctrl, L1Stats, OutMsg};
+use crate::lane::{CoreMem, TileLanes};
 use crate::proto::{CoreReq, CoreResp, ProtoMsg};
 use sim_base::active::ActiveSet;
 use sim_base::config::CmpConfig;
@@ -47,9 +48,20 @@ pub struct MemorySystem<S: TraceSink = NullSink> {
     l1s: Vec<L1Ctrl<S>>,
     homes: Vec<HomeCtrl<S>>,
     noc: Noc<ProtoMsg, S>,
-    mem: Memory,
+    /// Backing memory, banked per home: `mems[i]` holds exactly the
+    /// lines homed at tile `i` (the per-shard home partition of the
+    /// parallel engine — a bank is only ever touched together with its
+    /// home controller, or via `poke_word`/`peek_word` which route by
+    /// home).
+    mems: Vec<Memory>,
     now: Cycle,
     out_scratch: Vec<OutMsg>,
+    /// Per-tile deferred outboxes for the parallel compute phase: lane
+    /// `i` buffers its outbound protocol messages here;
+    /// [`flush_shard_outboxes`](Self::flush_shard_outboxes) injects
+    /// them in ascending tile order at the exchange barrier. Always
+    /// empty outside a parallel cycle.
+    pending: Vec<Vec<OutMsg>>,
     /// Home banks with a transaction in flight — the per-tick work
     /// list. Maintained on every state edge (message handled, bank
     /// ticked) in both scheduling modes, so it is always exact.
@@ -85,9 +97,10 @@ impl<S: TraceSink> MemorySystem<S> {
                 })
                 .collect(),
             noc: Noc::traced(cfg.mesh, cfg.noc, tracer),
-            mem: Memory::default(),
+            mems: (0..n).map(|_| Memory::default()).collect(),
             now: 0,
             out_scratch: Vec::new(),
+            pending: (0..n).map(|_| Vec::new()).collect(),
             busy_homes: ActiveSet::new(n),
             sched_scratch: Vec::new(),
             active_set_enabled: true,
@@ -163,7 +176,7 @@ impl<S: TraceSink> MemorySystem<S> {
                 for &i in &homes {
                     let i = i as usize;
                     self.sched.home_visits += 1;
-                    self.homes[i].tick(now, &mut self.mem, &mut self.out_scratch);
+                    self.homes[i].tick(now, &mut self.mems[i], &mut self.out_scratch);
                     self.flush_out(CoreId::from(i));
                     self.sync_home(i);
                 }
@@ -190,7 +203,7 @@ impl<S: TraceSink> MemorySystem<S> {
                 if self.homes[i].is_busy() {
                     self.sched.home_visits += 1;
                 }
-                self.homes[i].tick(now, &mut self.mem, &mut self.out_scratch);
+                self.homes[i].tick(now, &mut self.mems[i], &mut self.out_scratch);
                 self.flush_out(CoreId::from(i));
                 self.sync_home(i);
             }
@@ -212,7 +225,13 @@ impl<S: TraceSink> MemorySystem<S> {
         while let Some(m) = self.noc.recv(tile) {
             any = true;
             if m.payload.for_home() {
-                self.homes[i].handle(m.src, m.payload, now, &mut self.mem, &mut self.out_scratch);
+                self.homes[i].handle(
+                    m.src,
+                    m.payload,
+                    now,
+                    &mut self.mems[i],
+                    &mut self.out_scratch,
+                );
                 self.sync_home(i);
             } else {
                 self.l1s[i].handle(m.payload, now, &mut self.out_scratch);
@@ -351,6 +370,54 @@ impl<S: TraceSink> MemorySystem<S> {
         }
     }
 
+    // --- parallel-engine support (sharded-tick, DESIGN.md §11) ----------
+
+    /// Raw per-tile lane access for one parallel compute phase. See
+    /// [`TileLanes`] for the safety contract the caller must uphold.
+    pub fn tile_lanes(&mut self) -> TileLanes<S> {
+        TileLanes::new(
+            self.l1s.as_mut_ptr(),
+            self.pending.as_mut_ptr(),
+            self.l1s.len(),
+            self.now,
+        )
+    }
+
+    /// Injects every lane outbox into the NoC, in ascending tile order —
+    /// the order the serial core loop's immediate flushes produce, so
+    /// packet ids (and all downstream NoC state) match the serial
+    /// engine bit for bit. Called once per parallel cycle, at the
+    /// exchange barrier, before [`tick`](Self::tick).
+    pub fn flush_shard_outboxes(&mut self) {
+        for i in 0..self.pending.len() {
+            if self.pending[i].is_empty() {
+                continue;
+            }
+            let mut outbox = std::mem::take(&mut self.pending[i]);
+            let src = CoreId::from(i);
+            for OutMsg { dst, msg } in outbox.drain(..) {
+                self.noc.send(Message {
+                    src,
+                    dst,
+                    class: msg.class(),
+                    payload_bytes: msg.payload_bytes(),
+                    payload: msg,
+                });
+            }
+            self.pending[i] = outbox; // keep the allocation
+        }
+    }
+
+    /// Snapshots [`has_delivery_for`](Self::has_delivery_for) for every
+    /// tile into `flags` (reused across cycles). The parallel compute
+    /// phase reads these frozen flags instead of the live NoC — exact,
+    /// because deliveries only mutate in `noc.tick()` and messages sent
+    /// during the compute phase cannot mature until a later tick.
+    pub fn delivery_flags(&self, flags: &mut Vec<bool>) {
+        flags.clear();
+        flags.extend((0..self.l1s.len()).map(|i| self.noc.has_delivery_for(CoreId::from(i))));
+    }
+
     /// True when no request, transaction or message is in flight.
     pub fn is_idle(&self) -> bool {
         self.noc.is_idle() && self.homes.iter().all(|h| h.is_idle())
@@ -370,7 +437,7 @@ impl<S: TraceSink> MemorySystem<S> {
             self.homes[home].dir_state(line).is_none() && self.homes[home].peek_l2(line).is_none(),
             "poke_word on a warm line {line:?}"
         );
-        let entry = self.mem.entry(line).or_insert([0; 8]);
+        let entry = self.mems[home].entry(line).or_insert([0; 8]);
         entry[((addr % self.cfg.l1.line_bytes) / 8) as usize] = value;
     }
 
@@ -410,7 +477,40 @@ impl<S: TraceSink> MemorySystem<S> {
         if let Some(data) = self.homes[home].peek_l2(line) {
             return data[w];
         }
-        self.mem.get(&line).map_or(0, |d| d[w])
+        self.mems[home].get(&line).map_or(0, |d| d[w])
+    }
+}
+
+/// The serial engine drives cores straight against the whole memory
+/// system; every operation forwards to the inherent method of the same
+/// name (requests flush to the NoC immediately).
+impl<S: TraceSink> CoreMem for MemorySystem<S> {
+    fn request(&mut self, core: CoreId, req: CoreReq) {
+        MemorySystem::request(self, core, req);
+    }
+    fn poll(&mut self, core: CoreId) -> Option<CoreResp> {
+        MemorySystem::poll(self, core)
+    }
+    fn resp_ready_at(&self, core: CoreId) -> Option<Cycle> {
+        MemorySystem::resp_ready_at(self, core)
+    }
+    fn l1_busy(&self, core: CoreId) -> bool {
+        MemorySystem::l1_busy(self, core)
+    }
+    fn peek_resp_load(&self, core: CoreId) -> Option<(Cycle, u64)> {
+        MemorySystem::peek_resp_load(self, core)
+    }
+    fn spin_probe_load(&self, core: CoreId, addr: u64) -> Option<u64> {
+        MemorySystem::spin_probe_load(self, core, addr)
+    }
+    fn spin_line_value(&self, core: CoreId, addr: u64) -> Option<u64> {
+        MemorySystem::spin_line_value(self, core, addr)
+    }
+    fn spin_replay(&mut self, core: CoreId, addr: u64, hits: u64, final_ready: Option<Cycle>) {
+        MemorySystem::spin_replay(self, core, addr, hits, final_ready);
+    }
+    fn take_resp_for_replay(&mut self, core: CoreId) -> Option<CoreResp> {
+        MemorySystem::take_resp_for_replay(self, core)
     }
 }
 

@@ -1,0 +1,221 @@
+//! Determinism of the sharded-tick parallel engine.
+//!
+//! `System::run_with_workers` (see `DESIGN.md` §11) partitions the
+//! tiles across worker threads and advances each cycle in a parallel
+//! compute phase plus a serialized exchange phase. Its correctness
+//! contract is the strongest in the simulator: a parallel run is
+//! **bit-identical** to the serial engine — same
+//! [`sim_cmp::SystemReport`], same architectural memory, same skip and
+//! scheduler statistics — for *every* worker count, every workload
+//! family, every barrier flavour, and every combination of the
+//! cycle-skipping and active-set schedulers. Traced systems fall back
+//! to the serial engine (the event stream is defined by the serial
+//! interleaving), and the worker count may change between calls
+//! mid-run without perturbing the machine.
+
+use sim_base::config::CmpConfig;
+use sim_base::trace::{ChromeTraceSink, Tracer};
+use sim_cmp::runtime::BarrierKind;
+use sim_cmp::{System, SystemReport};
+use workloads::common::Workload;
+use workloads::{em3d, livermore, ocean, synthetic, unstructured};
+
+/// The worker counts every invariant is checked at: even and odd,
+/// dividing and not dividing the core counts used below, and (for the
+/// 8-core workloads) equal to the tile count.
+const WORKERS: [usize; 4] = [2, 3, 4, 8];
+
+/// Runs `w` serially and at every worker count, with `setup` applied
+/// to each system first, and demands bit-identical outcomes.
+fn assert_parallel_invariant_with(w: &Workload, setup: impl Fn(&mut System)) {
+    let cfg = CmpConfig::icpp2010_with_cores(w.progs.len());
+    let mut serial = w.into_system(cfg);
+    setup(&mut serial);
+    let cs = serial.run(50_000_000).expect("serial run must complete");
+    let rs: SystemReport = serial.report();
+    for workers in WORKERS {
+        let mut par = w.into_system(cfg);
+        setup(&mut par);
+        let cp = par
+            .run_with_workers(50_000_000, workers)
+            .expect("parallel run must complete");
+        assert_eq!(cs, cp, "{} @ {workers} workers: cycle counts", w.name);
+        assert_eq!(rs, par.report(), "{} @ {workers} workers: reports", w.name);
+        assert_eq!(
+            serial.skip_stats(),
+            par.skip_stats(),
+            "{} @ {workers} workers: skip stats",
+            w.name
+        );
+        assert_eq!(
+            serial.core_sched_stats(),
+            par.core_sched_stats(),
+            "{} @ {workers} workers: core sched stats",
+            w.name
+        );
+    }
+}
+
+fn assert_parallel_invariant(w: &Workload) {
+    assert_parallel_invariant_with(w, |_| {});
+}
+
+#[test]
+fn synthetic_all_barrier_kinds_parallel_invariant() {
+    for kind in BarrierKind::ALL {
+        assert_parallel_invariant(&synthetic::build(8, kind, 6));
+    }
+}
+
+#[test]
+fn synthetic_paper_mesh_parallel_invariant() {
+    assert_parallel_invariant(&synthetic::build(32, BarrierKind::Gl, 4));
+    assert_parallel_invariant(&synthetic::build(32, BarrierKind::Csw, 2));
+}
+
+#[test]
+fn synthetic_imbalanced_parallel_invariant() {
+    // Staggered arrivals: cores park, the machine goes quiescent
+    // between episodes, and whole-machine skips interleave with
+    // parallel ticks — the full composition with PR 2/3 machinery.
+    for kind in BarrierKind::ALL {
+        assert_parallel_invariant(&synthetic::build_imbalanced(8, kind, 3, 300));
+    }
+    assert_parallel_invariant(&synthetic::build_imbalanced(32, BarrierKind::Csw, 2, 500));
+}
+
+#[test]
+fn barrier_matrix_parallel_invariant() {
+    for (_, w) in synthetic::barrier_matrix(8, 2, 200) {
+        assert_parallel_invariant(&w);
+    }
+}
+
+#[test]
+fn compute_matrix_parallel_invariant() {
+    // The exact matrix the parallel_engine bench measures: cores live
+    // nearly every cycle, maximal per-cycle work in the compute phase.
+    for (_, w) in synthetic::compute_matrix(8, 2, 40, 200) {
+        assert_parallel_invariant(&w);
+    }
+}
+
+#[test]
+fn ocean_parallel_invariant() {
+    for kind in [BarrierKind::Gl, BarrierKind::Csw] {
+        assert_parallel_invariant(&ocean::build(8, kind, ocean::OceanParams::scaled(10, 2)));
+    }
+}
+
+#[test]
+fn em3d_parallel_invariant() {
+    for kind in [BarrierKind::Gl, BarrierKind::Dsw] {
+        assert_parallel_invariant(&em3d::build(8, kind, em3d::Em3dParams::scaled(24, 2)));
+    }
+}
+
+#[test]
+fn livermore_kernels_parallel_invariant() {
+    let p = livermore::KernelParams::scaled(32, 2);
+    assert_parallel_invariant(&livermore::kernel2(4, BarrierKind::Gl, p));
+    assert_parallel_invariant(&livermore::kernel3(4, BarrierKind::Csw, p));
+    assert_parallel_invariant(&livermore::kernel6(4, BarrierKind::Gl, p));
+}
+
+#[test]
+fn unstructured_parallel_invariant() {
+    // Locks + barriers: the NoC and home banks carry heavy coherence
+    // traffic, so the outbox-flush ordering is doing real work here.
+    let p = unstructured::UnstructuredParams::scaled(12, 24, 2);
+    for kind in [BarrierKind::Gl, BarrierKind::Csw] {
+        assert_parallel_invariant(&unstructured::build(4, kind, p));
+    }
+}
+
+#[test]
+fn parallel_invariant_composes_with_scheduler_toggles() {
+    // The engine must be bit-identical with each of the PR 2/3
+    // schedulers disabled too (dense per-cycle loop, no parking, no
+    // whole-machine skips) — every combination drives a different
+    // shard-phase branch.
+    let w = synthetic::build_imbalanced(8, BarrierKind::Csw, 2, 200);
+    for (skip, active) in [(false, true), (true, false), (false, false)] {
+        assert_parallel_invariant_with(&w, |sys| {
+            sys.set_skip_enabled(skip);
+            sys.set_active_set_enabled(active);
+        });
+    }
+}
+
+#[test]
+fn architectural_memory_identical_with_parallel_engine() {
+    let p = ocean::OceanParams::scaled(10, 2);
+    let w = ocean::build(8, BarrierKind::Gl, p);
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+    let mut serial = w.into_system(cfg);
+    serial.run(50_000_000).unwrap();
+    for workers in WORKERS {
+        let mut par = w.into_system(cfg);
+        par.run_with_workers(50_000_000, workers).unwrap();
+        for (i, _) in ocean::expected(p, 8).iter().enumerate() {
+            let a = ocean::point_addr(p, i / 10, i % 10);
+            assert_eq!(
+                serial.peek_word(a),
+                par.peek_word(a),
+                "word 0x{a:x} @ {workers} workers"
+            );
+        }
+    }
+}
+
+/// A traced system asked for workers must produce the *serial* event
+/// stream: the trace is defined by the serial interleaving, so
+/// `run_with_workers` falls back to the serial engine whenever the
+/// sink is enabled.
+#[test]
+fn traced_runs_pin_the_serial_engine() {
+    let w = synthetic::build_imbalanced(8, BarrierKind::Csw, 2, 200);
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+
+    let run_traced = |workers: Option<usize>| {
+        let tracer = Tracer::new(ChromeTraceSink::new());
+        let mut sys = System::traced(cfg, w.progs.clone(), tracer.clone());
+        match workers {
+            Some(n) => sys.run_with_workers(50_000_000, n).unwrap(),
+            None => sys.run(50_000_000).unwrap(),
+        };
+        (sys.report(), tracer.with_sink(|s| s.events().to_vec()))
+    };
+
+    let (rep_serial, ev_serial) = run_traced(None);
+    assert!(!ev_serial.is_empty(), "traced run recorded no events");
+    for workers in WORKERS {
+        let (rep, ev) = run_traced(Some(workers));
+        assert_eq!(rep_serial, rep, "{workers} workers: traced reports");
+        assert_eq!(ev_serial, ev, "{workers} workers: traced event streams");
+    }
+}
+
+/// The worker pool lives only for one `advance_until_with_workers`
+/// call, so the worker count may change between calls — the machine
+/// state cannot tell the difference. (Skip statistics are excluded:
+/// segmenting the run changes the skip *horizon* structure, which
+/// moves attempt counters without moving the machine.)
+#[test]
+fn mid_run_worker_count_switching_is_invariant() {
+    let w = synthetic::build_imbalanced(8, BarrierKind::Csw, 3, 300);
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+    let mut switched = w.into_system(cfg);
+    let rotation = [2usize, 1, 3, 8, 4];
+    let mut i = 0usize;
+    while !switched.all_halted() {
+        let until = switched.now() + 1_500;
+        switched.advance_until_with_workers(until, rotation[i % rotation.len()]);
+        i += 1;
+        assert!(i < 50_000, "switched run livelocked");
+    }
+    let mut serial = w.into_system(cfg);
+    serial.run(50_000_000).unwrap();
+    assert_eq!(serial.now(), switched.now(), "switching changed cycles");
+    assert_eq!(serial.report(), switched.report(), "switching diverges");
+}
