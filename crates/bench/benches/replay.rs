@@ -1,0 +1,167 @@
+//! Trace-driven replay vs exec-mode throughput.
+//!
+//! For each synthetic barrier workload the bench records a trace set
+//! (untimed), then times an exec-mode run against a replay of the
+//! recording under identical scheduler defaults. The reports must be
+//! bit-identical (the lockstep contract); the wall-clock ratio is the
+//! win from driving the memory hierarchy and barrier network straight
+//! from the compressed op stream instead of fetching, decoding and
+//! interpreting every issue group. Results land in `BENCH_replay.json`
+//! at the repo root with host provenance; the CSW floor is gated so the
+//! replay path cannot silently rot back to exec speed.
+
+use std::time::Instant;
+
+use bench::experiments::BENCH_CORES;
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::sweep::{default_workers, host_json};
+use bench::validate::compare_reports;
+use sim_base::config::CmpConfig;
+use sim_base::json::Json;
+use sim_cmp::System;
+use sim_trace::TraceSet;
+use workloads::common::Workload;
+use workloads::synthetic;
+
+/// Records `w` on the dense serial engine (untimed — recording is a
+/// one-off capture, not the measured path).
+fn record(w: &Workload) -> TraceSet {
+    let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(w.progs.len()));
+    let (_, traces) = sys
+        .run_recorded(20_000_000_000)
+        .expect("recording completes");
+    TraceSet {
+        cores: traces,
+        pokes: w.pokes.clone(),
+        workload: w.name.clone(),
+    }
+}
+
+struct Timed {
+    wall_s: f64,
+    cycles: u64,
+}
+
+fn time_exec(w: &Workload) -> (Timed, sim_cmp::SystemReport) {
+    let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(w.progs.len()));
+    let start = Instant::now();
+    let cycles = sys.run(20_000_000_000).expect("exec run completes");
+    (
+        Timed {
+            wall_s: start.elapsed().as_secs_f64(),
+            cycles,
+        },
+        sys.report(),
+    )
+}
+
+fn time_replay(w: &Workload, set: &TraceSet) -> (Timed, sim_cmp::SystemReport) {
+    let mut sys = System::replay(CmpConfig::icpp2010_with_cores(w.progs.len()), set);
+    let start = Instant::now();
+    let cycles = sys.run(20_000_000_000).expect("replay completes");
+    (
+        Timed {
+            wall_s: start.elapsed().as_secs_f64(),
+            cycles,
+        },
+        sys.report(),
+    )
+}
+
+/// Best replay-vs-exec wall-clock ratio over `rounds` paired runs.
+fn best_speedup(w: &Workload, set: &TraceSet, rounds: u32) -> (f64, Json) {
+    let mut best = 0.0f64;
+    let mut json = Json::Null;
+    for _ in 0..rounds {
+        let (exec, exec_rep) = time_exec(w);
+        let (replay, replay_rep) = time_replay(w, set);
+        compare_reports(&exec_rep, &replay_rep)
+            .unwrap_or_else(|d| panic!("{}: replay diverged from exec: {d}", w.name));
+        let speedup = exec.wall_s / replay.wall_s.max(1e-9);
+        if speedup > best {
+            best = speedup;
+            json = Json::obj([
+                ("cycles", Json::from(exec.cycles)),
+                ("exec_wall_s", Json::from(exec.wall_s)),
+                ("replay_wall_s", Json::from(replay.wall_s)),
+                (
+                    "exec_ticks_per_s",
+                    Json::from(exec.cycles as f64 / exec.wall_s.max(1e-9)),
+                ),
+                (
+                    "replay_ticks_per_s",
+                    Json::from(replay.cycles as f64 / replay.wall_s.max(1e-9)),
+                ),
+                ("speedup", Json::from(speedup)),
+            ]);
+        }
+    }
+    (best, json)
+}
+
+fn bench(c: &mut Criterion) {
+    // `cargo bench -- --test` is the CI smoke pass: scaled-down
+    // workloads, no speedup floor (the lockstep assertion still runs).
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (iters, stagger, rounds) = if test_mode { (1, 200, 1) } else { (6, 1000, 3) };
+    let matrix = synthetic::barrier_matrix(BENCH_CORES, iters, stagger);
+
+    let mut entries = Vec::new();
+    let mut csw_speedup = 0.0f64;
+    for (name, w) in &matrix {
+        let set = record(w);
+        let (speedup, json) = best_speedup(w, &set, rounds);
+        eprintln!("[replay] {name}: replay/exec speedup {speedup:.2}x (best of {rounds})");
+        if name.contains("CSW") {
+            csw_speedup = csw_speedup.max(speedup);
+        }
+        entries.push(Json::obj([("name", Json::from(*name)), ("best", json)]));
+    }
+
+    let workers = default_workers();
+    let json = Json::obj([
+        ("benchmark", Json::from("trace-driven replay vs exec")),
+        ("cores", Json::from(BENCH_CORES as u64)),
+        ("host", host_json(workers)),
+        ("iters", Json::from(iters)),
+        ("stagger", Json::from(stagger)),
+        ("rounds", Json::from(rounds as u64)),
+        ("workloads", Json::arr(entries)),
+        ("best_csw_replay_speedup", Json::from(csw_speedup)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json");
+    std::fs::write(path, json.pretty()).expect("write BENCH_replay.json");
+    eprintln!("[replay] wrote {path}");
+    if !test_mode {
+        assert!(
+            csw_speedup >= 1.1,
+            "trace-driven replay must beat exec by >= 1.1x wall-clock on a CSW \
+             workload (best of {rounds}), got {csw_speedup:.2}x"
+        );
+    }
+
+    // Harness samples for trend tracking: exec vs replay on the
+    // contended CSW workload.
+    let contended = &matrix
+        .iter()
+        .find(|(n, _)| *n == "contended CSW")
+        .expect("matrix has contended CSW")
+        .1;
+    let set = record(contended);
+    let mut g = c.benchmark_group("replay");
+    g.sample_size(10);
+    g.bench_with_input(
+        BenchmarkId::new("contended_csw", "exec"),
+        contended,
+        |b, w| b.iter(|| time_exec(w).0.cycles),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("contended_csw", "replay"),
+        &(contended, &set),
+        |b, (w, set)| b.iter(|| time_replay(w, set).0.cycles),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod sweep;
+pub mod validate;
 
 pub use experiments::{Scale, BENCH_CORES};
 pub use sweep::sweep;

@@ -34,6 +34,14 @@ pub struct ActiveSet {
     list: Vec<u32>,
     /// Live member count (tracks the bitmap, not the list).
     len: usize,
+    /// True while the list may hold stale entries (set by `remove`;
+    /// duplicates can only follow a remove, so this covers both).
+    dirty: bool,
+    /// True while the list is in ascending order (maintained on
+    /// insert). Together with `!dirty` this lets `collect_sorted` skip
+    /// compaction entirely — the dominant per-tick cost on short runs
+    /// whose sets are built once in index order and never churned.
+    sorted: bool,
 }
 
 impl ActiveSet {
@@ -44,6 +52,8 @@ impl ActiveSet {
             in_set: vec![false; n],
             list: Vec::new(),
             len: 0,
+            dirty: false,
+            sorted: true,
         }
     }
 
@@ -69,6 +79,9 @@ impl ActiveSet {
         if !self.in_set[i] {
             self.in_set[i] = true;
             self.len += 1;
+            if self.sorted && self.list.last().is_some_and(|&last| i as u32 <= last) {
+                self.sorted = false;
+            }
             self.list.push(i as u32);
             // Keep the lazy list proportional to the live count so
             // [`for_each_live`](Self::for_each_live) stays O(len) even
@@ -98,6 +111,10 @@ impl ActiveSet {
         for &i in &self.list {
             self.in_set[i as usize] = true;
         }
+        // Compaction keeps the first live copy of each member, so the
+        // list now mirrors the bitmap; relative order is preserved, so
+        // `sorted` stays whatever it was.
+        self.dirty = false;
         debug_assert_eq!(self.list.len(), self.len, "list/bitmap divergence");
     }
 
@@ -108,6 +125,7 @@ impl ActiveSet {
         if self.in_set[i] {
             self.in_set[i] = false;
             self.len -= 1;
+            self.dirty = true;
         }
     }
 
@@ -118,10 +136,22 @@ impl ActiveSet {
     /// while freely calling [`insert`](Self::insert)/
     /// [`remove`](Self::remove) on the set mid-iteration.
     pub fn collect_sorted(&mut self, out: &mut Vec<u32>) {
+        // Deferred-compaction fast path: a list with no stale entries
+        // that was built in ascending order IS the sorted live set —
+        // the per-tick common case on short runs (sets populated once
+        // in index order, never churned). The copy is all that remains.
+        if !self.dirty && self.sorted {
+            debug_assert_eq!(self.list.len(), self.len, "list/bitmap divergence");
+            out.clear();
+            out.extend_from_slice(&self.list);
+            return;
+        }
         let in_set = &self.in_set;
         self.list.retain(|&i| in_set[i as usize]);
         self.list.sort_unstable();
         self.list.dedup();
+        self.dirty = false;
+        self.sorted = true;
         debug_assert_eq!(self.list.len(), self.len, "list/bitmap divergence");
         out.clear();
         out.extend_from_slice(&self.list);

@@ -37,10 +37,18 @@
 //!                      or Perfetto)
 //!   --trace-last N     keep the last N events in a ring and print them
 //!                      to stderr after the run
+//!   --record-trace DIR run dense and cycle-exact, recording every
+//!                      core's issue groups; write the trace set
+//!                      (manifest.json + core<i>.trace) into DIR
+//!   --replay DIR       drive the cores from the trace set in DIR
+//!                      instead of program files (no PROGRAM.s
+//!                      arguments; --cores, if given, must match the
+//!                      set). The replayed run's report, memory and
+//!                      events are bit-identical to the recorded one
 //! ```
 //!
-//! Exit code 0 on success, 1 on assembly errors, 2 on a run that does
-//! not halt.
+//! Exit code 0 on success, 1 on assembly/trace errors, 2 on a run that
+//! does not halt.
 
 use gline_core::BarrierNetwork;
 use sim_base::config::CmpConfig;
@@ -49,6 +57,8 @@ use sim_base::stats::TimeCat;
 use sim_base::trace::{ChromeTraceSink, RingSink, TraceSink, Tracer};
 use sim_cmp::System;
 use sim_isa::{assemble, Program};
+use sim_trace::TraceSet;
+use std::path::Path;
 
 fn parse_num(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x") {
@@ -107,6 +117,46 @@ fn run_system<S: TraceSink>(mut sys: System<BarrierNetwork<S>, S>, opts: &Opts) 
         None if opts.workers > 1 => sys.run_with_workers(opts.max_cycles, opts.workers),
         None => sys.run(opts.max_cycles),
     };
+    finish(&sys, outcome, opts);
+}
+
+/// Runs the system dense and cycle-exact while recording every core's
+/// issue groups, prints the usual report, and writes the trace set into
+/// `dir`.
+fn record_system(mut sys: System, opts: &Opts, dir: &str, workload: String) {
+    if opts.workers > 1 {
+        eprintln!(
+            "simcmp: --record-trace uses the dense serial engine (--workers {} ignored)",
+            opts.workers
+        );
+    }
+    if opts.progress.is_some() {
+        eprintln!("simcmp: --record-trace ignores --progress");
+    }
+    for &(a, v) in &opts.pokes {
+        sys.poke_word(a, v);
+    }
+    let (outcome, traces) = match sys.run_recorded(opts.max_cycles) {
+        Ok((cycles, traces)) => (Ok(cycles), traces),
+        Err(e) => (Err(e), Vec::new()),
+    };
+    finish(&sys, outcome, opts); // exits on a run that did not halt
+    let set = TraceSet {
+        cores: traces,
+        pokes: opts.pokes.clone(),
+        workload,
+    };
+    sim_trace::write_dir(Path::new(dir), &set)
+        .unwrap_or_else(|e| die(&format!("--record-trace {dir}: {e}")));
+    eprintln!("wrote {} core traces to {dir}", set.cores.len());
+}
+
+/// Prints the report (or the deadlock diagnostic) for a finished run.
+fn finish<S: TraceSink>(
+    sys: &System<BarrierNetwork<S>, S>,
+    outcome: Result<u64, String>,
+    opts: &Opts,
+) {
     match outcome {
         Ok(cycles) => {
             let rep = sys.report();
@@ -173,11 +223,13 @@ fn main() {
         eprintln!("              [--poke ADDR=VAL]… [--peek ADDR]… [--json] [--breakdown]");
         eprintln!("              [--no-skip] [--no-active-set] [--sched-stats] [--workers N]");
         eprintln!("              [--trace FILE] [--trace-last N]");
+        eprintln!("              [--record-trace DIR | --replay DIR]");
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
 
     let mut files = Vec::new();
     let mut cores = 4usize;
+    let mut cores_explicit = false;
     let mut max_cycles = 100_000_000u64;
     let mut pokes: Vec<(u64, u64)> = Vec::new();
     let mut peeks: Vec<u64> = Vec::new();
@@ -195,6 +247,8 @@ fn main() {
         .unwrap_or(1usize);
     let mut trace_file: Option<String> = None;
     let mut trace_last: Option<usize> = None;
+    let mut record_dir: Option<String> = None;
+    let mut replay_dir: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -204,6 +258,7 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--cores needs a number"));
+                cores_explicit = true;
             }
             "--max-cycles" => {
                 max_cycles = it
@@ -257,15 +312,83 @@ fn main() {
                         .unwrap_or_else(|| die("--trace-last needs an event count")),
                 );
             }
+            "--record-trace" => {
+                record_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--record-trace needs a directory")),
+                );
+            }
+            "--replay" => {
+                replay_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--replay needs a directory")),
+                );
+            }
             f if !f.starts_with("--") => files.push(f.to_string()),
             other => die(&format!("unknown option {other}")),
         }
     }
-    if files.is_empty() {
-        die("no program files given");
+    if record_dir.is_some() && replay_dir.is_some() {
+        die("--record-trace and --replay are mutually exclusive");
     }
     if trace_file.is_some() && trace_last.is_some() {
         die("--trace and --trace-last are mutually exclusive");
+    }
+    if record_dir.is_some() && (trace_file.is_some() || trace_last.is_some()) {
+        die("--record-trace cannot be combined with --trace/--trace-last");
+    }
+
+    if let Some(dir) = replay_dir {
+        if !files.is_empty() {
+            die("--replay takes no program files");
+        }
+        let set = sim_trace::read_dir(Path::new(&dir))
+            .unwrap_or_else(|e| die(&format!("--replay {dir}: {e}")));
+        let n = set.cores.len();
+        if cores_explicit && cores != n {
+            die(&format!(
+                "--cores {cores} but the trace set holds {n} cores"
+            ));
+        }
+        let cfg = CmpConfig::icpp2010_with_cores(n);
+        let opts = Opts {
+            max_cycles,
+            pokes,
+            peeks,
+            json,
+            breakdown,
+            progress,
+            cores: n,
+            no_skip,
+            no_active_set,
+            sched_stats,
+            workers,
+        };
+        if let Some(path) = trace_file {
+            let tracer = Tracer::new(ChromeTraceSink::new());
+            run_system(System::replay_traced(cfg, &set, tracer.clone()), &opts);
+            let (count, out) = tracer.with_sink(|s| (s.events().len(), s.to_json_string()));
+            std::fs::write(&path, out).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            eprintln!("wrote {count} events to {path}");
+        } else if let Some(last) = trace_last {
+            let tracer = Tracer::new(RingSink::new(last));
+            run_system(System::replay_traced(cfg, &set, tracer.clone()), &opts);
+            tracer.with_sink(|s| {
+                eprintln!(
+                    "--- last {} of {} events ---\n{}",
+                    s.len(),
+                    s.total_seen(),
+                    s.dump()
+                );
+            });
+        } else {
+            run_system(System::replay(cfg, &set), &opts);
+        }
+        return;
+    }
+
+    if files.is_empty() {
+        die("no program files given");
     }
 
     let sources: Vec<String> = files
@@ -307,7 +430,9 @@ fn main() {
         workers,
     };
 
-    if let Some(path) = trace_file {
+    if let Some(dir) = record_dir {
+        record_system(System::new(cfg, progs), &opts, &dir, files.join(" "));
+    } else if let Some(path) = trace_file {
         let tracer = Tracer::new(ChromeTraceSink::new());
         run_system(System::traced(cfg, progs, tracer.clone()), &opts);
         let (count, out) = tracer.with_sink(|s| (s.events().len(), s.to_json_string()));

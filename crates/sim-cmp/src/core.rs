@@ -13,6 +13,7 @@
 //! * otherwise: stalled on a load → `Read`, on a store/atomic → `Write`,
 //!   else `Busy`.
 
+use crate::replay::CoreProg;
 use gline_core::BarrierHw;
 use sim_base::stats::{TimeBreakdown, TimeCat};
 use sim_base::trace::{Event, TraceSink, Tracer};
@@ -21,6 +22,7 @@ use sim_isa::inst::{Inst, Region};
 use sim_isa::reg::{Reg, NUM_REGS};
 use sim_isa::Program;
 use sim_mem::{CoreMem, CoreReq, CoreResp};
+use sim_trace::{CoreTrace, Effect, TraceOp};
 
 /// The Figure-6 category a region's cycles default to when not stalled.
 fn region_cat(r: Region) -> TimeCat {
@@ -80,15 +82,20 @@ pub struct SpinPlan {
 }
 
 impl SpinPlan {
-    /// True when the spin probes an L1-resident line (the `Mem` loop
-    /// shapes). Such a spin can be parked per-core by the active-set
-    /// scheduler: its probed value — and with it the loop's behaviour —
-    /// can only change when a protocol message is delivered to the
-    /// core's L1, which is exactly the unpark trigger. G-line `bar`
-    /// spins are excluded (the barrier network changes `bar_reg`
-    /// without any L1 traffic).
-    pub(crate) fn probes_memory(&self) -> bool {
-        matches!(self.kind, SpinKind::Mem { .. })
+    /// The latest cycle a whole-machine skip may jump to under this
+    /// plan. Exec-mode spins impose no bound of their own (their probed
+    /// value is frozen until an external event the skip clamps on);
+    /// replay-mode spins carry a recorded iteration budget, after which
+    /// the exit group must execute densely. For genuine recordings the
+    /// budget outlasts every delivery-free span, so the clamp never
+    /// binds — it exists so a hand-built trace file cannot drive the
+    /// replay cursor past its op.
+    pub(crate) fn max_target(&self, now: Cycle) -> Option<Cycle> {
+        match self.kind {
+            SpinKind::Gline { .. } | SpinKind::Mem { .. } => None,
+            SpinKind::RGline { left } => Some(now + left),
+            SpinKind::RMem { phase_b, left, .. } => Some(now + 2 * left - phase_b as u64),
+        }
     }
 }
 
@@ -112,6 +119,24 @@ enum SpinKind {
         /// The (frozen) value every iteration loads.
         value: u64,
     },
+    /// Replay-mode G-line spin: the core sits on a
+    /// [`TraceOp::GlineSpin`] op with `left` iterations remaining at
+    /// capture — one cycle and two retires each, no machine
+    /// interaction.
+    RGline { left: u64 },
+    /// Replay-mode memory flag spin: the core sits on a
+    /// [`TraceOp::MemSpin`] op — the same two-cycle iteration structure
+    /// as `Mem`, with the iteration budget recorded instead of derived
+    /// from a frozen value.
+    RMem {
+        addr: u64,
+        /// Dynamic instructions retired by one full iteration.
+        iter_retires: u64,
+        /// Captured mid-iteration (resolve/branch phase pending).
+        phase_b: bool,
+        /// Iterations remaining at capture.
+        left: u64,
+    },
 }
 
 /// One simulated core.
@@ -130,6 +155,12 @@ pub struct Core {
     bar_ctx: usize,
     /// Cycle the current memory stall began (tracing only).
     wait_since: Cycle,
+    /// Replay cursor: index of the current trace op (replay mode only).
+    rp_op: usize,
+    /// Iterations left on the current compressed spin op.
+    rp_spin: u64,
+    /// Mid mem-spin iteration: the resolve/branch phase is pending.
+    rp_phase_b: bool,
 }
 
 impl Core {
@@ -148,6 +179,27 @@ impl Core {
             gl_barriers: 0,
             bar_ctx: 0,
             wait_since: 0,
+            rp_op: 0,
+            rp_spin: 0,
+            rp_phase_b: false,
+        }
+    }
+
+    /// Current program counter (recording snapshot).
+    pub(crate) fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Current architectural region (recording snapshot).
+    pub(crate) fn cur_region(&self) -> Region {
+        self.region
+    }
+
+    /// End of the current `busy` block, if the core is inside one.
+    pub(crate) fn busy_until(&self) -> Option<Cycle> {
+        match self.status {
+            Status::BusyUntil { until } => Some(until),
+            _ => None,
         }
     }
 
@@ -214,7 +266,7 @@ impl Core {
     /// before their `tick`s.
     pub fn step<B: BarrierHw + ?Sized, M: CoreMem, S: TraceSink>(
         &mut self,
-        prog: &Program,
+        prog: &CoreProg,
         mem: &mut M,
         gline: &mut B,
         now: Cycle,
@@ -224,7 +276,10 @@ impl Core {
             return;
         }
         let (retired_before, pc_before, region_before) = (self.retired, self.pc, self.region);
-        self.step_inner(prog, mem, gline, now, tracer);
+        match prog {
+            CoreProg::Exec(p) => self.step_inner(p, mem, gline, now, tracer),
+            CoreProg::Replay(t) => self.replay_inner(t, mem, gline, now, tracer),
+        }
         if S::ENABLED {
             let id = self.id;
             let n = self.retired - retired_before;
@@ -429,6 +484,180 @@ impl Core {
     }
 
     // ------------------------------------------------------------------
+    // Trace-driven replay (`DESIGN.md` §12): consume recorded issue
+    // groups against the live memory hierarchy and barrier network.
+    // The status machine — stall resolution, busy blocks, the
+    // one-cycle-one-charge accounting — mirrors `step_inner` exactly;
+    // only the "what does this cycle execute" question is answered by
+    // the trace cursor instead of fetch/decode.
+    // ------------------------------------------------------------------
+
+    /// Points the replay cursor's derived state (pc, spin budget) at
+    /// the current op. Called at construction and whenever the cursor
+    /// advances with the trace in hand.
+    fn set_cursor(&mut self, trace: &CoreTrace) {
+        match trace.ops.get(self.rp_op) {
+            Some(TraceOp::Step(s)) => {
+                self.pc = s.pc as usize;
+                self.rp_spin = 0;
+            }
+            Some(TraceOp::GlineSpin { pc, iters }) => {
+                self.pc = *pc as usize;
+                self.rp_spin = *iters;
+            }
+            Some(TraceOp::MemSpin { pc, iters, .. }) => {
+                self.pc = *pc as usize;
+                self.rp_spin = *iters;
+            }
+            None => self.rp_spin = 0,
+        }
+        self.rp_phase_b = false;
+    }
+
+    /// Initializes the replay cursor on op 0 (replay-mode construction).
+    pub(crate) fn prime_replay(&mut self, trace: &CoreTrace) {
+        self.set_cursor(trace);
+    }
+
+    fn advance_op(&mut self, trace: &CoreTrace) {
+        self.rp_op += 1;
+        self.set_cursor(trace);
+    }
+
+    /// One replay-mode cycle — the trace-driven mirror of
+    /// [`step_inner`](Self::step_inner).
+    fn replay_inner<B: BarrierHw + ?Sized, M: CoreMem, S: TraceSink>(
+        &mut self,
+        trace: &CoreTrace,
+        mem: &mut M,
+        gline: &mut B,
+        now: Cycle,
+        tracer: &Tracer<S>,
+    ) {
+        self.breakdown.add(self.category(), 1);
+        if let Status::WaitMem { rd: _, cat } = self.status {
+            if mem.poll(self.id).is_some() {
+                self.status = Status::Ready;
+                if S::ENABLED {
+                    let id = self.id;
+                    let since = self.wait_since;
+                    tracer.emit(now, || Event::Stall {
+                        core: id,
+                        cat,
+                        cycles: now.saturating_sub(since),
+                    });
+                }
+            }
+        }
+        if let Status::BusyUntil { until } = self.status {
+            if now >= until {
+                self.status = Status::Ready;
+            }
+        }
+        if self.status != Status::Ready {
+            return;
+        }
+
+        // Mid mem-spin: the pending resolve/branch phase retires the
+        // back-branch and completes the iteration.
+        if self.rp_phase_b {
+            if let Some(TraceOp::MemSpin { pc, .. }) = trace.ops.get(self.rp_op) {
+                self.retired += 1;
+                self.pc = *pc as usize;
+                self.rp_phase_b = false;
+                self.rp_spin = self.rp_spin.saturating_sub(1);
+                if self.rp_spin == 0 {
+                    self.advance_op(trace);
+                }
+                return;
+            }
+            self.rp_phase_b = false;
+        }
+        let Some(op) = trace.ops.get(self.rp_op) else {
+            // Ran off the end without a halt op (hand-built trace):
+            // treat as halted rather than livelocking the machine.
+            self.status = Status::Halted;
+            return;
+        };
+        match op {
+            TraceOp::GlineSpin { pc, .. } => {
+                // One full iteration (barr + taken branch) per cycle.
+                self.retired += 2;
+                self.pc = *pc as usize;
+                self.rp_spin = self.rp_spin.saturating_sub(1);
+                if self.rp_spin == 0 {
+                    self.advance_op(trace);
+                }
+            }
+            TraceOp::MemSpin {
+                pc,
+                addr,
+                iter_retires,
+                ..
+            } => {
+                // Issue phase: the probing load goes to the hierarchy;
+                // the resolve phase runs when it answers (next cycle on
+                // the L1 hit every recorded iteration was).
+                mem.request(self.id, CoreReq::Load { addr: *addr });
+                self.status = Status::WaitMem {
+                    rd: Reg::ZERO,
+                    cat: TimeCat::Read,
+                };
+                self.wait_since = now;
+                self.retired += *iter_retires as u64 - 1;
+                self.pc = *pc as usize + *iter_retires as usize - 1;
+                self.rp_phase_b = true;
+            }
+            TraceOp::Step(s) => {
+                self.retired += s.retires as u64;
+                if let Some(r) = s.region {
+                    self.region = r;
+                }
+                for &(ctx, v) in &s.bar_writes {
+                    self.gl_barriers += 1;
+                    gline.write_bar_reg(self.id, ctx as usize, v);
+                }
+                match s.effect {
+                    Effect::None => {}
+                    Effect::Load { addr } => {
+                        mem.request(self.id, CoreReq::Load { addr });
+                        self.status = Status::WaitMem {
+                            rd: Reg::ZERO,
+                            cat: TimeCat::Read,
+                        };
+                        self.wait_since = now;
+                    }
+                    Effect::Store { addr, value } => {
+                        mem.request(self.id, CoreReq::Store { addr, value });
+                        self.status = Status::WaitMem {
+                            rd: Reg::ZERO,
+                            cat: TimeCat::Write,
+                        };
+                        self.wait_since = now;
+                    }
+                    Effect::Amo { addr, op, operand } => {
+                        mem.request(self.id, CoreReq::Amo { addr, op, operand });
+                        self.status = Status::WaitMem {
+                            rd: Reg::ZERO,
+                            cat: TimeCat::Write,
+                        };
+                        self.wait_since = now;
+                    }
+                    Effect::Busy { cycles } => {
+                        self.status = Status::BusyUntil {
+                            until: now + cycles as u64,
+                        };
+                    }
+                    Effect::Halt => {
+                        self.status = Status::Halted;
+                    }
+                }
+                self.advance_op(trace);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Fast-forward support (quiescence-aware cycle skipping).
     //
     // The skip scheduler may only jump over cycles whose effects it can
@@ -442,6 +671,19 @@ impl Core {
     /// How this core constrains a skip decision at cycle `now` (i.e.
     /// immediately before the `step` for cycle `now` would run).
     pub fn ff_classify<B: BarrierHw + ?Sized, M: CoreMem>(
+        &self,
+        prog: &CoreProg,
+        mem: &M,
+        gline: &B,
+        now: Cycle,
+    ) -> FfClass {
+        match prog {
+            CoreProg::Exec(p) => self.ff_classify_exec(p, mem, gline, now),
+            CoreProg::Replay(t) => self.ff_classify_replay(t, mem, now),
+        }
+    }
+
+    fn ff_classify_exec<B: BarrierHw + ?Sized, M: CoreMem>(
         &self,
         prog: &Program,
         mem: &M,
@@ -478,6 +720,162 @@ impl Core {
             Status::Ready => match self.match_phase_a(prog, mem, gline) {
                 Some(plan) => FfClass::Spin(plan),
                 None => FfClass::Blocked,
+            },
+        }
+    }
+
+    /// Replay-mode skip classification: the trace cursor already says
+    /// whether the core is inside a compressed spin, so no program
+    /// inspection is needed — only the live-memory preconditions
+    /// (L1-resident line, frozen value) that make closed-form replay
+    /// sound.
+    fn ff_classify_replay<M: CoreMem>(&self, trace: &CoreTrace, mem: &M, now: Cycle) -> FfClass {
+        match self.status {
+            Status::Halted => FfClass::NoConstraint,
+            Status::BusyUntil { until } => {
+                if until <= now {
+                    FfClass::Blocked
+                } else {
+                    FfClass::WakeAt(until)
+                }
+            }
+            Status::WaitMem { rd: _, cat } => match mem.resp_ready_at(self.id) {
+                None => FfClass::NoConstraint,
+                Some(r) if r > now => FfClass::WakeAt(r),
+                Some(_) => {
+                    if cat == TimeCat::Read {
+                        if let Some(plan) = self.replay_spin_b(trace, mem) {
+                            return FfClass::Spin(plan);
+                        }
+                    }
+                    FfClass::Blocked
+                }
+            },
+            Status::Ready => match self.replay_spin_a(trace, mem, false) {
+                Some(plan) => FfClass::Spin(plan),
+                None => FfClass::Blocked,
+            },
+        }
+    }
+
+    /// Replay-mode spin plan with the core `Ready` at a compressed
+    /// spin's loop top. With `mem_only`, only memory-probing spins are
+    /// reported (the per-core park decision, which discards G-line
+    /// plans anyway).
+    fn replay_spin_a<M: CoreMem>(
+        &self,
+        trace: &CoreTrace,
+        mem: &M,
+        mem_only: bool,
+    ) -> Option<SpinPlan> {
+        if self.rp_spin == 0 || self.rp_phase_b {
+            return None;
+        }
+        match trace.ops.get(self.rp_op)? {
+            TraceOp::GlineSpin { pc, .. } if !mem_only => Some(SpinPlan {
+                top: *pc as usize,
+                kind: SpinKind::RGline { left: self.rp_spin },
+            }),
+            TraceOp::MemSpin {
+                pc,
+                addr,
+                iter_retires,
+                ..
+            } => {
+                // Future iterations must hit in the L1, exactly as the
+                // recorded ones did.
+                mem.spin_probe_load(self.id, *addr)?;
+                Some(SpinPlan {
+                    top: *pc as usize,
+                    kind: SpinKind::RMem {
+                        addr: *addr,
+                        iter_retires: *iter_retires as u64,
+                        phase_b: false,
+                        left: self.rp_spin,
+                    },
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Replay-mode spin plan captured mid-iteration: the core is in
+    /// `WaitMem` on a compressed mem-spin's probing load, with the
+    /// response pending.
+    fn replay_spin_b<M: CoreMem>(&self, trace: &CoreTrace, mem: &M) -> Option<SpinPlan> {
+        if !self.rp_phase_b || self.rp_spin == 0 || mem.l1_busy(self.id) {
+            return None;
+        }
+        let TraceOp::MemSpin {
+            pc,
+            addr,
+            iter_retires,
+            ..
+        } = trace.ops.get(self.rp_op)?
+        else {
+            return None;
+        };
+        mem.peek_resp_load(self.id)?;
+        mem.spin_line_value(self.id, *addr)?;
+        Some(SpinPlan {
+            top: *pc as usize,
+            kind: SpinKind::RMem {
+                addr: *addr,
+                iter_retires: *iter_retires as u64,
+                phase_b: true,
+                left: self.rp_spin,
+            },
+        })
+    }
+
+    /// The per-tick park decision of the active-set scheduler: is this
+    /// core inside a *memory-probing* spin it can be parked on?
+    ///
+    /// This is [`ff_classify`](Self::ff_classify) restricted to the
+    /// plans the caller would keep — G-line spins are never parked
+    /// per-core (the barrier release that ends them is not an L1
+    /// delivery), so the full classifier wasted a barrier-register
+    /// read and a branch evaluation per spinning core per tick just to
+    /// produce a plan the caller discarded. Matching only the
+    /// memory-probing shapes is bit-identical and much cheaper on
+    /// G-line-bound workloads.
+    pub(crate) fn park_spin<M: CoreMem>(
+        &self,
+        prog: &CoreProg,
+        mem: &M,
+        now: Cycle,
+    ) -> Option<SpinPlan> {
+        match prog {
+            CoreProg::Exec(p) => match self.status {
+                Status::Ready => match p.fetch(self.pc)? {
+                    Inst::Ld { .. } | Inst::Li { .. } => self.match_phase_a_mem(p, mem),
+                    _ => None,
+                },
+                Status::WaitMem {
+                    rd,
+                    cat: TimeCat::Read,
+                } => {
+                    match mem.resp_ready_at(self.id) {
+                        Some(r) if r <= now => {}
+                        _ => return None,
+                    }
+                    self.match_phase_b(p, mem, rd)
+                }
+                _ => None,
+            },
+            CoreProg::Replay(t) => match self.status {
+                Status::Ready => self.replay_spin_a(t, mem, true),
+                Status::WaitMem {
+                    rd: _,
+                    cat: TimeCat::Read,
+                } => {
+                    match mem.resp_ready_at(self.id) {
+                        Some(r) if r <= now => {}
+                        _ => return None,
+                    }
+                    self.replay_spin_b(t, mem)
+                }
+                _ => None,
             },
         }
     }
@@ -521,6 +919,17 @@ impl Core {
                     kind: SpinKind::Gline { rd, value: v },
                 })
             }
+            _ => self.match_phase_a_mem(prog, mem),
+        }
+    }
+
+    /// The memory-probing subset of [`match_phase_a`](Self::match_phase_a):
+    /// flag-wait loops whose every iteration hits in the L1. Split out so
+    /// the per-core park decision can match these shapes without touching
+    /// the barrier network.
+    fn match_phase_a_mem<M: CoreMem>(&self, prog: &Program, mem: &M) -> Option<SpinPlan> {
+        let top = self.pc;
+        match prog.fetch(top)? {
             // `top: ld rd, off(ra) ; b<cond> …, top` — two cycles per
             // iteration (issue the L1 hit, then resolve + branch).
             Inst::Ld { rd, rs1, off } => {
@@ -819,6 +1228,78 @@ impl Core {
                     mem.spin_replay(self.id, addr, a_cycles, None);
                 }
             }
+            SpinKind::RGline { left } => {
+                // Replay-mode G-line spin: one compressed iteration per
+                // cycle, no registers to update — the trace's exit step
+                // carries everything the machine observes afterwards.
+                debug_assert_eq!(self.pc, plan.top);
+                debug_assert!(k <= left, "skip past a replay spin's budget");
+                let _ = left;
+                self.breakdown.add(self.category(), k);
+                self.retired += 2 * k;
+                self.rp_spin = self.rp_spin.saturating_sub(k);
+                if self.rp_spin == 0 {
+                    // `CoreTrace::validate` guarantees the op after a
+                    // spin is a plain `Step` at this same pc, so the
+                    // cursor can advance without the trace in hand.
+                    self.rp_op += 1;
+                }
+            }
+            SpinKind::RMem {
+                addr,
+                iter_retires,
+                phase_b,
+                left,
+            } => {
+                // Same phase alternation as the exec-mode `Mem` arm,
+                // with the iteration budget bounding the skip instead
+                // of a frozen register value.
+                let (a_cycles, b_cycles) = if phase_b {
+                    (k / 2, k.div_ceil(2))
+                } else {
+                    (k.div_ceil(2), k / 2)
+                };
+                let ends_waiting = if phase_b {
+                    k.is_multiple_of(2)
+                } else {
+                    !k.is_multiple_of(2)
+                };
+                debug_assert!(b_cycles <= left, "skip past a replay spin's budget");
+                let _ = left;
+                let cat_a = region_cat(self.region);
+                let cat_b = match self.region {
+                    Region::Normal => TimeCat::Read,
+                    r => region_cat(r),
+                };
+                self.breakdown.add(cat_a, a_cycles);
+                self.breakdown.add(cat_b, b_cycles);
+                self.retired += a_cycles * (iter_retires - 1) + b_cycles;
+                if phase_b {
+                    let _ = mem.take_resp_for_replay(self.id);
+                }
+                self.rp_spin = self.rp_spin.saturating_sub(b_cycles);
+                if ends_waiting {
+                    self.status = Status::WaitMem {
+                        rd: Reg::ZERO,
+                        cat: TimeCat::Read,
+                    };
+                    self.wait_since = target - 1;
+                    self.pc = plan.top + iter_retires as usize - 1;
+                    self.rp_phase_b = true;
+                    mem.spin_replay(self.id, addr, a_cycles, Some(target));
+                } else {
+                    self.status = Status::Ready;
+                    if a_cycles > 0 {
+                        self.wait_since = target - 2;
+                    }
+                    self.pc = plan.top;
+                    self.rp_phase_b = false;
+                    mem.spin_replay(self.id, addr, a_cycles, None);
+                    if self.rp_spin == 0 {
+                        self.rp_op += 1;
+                    }
+                }
+            }
         }
     }
 
@@ -834,13 +1315,20 @@ impl Core {
         plan: &SpinPlan,
         k: u64,
     ) -> (TimeCat, u64, TimeCat, u64, u64, u64) {
-        let SpinKind::Mem {
-            iter_retires,
-            phase_b,
-            ..
-        } = plan.kind
-        else {
-            unreachable!("only memory-probing spins are parked per-core");
+        let (iter_retires, phase_b) = match plan.kind {
+            SpinKind::Mem {
+                iter_retires,
+                phase_b,
+                ..
+            } => (iter_retires, phase_b),
+            SpinKind::RMem {
+                iter_retires,
+                phase_b,
+                ..
+            } => (iter_retires, phase_b),
+            SpinKind::Gline { .. } | SpinKind::RGline { .. } => {
+                unreachable!("only memory-probing spins are parked per-core")
+            }
         };
         let (a_cycles, b_cycles) = if phase_b {
             (k / 2, k.div_ceil(2))
@@ -888,7 +1376,7 @@ mod tests {
     }
 
     fn run_one(src: &str, max: u64) -> (Core, MemorySystem) {
-        let prog = assemble(src).unwrap();
+        let prog = CoreProg::Exec(assemble(src).unwrap());
         let (mut mem, mut gl) = machine();
         let mut core = Core::new(CoreId(0), 2);
         let tracer = Tracer::default();
@@ -977,8 +1465,9 @@ mod tests {
         let cfg = CmpConfig::icpp2010_with_cores(1);
         let mut mem = MemorySystem::new(&cfg);
         let mut gl = gline_core::BarrierNetwork::new(cfg.mesh, GlineConfig::default());
-        let prog = assemble(
-            "
+        let prog = CoreProg::Exec(
+            assemble(
+                "
             region barrier
             li r1, 1
             barw r1
@@ -987,8 +1476,9 @@ mod tests {
             region normal
             halt
             ",
-        )
-        .unwrap();
+            )
+            .unwrap(),
+        );
         let mut core = Core::new(CoreId(0), 2);
         let tracer = Tracer::default();
         let mut now = 0;

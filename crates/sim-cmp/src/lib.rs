@@ -21,12 +21,14 @@
 pub mod core;
 pub mod energy;
 mod par;
+pub mod replay;
 pub mod runtime;
 pub mod stats;
 pub mod system;
 
 pub use crate::core::Core;
 pub use energy::{EnergyEstimate, EnergyModel};
+pub use replay::CoreProg;
 pub use runtime::BarrierKind;
 pub use stats::SystemReport;
 pub use system::{CoreSchedStats, SkipStats, System};

@@ -44,7 +44,8 @@
 //!   `S::ENABLED`, so no worker ever touches the `Rc` — the handle is
 //!   only carried to satisfy signatures.
 
-use crate::core::{Core, FfClass, SpinPlan};
+use crate::core::{Core, SpinPlan};
+use crate::replay::CoreProg;
 use crate::system::CoreSchedStats;
 use gline_core::{BarrierHw, CtxId, GlineShadow};
 use sim_base::shard::SpinBarrier;
@@ -72,7 +73,7 @@ pub(crate) struct WorkerOut {
 #[derive(Debug)]
 pub(crate) struct Ptrs<B: BarrierHw, S: TraceSink> {
     pub(crate) cores: *mut Core,
-    pub(crate) progs: *const sim_isa::Program,
+    pub(crate) progs: *const CoreProg,
     pub(crate) parked: *mut Option<(Cycle, Cycle)>,
     pub(crate) spin_parked: *mut Option<(SpinPlan, Cycle)>,
     pub(crate) miss_parked: *mut Option<Cycle>,
@@ -216,13 +217,11 @@ pub(crate) unsafe fn shard_phase<B: BarrierHw, S: TraceSink>(
                 continue;
             }
             if !S::ENABLED && !delivery {
-                if let FfClass::Spin(plan) = core.ff_classify(prog, &lane, &gl, now) {
-                    if plan.probes_memory() {
-                        debug_assert!(parked.is_none());
-                        *spin_parked = Some((plan, now));
-                        out.sched.spin_parked_steps += 1;
-                        continue;
-                    }
+                if let Some(plan) = core.park_spin(prog, &lane, now) {
+                    debug_assert!(parked.is_none());
+                    *spin_parked = Some((plan, now));
+                    out.sched.spin_parked_steps += 1;
+                    continue;
                 }
             }
             out.sched.core_steps += 1;

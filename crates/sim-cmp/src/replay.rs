@@ -1,0 +1,419 @@
+//! Trace recording and the exec/replay program dispatch (`DESIGN.md`
+//! §12).
+//!
+//! A core is driven either by an ISA [`Program`] (exec mode: fetch,
+//! decode, execute every cycle) or by a recorded [`CoreTrace`] (replay
+//! mode: consume pre-computed issue groups). [`CoreProg`] is that
+//! dispatch. Recording threads two observation wrappers through one
+//! dense serial run — [`RecMem`] captures the memory request each issue
+//! group hands to the hierarchy, [`RecGline`] the `barw` arrivals — and
+//! the [`Recorder`] folds the per-cycle observations into the
+//! [`sim_trace`] op stream, run-length compressing the two spin-loop
+//! shapes the skip scheduler recognizes:
+//!
+//! * `top: barr ; b<cond> …, top` — one cycle, two retires, no machine
+//!   interaction → [`TraceOp::GlineSpin`];
+//! * `top: [li ;] ld ; b<cond> …, top` — the two-phase memory flag
+//!   spin → [`TraceOp::MemSpin`].
+//!
+//! Compression keys on machine-visible observables (retires, effect,
+//! pc movement) *and* on the static program shape, so a compressed
+//! `MemSpin` is exactly a loop the exec-mode recognizer
+//! (`Core::ff_classify`) would accept: its `li` overlay is
+//! iteration-invariant and its exit can only be triggered by a protocol
+//! delivery — the property the replay engine's per-core spin parking
+//! relies on. Anything else is recorded as plain [`Step`]s, which
+//! replay bit-identically regardless of what produced them.
+
+use gline_core::{BarrierHw, CtxId, GlineStats};
+use sim_base::{CoreId, Cycle};
+use sim_isa::inst::{Inst, Region};
+use sim_isa::Program;
+use sim_mem::{CoreMem, CoreReq, CoreResp};
+use sim_trace::{CoreTrace, Effect, Step, TraceOp};
+
+/// What drives a core: an ISA program (exec mode) or a recorded trace
+/// (replay mode). One per core; modes may be mixed across cores only by
+/// constructing the [`System`](crate::System) by hand — the public
+/// constructors build homogeneous machines.
+#[derive(Clone, Debug)]
+pub enum CoreProg {
+    /// Exec-driven: interpret this program.
+    Exec(Program),
+    /// Trace-driven: replay this recorded op stream.
+    Replay(CoreTrace),
+}
+
+impl CoreProg {
+    /// True for a trace-driven core.
+    pub fn is_replay(&self) -> bool {
+        matches!(self, CoreProg::Replay(_))
+    }
+}
+
+/// [`CoreMem`] wrapper that records the request a `step` issues while
+/// forwarding everything. One instance per core-step; `req` holds the
+/// at-most-one request the issue group made.
+#[derive(Debug)]
+pub(crate) struct RecMem<'a, M: CoreMem> {
+    inner: &'a mut M,
+    /// The request captured this step, if any.
+    pub(crate) req: Option<CoreReq>,
+}
+
+impl<'a, M: CoreMem> RecMem<'a, M> {
+    pub(crate) fn new(inner: &'a mut M) -> RecMem<'a, M> {
+        RecMem { inner, req: None }
+    }
+}
+
+impl<M: CoreMem> CoreMem for RecMem<'_, M> {
+    fn request(&mut self, core: CoreId, req: CoreReq) {
+        debug_assert!(self.req.is_none(), "one request per issue group");
+        self.req = Some(req);
+        self.inner.request(core, req);
+    }
+    fn poll(&mut self, core: CoreId) -> Option<CoreResp> {
+        self.inner.poll(core)
+    }
+    fn resp_ready_at(&self, core: CoreId) -> Option<Cycle> {
+        self.inner.resp_ready_at(core)
+    }
+    fn l1_busy(&self, core: CoreId) -> bool {
+        self.inner.l1_busy(core)
+    }
+    fn peek_resp_load(&self, core: CoreId) -> Option<(Cycle, u64)> {
+        self.inner.peek_resp_load(core)
+    }
+    fn spin_probe_load(&self, core: CoreId, addr: u64) -> Option<u64> {
+        self.inner.spin_probe_load(core, addr)
+    }
+    fn spin_line_value(&self, core: CoreId, addr: u64) -> Option<u64> {
+        self.inner.spin_line_value(core, addr)
+    }
+    fn spin_replay(&mut self, core: CoreId, addr: u64, hits: u64, final_ready: Option<Cycle>) {
+        self.inner.spin_replay(core, addr, hits, final_ready);
+    }
+    fn take_resp_for_replay(&mut self, core: CoreId) -> Option<CoreResp> {
+        self.inner.take_resp_for_replay(core)
+    }
+}
+
+/// [`BarrierHw`] wrapper that records `barw` arrivals (with the context
+/// each one targeted) while forwarding everything.
+#[derive(Debug)]
+pub(crate) struct RecGline<'a, B: BarrierHw + ?Sized> {
+    inner: &'a mut B,
+    writes: &'a mut Vec<(u8, u64)>,
+}
+
+impl<'a, B: BarrierHw + ?Sized> RecGline<'a, B> {
+    pub(crate) fn new(inner: &'a mut B, writes: &'a mut Vec<(u8, u64)>) -> RecGline<'a, B> {
+        RecGline { inner, writes }
+    }
+}
+
+impl<B: BarrierHw + ?Sized> BarrierHw for RecGline<'_, B> {
+    fn num_cores(&self) -> usize {
+        self.inner.num_cores()
+    }
+    fn write_bar_reg(&mut self, core: CoreId, ctx: CtxId, value: u64) {
+        self.writes.push((ctx as u8, value));
+        self.inner.write_bar_reg(core, ctx, value);
+    }
+    fn bar_reg(&self, core: CoreId, ctx: CtxId) -> u64 {
+        self.inner.bar_reg(core, ctx)
+    }
+    fn all_released(&self, ctx: CtxId) -> bool {
+        self.inner.all_released(ctx)
+    }
+    fn tick(&mut self) {
+        self.inner.tick();
+    }
+    fn now(&self) -> Cycle {
+        self.inner.now()
+    }
+    fn num_contexts(&self) -> usize {
+        self.inner.num_contexts()
+    }
+    fn stats(&self, ctx: CtxId) -> GlineStats {
+        self.inner.stats(ctx)
+    }
+}
+
+/// Core state snapshot taken immediately before a recorded `step`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Pre {
+    pub(crate) pc: u32,
+    pub(crate) retired: u64,
+    pub(crate) region: Region,
+    pub(crate) halted: bool,
+}
+
+/// One observed issue group, before spin compression.
+#[derive(Debug)]
+struct Obs {
+    pc: u32,
+    pc_after: u32,
+    retires: u8,
+    region: Option<Region>,
+    bar_writes: Vec<(u8, u64)>,
+    effect: Effect,
+}
+
+impl Obs {
+    fn into_step(self) -> Step {
+        Step {
+            pc: self.pc,
+            retires: self.retires,
+            region: self.region,
+            bar_writes: self.bar_writes,
+            effect: self.effect,
+        }
+    }
+
+    /// No side effects a spin iteration could not have.
+    fn plain(&self) -> bool {
+        self.bar_writes.is_empty() && self.region.is_none()
+    }
+}
+
+/// True when `prog[at]` is a branch whose taken target is `top`.
+fn branch_to(prog: &Program, at: usize, top: usize) -> bool {
+    matches!(prog.fetch(at), Some(Inst::Branch { target, .. }) if target == top)
+}
+
+/// Matches one iteration of the G-line spin shape: `barr ; b<cond> …`
+/// back to the same pc, two retires, one cycle, no machine interaction.
+fn gline_iter_shape(obs: &Obs, prog: &Program) -> bool {
+    let top = obs.pc as usize;
+    obs.retires == 2
+        && obs.effect == Effect::None
+        && obs.plain()
+        && obs.pc_after == obs.pc
+        && matches!(prog.fetch(top), Some(Inst::BarRead { .. }))
+        && branch_to(prog, top + 1, top)
+}
+
+/// Matches the load-issuing phase of a memory flag spin — `[li ;] ld`
+/// at a loop top whose next instruction branches back to it — returning
+/// the probed address and the iteration's retire count.
+fn mem_a_shape(obs: &Obs, prog: &Program) -> Option<(u64, u8)> {
+    let Effect::Load { addr } = obs.effect else {
+        return None;
+    };
+    if !obs.plain() {
+        return None;
+    }
+    let top = obs.pc as usize;
+    match obs.retires {
+        1 if obs.pc_after as usize == top + 1
+            && matches!(prog.fetch(top), Some(Inst::Ld { .. }))
+            && branch_to(prog, top + 1, top) =>
+        {
+            Some((addr, 2))
+        }
+        2 if obs.pc_after as usize == top + 2
+            && matches!(prog.fetch(top), Some(Inst::Li { .. }))
+            && matches!(prog.fetch(top + 1), Some(Inst::Ld { .. }))
+            && branch_to(prog, top + 2, top) =>
+        {
+            Some((addr, 3))
+        }
+        _ => None,
+    }
+}
+
+/// A spin run being accumulated (flushed as one compressed op).
+#[derive(Debug)]
+enum PendSpin {
+    Gline {
+        pc: u32,
+        iters: u64,
+    },
+    Mem {
+        pc: u32,
+        addr: u64,
+        ir: u8,
+        iters: u64,
+    },
+}
+
+/// A phase-A candidate held until the next group shows whether it pairs
+/// into a full spin iteration.
+#[derive(Debug)]
+struct HeldA {
+    step: Step,
+    addr: u64,
+    ir: u8,
+}
+
+/// One core's compression state machine.
+#[derive(Debug, Default)]
+struct CoreRec {
+    ops: Vec<TraceOp>,
+    spin: Option<PendSpin>,
+    held: Option<HeldA>,
+}
+
+impl CoreRec {
+    fn flush_spin(&mut self) {
+        match self.spin.take() {
+            None => {}
+            Some(PendSpin::Gline { pc, iters }) => self.ops.push(TraceOp::GlineSpin { pc, iters }),
+            Some(PendSpin::Mem {
+                pc,
+                addr,
+                ir,
+                iters,
+            }) => self.ops.push(TraceOp::MemSpin {
+                pc,
+                addr,
+                iter_retires: ir,
+                iters,
+            }),
+        }
+    }
+}
+
+/// Folds per-cycle issue-group observations into per-core op streams.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    cores: Vec<CoreRec>,
+}
+
+impl Recorder {
+    pub(crate) fn new(n: usize) -> Recorder {
+        Recorder {
+            cores: (0..n).map(|_| CoreRec::default()).collect(),
+        }
+    }
+
+    /// Captures core `i`'s just-executed cycle. `pre` is the state
+    /// snapshot from before the step, `req` the memory request the step
+    /// issued (if any), `writes` its latched `barw` values (drained).
+    /// Pure-charge cycles (no retires, no new halt) record nothing:
+    /// replay derives stall lengths from the live memory hierarchy.
+    #[allow(clippy::too_many_arguments)] // one call site, mirrors the step() signature plus the pre-snapshot
+    pub(crate) fn record_step<M: CoreMem>(
+        &mut self,
+        i: usize,
+        prog: &Program,
+        pre: Pre,
+        core: &crate::core::Core,
+        rmem: &RecMem<'_, M>,
+        writes: &mut Vec<(u8, u64)>,
+        now: Cycle,
+    ) {
+        let retires = core.retired() - pre.retired;
+        let newly_halted = core.halted() && !pre.halted;
+        if retires == 0 && !newly_halted {
+            debug_assert!(writes.is_empty(), "barrier write on a pure-charge cycle");
+            return;
+        }
+        let effect = match rmem.req {
+            Some(CoreReq::Load { addr }) => Effect::Load { addr },
+            Some(CoreReq::Store { addr, value }) => Effect::Store { addr, value },
+            Some(CoreReq::Amo { addr, op, operand }) => Effect::Amo { addr, op, operand },
+            None if core.halted() => Effect::Halt,
+            None => match core.busy_until() {
+                Some(until) => Effect::Busy {
+                    cycles: (until - now) as u32,
+                },
+                None => Effect::None,
+            },
+        };
+        let region = (core.cur_region() != pre.region).then(|| core.cur_region());
+        let obs = Obs {
+            pc: pre.pc,
+            pc_after: core.pc() as u32,
+            retires: retires.min(u8::MAX as u64) as u8,
+            region,
+            bar_writes: std::mem::take(writes),
+            effect,
+        };
+        self.observe(i, obs, prog);
+    }
+
+    fn observe(&mut self, i: usize, obs: Obs, prog: &Program) {
+        let c = &mut self.cores[i];
+        // A held phase-A completes into a spin iteration iff this group
+        // is its resolve phase: one retire (the back-branch), no
+        // effects, jumping from the branch slot back to the loop top.
+        if let Some(h) = c.held.take() {
+            let b_pc = h.step.pc as usize + h.ir as usize - 1;
+            if obs.retires == 1
+                && obs.effect == Effect::None
+                && obs.plain()
+                && obs.pc as usize == b_pc
+                && obs.pc_after == h.step.pc
+            {
+                match &mut c.spin {
+                    Some(PendSpin::Mem {
+                        pc,
+                        addr,
+                        ir,
+                        iters,
+                    }) if *pc == h.step.pc && *addr == h.addr && *ir == h.ir => *iters += 1,
+                    _ => {
+                        c.flush_spin();
+                        c.spin = Some(PendSpin::Mem {
+                            pc: h.step.pc,
+                            addr: h.addr,
+                            ir: h.ir,
+                            iters: 1,
+                        });
+                    }
+                }
+                return;
+            }
+            // Not a spin iteration after all (the loop exited, or the
+            // shape was a false positive): the held group is a plain
+            // step, and this group classifies fresh below.
+            c.flush_spin();
+            c.ops.push(TraceOp::Step(h.step));
+        }
+        if gline_iter_shape(&obs, prog) {
+            match &mut c.spin {
+                Some(PendSpin::Gline { pc, iters }) if *pc == obs.pc => *iters += 1,
+                _ => {
+                    c.flush_spin();
+                    c.spin = Some(PendSpin::Gline {
+                        pc: obs.pc,
+                        iters: 1,
+                    });
+                }
+            }
+            return;
+        }
+        if let Some((addr, ir)) = mem_a_shape(&obs, prog) {
+            c.held = Some(HeldA {
+                step: obs.into_step(),
+                addr,
+                ir,
+            });
+            return;
+        }
+        c.flush_spin();
+        c.ops.push(TraceOp::Step(obs.into_step()));
+    }
+
+    /// Flushes every core's pending state and returns the traces.
+    pub(crate) fn finish(self) -> Vec<CoreTrace> {
+        self.cores
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut c)| {
+                if let Some(h) = c.held.take() {
+                    c.flush_spin();
+                    c.ops.push(TraceOp::Step(h.step));
+                }
+                c.flush_spin();
+                CoreTrace {
+                    core: i as u32,
+                    ops: c.ops,
+                }
+            })
+            .collect()
+    }
+}

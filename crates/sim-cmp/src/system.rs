@@ -2,6 +2,7 @@
 
 use crate::core::{Core, FfClass, SpinPlan};
 use crate::par;
+use crate::replay::{CoreProg, Pre, RecGline, RecMem, Recorder};
 use crate::stats::SystemReport;
 use gline_core::{BarrierHw, BarrierNetwork};
 use sim_base::config::CmpConfig;
@@ -10,6 +11,7 @@ use sim_base::trace::{NullSink, TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
 use sim_isa::Program;
 use sim_mem::MemorySystem;
+use sim_trace::{CoreTrace, TraceSet};
 
 /// The full CMP: cores + memory hierarchy + NoC + G-line barrier
 /// hardware. Generic over the barrier network flavour (flat by default;
@@ -20,7 +22,7 @@ use sim_mem::MemorySystem;
 pub struct System<B: BarrierHw = BarrierNetwork, S: TraceSink = NullSink> {
     cfg: CmpConfig,
     cores: Vec<Core>,
-    progs: Vec<Program>,
+    progs: Vec<CoreProg>,
     mem: MemorySystem<S>,
     gline: B,
     tracer: Tracer<S>,
@@ -155,6 +157,17 @@ impl<B: BarrierHw> System<B> {
     pub fn with_barrier_hw(cfg: CmpConfig, progs: Vec<Program>, hw: B) -> System<B> {
         System::traced_with_barrier_hw(cfg, progs, hw, Tracer::default())
     }
+
+    /// Builds a replay-mode machine around explicit barrier hardware:
+    /// every core is driven by its recorded trace from `set`, and the
+    /// initial memory image is `set.pokes`.
+    ///
+    /// # Panics
+    /// Panics unless `set` holds one valid trace per core (see
+    /// [`sim_trace::CoreTrace::validate`]) and the core counts agree.
+    pub fn replay_with_barrier_hw(cfg: CmpConfig, set: &TraceSet, hw: B) -> System<B> {
+        System::replay_traced_with_barrier_hw(cfg, set, hw, Tracer::default())
+    }
 }
 
 impl<B: BarrierHw, S: TraceSink> System<B, S> {
@@ -171,17 +184,55 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
         hw: B,
         tracer: Tracer<S>,
     ) -> System<B, S> {
+        System::assemble(
+            cfg,
+            progs.into_iter().map(CoreProg::Exec).collect(),
+            hw,
+            tracer,
+        )
+    }
+
+    /// Replay-mode [`traced_with_barrier_hw`](Self::traced_with_barrier_hw).
+    ///
+    /// # Panics
+    /// Panics unless `set` holds one valid trace per core and the core
+    /// counts agree.
+    pub fn replay_traced_with_barrier_hw(
+        cfg: CmpConfig,
+        set: &TraceSet,
+        hw: B,
+        tracer: Tracer<S>,
+    ) -> System<B, S> {
+        for t in &set.cores {
+            t.validate()
+                .unwrap_or_else(|e| panic!("core {}: invalid trace: {e}", t.core));
+        }
+        let progs = set.cores.iter().cloned().map(CoreProg::Replay).collect();
+        let mut sys = System::assemble(cfg, progs, hw, tracer);
+        for &(addr, value) in &set.pokes {
+            sys.mem.poke_word(addr, value);
+        }
+        sys
+    }
+
+    fn assemble(cfg: CmpConfig, progs: Vec<CoreProg>, hw: B, tracer: Tracer<S>) -> System<B, S> {
         assert_eq!(progs.len(), cfg.num_cores(), "one program per core");
         assert_eq!(
             hw.num_cores(),
             cfg.num_cores(),
             "barrier hardware core count mismatch"
         );
+        let mut cores: Vec<Core> = (0..cfg.num_cores())
+            .map(|i| Core::new(CoreId::from(i), cfg.core.issue_width))
+            .collect();
+        for (core, prog) in cores.iter_mut().zip(&progs) {
+            if let CoreProg::Replay(t) = prog {
+                core.prime_replay(t);
+            }
+        }
         System {
             cfg,
-            cores: (0..cfg.num_cores())
-                .map(|i| Core::new(CoreId::from(i), cfg.core.issue_width))
-                .collect(),
+            cores,
             progs,
             mem: MemorySystem::traced(&cfg, tracer.clone()),
             gline: hw,
@@ -216,6 +267,17 @@ impl System {
         System::new(cfg, progs)
     }
 
+    /// Builds a replay-mode machine: every core is driven by its
+    /// recorded trace from `set` (see [`Self::run_recorded`]), and the
+    /// initial memory image is `set.pokes`.
+    ///
+    /// # Panics
+    /// Panics unless `set` holds one valid trace per core (see
+    /// [`sim_trace::CoreTrace::validate`]) and the core counts agree.
+    pub fn replay(cfg: CmpConfig, set: &TraceSet) -> System {
+        System::replay_traced(cfg, set, Tracer::default())
+    }
+
     /// Builds the machine with per-context barrier participation masks
     /// (see [`gline_core::BarrierNetwork::with_members`]); programs
     /// select contexts with the `barctx` instruction.
@@ -243,6 +305,21 @@ impl<S: TraceSink> System<BarrierNetwork<S>, S> {
     ) -> System<BarrierNetwork<S>, S> {
         let hw = BarrierNetwork::traced(cfg.mesh, cfg.gline, tracer.clone());
         System::traced_with_barrier_hw(cfg, progs, hw, tracer)
+    }
+
+    /// Replay-mode [`traced`](Self::traced): every layer emits into
+    /// `tracer` while the cores are driven by recorded traces.
+    ///
+    /// # Panics
+    /// Panics unless `set` holds one valid trace per core and the core
+    /// counts agree.
+    pub fn replay_traced(
+        cfg: CmpConfig,
+        set: &TraceSet,
+        tracer: Tracer<S>,
+    ) -> System<BarrierNetwork<S>, S> {
+        let hw = BarrierNetwork::traced(cfg.mesh, cfg.gline, tracer.clone());
+        System::replay_traced_with_barrier_hw(cfg, set, hw, tracer)
     }
 }
 
@@ -345,17 +422,16 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
                 // inbound: every elided step is a closed-form replay at
                 // wake-up. G-line spins are left to the whole-machine
                 // skip — `bar_reg` changes without L1 traffic, so they
-                // have no per-core wake trigger.
+                // have no per-core wake trigger (which is why the park
+                // decision uses the memory-only matcher instead of the
+                // full classifier: a G-line plan would be discarded
+                // here, so computing it per tick is pure overhead).
                 if !S::ENABLED && !self.mem.has_delivery_for(CoreId::from(i)) {
-                    if let FfClass::Spin(plan) =
-                        core.ff_classify(&self.progs[i], &self.mem, &self.gline, now)
-                    {
-                        if plan.probes_memory() {
-                            debug_assert!(self.parked[i].is_none());
-                            self.spin_parked[i] = Some((plan, now));
-                            self.sched.spin_parked_steps += 1;
-                            continue;
-                        }
+                    if let Some(plan) = core.park_spin(&self.progs[i], &self.mem, now) {
+                        debug_assert!(self.parked[i].is_none());
+                        self.spin_parked[i] = Some((plan, now));
+                        self.sched.spin_parked_steps += 1;
+                        continue;
                     }
                 }
                 self.sched.core_steps += 1;
@@ -534,12 +610,16 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
         }
         for (i, core) in self.cores.iter().enumerate() {
             self.ff_plans[i] = None;
-            if self.spin_parked[i].is_some() {
+            if let Some((plan, anchor)) = &self.spin_parked[i] {
                 // Already a recognized spin, frozen since its anchor:
                 // no delivery has reached its tile (the park's wake
                 // trigger), and none will before `target` (the clamp on
                 // `mem.next_event` above). Replayed from its own anchor
-                // on success; imposes no wake-up of its own.
+                // on success; a replay-mode plan additionally bounds the
+                // jump by its recorded iteration budget.
+                if let Some(t) = plan.max_target(*anchor) {
+                    target = target.min(t);
+                }
                 continue;
             }
             match core.ff_classify(&self.progs[i], &self.mem, &self.gline, self.now) {
@@ -549,7 +629,17 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
                 }
                 FfClass::NoConstraint => {}
                 FfClass::WakeAt(t) => target = target.min(t),
-                FfClass::Spin(plan) => self.ff_plans[i] = Some(plan),
+                FfClass::Spin(plan) => {
+                    // A replay-mode spin cannot be skipped past its
+                    // recorded iteration budget: clamp the jump so the
+                    // closed-form replay never overruns the op (for
+                    // genuine recordings an external wake always lands
+                    // first, so the clamp is a hand-built-trace guard).
+                    if let Some(t) = plan.max_target(self.now) {
+                        target = target.min(t);
+                    }
+                    self.ff_plans[i] = Some(plan);
+                }
             }
         }
         if target <= self.now + 1 {
@@ -641,6 +731,68 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
             }
         }
         Ok(self.now - start)
+    }
+
+    /// Like [`run`](Self::run), but records every core's executed issue
+    /// groups into a [`CoreTrace`] stream as it goes, returning the
+    /// cycle count and one trace per core. The run is cycle-exact and
+    /// dense (no skipping, no parking): the recorder must observe every
+    /// executing cycle, and elided spans would hide them. A machine
+    /// replaying those traces (see [`System::replay`]) reproduces this
+    /// run's [`SystemReport`], architectural memory and event stream
+    /// bit-identically.
+    ///
+    /// # Errors
+    /// Same deadlock guard as [`run`](Self::run).
+    ///
+    /// # Panics
+    /// Panics if the machine has already advanced (`now() != 0`) or if
+    /// any core is itself replay-driven.
+    pub fn run_recorded(&mut self, max_cycles: u64) -> Result<(Cycle, Vec<CoreTrace>), String> {
+        assert_eq!(self.now, 0, "recording must start from a fresh machine");
+        let mut rec = Recorder::new(self.cores.len());
+        let mut writes: Vec<(u8, u64)> = Vec::new();
+        while !self.all_halted() {
+            let now = self.now;
+            self.sched.ticks += 1;
+            for i in 0..self.cores.len() {
+                let CoreProg::Exec(prog) = &self.progs[i] else {
+                    panic!("cannot re-record a replay-mode system");
+                };
+                let core = &mut self.cores[i];
+                if !core.halted() {
+                    self.sched.core_steps += 1;
+                }
+                let pre = Pre {
+                    pc: core.pc() as u32,
+                    retired: core.retired(),
+                    region: core.cur_region(),
+                    halted: core.halted(),
+                };
+                let mut rmem = RecMem::new(&mut self.mem);
+                {
+                    let mut rgl = RecGline::new(&mut self.gline, &mut writes);
+                    core.step(&self.progs[i], &mut rmem, &mut rgl, now, &self.tracer);
+                }
+                rec.record_step(i, prog, pre, core, &rmem, &mut writes, now);
+            }
+            self.mem.tick();
+            self.gline.tick();
+            self.now += 1;
+            if self.now > max_cycles {
+                let stuck: Vec<String> = self
+                    .cores
+                    .iter()
+                    .filter(|c| !c.halted())
+                    .map(|c| format!("{:?}", c.id()))
+                    .collect();
+                return Err(format!(
+                    "system did not halt within {max_cycles} cycles; still running: {}",
+                    stuck.join(", ")
+                ));
+            }
+        }
+        Ok((self.now, rec.finish()))
     }
 
     /// Like [`run`](Self::run), but advances each cycle with `workers`
@@ -1281,6 +1433,75 @@ halt",
                 serial.core_sched_stats(),
                 par.core_sched_stats(),
                 "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn record_then_replay_is_bit_identical() {
+        // In-crate smoke across all three barrier kinds; the exhaustive
+        // workload × toggle × worker sweep lives in
+        // tests/replay_lockstep.rs.
+        for kind in BarrierKind::ALL {
+            let n = 8;
+            let build = || {
+                let env = BarrierEnv::new(kind, n, 4096);
+                let progs: Vec<Program> = (0..n)
+                    .map(|c| {
+                        let mut b = ProgBuilder::new();
+                        for it in 0..3 {
+                            b.li(Reg(1), (0x4000 + c * 64) as i64)
+                                .li(Reg(2), it as i64 + 1)
+                                .st(Reg(2), 0, Reg(1));
+                            env.emit(&mut b, c, &format!("i{it}"));
+                        }
+                        b.halt();
+                        b.build()
+                    })
+                    .collect();
+                System::new(cfg(n), progs)
+            };
+            let mut exec = build();
+            let t0 = exec.run(10_000_000).unwrap();
+            let (rec_cycles, traces) = build().run_recorded(10_000_000).unwrap();
+            assert_eq!(t0, rec_cycles, "{kind:?}: recording run diverged");
+            let set = TraceSet {
+                cores: traces,
+                pokes: vec![],
+                workload: format!("{kind:?}"),
+            };
+            let mut rp = System::replay(cfg(n), &set);
+            let t1 = rp.run(10_000_000).unwrap();
+            assert_eq!(t0, t1, "{kind:?}: replay cycle count diverged");
+            assert_eq!(exec.report(), rp.report(), "{kind:?}: reports diverged");
+            for c in 0..n as u64 {
+                assert_eq!(
+                    exec.peek_word(0x4000 + c * 64),
+                    rp.peek_word(0x4000 + c * 64),
+                    "{kind:?}: memory diverged at core {c}'s slot"
+                );
+            }
+            // Compressed spins must actually appear (the traces would be
+            // huge otherwise) and replay must also hold with the
+            // schedulers off.
+            let compressed = set.cores.iter().any(|t| {
+                t.ops.iter().any(|op| {
+                    matches!(
+                        op,
+                        sim_trace::TraceOp::GlineSpin { .. } | sim_trace::TraceOp::MemSpin { .. }
+                    )
+                })
+            });
+            assert!(compressed, "{kind:?}: no spin was run-length compressed");
+            let mut dense = System::replay(cfg(n), &set);
+            dense.set_skip_enabled(false);
+            dense.set_active_set_enabled(false);
+            let t2 = dense.run(10_000_000).unwrap();
+            assert_eq!(t0, t2, "{kind:?}: dense replay diverged");
+            assert_eq!(
+                exec.report(),
+                dense.report(),
+                "{kind:?}: dense replay report"
             );
         }
     }

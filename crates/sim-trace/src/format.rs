@@ -1,0 +1,173 @@
+//! The in-memory trace model.
+
+use sim_isa::inst::{AmoOp, Region};
+
+/// The side effect an issue group hands to the rest of the machine as
+/// it ends. At most one per group: data-memory instructions, `busy`
+/// blocks and `halt` all terminate the group in the exec-driven core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// The group ended without touching memory (ALU work, branches,
+    /// barrier-register traffic, short `busy`).
+    None,
+    /// The group issued a load and the core entered its read stall.
+    Load {
+        /// Byte address of the access.
+        addr: u64,
+    },
+    /// The group issued a store and the core entered its write stall.
+    Store {
+        /// Byte address of the access.
+        addr: u64,
+        /// Value stored.
+        value: u64,
+    },
+    /// The group issued an atomic and the core entered its write stall.
+    Amo {
+        /// Byte address of the access.
+        addr: u64,
+        /// The read-modify-write flavour.
+        op: AmoOp,
+        /// Operand of the atomic.
+        operand: u64,
+    },
+    /// The group opened a multi-cycle `busy` block (`cycles >= 2`; the
+    /// issuing cycle is the first of the block, as in the exec core).
+    Busy {
+        /// Total block length in cycles.
+        cycles: u32,
+    },
+    /// The core halted (explicit `halt`, or the program ran out).
+    Halt,
+}
+
+/// One issue group: everything a core did on one *executing* cycle.
+/// Stall cycles are not recorded — replay reproduces them from the live
+/// memory hierarchy, which sees the identical request sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// Program counter at the start of the group (reproduces the
+    /// exec-driven `Retire` trace events bit-identically).
+    pub pc: u32,
+    /// Dynamic instructions retired by the group.
+    pub retires: u8,
+    /// The architectural region after the group, when the group changed
+    /// it (`region` markers; drives cycle attribution from here on).
+    pub region: Option<Region>,
+    /// `barw` arrivals performed by the group, in program order, with
+    /// the barrier context each one targeted baked in.
+    pub bar_writes: Vec<(u8, u64)>,
+    /// The group-ending side effect.
+    pub effect: Effect,
+}
+
+/// One op of a core's trace: a plain issue group or a run-length
+/// compressed spin loop (spins dominate barrier-bound executions, so
+/// compressing them is what makes traces compact — and what lets the
+/// replay engine classify them for cycle skipping in O(1)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A plain issue group.
+    Step(Step),
+    /// `iters` iterations of a G-line barrier spin (`top: barr ;
+    /// b<cond> …, top`): one cycle and two retires per iteration, no
+    /// memory interaction. The final, falling-through check is a plain
+    /// [`Step`] after this op.
+    GlineSpin {
+        /// Program counter of the loop top.
+        pc: u32,
+        /// Taken-branch iterations executed.
+        iters: u64,
+    },
+    /// `iters` iterations of a memory flag spin (`top: [li ;] ld ;
+    /// b<cond> …, top`): two cycles per iteration — the load-issuing
+    /// phase (an L1 hit) and the resolve-plus-back-branch phase. The
+    /// final, falling-through iteration is recorded as plain steps.
+    MemSpin {
+        /// Program counter of the loop top.
+        pc: u32,
+        /// Byte address every iteration probes.
+        addr: u64,
+        /// Dynamic instructions per full iteration (2 or 3).
+        iter_retires: u8,
+        /// Full (taken-branch) iterations executed.
+        iters: u64,
+    },
+}
+
+/// One core's recorded execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreTrace {
+    /// The core this trace belongs to.
+    pub core: u32,
+    /// The op sequence, in execution order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl CoreTrace {
+    /// Checks the op-stream invariants the replay engine relies on:
+    ///
+    /// * the stream is non-empty and its final op is a plain [`Step`]
+    ///   carrying [`Effect::Halt`] (replay terminates), with no halt
+    ///   anywhere else (no dead ops);
+    /// * every compressed spin op is followed by a plain [`Step`] — the
+    ///   loop's falling-through exit — so the replay cursor never has to
+    ///   look past one op ahead.
+    ///
+    /// [`crate::decode_core`] enforces this on every file it accepts;
+    /// the check exists separately for hand-built traces.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ops.is_empty() {
+            return Err("empty op stream".into());
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            let last = i + 1 == self.ops.len();
+            match op {
+                TraceOp::Step(s) => {
+                    if (s.effect == Effect::Halt) != last {
+                        return Err(format!("op {i}: halt must be exactly the final op"));
+                    }
+                }
+                TraceOp::GlineSpin { .. } | TraceOp::MemSpin { .. } => {
+                    if !matches!(self.ops.get(i + 1), Some(TraceOp::Step(_))) {
+                        return Err(format!("op {i}: compressed spin without its exit step"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total dynamic instructions the trace retires (sanity metric).
+    pub fn instructions(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Step(s) => s.retires as u64,
+                TraceOp::GlineSpin { iters, .. } => 2 * iters,
+                TraceOp::MemSpin {
+                    iter_retires,
+                    iters,
+                    ..
+                } => *iter_retires as u64 * iters,
+            })
+            .sum()
+    }
+}
+
+/// A whole machine's traces: one [`CoreTrace`] per core plus the
+/// initial memory image the recording run started from. Everything a
+/// third party needs to submit a replayable workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSet {
+    /// Per-core traces, indexed by core id.
+    pub cores: Vec<CoreTrace>,
+    /// Initial memory image: (byte address, value) pairs poked before
+    /// cycle 0.
+    pub pokes: Vec<(u64, u64)>,
+    /// Free-form provenance label (workload name).
+    pub workload: String,
+}

@@ -1,0 +1,220 @@
+//! Property tests for the trace format: round-trip fidelity over
+//! generated traces, and graceful rejection — an `Err`, never a panic —
+//! of truncated, bit-flipped, and wrong-version files.
+//!
+//! The generators build arbitrary *valid* traces (anything
+//! [`CoreTrace::validate`] accepts, not just what the recorder emits),
+//! so the codec is held to its full contract, then attack the encoded
+//! bytes. Decoding attacked bytes may still succeed (flipping a stored
+//! value yields a different valid trace), but whatever comes back must
+//! itself pass validation — the decoder never launders a broken stream.
+
+use sim_base::check::{forall, forall_cases};
+use sim_base::rng::SplitMix64;
+use sim_isa::inst::{AmoOp, Region};
+use sim_trace::{
+    decode_core, encode_core, read_dir, write_dir, CoreTrace, Effect, Step, TraceError, TraceOp,
+    TraceSet,
+};
+
+fn gen_effect(rng: &mut SplitMix64) -> Effect {
+    match rng.next_below(5) {
+        0 => Effect::None,
+        1 => Effect::Load {
+            addr: rng.next_u64() & 0xffff_fff8,
+        },
+        2 => Effect::Store {
+            addr: rng.next_u64() & 0xffff_fff8,
+            value: rng.next_u64(),
+        },
+        3 => Effect::Amo {
+            addr: rng.next_u64() & 0xffff_fff8,
+            op: if rng.chance(0.5) {
+                AmoOp::Add
+            } else {
+                AmoOp::Swap
+            },
+            operand: rng.next_u64(),
+        },
+        _ => Effect::Busy {
+            cycles: 2 + rng.next_below(1000) as u32,
+        },
+    }
+}
+
+fn gen_step(rng: &mut SplitMix64, effect: Effect) -> Step {
+    let n_bar = rng.next_below(3) as usize;
+    Step {
+        pc: rng.next_below(1 << 20) as u32,
+        retires: 1 + rng.next_below(4) as u8,
+        region: match rng.next_below(4) {
+            0 => Some(Region::Normal),
+            1 => Some(Region::Barrier),
+            2 => Some(Region::Lock),
+            _ => None,
+        },
+        bar_writes: (0..n_bar)
+            .map(|_| (rng.next_below(8) as u8, rng.next_u64()))
+            .collect(),
+        effect,
+    }
+}
+
+/// An arbitrary trace satisfying [`CoreTrace::validate`]: any op mix,
+/// every spin chased by its exit step, one final halting step.
+fn gen_trace(rng: &mut SplitMix64) -> CoreTrace {
+    let mut ops = Vec::new();
+    for _ in 0..rng.next_below(40) {
+        match rng.next_below(3) {
+            0 => {
+                let e = gen_effect(rng);
+                ops.push(TraceOp::Step(gen_step(rng, e)));
+            }
+            1 => {
+                ops.push(TraceOp::GlineSpin {
+                    pc: rng.next_below(1 << 20) as u32,
+                    iters: 1 + rng.next_below(1 << 20),
+                });
+                let e = gen_effect(rng);
+                ops.push(TraceOp::Step(gen_step(rng, e)));
+            }
+            _ => {
+                ops.push(TraceOp::MemSpin {
+                    pc: rng.next_below(1 << 20) as u32,
+                    addr: rng.next_u64() & 0xffff_fff8,
+                    iter_retires: 2 + rng.next_below(2) as u8,
+                    iters: 1 + rng.next_below(1 << 20),
+                });
+                let e = gen_effect(rng);
+                ops.push(TraceOp::Step(gen_step(rng, e)));
+            }
+        }
+    }
+    ops.push(TraceOp::Step(gen_step(rng, Effect::Halt)));
+    CoreTrace {
+        core: rng.next_below(4096) as u32,
+        ops,
+    }
+}
+
+#[test]
+fn round_trip_preserves_any_valid_trace() {
+    forall("trace_round_trip", |rng| {
+        let t = gen_trace(rng);
+        t.validate().expect("generator emits valid traces");
+        let bytes = encode_core(&t);
+        let back = decode_core(&bytes).expect("round trip decodes");
+        assert_eq!(t, back, "decode(encode(t)) != t");
+    });
+}
+
+#[test]
+fn truncation_at_any_point_is_rejected_without_panic() {
+    forall("trace_truncation", |rng| {
+        let t = gen_trace(rng);
+        let bytes = encode_core(&t);
+        // Cut at a random prefix (including the empty file), plus the
+        // boundary just before the end — every cut must produce a
+        // structured error, not a panic or a silently-shorter trace.
+        for cut in [
+            rng.next_below(bytes.len() as u64) as usize,
+            bytes.len() - 1,
+            0,
+        ] {
+            match decode_core(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(back) => panic!(
+                    "decoding a {cut}/{} byte prefix produced a trace of {} ops",
+                    bytes.len(),
+                    back.ops.len()
+                ),
+            }
+        }
+    });
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    forall_cases("trace_trailing_garbage", 16, |rng| {
+        let t = gen_trace(rng);
+        let mut bytes = encode_core(&t);
+        bytes.push(rng.next_u64() as u8);
+        assert!(
+            decode_core(&bytes).is_err(),
+            "trailing bytes must be rejected"
+        );
+    });
+}
+
+#[test]
+fn corruption_never_panics_and_never_launders_invalid_traces() {
+    forall("trace_corruption", |rng| {
+        let t = gen_trace(rng);
+        let mut bytes = encode_core(&t);
+        // Flip 1–8 random bits anywhere in the stream.
+        for _ in 0..1 + rng.next_below(8) {
+            let i = rng.next_below(bytes.len() as u64) as usize;
+            bytes[i] ^= 1 << rng.next_below(8);
+        }
+        // A flip in payload bytes can legitimately decode (to a
+        // different trace); what must never happen is a panic or an
+        // `Ok` carrying a trace that fails validation.
+        if let Ok(back) = decode_core(&bytes) {
+            back.validate()
+                .expect("decoder accepted a trace that fails validation");
+        }
+    });
+}
+
+#[test]
+fn wrong_magic_and_version_are_structured_errors() {
+    forall_cases("trace_magic_version", 16, |rng| {
+        let t = gen_trace(rng);
+        let good = encode_core(&t);
+
+        let mut bad_magic = good.clone();
+        bad_magic[rng.next_below(4) as usize] ^= 0xff;
+        assert!(
+            matches!(decode_core(&bad_magic), Err(TraceError::BadMagic)),
+            "corrupt magic must be BadMagic"
+        );
+
+        let mut bad_version = good.clone();
+        let v = 2 + rng.next_below(1 << 30) as u32;
+        bad_version[4..8].copy_from_slice(&v.to_le_bytes());
+        assert!(
+            matches!(decode_core(&bad_version), Err(TraceError::BadVersion(got)) if got == v),
+            "future version must be BadVersion"
+        );
+    });
+}
+
+#[test]
+fn dir_round_trip_and_manifest_corruption() {
+    forall_cases("trace_dir_round_trip", 16, |rng| {
+        let set = TraceSet {
+            cores: (0..1 + rng.next_below(4))
+                .map(|i| {
+                    let mut t = gen_trace(rng);
+                    t.core = i as u32;
+                    t
+                })
+                .collect(),
+            pokes: (0..rng.next_below(4))
+                .map(|_| (rng.next_u64() & 0xffff_fff8, rng.next_u64()))
+                .collect(),
+            workload: format!("prop-{}", rng.next_u64()),
+        };
+        let dir = std::env::temp_dir().join(format!("gltr-prop-{}", rng.next_u64()));
+        write_dir(&dir, &set).expect("write_dir");
+        let back = read_dir(&dir).expect("read_dir");
+        assert_eq!(set, back, "directory round trip changed the trace set");
+
+        // Manifest attacks must come back as errors, not panics.
+        std::fs::write(dir.join("manifest.json"), "{ not json").unwrap();
+        assert!(read_dir(&dir).is_err(), "corrupt manifest must be rejected");
+        std::fs::remove_file(dir.join("manifest.json")).unwrap();
+        assert!(read_dir(&dir).is_err(), "missing manifest must be rejected");
+        std::fs::remove_dir_all(&dir).unwrap();
+    });
+}

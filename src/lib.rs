@@ -20,6 +20,8 @@
 //! * [`mem`] ([`sim_mem`]) — L1s + distributed L2 with directory MESI.
 //! * [`cmp`] ([`sim_cmp`]) — the assembled machine, runtime library
 //!   (GL/CSW/DSW barriers, locks) and reporting.
+//! * [`trace`] ([`sim_trace`]) — the on-disk per-core execution trace
+//!   format behind `simcmp --record-trace` / `--replay`.
 //! * [`bench_workloads`] ([`workloads`]) — Table-2 benchmark generators.
 //! * [`threads`] ([`swbarrier`]) — software barrier algorithms for real
 //!   Rust threads.
@@ -42,5 +44,6 @@ pub use sim_cmp as cmp;
 pub use sim_isa as isa;
 pub use sim_mem as mem;
 pub use sim_noc as noc;
+pub use sim_trace as trace;
 pub use swbarrier as threads;
 pub use workloads as bench_workloads;

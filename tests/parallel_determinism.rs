@@ -17,6 +17,7 @@ use sim_base::config::CmpConfig;
 use sim_base::trace::{ChromeTraceSink, Tracer};
 use sim_cmp::runtime::BarrierKind;
 use sim_cmp::{System, SystemReport};
+use sim_trace::TraceSet;
 use workloads::common::Workload;
 use workloads::{em3d, livermore, ocean, synthetic, unstructured};
 
@@ -218,4 +219,121 @@ fn mid_run_worker_count_switching_is_invariant() {
     serial.run(50_000_000).unwrap();
     assert_eq!(serial.now(), switched.now(), "switching changed cycles");
     assert_eq!(serial.report(), switched.report(), "switching diverges");
+}
+
+/// Records `w` on the dense serial engine and packages the traces.
+fn record_set(w: &Workload) -> TraceSet {
+    let mut sys = w.into_system(CmpConfig::icpp2010_with_cores(w.progs.len()));
+    let (_, traces) = sys.run_recorded(50_000_000).expect("recording completes");
+    TraceSet {
+        cores: traces,
+        pokes: w.pokes.clone(),
+        workload: w.name.clone(),
+    }
+}
+
+/// The parallel invariant holds for trace-driven replay too: a replay
+/// at 2/4/8 workers is bit-identical to the serial replay, and both to
+/// the exec-mode run the trace was recorded from.
+#[test]
+fn replay_parallel_invariant() {
+    for kind in BarrierKind::ALL {
+        let w = synthetic::build_imbalanced(8, kind, 3, 300);
+        let cfg = CmpConfig::icpp2010_with_cores(8);
+
+        let mut exec = w.into_system(cfg);
+        let ce = exec.run(50_000_000).expect("exec run must complete");
+        let set = record_set(&w);
+
+        let mut serial = System::replay(cfg, &set);
+        let cs = serial.run(50_000_000).expect("serial replay must complete");
+        assert_eq!(ce, cs, "{}: replay changed the cycle count", w.name);
+        assert_eq!(
+            exec.report(),
+            serial.report(),
+            "{}: serial replay diverged from exec",
+            w.name
+        );
+
+        for workers in [2usize, 4, 8] {
+            let mut par = System::replay(cfg, &set);
+            let cp = par
+                .run_with_workers(50_000_000, workers)
+                .expect("parallel replay must complete");
+            assert_eq!(cs, cp, "{} replay @ {workers} workers: cycles", w.name);
+            assert_eq!(
+                serial.report(),
+                par.report(),
+                "{} replay @ {workers} workers: reports",
+                w.name
+            );
+            assert_eq!(
+                serial.skip_stats(),
+                par.skip_stats(),
+                "{} replay @ {workers} workers: skip stats",
+                w.name
+            );
+            assert_eq!(
+                serial.core_sched_stats(),
+                par.core_sched_stats(),
+                "{} replay @ {workers} workers: core sched stats",
+                w.name
+            );
+        }
+    }
+}
+
+/// Replay composes with the scheduler toggles under every worker count,
+/// exactly like exec mode.
+#[test]
+fn replay_parallel_invariant_composes_with_scheduler_toggles() {
+    let w = synthetic::build_imbalanced(8, BarrierKind::Csw, 2, 200);
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+    let set = record_set(&w);
+    for (skip, active) in [(false, true), (true, false), (false, false)] {
+        let mut serial = System::replay(cfg, &set);
+        serial.set_skip_enabled(skip);
+        serial.set_active_set_enabled(active);
+        serial.run(50_000_000).expect("serial replay must complete");
+        for workers in WORKERS {
+            let mut par = System::replay(cfg, &set);
+            par.set_skip_enabled(skip);
+            par.set_active_set_enabled(active);
+            par.run_with_workers(50_000_000, workers)
+                .expect("parallel replay must complete");
+            assert_eq!(
+                serial.report(),
+                par.report(),
+                "replay skip={skip} active={active} @ {workers} workers"
+            );
+        }
+    }
+}
+
+/// Worker-count switching mid-replay is as invisible as it is mid-exec:
+/// the same rotation of pool sizes lands on the exec run's exact state.
+#[test]
+fn replay_mid_run_worker_count_switching_is_invariant() {
+    let w = synthetic::build_imbalanced(8, BarrierKind::Gl, 3, 300);
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+
+    let mut exec = w.into_system(cfg);
+    exec.run(50_000_000).unwrap();
+    let set = record_set(&w);
+
+    let mut switched = System::replay(cfg, &set);
+    let rotation = [2usize, 1, 3, 8, 4];
+    let mut i = 0usize;
+    while !switched.all_halted() {
+        let until = switched.now() + 1_500;
+        switched.advance_until_with_workers(until, rotation[i % rotation.len()]);
+        i += 1;
+        assert!(i < 50_000, "switched replay livelocked");
+    }
+    assert_eq!(exec.now(), switched.now(), "switched replay changed cycles");
+    assert_eq!(
+        exec.report(),
+        switched.report(),
+        "switched replay diverged from exec"
+    );
 }
