@@ -816,6 +816,19 @@ pub trait BarrierHw {
         }
     }
 
+    /// Minimum number of cycles between a `write_bar_reg` on quiescent
+    /// hardware and the earliest cycle at which *another* core can
+    /// observe any effect of it (a changed `bar_reg` read, or a
+    /// release). An epoch-batched simulator uses this as a safe
+    /// free-run bound while the hardware is quiescent: a window of at
+    /// most this many cycles cannot let one shard's arrival become
+    /// visible to another shard mid-window. The conservative default is
+    /// 1 (visible next cycle); implementations with a provable
+    /// propagation floor override it.
+    fn min_notify_latency(&self) -> u64 {
+        1
+    }
+
     /// Convenience driver for tests and benchmarks: runs one complete
     /// barrier on context 0 where core `i` arrives at `arrivals[i]`
     /// (relative to the current cycle), and returns the cycle count from
@@ -881,6 +894,15 @@ impl<S: TraceSink> BarrierHw for BarrierNetwork<S> {
     }
     fn skip_to(&mut self, t: Cycle) {
         BarrierNetwork::skip_to(self, t);
+    }
+    fn min_notify_latency(&self) -> u64 {
+        // An arrival on the flat network takes one cycle on the column
+        // G-line, one in the row controller, one on the row G-line and
+        // one in the global controller before the release can even
+        // begin to propagate back — the paper's 4-cycle barrier floor
+        // (`four_cycles_on_every_mesh_up_to_8x8`). No other core can
+        // observe a state change sooner.
+        4
     }
 }
 

@@ -1,15 +1,18 @@
 //! A write-latching shadow of a barrier network, for the parallel
-//! compute phase of the sharded-tick engine (`DESIGN.md` §11).
+//! compute phases of the sharded-tick and epoch engines (`DESIGN.md`
+//! §11/§13).
 //!
 //! During a parallel compute phase every worker drives its shard of
 //! cores against a [`GlineShadow`] instead of the real network: reads
 //! pass through to the (frozen) network, and `bar_reg` arrival writes
-//! latch into a per-worker buffer. At the exchange barrier the
-//! coordinator replays every worker's latched writes into the real
-//! network **in ascending core order** — the order the serial core loop
-//! produces — before ticking it, so the network's episode accounting
-//! (`first_arrival`, arrival counts, trace ordering) is bit-identical
-//! to the serial engine.
+//! latch into a per-worker buffer, stamped with the simulated cycle
+//! they occurred on. At the exchange barrier the coordinator replays
+//! every worker's latched writes into the real network **in ascending
+//! (cycle, core) order** — the order the serial core loop produces —
+//! interleaved with the network's own ticks, so the network's episode
+//! accounting (`first_arrival`, arrival counts, trace ordering) is
+//! bit-identical to the serial engine. The per-cycle engine is the
+//! special case where every stamp in a buffer is the same cycle.
 //!
 //! This is how the wired-AND/S-CSMA gather "splits" across shards: each
 //! worker accumulates its partial set of arrivals independently, and
@@ -17,34 +20,54 @@
 //!
 //! The one read a core performs on the network — its **own** `bar_reg`
 //! slot — consults the latch first, so a core that arrives and spins in
-//! the same cycle observes its own write exactly as it would serially.
-//! Cross-shard reads are impossible by construction (core `k` is the
-//! only writer and the only reader of slot `k` during a compute phase).
+//! the same (or a later in-window) cycle observes its own write exactly
+//! as it would serially. Cross-shard reads are impossible by
+//! construction (core `k` is the only writer and the only reader of
+//! slot `k` during a compute phase), and the epoch window is clamped so
+//! the frozen network cannot release mid-window (`DESIGN.md` §13).
 
 use crate::network::{BarrierHw, CtxId};
 use crate::stats::GlineStats;
 use sim_base::{CoreId, Cycle};
 
 /// One worker's shadow view of the barrier hardware for a single
-/// compute phase. See the module docs for the protocol.
+/// compute phase (one cycle for the per-cycle engine, a whole window
+/// for the epoch engine). See the module docs for the protocol.
 #[derive(Debug)]
 pub struct GlineShadow<'a, B: BarrierHw + ?Sized> {
     inner: &'a B,
-    /// Latched `(core, ctx, value)` arrival writes, in program order.
-    writes: Vec<(CoreId, CtxId, u64)>,
+    /// The simulated cycle writes are currently stamped with. Starts at
+    /// the frozen network's `now` and is advanced by the epoch engine
+    /// via [`set_now`](Self::set_now) as the free-run progresses.
+    now: Cycle,
+    /// Latched `(cycle, core, ctx, value)` arrival writes, in program
+    /// order (which, per worker, is ascending cycle then ascending core
+    /// within each cycle).
+    writes: Vec<(Cycle, CoreId, CtxId, u64)>,
 }
 
 impl<'a, B: BarrierHw + ?Sized> GlineShadow<'a, B> {
     /// Wraps `inner`, latching writes into `writes` (passed in so the
-    /// engine can reuse the allocation across cycles; it need not be
-    /// empty-capacity but must be empty).
-    pub fn new(inner: &'a B, writes: Vec<(CoreId, CtxId, u64)>) -> GlineShadow<'a, B> {
+    /// engine can reuse the allocation across phases; it need not be
+    /// empty-capacity but must be empty). Stamps start at `inner.now()`.
+    pub fn new(inner: &'a B, writes: Vec<(Cycle, CoreId, CtxId, u64)>) -> GlineShadow<'a, B> {
         debug_assert!(writes.is_empty(), "stale latched writes");
-        GlineShadow { inner, writes }
+        GlineShadow {
+            now: inner.now(),
+            inner,
+            writes,
+        }
+    }
+
+    /// Advances the cycle subsequent writes are stamped with (the epoch
+    /// engine calls this once per free-run cycle; monotone).
+    pub fn set_now(&mut self, now: Cycle) {
+        debug_assert!(now >= self.now, "shadow clock cannot run backwards");
+        self.now = now;
     }
 
     /// Consumes the shadow, returning the latched writes for replay.
-    pub fn into_writes(self) -> Vec<(CoreId, CtxId, u64)> {
+    pub fn into_writes(self) -> Vec<(Cycle, CoreId, CtxId, u64)> {
         self.writes
     }
 }
@@ -55,14 +78,17 @@ impl<B: BarrierHw + ?Sized> BarrierHw for GlineShadow<'_, B> {
     }
 
     fn write_bar_reg(&mut self, core: CoreId, ctx: CtxId, value: u64) {
-        self.writes.push((core, ctx, value));
+        self.writes.push((self.now, core, ctx, value));
     }
 
     fn bar_reg(&self, core: CoreId, ctx: CtxId) -> u64 {
         // Latest latched write wins — a core reading its own slot after
-        // arriving in the same cycle must see the arrival, exactly as
-        // the serial engine's immediate write provides.
-        for &(c, x, v) in self.writes.iter().rev() {
+        // arriving in the same or an earlier in-window cycle must see
+        // the arrival, exactly as the serial engine's immediate write
+        // provides. Every latched write for `core` is its own and is
+        // stamped at or before the current cycle (tiles run forward in
+        // time), so the scan never sees the future.
+        for &(_, c, x, v) in self.writes.iter().rev() {
             if c == core && x == ctx {
                 return v;
             }
@@ -73,7 +99,7 @@ impl<B: BarrierHw + ?Sized> BarrierHw for GlineShadow<'_, B> {
     fn all_released(&self, ctx: CtxId) -> bool {
         // A latched (nonzero) arrival means this context cannot be
         // all-released once the writes land.
-        self.inner.all_released(ctx) && !self.writes.iter().any(|&(_, x, _)| x == ctx)
+        self.inner.all_released(ctx) && !self.writes.iter().any(|&(_, _, x, _)| x == ctx)
     }
 
     fn tick(&mut self) {
@@ -81,7 +107,7 @@ impl<B: BarrierHw + ?Sized> BarrierHw for GlineShadow<'_, B> {
     }
 
     fn now(&self) -> Cycle {
-        self.inner.now()
+        self.now
     }
 
     fn num_contexts(&self) -> usize {
@@ -117,7 +143,21 @@ mod tests {
         assert_eq!(sh.bar_reg(CoreId(1), 0), 7, "own write visible");
         assert_eq!(sh.bar_reg(CoreId(0), 0), 0, "other slots untouched");
         assert!(!sh.all_released(0), "latched arrival blocks all_released");
-        assert_eq!(sh.into_writes(), vec![(CoreId(1), 0, 7)]);
+        assert_eq!(sh.into_writes(), vec![(0, CoreId(1), 0, 7)]);
+    }
+
+    #[test]
+    fn shadow_stamps_writes_with_the_free_run_cycle() {
+        let net = BarrierNetwork::new(Mesh2D::new(2, 2), GlineConfig::default());
+        let mut sh = GlineShadow::new(&net, Vec::new());
+        sh.write_bar_reg(CoreId(0), 0, 1);
+        sh.set_now(3);
+        sh.write_bar_reg(CoreId(2), 0, 1);
+        assert_eq!(sh.now(), 3);
+        assert_eq!(
+            sh.into_writes(),
+            vec![(0, CoreId(0), 0, 1), (3, CoreId(2), 0, 1)]
+        );
     }
 
     #[test]
@@ -131,7 +171,7 @@ mod tests {
             sh.write_bar_reg(CoreId::from(i), 0, 1);
         }
         let writes = sh.into_writes();
-        for (core, ctx, v) in writes {
+        for (_, core, ctx, v) in writes {
             latched.write_bar_reg(core, ctx, v);
         }
         for i in 0..4usize {

@@ -1,43 +1,83 @@
 //! Sharding primitives for the parallel tick engine.
 //!
-//! The sharded-tick engine (see `DESIGN.md` §11) partitions the tiles of
-//! the simulated chip across worker threads and runs every simulated
-//! cycle in two phases — a parallel *compute* phase and a serialized
-//! *exchange* phase — separated by a thread barrier. This module holds
-//! the pieces that are independent of what is being sharded:
+//! The sharded-tick engine (see `DESIGN.md` §11/§13) partitions the
+//! tiles of the simulated chip across worker threads and advances the
+//! machine in alternating parallel/serial phases. This module holds the
+//! pieces that are independent of what is being sharded:
 //!
 //! * [`SpinBarrier`] — a sense-reversing centralized thread barrier,
 //!   which is our own paper's CSW barrier applied to the simulator
 //!   itself (§2.1 of the paper; Mellor-Crummey & Scott's
-//!   "sense-reversing centralized barrier").
+//!   "sense-reversing centralized barrier"). Waiters spin briefly and
+//!   then **park** on a condvar, so an oversubscribed host never pays a
+//!   yield storm, and the barrier counts its crossings — the
+//!   host-independent serialization metric `BENCH_parallel_engine.json`
+//!   gates on.
+//! * [`EpochGate`] — the epoch engine's rendezvous: per-worker
+//!   doorbells (so an idle shard's worker stays parked across epochs it
+//!   takes no part in) plus one join latch per epoch.
 //! * [`available_workers`] / [`clamp_workers`] — the one place worker
 //!   counts are derived and clamped, shared by the parallel engine and
 //!   `bench::sweep` so every consumer agrees on the fallback logic.
 //! * [`shard_ranges`] — the deterministic tile partition: contiguous,
 //!   ascending, balanced to within one tile.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
-/// How long a waiter busy-spins on the sense flag before yielding the
-/// CPU. Small, because the benches run on hosts where workers may
-/// outnumber cores; on a loaded machine a stubborn spin inverts the
-/// speedup the barrier exists to buy.
+/// How long a waiter busy-spins before parking on the condvar. Small,
+/// because the benches run on hosts where workers may outnumber cores;
+/// on a loaded machine a stubborn spin inverts the speedup the barrier
+/// exists to buy.
 const SPIN_LIMIT: u32 = 64;
+
+/// Cross-thread synchronization counters, the host-independent cost
+/// model of the parallel engine's protocol (`DESIGN.md` §13):
+///
+/// * `crossings` — completed global rendezvous episodes. The per-cycle
+///   protocol pays two per simulated cycle (release + join); the epoch
+///   protocol pays one per multi-cycle epoch. Deterministic for a given
+///   run, independent of host speed or scheduling — which is what makes
+///   it gateable on a 1-core CI runner.
+/// * `wakeups` — futex-style unparks actually performed (a waiter that
+///   exhausted its spin budget and slept). Timing-dependent; reported,
+///   never gated.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncCounters {
+    /// Completed global rendezvous episodes.
+    pub crossings: u64,
+    /// Parked waiters actually resumed (timing-dependent; not gated).
+    pub wakeups: u64,
+}
+
+impl SyncCounters {
+    /// Fieldwise accumulation (merging one engine scope into a run).
+    pub fn merge(&mut self, other: SyncCounters) {
+        self.crossings += other.crossings;
+        self.wakeups += other.wakeups;
+    }
+}
 
 /// A sense-reversing centralized barrier for a fixed set of threads.
 ///
 /// Every participant keeps a thread-local `sense: bool` (starting
 /// `false`) and calls [`wait`](Self::wait) with a mutable reference to
 /// it. The last thread to arrive flips the shared sense and releases
-/// the rest — two atomics total per episode, no re-initialization
-/// between episodes, and immediately reusable (the reversal is what
-/// makes back-to-back episodes safe, exactly as in the CSW barrier the
-/// simulated machine runs in software).
+/// the rest — no re-initialization between episodes, and immediately
+/// reusable (the reversal is what makes back-to-back episodes safe,
+/// exactly as in the CSW barrier the simulated machine runs in
+/// software). Waiters spin [`SPIN_LIMIT`] times, then park on a
+/// condvar; the releaser flips the sense under the mutex, so a parked
+/// waiter can never miss the flip.
 #[derive(Debug)]
 pub struct SpinBarrier {
     n: usize,
     count: AtomicUsize,
     sense: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+    crossings: AtomicU64,
+    wakeups: AtomicU64,
 }
 
 impl SpinBarrier {
@@ -48,12 +88,24 @@ impl SpinBarrier {
             n,
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            crossings: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
         }
     }
 
     /// Number of participating threads.
     pub fn participants(&self) -> usize {
         self.n
+    }
+
+    /// Completed barrier episodes and condvar wakeups so far.
+    pub fn counters(&self) -> SyncCounters {
+        SyncCounters {
+            crossings: self.crossings.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+        }
     }
 
     /// Blocks until all `n` participants have called `wait` with this
@@ -70,17 +122,201 @@ impl SpinBarrier {
         *local_sense = sense;
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             self.count.store(0, Ordering::Relaxed);
+            self.crossings.fetch_add(1, Ordering::Relaxed);
+            // The flip happens under the mutex so that a waiter which
+            // checked the sense and decided to park cannot lose the
+            // wakeup: it re-checks under the same mutex.
+            let _g = self.lock.lock().expect("barrier mutex poisoned");
             self.sense.store(sense, Ordering::Release);
+            self.cv.notify_all();
         } else {
-            let mut spins = 0u32;
-            while self.sense.load(Ordering::Acquire) != sense {
-                if spins < SPIN_LIMIT {
-                    spins += 1;
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
+            for _ in 0..SPIN_LIMIT {
+                if self.sense.load(Ordering::Acquire) == sense {
+                    return;
                 }
+                std::hint::spin_loop();
             }
+            let mut parked = false;
+            let mut g = self.lock.lock().expect("barrier mutex poisoned");
+            while self.sense.load(Ordering::Acquire) != sense {
+                parked = true;
+                g = self.cv.wait(g).expect("barrier mutex poisoned");
+            }
+            if parked {
+                self.wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One worker's wake channel in an [`EpochGate`]: a ring sequence
+/// number plus a condvar to park on. The coordinator rings only the
+/// doorbells of workers whose shards have work this epoch — a fully
+/// idle shard's worker sleeps straight through, which is the fix for
+/// the per-cycle protocol's "every worker wakes every tick" behavior.
+#[derive(Debug)]
+struct Doorbell {
+    seq: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Doorbell {
+    fn new() -> Doorbell {
+        Doorbell {
+            seq: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The epoch engine's rendezvous (`DESIGN.md` §13). One epoch is:
+///
+/// 1. coordinator publishes the epoch's shared state, then
+///    [`open_epoch`](Self::open_epoch) — arms the join latch for the
+///    participating workers and rings their doorbells;
+/// 2. each rung worker free-runs its shard for the whole window and
+///    [`arrive`](Self::arrive)s at the join latch;
+/// 3. the coordinator (who ran its own shard inline)
+///    [`join`](Self::join)s — the single global rendezvous of the
+///    epoch, counted as one crossing.
+///
+/// Workers not rung this epoch stay parked on their doorbells; ring
+/// sequence numbers make back-to-back epochs safe without
+/// re-initialization. [`close`](Self::close) rings every doorbell with
+/// the stop flag raised.
+#[derive(Debug)]
+pub struct EpochGate {
+    /// Doorbell for worker `w` (1-based; the coordinator is worker 0
+    /// and has none) lives at `doorbells[w - 1]`.
+    doorbells: Vec<Doorbell>,
+    remaining: AtomicUsize,
+    join_lock: Mutex<()>,
+    join_cv: Condvar,
+    stop: AtomicBool,
+    crossings: AtomicU64,
+    wakeups: AtomicU64,
+}
+
+impl EpochGate {
+    /// A gate for `workers` total participants (coordinator included),
+    /// so `workers - 1` doorbells.
+    pub fn new(workers: usize) -> EpochGate {
+        assert!(workers >= 1);
+        EpochGate {
+            doorbells: (1..workers).map(|_| Doorbell::new()).collect(),
+            remaining: AtomicUsize::new(0),
+            join_lock: Mutex::new(()),
+            join_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            crossings: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// Crossing/wakeup counters so far.
+    pub fn counters(&self) -> SyncCounters {
+        SyncCounters {
+            crossings: self.crossings.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Opens an epoch for the workers listed in `active` (indexed
+    /// `1..=doorbells`; the coordinator never appears). Arms the join
+    /// latch *before* ringing — a rung worker may arrive immediately.
+    /// Epochs in which no worker participates cost no synchronization
+    /// and count no crossing.
+    pub fn open_epoch(&self, active: &[bool]) {
+        debug_assert_eq!(active.len(), self.doorbells.len() + 1);
+        let rung = active[1..].iter().filter(|&&a| a).count();
+        if rung == 0 {
+            return;
+        }
+        self.remaining.store(rung, Ordering::Release);
+        for (i, db) in self.doorbells.iter().enumerate() {
+            if active[i + 1] {
+                Self::ring(db);
+            }
+        }
+    }
+
+    fn ring(db: &Doorbell) {
+        // Bump under the mutex: a worker that checked the sequence and
+        // decided to park re-checks under the same mutex, so the
+        // notify cannot be lost.
+        let _g = db.lock.lock().expect("doorbell mutex poisoned");
+        db.seq.fetch_add(1, Ordering::Release);
+        db.cv.notify_one();
+    }
+
+    /// Worker `w`'s wait for its next ring. `last_seen` is the worker's
+    /// thread-local ring count (start at 0). Returns `true` when the
+    /// gate has been closed and the worker should exit.
+    pub fn wait_for_ring(&self, w: usize, last_seen: &mut u64) -> bool {
+        let db = &self.doorbells[w - 1];
+        let mut spins = 0u32;
+        while db.seq.load(Ordering::Acquire) == *last_seen {
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut parked = false;
+            let mut g = db.lock.lock().expect("doorbell mutex poisoned");
+            while db.seq.load(Ordering::Acquire) == *last_seen {
+                parked = true;
+                g = db.cv.wait(g).expect("doorbell mutex poisoned");
+            }
+            if parked {
+                self.wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+            break;
+        }
+        *last_seen = db.seq.load(Ordering::Acquire);
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// A rung worker's arrival at the epoch's join latch.
+    pub fn arrive(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.join_lock.lock().expect("join mutex poisoned");
+            self.join_cv.notify_one();
+        }
+    }
+
+    /// The coordinator's wait for every rung worker; the epoch's one
+    /// global rendezvous. `rung` is the number of workers opened this
+    /// epoch (0 ⇒ free: no crossing).
+    pub fn join(&self, rung: usize) {
+        if rung == 0 {
+            return;
+        }
+        self.crossings.fetch_add(1, Ordering::Relaxed);
+        for _ in 0..SPIN_LIMIT {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut parked = false;
+        let mut g = self.join_lock.lock().expect("join mutex poisoned");
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            parked = true;
+            g = self.join_cv.wait(g).expect("join mutex poisoned");
+        }
+        if parked {
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Closes the gate: every worker's next (or current) wait returns
+    /// `true`.
+    pub fn close(&self) {
+        self.stop.store(true, Ordering::Release);
+        for db in &self.doorbells {
+            Self::ring(db);
         }
     }
 }
@@ -182,6 +418,11 @@ mod tests {
         for h in handles {
             h.join().expect("barrier worker panicked");
         }
+        assert_eq!(
+            barrier.counters().crossings,
+            2 * EPISODES,
+            "one crossing per completed episode"
+        );
     }
 
     #[test]
@@ -191,5 +432,64 @@ mod tests {
         for _ in 0..10 {
             b.wait(&mut sense);
         }
+        assert_eq!(b.counters().crossings, 10);
+        assert_eq!(b.counters().wakeups, 0);
+    }
+
+    #[test]
+    fn epoch_gate_selective_rings_and_join() {
+        const WORKERS: usize = 4; // coordinator + 3
+        const EPOCHS: u64 = 300;
+        let gate = Arc::new(EpochGate::new(WORKERS));
+        let hits: Vec<_> = (0..WORKERS).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let handles: Vec<_> = (1..WORKERS)
+            .map(|w| {
+                let gate = Arc::clone(&gate);
+                let hit = Arc::clone(&hits[w]);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        if gate.wait_for_ring(w, &mut seen) {
+                            return;
+                        }
+                        hit.fetch_add(1, Ordering::Relaxed);
+                        gate.arrive();
+                    }
+                })
+            })
+            .collect();
+        // Ring a rotating subset; worker 3 is never rung.
+        for ep in 0..EPOCHS {
+            let active = [false, true, ep % 2 == 0, false];
+            let rung = active[1..].iter().filter(|&&a| a).count();
+            gate.open_epoch(&active);
+            gate.join(rung);
+        }
+        gate.close();
+        for h in handles {
+            h.join().expect("gate worker panicked");
+        }
+        assert_eq!(hits[1].load(Ordering::Relaxed), EPOCHS);
+        assert_eq!(hits[2].load(Ordering::Relaxed), EPOCHS.div_ceil(2));
+        assert_eq!(
+            hits[3].load(Ordering::Relaxed),
+            0,
+            "never-rung worker slept"
+        );
+        assert_eq!(gate.counters().crossings, EPOCHS, "one crossing per epoch");
+    }
+
+    #[test]
+    fn sync_counters_merge() {
+        let mut a = SyncCounters {
+            crossings: 3,
+            wakeups: 1,
+        };
+        a.merge(SyncCounters {
+            crossings: 4,
+            wakeups: 0,
+        });
+        assert_eq!(a.crossings, 7);
+        assert_eq!(a.wakeups, 1);
     }
 }

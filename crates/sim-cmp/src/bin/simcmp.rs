@@ -26,12 +26,17 @@
 //!   --sched-stats      print scheduler diagnostics after the run:
 //!                      skip attempt/success/backoff counters and the
 //!                      mean active-set occupancy per subsystem
-//!   --workers N        advance each cycle with N shard threads (the
-//!                      sharded-tick parallel engine; default from the
+//!   --workers N        advance the machine with N shard threads (the
+//!                      epoch-batched parallel engine; default from the
 //!                      SIMCMP_WORKERS environment variable, else 1 =
 //!                      serial). Reports are bit-identical for every
 //!                      worker count; traced runs always use the
 //!                      serial engine
+//!   --per-cycle-sync   use the legacy per-cycle rendezvous protocol
+//!                      (two barrier crossings per ticked cycle)
+//!                      instead of epoch batching; bit-identical, just
+//!                      slower on contended workloads (only meaningful
+//!                      with --workers > 1)
 //!   --trace FILE       record every event and write a Chrome
 //!                      trace_event JSON file (open in about://tracing
 //!                      or Perfetto)
@@ -86,6 +91,7 @@ struct Opts {
     no_active_set: bool,
     sched_stats: bool,
     workers: usize,
+    per_cycle_sync: bool,
 }
 
 /// Runs the system to completion and prints the report. Monomorphized
@@ -93,6 +99,9 @@ struct Opts {
 fn run_system<S: TraceSink>(mut sys: System<BarrierNetwork<S>, S>, opts: &Opts) {
     sys.set_skip_enabled(!opts.no_skip);
     sys.set_active_set_enabled(!opts.no_active_set);
+    if opts.per_cycle_sync {
+        sys.set_sync_protocol(sim_cmp::SyncProtocol::PerCycle);
+    }
     for &(a, v) in &opts.pokes {
         sys.poke_word(a, v);
     }
@@ -204,6 +213,18 @@ fn finish<S: TraceSink>(
                     "core parking: {} stall steps, {} spin steps elided",
                     core.parked_steps, core.spin_parked_steps
                 );
+                let sync = sys.sync_stats();
+                if sync.par_cycles > 0 {
+                    eprintln!(
+                        "sync: {} epochs (mean {:.1} cycles), {:.2} crossings/kcycle, \
+                         {} shard-epochs skipped, {} wakeups",
+                        sync.epochs,
+                        sync.mean_epoch_len(),
+                        sync.crossings_per_kilocycle(),
+                        sync.shard_epochs_skipped,
+                        sync.wakeups
+                    );
+                }
             }
             for &a in &opts.peeks {
                 println!("[0x{a:x}] = {}", sys.peek_word(a));
@@ -222,6 +243,7 @@ fn main() {
         eprintln!("usage: simcmp PROGRAM.s [PROGRAM2.s …] [--cores N] [--max-cycles N]");
         eprintln!("              [--poke ADDR=VAL]… [--peek ADDR]… [--json] [--breakdown]");
         eprintln!("              [--no-skip] [--no-active-set] [--sched-stats] [--workers N]");
+        eprintln!("              [--per-cycle-sync]");
         eprintln!("              [--trace FILE] [--trace-last N]");
         eprintln!("              [--record-trace DIR | --replay DIR]");
         std::process::exit(if args.is_empty() { 1 } else { 0 });
@@ -239,6 +261,7 @@ fn main() {
     let mut no_skip = false;
     let mut no_active_set = false;
     let mut sched_stats = false;
+    let mut per_cycle_sync = false;
     // The env default lets CI run the whole suite under the parallel
     // engine without touching every invocation.
     let mut workers = std::env::var("SIMCMP_WORKERS")
@@ -285,6 +308,7 @@ fn main() {
             "--no-skip" => no_skip = true,
             "--no-active-set" => no_active_set = true,
             "--sched-stats" => sched_stats = true,
+            "--per-cycle-sync" => per_cycle_sync = true,
             "--workers" => {
                 workers = it
                     .next()
@@ -363,6 +387,7 @@ fn main() {
             no_active_set,
             sched_stats,
             workers,
+            per_cycle_sync,
         };
         if let Some(path) = trace_file {
             let tracer = Tracer::new(ChromeTraceSink::new());
@@ -428,6 +453,7 @@ fn main() {
         no_active_set,
         sched_stats,
         workers,
+        per_cycle_sync,
     };
 
     if let Some(dir) = record_dir {

@@ -195,6 +195,11 @@ impl Core {
         self.region
     }
 
+    /// Replay cursor position (epoch halt-bound computation).
+    pub(crate) fn rp_op(&self) -> usize {
+        self.rp_op
+    }
+
     /// End of the current `busy` block, if the core is inside one.
     pub(crate) fn busy_until(&self) -> Option<Cycle> {
         match self.status {

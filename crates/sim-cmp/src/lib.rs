@@ -31,4 +31,4 @@ pub use energy::{EnergyEstimate, EnergyModel};
 pub use replay::CoreProg;
 pub use runtime::BarrierKind;
 pub use stats::SystemReport;
-pub use system::{CoreSchedStats, SkipStats, System};
+pub use system::{CoreSchedStats, SkipStats, SyncProtocol, SyncStats, System};

@@ -1,4 +1,5 @@
-//! The sharded-tick parallel engine (`DESIGN.md` §11).
+//! The parallel engines: the per-cycle sharded tick (`DESIGN.md` §11)
+//! and the epoch-batched free-run protocol (`DESIGN.md` §13).
 //!
 //! [`System::run_with_workers`](crate::System::run_with_workers)
 //! partitions the tiles into contiguous shards, one per worker thread,
@@ -48,10 +49,10 @@ use crate::core::{Core, SpinPlan};
 use crate::replay::CoreProg;
 use crate::system::CoreSchedStats;
 use gline_core::{BarrierHw, CtxId, GlineShadow};
-use sim_base::shard::SpinBarrier;
+use sim_base::shard::{EpochGate, SpinBarrier};
 use sim_base::trace::{TraceSink, Tracer};
 use sim_base::{CoreId, Cycle};
-use sim_mem::TileLanes;
+use sim_mem::{EpochTiles, TileLanes, PHASE_CORE};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -61,7 +62,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 #[derive(Debug, Default)]
 pub(crate) struct WorkerOut {
     /// Latched `bar_reg` arrival writes, in shard program order.
-    pub(crate) latch: Vec<(CoreId, CtxId, u64)>,
+    pub(crate) latch: Vec<(Cycle, CoreId, CtxId, u64)>,
     /// Scheduler-counter delta for this phase (`ticks` stays zero; the
     /// coordinator counts ticks).
     pub(crate) sched: CoreSchedStats,
@@ -243,4 +244,244 @@ pub(crate) unsafe fn shard_phase<B: BarrierHw, S: TraceSink>(
         }
     }
     out.latch = gl.into_writes();
+}
+
+/// The coordinator's per-epoch snapshot of the machine, shared with the
+/// workers through [`EpochCtx`]. Re-derived from `&mut System` every
+/// epoch so no pointer outlives the borrows it came from.
+#[derive(Debug)]
+pub(crate) struct EpochPtrs<B: BarrierHw, S: TraceSink> {
+    pub(crate) cores: *mut Core,
+    pub(crate) progs: *const CoreProg,
+    pub(crate) parked: *mut Option<(Cycle, Cycle)>,
+    pub(crate) spin_parked: *mut Option<(SpinPlan, Cycle)>,
+    pub(crate) miss_parked: *mut Option<Cycle>,
+    /// Whole-tile memory views (L1 + home + bank + epoch buffers).
+    pub(crate) tiles: EpochTiles<S>,
+    /// Per-tile activity flags for this epoch: an inactive tile is
+    /// skipped wholesale (closed-form park accounting only).
+    pub(crate) tile_active: *const bool,
+    pub(crate) gline: *const B,
+    pub(crate) tracer: *const Tracer<S>,
+    /// First cycle of the window.
+    pub(crate) start: Cycle,
+    /// Window length in cycles (`>= 1`).
+    pub(crate) window: u64,
+    pub(crate) active_set: bool,
+}
+
+/// One worker's per-epoch output, merged by the coordinator during the
+/// apply phase (ascending worker order). Allocations are reused across
+/// epochs.
+#[derive(Debug, Default)]
+pub(crate) struct EpochWorkerOut {
+    /// Latched `bar_reg` arrival writes, stamped with their free-run
+    /// cycle, in (tile, cycle) order within the shard.
+    pub(crate) latch: Vec<(Cycle, CoreId, CtxId, u64)>,
+    /// Spare latch storage handed to each tile's fresh shadow.
+    pub(crate) scratch: Vec<(Cycle, CoreId, CtxId, u64)>,
+    /// Scheduler-counter delta for this epoch (`ticks` stays zero; the
+    /// coordinator counts ticks).
+    pub(crate) sched: CoreSchedStats,
+    /// Busy-home tick visits performed in the free-run (the serial
+    /// `mem.tick`'s `home_visits` increments).
+    pub(crate) home_visits: u64,
+    /// Tile-delivery visits performed in the free-run (the serial
+    /// `mem.tick`'s `delivery_visits` increments).
+    pub(crate) delivery_visits: u64,
+}
+
+/// Everything the worker threads share for the lifetime of one
+/// epoch-protocol `run_with_workers` scope.
+pub(crate) struct EpochCtx<B: BarrierHw, S: TraceSink> {
+    /// The epoch's pointer snapshot (coordinator-written while all
+    /// workers are parked at the gate).
+    pub(crate) ptrs: UnsafeCell<EpochPtrs<B, S>>,
+    /// The rendezvous: per-worker doorbells plus one join barrier,
+    /// rung only for the workers whose shards have live tiles.
+    pub(crate) gate: EpochGate,
+    /// Shard `w`'s half-open tile range.
+    pub(crate) shards: Vec<(usize, usize)>,
+    /// Shard `w`'s output slot (worker-written during the free-run,
+    /// coordinator-drained during apply).
+    pub(crate) outs: Vec<UnsafeCell<EpochWorkerOut>>,
+}
+
+// SAFETY: same discipline as `CycleCtx`, with the gate in place of the
+// barrier — `ptrs`/`outs` are written by the coordinator only while
+// every worker is parked (before `open_epoch` / after `join`), workers
+// dereference disjoint shard ranges, and the tracer `Rc` is never
+// touched off the coordinator (`!S::ENABLED` gate).
+unsafe impl<B: BarrierHw, S: TraceSink> Sync for EpochCtx<B, S> {}
+
+impl<B: BarrierHw, S: TraceSink> EpochCtx<B, S> {
+    /// Builds the shared context for `shards.len()` participants.
+    /// `init` is a throwaway snapshot — workers never read `ptrs`
+    /// before the coordinator's first refresh.
+    pub(crate) fn new(shards: Vec<(usize, usize)>, init: EpochPtrs<B, S>) -> EpochCtx<B, S> {
+        let n = shards.len();
+        EpochCtx {
+            ptrs: UnsafeCell::new(init),
+            gate: EpochGate::new(n),
+            shards,
+            outs: (0..n)
+                .map(|_| UnsafeCell::new(EpochWorkerOut::default()))
+                .collect(),
+        }
+    }
+}
+
+/// The body of epoch worker `w` (`w >= 1`; the coordinator runs shard 0
+/// inline). Parks on its doorbell, free-runs its shard for the posted
+/// window, arrives at the join barrier, repeats until the gate closes.
+pub(crate) fn epoch_worker_loop<B: BarrierHw, S: TraceSink>(ctx: &EpochCtx<B, S>, w: usize) {
+    let mut seen = 0u64;
+    loop {
+        if ctx.gate.wait_for_ring(w, &mut seen) {
+            return;
+        }
+        let (lo, hi) = ctx.shards[w];
+        // SAFETY: between the ring and the join the coordinator does not
+        // touch `ptrs` or any shared machine state, shard ranges are
+        // disjoint, and `outs[w]` belongs to this worker.
+        unsafe {
+            epoch_shard_phase(&*ctx.ptrs.get(), lo, hi, &mut *ctx.outs[w].get());
+        }
+        ctx.gate.arrive();
+    }
+}
+
+/// Free-runs tiles `lo..hi` for the posted window — the multi-cycle
+/// mirror of [`shard_phase`], with the per-cycle frozen delivery flags
+/// replaced by each tile's stamped inbox, the lane by a per-cycle view
+/// of the whole tile (core phase, home-timer phase, delivery phase, in
+/// the serial `tick`/`mem.tick` order), and the single-cycle latch by a
+/// cycle-stamped one.
+///
+/// Inactive tiles are settled in closed form: a tile is only marked
+/// inactive when nothing can reach it and its core cannot act inside
+/// the window, so its whole contribution is `window` park-steps of the
+/// right flavor (or nothing at all, when the core has halted).
+///
+/// # Safety
+///
+/// Caller must uphold the [`EpochCtx`] phase discipline: `p` valid for
+/// the current epoch, `lo..hi` disjoint from every concurrent caller's
+/// range, `out` exclusively owned.
+pub(crate) unsafe fn epoch_shard_phase<B: BarrierHw, S: TraceSink>(
+    p: &EpochPtrs<B, S>,
+    lo: usize,
+    hi: usize,
+    out: &mut EpochWorkerOut,
+) {
+    let tracer = &*p.tracer;
+    let end = p.start + p.window;
+    for i in lo..hi {
+        if !*p.tile_active.add(i) {
+            if p.active_set {
+                let parked = &*p.parked.add(i);
+                let miss_parked = &*p.miss_parked.add(i);
+                if parked.is_some() || miss_parked.is_some() {
+                    out.sched.parked_steps += p.window;
+                } else if (*p.spin_parked.add(i)).is_some() {
+                    out.sched.spin_parked_steps += p.window;
+                }
+            }
+            continue;
+        }
+        let core = &mut *p.cores.add(i);
+        let prog = &*p.progs.add(i);
+        let mut tile = p.tiles.tile(i);
+        // A fresh shadow per tile: `set_now` must be monotone, and each
+        // tile walks the window on its own.
+        let mut gl = GlineShadow::new(&*p.gline, std::mem::take(&mut out.scratch));
+        let parked = &mut *p.parked.add(i);
+        let spin_parked = &mut *p.spin_parked.add(i);
+        let miss_parked = &mut *p.miss_parked.add(i);
+        for now in p.start..end {
+            gl.set_now(now);
+            // Phase A — the core, a verbatim mirror of the serial
+            // per-core ladder. The inbox front is this cycle's delivery
+            // predicate: pushes from this very cycle stamp `now` and
+            // mature at `now + 1`, so the predicate is stable across
+            // the whole cycle, exactly like the serial frozen flags.
+            let delivery = tile.has_delivery(now);
+            if p.active_set {
+                'core: {
+                    if let Some((wake, _)) = *parked {
+                        if now < wake {
+                            out.sched.parked_steps += 1;
+                            break 'core;
+                        }
+                        let (_, anchor) = parked.take().expect("checked above");
+                        core.ff_stall(now - anchor);
+                    }
+                    if let Some((plan, anchor)) = *spin_parked {
+                        if !delivery {
+                            out.sched.spin_parked_steps += 1;
+                            break 'core;
+                        }
+                        *spin_parked = None;
+                        let mut lane = tile.lane(now);
+                        core.ff_replay(plan, now, anchor, &mut lane);
+                    }
+                    if let Some(anchor) = *miss_parked {
+                        if !delivery {
+                            out.sched.parked_steps += 1;
+                            break 'core;
+                        }
+                        *miss_parked = None;
+                        core.ff_stall(now - anchor);
+                    }
+                    if core.halted() {
+                        break 'core;
+                    }
+                    let mut lane = tile.lane(now);
+                    if core.waiting_on_unscheduled_resp(&lane) && !delivery {
+                        debug_assert!(parked.is_none() && spin_parked.is_none());
+                        *miss_parked = Some(now);
+                        out.sched.parked_steps += 1;
+                        break 'core;
+                    }
+                    if !S::ENABLED && !delivery {
+                        if let Some(plan) = core.park_spin(prog, &lane, now) {
+                            debug_assert!(parked.is_none());
+                            *spin_parked = Some((plan, now));
+                            out.sched.spin_parked_steps += 1;
+                            break 'core;
+                        }
+                    }
+                    out.sched.core_steps += 1;
+                    core.step(prog, &mut lane, &mut gl, now, tracer);
+                    if let Some(wake) = core.park_until(&lane) {
+                        if wake > now + 1 {
+                            *parked = Some((wake, now + 1));
+                        }
+                    }
+                }
+            } else {
+                if !core.halted() {
+                    out.sched.core_steps += 1;
+                }
+                let mut lane = tile.lane(now);
+                core.step(prog, &mut lane, &mut gl, now, tracer);
+            }
+            tile.route(now, PHASE_CORE);
+            // Phase B — the home bank's timers (serial `mem.tick`'s
+            // busy-homes pass; an idle bank's tick is a no-op there,
+            // and its visit is not counted).
+            if tile.home_busy() {
+                out.home_visits += 1;
+                tile.tick_home(now);
+            }
+            // Phase C — inbox deliveries due this cycle (serial
+            // `mem.tick`'s delivery pass).
+            if tile.deliver(now) {
+                out.delivery_visits += 1;
+            }
+        }
+        let mut writes = gl.into_writes();
+        out.latch.append(&mut writes);
+        out.scratch = writes;
+    }
 }

@@ -1,0 +1,243 @@
+//! Per-tile buffers and views for the epoch-batched parallel engine
+//! (`DESIGN.md` §13).
+//!
+//! During an epoch the workers free-run whole *tiles* — core-facing L1,
+//! home bank, and memory bank together — for a multi-cycle window,
+//! entirely out of contact with the NoC. Two buffers per tile make that
+//! sound:
+//!
+//! * an **inbox** of cycle-stamped messages destined for this tile:
+//!   pre-drained NoC deliveries (stamped with the cycle they would be
+//!   handled serially, minus one) plus same-tile protocol messages the
+//!   free-run itself produces (serially these cross the NoC's local
+//!   bypass and are handled one cycle after the send). An entry stamped
+//!   `c` is handled at cycle `c + 1`, exactly when the serial engine
+//!   would hand it over.
+//! * an **outbox** of cycle-and-phase-stamped *remote* sends. These are
+//!   injected into the real NoC during the serialized apply phase, in
+//!   the exact global order the serial engine's immediate flushes
+//!   produce: ascending cycle, then phase (core requests, home-timer
+//!   sends, delivery-handling sends), then tile. Packet ids — and hence
+//!   all downstream NoC state — match the serial engine bit for bit.
+//!
+//! The window is sized by the coordinator so that no NoC delivery can
+//! mature mid-window and no in-window remote send can be handled before
+//! the window ends (see `sim-cmp`'s epoch driver); the buffers here are
+//! pure bookkeeping and contain no safety logic of their own.
+
+use crate::home::{HomeCtrl, Memory};
+use crate::l1::{L1Ctrl, OutMsg};
+use crate::lane::LaneMem;
+use crate::proto::ProtoMsg;
+use sim_base::trace::TraceSink;
+use sim_base::{CoreId, Cycle};
+use sim_noc::Message;
+use std::collections::VecDeque;
+
+/// Send-phase stamp: the serial core loop's immediate request flushes.
+pub const PHASE_CORE: u8 = 0;
+/// Send-phase stamp: home-bank timer ticks inside `mem.tick`.
+pub const PHASE_HOME: u8 = 1;
+/// Send-phase stamp: delivery handling inside `mem.tick`.
+pub const PHASE_DELIVER: u8 = 2;
+
+/// One tile's epoch buffers (see the module docs). Owned by the
+/// [`MemorySystem`](crate::MemorySystem); empty between epochs except
+/// for the fleeting moment between pre-drain and apply.
+#[derive(Debug, Default)]
+pub(crate) struct EpochTileBufs {
+    /// Stamped messages to be handled by this tile at `stamp + 1`.
+    pub(crate) inbox: VecDeque<(Cycle, Message<ProtoMsg>)>,
+    /// Stamped remote sends: `(cycle, phase, msg)`, ascending.
+    pub(crate) outbox: Vec<(Cycle, u8, OutMsg)>,
+    /// Same-tile sends consumed through the inbox this epoch — credited
+    /// to the NoC's `local_bypass` statistic at apply time.
+    pub(crate) locals: u64,
+}
+
+/// Raw access to every tile's epoch view, handed to the epoch engine
+/// once per epoch (see
+/// [`MemorySystem::epoch_tiles`](crate::MemorySystem::epoch_tiles)).
+///
+/// This is the aliasing seam of the epoch engine, the multi-cycle
+/// analogue of [`TileLanes`](crate::TileLanes).
+///
+/// # Safety contract
+///
+/// * Must not outlive the `&mut MemorySystem` borrow it was created
+///   from, and the memory system must not be used through any other
+///   path while tile views are live.
+/// * [`tile`](Self::tile)`(i)` may be called for each `i` **at most
+///   once per epoch**, from any thread, with distinct `i` handed to
+///   concurrent callers — the engine's shard partition (disjoint
+///   contiguous tile ranges) guarantees this.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochTiles<S: TraceSink> {
+    l1s: *mut L1Ctrl<S>,
+    homes: *mut HomeCtrl<S>,
+    mems: *mut Memory,
+    scratch: *mut Vec<OutMsg>,
+    bufs: *mut EpochTileBufs,
+    n: usize,
+}
+
+// SAFETY: the pointers target `Vec` storage owned by `MemorySystem`,
+// and the contract above restricts every dereference to disjoint
+// indices synchronized by the engine's epoch gate (which provides the
+// happens-before edges between epochs).
+unsafe impl<S: TraceSink> Send for EpochTiles<S> {}
+unsafe impl<S: TraceSink> Sync for EpochTiles<S> {}
+
+impl<S: TraceSink> EpochTiles<S> {
+    pub(crate) fn new(
+        l1s: *mut L1Ctrl<S>,
+        homes: *mut HomeCtrl<S>,
+        mems: *mut Memory,
+        scratch: *mut Vec<OutMsg>,
+        bufs: *mut EpochTileBufs,
+        n: usize,
+    ) -> EpochTiles<S> {
+        EpochTiles {
+            l1s,
+            homes,
+            mems,
+            scratch,
+            bufs,
+            n,
+        }
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the machine has no tiles (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Materializes tile `i`'s epoch view.
+    ///
+    /// # Safety
+    ///
+    /// Caller must uphold the struct-level contract: views of the same
+    /// `i` must never coexist, and the backing `MemorySystem` must be
+    /// otherwise unborrowed for the view's lifetime.
+    pub unsafe fn tile(&self, i: usize) -> EpochTile<'_, S> {
+        assert!(i < self.n, "tile index out of range");
+        EpochTile {
+            l1: &mut *self.l1s.add(i),
+            home: &mut *self.homes.add(i),
+            mem: &mut *self.mems.add(i),
+            scratch: &mut *self.scratch.add(i),
+            bufs: &mut *self.bufs.add(i),
+            tile: CoreId::from(i),
+        }
+    }
+}
+
+/// One tile's whole-tile view for an epoch free-run: its L1, home bank,
+/// memory bank, and epoch buffers. All methods take the *current
+/// free-run cycle* explicitly — the view spans many cycles and holds no
+/// clock of its own.
+#[derive(Debug)]
+pub struct EpochTile<'a, S: TraceSink> {
+    l1: &'a mut L1Ctrl<S>,
+    home: &'a mut HomeCtrl<S>,
+    mem: &'a mut Memory,
+    scratch: &'a mut Vec<OutMsg>,
+    bufs: &'a mut EpochTileBufs,
+    tile: CoreId,
+}
+
+impl<S: TraceSink> EpochTile<'_, S> {
+    /// The core-facing lane for cycle `now`. Route the lane's sends
+    /// with [`route`](Self::route)`(now, PHASE_CORE)` after the core
+    /// steps.
+    pub fn lane(&mut self, now: Cycle) -> LaneMem<'_, S> {
+        LaneMem::new(self.l1, self.scratch, self.tile, now)
+    }
+
+    /// Files every send the tile just produced: same-tile messages go
+    /// to the inbox stamped `now` (handled at `now + 1`, like the
+    /// serial local bypass), remote messages to the outbox stamped
+    /// `(now, phase)` for ordered injection at apply time.
+    pub fn route(&mut self, now: Cycle, phase: u8) {
+        for OutMsg { dst, msg } in self.scratch.drain(..) {
+            if dst == self.tile {
+                self.bufs.locals += 1;
+                self.bufs.inbox.push_back((
+                    now,
+                    Message {
+                        src: self.tile,
+                        dst,
+                        class: msg.class(),
+                        payload_bytes: msg.payload_bytes(),
+                        payload: msg,
+                    },
+                ));
+            } else {
+                self.bufs.outbox.push((now, phase, OutMsg { dst, msg }));
+            }
+        }
+    }
+
+    /// True when this tile's home bank has a transaction in flight —
+    /// the same predicate the serial tick's busy-homes work list
+    /// answers at the top of a cycle (core activity cannot change it
+    /// mid-cycle; banks only interact through the NoC, a cycle later).
+    pub fn home_busy(&self) -> bool {
+        self.home.is_busy()
+    }
+
+    /// Ticks the home bank's timers for cycle `now` and routes its
+    /// sends (phase [`PHASE_HOME`]).
+    pub fn tick_home(&mut self, now: Cycle) {
+        self.home.tick(now, self.mem, self.scratch);
+        self.route(now, PHASE_HOME);
+    }
+
+    /// True when the inbox holds a message to be handled at cycle
+    /// `now` — the epoch analogue of the per-cycle engine's frozen
+    /// delivery flag.
+    pub fn has_delivery(&self, now: Cycle) -> bool {
+        self.bufs
+            .inbox
+            .front()
+            .is_some_and(|&(stamp, _)| stamp + 1 == now)
+    }
+
+    /// Handles every inbox message due at cycle `now`, routing the
+    /// sends each one produces (phase [`PHASE_DELIVER`]). Returns true
+    /// when at least one message was handled — the serial
+    /// `delivery_visits` increment condition.
+    pub fn deliver(&mut self, now: Cycle) -> bool {
+        let mut any = false;
+        while let Some(&(stamp, _)) = self.bufs.inbox.front() {
+            debug_assert!(stamp + 1 >= now, "missed an inbox delivery");
+            if stamp + 1 != now {
+                break;
+            }
+            let (_, m) = self.bufs.inbox.pop_front().expect("checked non-empty");
+            any = true;
+            if m.payload.for_home() {
+                self.home
+                    .handle(m.src, m.payload, now, self.mem, self.scratch);
+            } else {
+                self.l1.handle(m.payload, now, self.scratch);
+            }
+            self.route(now, PHASE_DELIVER);
+        }
+        any
+    }
+
+    /// True when the tile has no tile-local work of its own: an empty
+    /// inbox and an idle home bank. A passive tile whose core is also
+    /// parked or halted does nothing for a whole window (nothing can
+    /// reach it mid-window), which is what lets its shard skip the
+    /// epoch.
+    pub fn is_passive(&self) -> bool {
+        self.bufs.inbox.is_empty() && !self.home.is_busy()
+    }
+}

@@ -65,6 +65,19 @@ pub struct LaneMem<'a, S: TraceSink> {
     now: Cycle,
 }
 
+impl<'a, S: TraceSink> LaneMem<'a, S> {
+    /// Assembles a lane from its parts (shared with the epoch engine's
+    /// per-tile views, which construct a fresh lane per free-run cycle).
+    pub(crate) fn new(
+        l1: &'a mut L1Ctrl<S>,
+        out: &'a mut Vec<OutMsg>,
+        tile: CoreId,
+        now: Cycle,
+    ) -> LaneMem<'a, S> {
+        LaneMem { l1, out, tile, now }
+    }
+}
+
 impl<S: TraceSink> CoreMem for LaneMem<'_, S> {
     fn request(&mut self, core: CoreId, req: CoreReq) {
         debug_assert_eq!(core, self.tile, "cross-tile request through a lane");

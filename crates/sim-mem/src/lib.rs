@@ -42,12 +42,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod epoch;
 pub mod home;
 pub mod l1;
 pub mod lane;
 pub mod proto;
 pub mod system;
 
+pub use epoch::{EpochTile, EpochTiles, PHASE_CORE, PHASE_DELIVER, PHASE_HOME};
 pub use lane::{CoreMem, LaneMem, TileLanes};
 pub use proto::{CoreReq, CoreResp, ProtoMsg};
 pub use system::{MemSchedStats, MemorySystem};

@@ -1,22 +1,24 @@
-//! Determinism of the sharded-tick parallel engine.
+//! Determinism of the parallel engines.
 //!
-//! `System::run_with_workers` (see `DESIGN.md` §11) partitions the
-//! tiles across worker threads and advances each cycle in a parallel
-//! compute phase plus a serialized exchange phase. Its correctness
-//! contract is the strongest in the simulator: a parallel run is
-//! **bit-identical** to the serial engine — same
-//! [`sim_cmp::SystemReport`], same architectural memory, same skip and
-//! scheduler statistics — for *every* worker count, every workload
-//! family, every barrier flavour, and every combination of the
-//! cycle-skipping and active-set schedulers. Traced systems fall back
-//! to the serial engine (the event stream is defined by the serial
-//! interleaving), and the worker count may change between calls
+//! `System::run_with_workers` partitions the tiles across worker
+//! threads and advances the machine under one of two rendezvous
+//! protocols: the epoch-batched free-run engine (`DESIGN.md` §13, the
+//! default) or the per-cycle sharded tick (`DESIGN.md` §11,
+//! [`sim_cmp::SyncProtocol::PerCycle`]). The correctness contract is
+//! the strongest in the simulator: a parallel run is **bit-identical**
+//! to the serial engine — same [`sim_cmp::SystemReport`], same
+//! architectural memory, same skip and scheduler statistics — for
+//! *every* worker count, *both* protocols, every workload family,
+//! every barrier flavour, and every combination of the cycle-skipping
+//! and active-set schedulers. Traced systems fall back to the serial
+//! engine (the event stream is defined by the serial interleaving),
+//! and both the worker count and the protocol may change between calls
 //! mid-run without perturbing the machine.
 
 use sim_base::config::CmpConfig;
 use sim_base::trace::{ChromeTraceSink, Tracer};
 use sim_cmp::runtime::BarrierKind;
-use sim_cmp::{System, SystemReport};
+use sim_cmp::{SyncProtocol, System, SystemReport};
 use sim_trace::TraceSet;
 use workloads::common::Workload;
 use workloads::{em3d, livermore, ocean, synthetic, unstructured};
@@ -335,5 +337,166 @@ fn replay_mid_run_worker_count_switching_is_invariant() {
         exec.report(),
         switched.report(),
         "switched replay diverged from exec"
+    );
+}
+
+/// The legacy per-cycle protocol remains available behind
+/// [`SyncProtocol::PerCycle`] and keeps the full invariant on every
+/// barrier flavour. (All tests above exercise the epoch protocol — the
+/// default — so together the two pin both rendezvous paths.)
+#[test]
+fn per_cycle_protocol_parallel_invariant() {
+    for kind in BarrierKind::ALL {
+        assert_parallel_invariant_with(&synthetic::build(8, kind, 4), |sys| {
+            sys.set_sync_protocol(SyncProtocol::PerCycle)
+        });
+    }
+    assert_parallel_invariant_with(
+        &synthetic::build_imbalanced(8, BarrierKind::Csw, 3, 300),
+        |sys| sys.set_sync_protocol(SyncProtocol::PerCycle),
+    );
+}
+
+/// Epoch boundary stress: contended CSW keeps protocol traffic in
+/// flight nearly every cycle, so almost every window is clamped by an
+/// imminent cross-shard delivery maturation or by the earliest
+/// possible send plus the minimum NoC latency. With skipping and the
+/// active set disabled the free-run also takes its dense branch, and
+/// the apply phase's debug assertions (which run in this build) verify
+/// no stamped message or latch write is ever replayed outside its
+/// cycle.
+#[test]
+fn epoch_windows_clamped_by_imminent_deliveries() {
+    let w = synthetic::build(8, BarrierKind::Csw, 4);
+    for (skip, active) in [(true, true), (false, true), (true, false), (false, false)] {
+        assert_parallel_invariant_with(&w, |sys| {
+            sys.set_skip_enabled(skip);
+            sys.set_active_set_enabled(active);
+        });
+    }
+}
+
+/// The full protocol × cycle-skip × active-set matrix, exec mode: each
+/// cell drives a different combination of window clamps, shard-phase
+/// branches, and rendezvous machinery.
+#[test]
+fn protocol_toggle_matrix_parallel_invariant() {
+    let w = synthetic::build_imbalanced(8, BarrierKind::Gl, 2, 200);
+    for proto in [SyncProtocol::Epoch, SyncProtocol::PerCycle] {
+        for (skip, active) in [(false, true), (true, false), (false, false)] {
+            assert_parallel_invariant_with(&w, |sys| {
+                sys.set_sync_protocol(proto);
+                sys.set_skip_enabled(skip);
+                sys.set_active_set_enabled(active);
+            });
+        }
+    }
+}
+
+/// Replay mode under the same protocol × scheduler matrix: the epoch
+/// engine's replay halt bounds (`ops - rp_op`) and the per-cycle
+/// engine must both land on the serial replay bit-for-bit.
+#[test]
+fn replay_protocol_toggle_matrix_parallel_invariant() {
+    let w = synthetic::build_imbalanced(8, BarrierKind::Csw, 2, 200);
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+    let set = record_set(&w);
+    for proto in [SyncProtocol::Epoch, SyncProtocol::PerCycle] {
+        for active in [true, false] {
+            let mut serial = System::replay(cfg, &set);
+            serial.set_sync_protocol(proto);
+            serial.set_active_set_enabled(active);
+            serial.run(50_000_000).expect("serial replay must complete");
+            for workers in [2usize, 3, 8] {
+                let mut par = System::replay(cfg, &set);
+                par.set_sync_protocol(proto);
+                par.set_active_set_enabled(active);
+                par.run_with_workers(50_000_000, workers)
+                    .expect("parallel replay must complete");
+                assert_eq!(
+                    serial.report(),
+                    par.report(),
+                    "replay {proto:?} active={active} @ {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+/// The protocol may change between `advance_until_with_workers` calls
+/// mid-run — together with a changing worker count — without moving
+/// the machine: epochs are cut at each segment horizon, so a segment
+/// boundary is always an epoch boundary.
+#[test]
+fn mid_run_protocol_switching_is_invariant() {
+    let w = synthetic::build_imbalanced(8, BarrierKind::Csw, 3, 300);
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+    let mut switched = w.into_system(cfg);
+    let rotation = [
+        (SyncProtocol::Epoch, 4usize),
+        (SyncProtocol::PerCycle, 3),
+        (SyncProtocol::Epoch, 8),
+        (SyncProtocol::PerCycle, 2),
+        (SyncProtocol::Epoch, 1),
+    ];
+    let mut i = 0usize;
+    while !switched.all_halted() {
+        let (proto, workers) = rotation[i % rotation.len()];
+        switched.set_sync_protocol(proto);
+        let until = switched.now() + 1_100;
+        switched.advance_until_with_workers(until, workers);
+        i += 1;
+        assert!(i < 50_000, "protocol-switched run livelocked");
+    }
+    let mut serial = w.into_system(cfg);
+    serial.run(50_000_000).unwrap();
+    assert_eq!(serial.now(), switched.now(), "switching changed cycles");
+    assert_eq!(serial.report(), switched.report(), "switching diverges");
+}
+
+/// Scheduling statistics are themselves deterministic (modulo wakeups,
+/// which depend on host thread timing), and the epoch protocol
+/// actually batches: far fewer barrier crossings than cycles, and far
+/// fewer than the per-cycle protocol on the same workload.
+#[test]
+fn epoch_sync_stats_deterministic_and_batched() {
+    let w = synthetic::build(8, BarrierKind::Csw, 4);
+    let cfg = CmpConfig::icpp2010_with_cores(8);
+    let run = |proto: SyncProtocol| {
+        let mut sys = w.into_system(cfg);
+        sys.set_sync_protocol(proto);
+        sys.run_with_workers(50_000_000, 4).unwrap();
+        sys.sync_stats()
+    };
+    let a = run(SyncProtocol::Epoch);
+    let b = run(SyncProtocol::Epoch);
+    assert_eq!(a.epochs, b.epochs, "epoch count must be deterministic");
+    assert_eq!(
+        a.par_cycles, b.par_cycles,
+        "par cycles must be deterministic"
+    );
+    assert_eq!(a.crossings, b.crossings, "crossings must be deterministic");
+    assert_eq!(
+        a.shard_epochs_skipped, b.shard_epochs_skipped,
+        "skipped shard-epochs must be deterministic"
+    );
+    assert!(a.epochs > 0, "no epochs executed");
+    assert!(
+        a.crossings <= a.epochs,
+        "at most one barrier crossing per epoch"
+    );
+    assert!(a.mean_epoch_len() >= 1.0, "epochs advance at least a cycle");
+
+    let pc = run(SyncProtocol::PerCycle);
+    assert_eq!(pc.epochs, 0, "per-cycle protocol runs no epochs");
+    assert_eq!(
+        a.par_cycles, pc.par_cycles,
+        "both protocols tick the same cycles"
+    );
+    assert!(
+        pc.crossings > a.crossings,
+        "epoch batching must reduce barrier crossings ({} vs {})",
+        a.crossings,
+        pc.crossings
     );
 }
