@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod lint;
 pub mod sweep;
 pub mod validate;
 

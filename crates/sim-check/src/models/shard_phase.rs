@@ -1,0 +1,362 @@
+//! Model mirrors of the sharded engines' phase protocols.
+//!
+//! These transcribe the *synchronization skeleton* of
+//! `sim-cmp::par` — who writes what, between which rendezvous — onto
+//! the modeled primitives, with the machine state abstracted to labeled
+//! [`RaceCell`]s:
+//!
+//! * the `Ptrs`/`EpochPtrs` snapshot becomes one cell, written by the
+//!   coordinator while every worker is parked and read by workers
+//!   inside their phase;
+//! * each tile's shard-local state (core + L1 lane) becomes one cell,
+//!   written only by the shard that owns it during compute/free-run and
+//!   read by the coordinator during exchange/apply (the `mem.tick`
+//!   analog);
+//! * each worker's `WorkerOut` slot becomes one cell carrying the
+//!   shard's latched write *sequence*, drained by the coordinator in
+//!   ascending worker order.
+//!
+//! Because every cell access is race-checked against the vector clocks
+//! induced by the barrier/gate, a missing happens-before edge anywhere
+//! in the protocol fails the exploration. The latch sequences make the
+//! *linearization* claim checkable: concatenating the per-worker
+//! sequences in ascending worker order must reproduce the serial
+//! engine's ascending-tile order exactly (shards are contiguous and
+//! ascending, so any wrong merge order or lost/duplicated latch entry
+//! breaks the equality).
+
+// The `for t in lo..hi` range loops below transcribe the real worker
+// loops' shard sweeps verbatim; rewriting them as iterator chains would
+// cost the line-by-line correspondence the mirrors exist for.
+#![allow(clippy::needless_range_loop)]
+
+use crate::models::{ModelEpochGate, ModelSpinBarrier};
+use crate::sync::{spawn, AtomicBool, RaceCell};
+use sim_base::shard::shard_ranges;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Upper bound on tiles per scenario (latch sequences are fixed-size
+/// `Copy` arrays so they can live in a [`RaceCell`]).
+const MAX_TILES: usize = 8;
+
+/// A shard's latched write sequence: values in shard program order.
+type Latch = ([u64; MAX_TILES], usize);
+
+/// What one tile's model state holds after a shard pass over cycle (or
+/// epoch) `now`: distinct per (now, tile) so stale or misrouted writes
+/// are distinguishable from correct ones.
+fn tile_value(now: u64, tile: usize) -> u64 {
+    now * 100 + tile as u64 + 1
+}
+
+/// Runs the per-cycle compute/exchange protocol of
+/// `System::run_with_workers` + `worker_loop` under the explorer:
+/// `workers` participants (the calling model thread is the
+/// coordinator/shard 0, as in the real engine), `tiles` tiles
+/// partitioned by the real `shard_ranges`, `cycles` simulated cycles.
+///
+/// Must be called inside [`Explorer::check`](crate::Explorer::check).
+/// Asserts, every cycle: the merged latch sequence equals the serial
+/// ascending-tile order, and every tile holds its expected value when
+/// the coordinator reads it during the exchange.
+pub fn run_cycle_protocol(
+    workers: usize,
+    tiles: usize,
+    cycles: u64,
+    spin_limit: u32,
+    broken_barrier: bool,
+) {
+    assert!(workers >= 1 && tiles <= MAX_TILES && tiles >= workers);
+    let shards = shard_ranges(tiles, workers);
+    let barrier = Arc::new(if broken_barrier {
+        ModelSpinBarrier::new_broken_late_reset(workers, spin_limit)
+    } else {
+        ModelSpinBarrier::new(workers, spin_limit)
+    });
+    let stop = Arc::new(AtomicBool::new(false, "ctx.stop"));
+    let ptrs = Arc::new(RaceCell::new(0u64, "ctx.ptrs"));
+    let lanes: Arc<Vec<RaceCell<u64>>> = Arc::new(
+        (0..tiles)
+            .map(|t| RaceCell::new(0u64, &format!("lane[{t}]")))
+            .collect(),
+    );
+    let outs: Arc<Vec<RaceCell<Latch>>> = Arc::new(
+        (0..workers)
+            .map(|w| RaceCell::new(([0; MAX_TILES], 0), &format!("out[{w}]")))
+            .collect(),
+    );
+
+    // Mirror of `shard_phase`, abstracted: step every owned tile
+    // against the frozen snapshot, latching in shard program order.
+    let compute = |w: usize,
+                   lo: usize,
+                   hi: usize,
+                   lanes: &[RaceCell<u64>],
+                   outs: &[RaceCell<Latch>],
+                   ptrs: &RaceCell<u64>| {
+        let now = ptrs.get();
+        let mut latch: Latch = ([0; MAX_TILES], 0);
+        for t in lo..hi {
+            let v = tile_value(now, t);
+            lanes[t].set(v);
+            latch.0[latch.1] = v;
+            latch.1 += 1;
+        }
+        outs[w].set(latch);
+    };
+
+    // Mirror of `worker_loop`: park at the release barrier, check the
+    // stop flag, compute the shard, park at the join barrier.
+    let handles: Vec<_> = (1..workers)
+        .map(|w| {
+            let (barrier, stop, ptrs) = (barrier.clone(), stop.clone(), ptrs.clone());
+            let (lanes, outs) = (lanes.clone(), outs.clone());
+            let (lo, hi) = shards[w];
+            spawn(&format!("worker{w}"), move || {
+                let mut sense = false;
+                loop {
+                    barrier.wait(&mut sense);
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    compute(w, lo, hi, &lanes, &outs, &ptrs);
+                    barrier.wait(&mut sense);
+                }
+            })
+        })
+        .collect();
+
+    // Mirror of the coordinator loop in `run_with_workers`.
+    let mut sense = false;
+    for now in 1..=cycles {
+        // Refresh the snapshot while every worker is parked at the
+        // release barrier (before the first cycle: parked at their
+        // first wait; later: parked since the previous join).
+        ptrs.set(now);
+        barrier.wait(&mut sense); // release
+        let (lo, hi) = shards[0];
+        compute(0, lo, hi, &lanes, &outs, &ptrs);
+        barrier.wait(&mut sense); // join
+                                  // Exchange: drain worker outputs in ascending worker order —
+                                  // the real engine's merge order — and compare against the
+                                  // serial engine's ascending-tile order.
+        let mut merged: Vec<u64> = Vec::new();
+        for out in outs.iter() {
+            let (vals, len) = out.get();
+            merged.extend_from_slice(&vals[..len]);
+        }
+        let serial: Vec<u64> = (0..tiles).map(|t| tile_value(now, t)).collect();
+        assert_eq!(merged, serial, "exchange merge diverged from serial order");
+        // The shared-state advance (`mem.tick` analog): the coordinator
+        // touches every tile — legal only because the join barrier
+        // ordered it after all compute writes.
+        for (t, lane) in lanes.iter().enumerate() {
+            assert_eq!(lane.get(), tile_value(now, t));
+        }
+    }
+    stop.store(true, Ordering::Release);
+    barrier.wait(&mut sense); // final release: workers observe stop
+    for h in handles {
+        h.join();
+    }
+}
+
+/// One unrolled cycle of the compute/exchange protocol: release
+/// barrier → shard compute → join barrier → exchange, without the
+/// worker loop's stop-flag crossing. Everything the steady-state cycle
+/// shares is here (snapshot publication, disjoint lane writes, latch
+/// merge, the coordinator's full-machine sweep); what is *not* covered
+/// — loop reuse of the barrier and the stop protocol — is checked
+/// exhaustively at 2 workers by [`run_cycle_protocol`] and at 2–4
+/// participants by the bare-primitive suites. The split exists because
+/// a third barrier crossing at 3+ workers pushes the exhaustive state
+/// space out of reach (`DESIGN.md` §14).
+///
+/// Must be called inside [`Explorer::check`](crate::Explorer::check).
+pub fn run_cycle_protocol_once(workers: usize, tiles: usize, spin_limit: u32) {
+    assert!(workers >= 1 && tiles <= MAX_TILES && tiles >= workers);
+    let shards = shard_ranges(tiles, workers);
+    let barrier = Arc::new(ModelSpinBarrier::new(workers, spin_limit));
+    let ptrs = Arc::new(RaceCell::new(0u64, "ctx.ptrs"));
+    let lanes: Arc<Vec<RaceCell<u64>>> = Arc::new(
+        (0..tiles)
+            .map(|t| RaceCell::new(0u64, &format!("lane[{t}]")))
+            .collect(),
+    );
+    let outs: Arc<Vec<RaceCell<Latch>>> = Arc::new(
+        (0..workers)
+            .map(|w| RaceCell::new(([0; MAX_TILES], 0), &format!("out[{w}]")))
+            .collect(),
+    );
+    let compute = |w: usize,
+                   lo: usize,
+                   hi: usize,
+                   lanes: &[RaceCell<u64>],
+                   outs: &[RaceCell<Latch>],
+                   ptrs: &RaceCell<u64>| {
+        let now = ptrs.get();
+        let mut latch: Latch = ([0; MAX_TILES], 0);
+        for t in lo..hi {
+            let v = tile_value(now, t);
+            lanes[t].set(v);
+            latch.0[latch.1] = v;
+            latch.1 += 1;
+        }
+        outs[w].set(latch);
+    };
+    let handles: Vec<_> = (1..workers)
+        .map(|w| {
+            let (barrier, ptrs) = (barrier.clone(), ptrs.clone());
+            let (lanes, outs) = (lanes.clone(), outs.clone());
+            let (lo, hi) = shards[w];
+            spawn(&format!("worker{w}"), move || {
+                let mut sense = false;
+                barrier.wait(&mut sense);
+                compute(w, lo, hi, &lanes, &outs, &ptrs);
+                barrier.wait(&mut sense);
+            })
+        })
+        .collect();
+    let mut sense = false;
+    ptrs.set(1);
+    barrier.wait(&mut sense); // release
+    let (lo, hi) = shards[0];
+    compute(0, lo, hi, &lanes, &outs, &ptrs);
+    barrier.wait(&mut sense); // join
+    let mut merged: Vec<u64> = Vec::new();
+    for out in outs.iter() {
+        let (vals, len) = out.get();
+        merged.extend_from_slice(&vals[..len]);
+    }
+    let serial: Vec<u64> = (0..tiles).map(|t| tile_value(1, t)).collect();
+    assert_eq!(merged, serial, "exchange merge diverged from serial order");
+    for (t, lane) in lanes.iter().enumerate() {
+        assert_eq!(lane.get(), tile_value(1, t));
+    }
+    for h in handles {
+        h.join();
+    }
+}
+
+/// Runs the epoch free-run/apply protocol of `run_epochs_parallel` +
+/// `epoch_worker_loop` under the explorer: `workers` participants (the
+/// calling model thread is the coordinator/shard 0), `tiles` tiles,
+/// one epoch per entry of `schedule` — entry `e` lists which workers
+/// (index ≥ 1; index 0 is ignored, as in `EpochGate::open_epoch`) are
+/// rung for that epoch.
+///
+/// Must be called inside [`Explorer::check`](crate::Explorer::check).
+/// Asserts, every epoch: rung shards' latch sequences merge (ascending
+/// worker order) to the serial ascending-tile order over participating
+/// tiles; every participating tile holds its epoch value at apply time;
+/// and **no tile of an un-rung worker moved** — together with race
+/// detection this is the "parked workers stay parked" claim.
+pub fn run_epoch_protocol(
+    workers: usize,
+    tiles: usize,
+    schedule: &[Vec<bool>],
+    spin_limit: u32,
+    broken_ring: bool,
+) {
+    assert!(workers >= 1 && tiles <= MAX_TILES && tiles >= workers);
+    let shards = shard_ranges(tiles, workers);
+    let gate = Arc::new(if broken_ring {
+        ModelEpochGate::new_broken_unlocked_ring(workers, spin_limit)
+    } else {
+        ModelEpochGate::new(workers, spin_limit)
+    });
+    let ptrs = Arc::new(RaceCell::new(0u64, "ctx.ptrs"));
+    let cells: Arc<Vec<RaceCell<u64>>> = Arc::new(
+        (0..tiles)
+            .map(|t| RaceCell::new(0u64, &format!("tile[{t}]")))
+            .collect(),
+    );
+    let outs: Arc<Vec<RaceCell<Latch>>> = Arc::new(
+        (0..workers)
+            .map(|w| RaceCell::new(([0; MAX_TILES], 0), &format!("out[{w}]")))
+            .collect(),
+    );
+
+    // Mirror of `epoch_shard_phase`, abstracted: free-run every owned
+    // tile over the posted window, latching in shard program order.
+    let free_run = |w: usize,
+                    lo: usize,
+                    hi: usize,
+                    cells: &[RaceCell<u64>],
+                    outs: &[RaceCell<Latch>],
+                    ptrs: &RaceCell<u64>| {
+        let ep = ptrs.get();
+        let mut latch: Latch = ([0; MAX_TILES], 0);
+        for t in lo..hi {
+            let v = tile_value(ep, t);
+            cells[t].set(v);
+            latch.0[latch.1] = v;
+            latch.1 += 1;
+        }
+        outs[w].set(latch);
+    };
+
+    // Mirror of `epoch_worker_loop`: park on the doorbell, free-run,
+    // arrive at the join latch.
+    let handles: Vec<_> = (1..workers)
+        .map(|w| {
+            let (gate, ptrs) = (gate.clone(), ptrs.clone());
+            let (cells, outs) = (cells.clone(), outs.clone());
+            let (lo, hi) = shards[w];
+            spawn(&format!("worker{w}"), move || {
+                let mut seen = 0u64;
+                loop {
+                    if gate.wait_for_ring(w, &mut seen) {
+                        return;
+                    }
+                    free_run(w, lo, hi, &cells, &outs, &ptrs);
+                    gate.arrive();
+                }
+            })
+        })
+        .collect();
+
+    // Mirror of the coordinator loop in `run_epochs_parallel`.
+    let mut expect: Vec<u64> = vec![0; tiles];
+    for (e, active) in schedule.iter().enumerate() {
+        assert_eq!(active.len(), workers);
+        assert!(!active[0], "active[0] is the coordinator; never rung");
+        let ep = e as u64 + 1;
+        let rung = active[1..].iter().filter(|&&a| a).count();
+        // Publish the epoch snapshot while every worker is parked
+        // (before its first ring / since its last arrive), then open.
+        ptrs.set(ep);
+        gate.open_epoch(active);
+        // The coordinator free-runs its own shard inline.
+        let (lo, hi) = shards[0];
+        free_run(0, lo, hi, &cells, &outs, &ptrs);
+        gate.join(rung);
+        // Apply: merge rung shards ascending (coordinator first), as
+        // the real drain does, and compare with the serial order over
+        // exactly the participating tiles.
+        let mut merged: Vec<u64> = Vec::new();
+        let mut serial: Vec<u64> = Vec::new();
+        for w in 0..workers {
+            if w == 0 || active[w] {
+                let (vals, len) = outs[w].get();
+                merged.extend_from_slice(&vals[..len]);
+                let (lo, hi) = shards[w];
+                for t in lo..hi {
+                    serial.push(tile_value(ep, t));
+                    expect[t] = tile_value(ep, t);
+                }
+            }
+        }
+        assert_eq!(merged, serial, "apply merge diverged from serial order");
+        // Every tile — participating or not — holds exactly its
+        // expected value; un-rung shards must not have moved.
+        for (t, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.get(), expect[t], "tile {t} after epoch {ep}");
+        }
+    }
+    gate.close();
+    for h in handles {
+        h.join();
+    }
+}

@@ -1,0 +1,934 @@
+//! The interleaving explorer: serialized model threads, a DFS over
+//! schedules, and sleep-set (DPOR-family) pruning.
+//!
+//! # Execution model
+//!
+//! Model threads run on real OS threads, but **exactly one runs at a
+//! time**: every visible operation (atomic access, mutex lock/unlock,
+//! condvar wait/notify, [`RaceCell`](crate::sync::RaceCell) access,
+//! spawn/join) is a *scheduling point*. At each point the acting thread
+//! declares its pending operation and hands control to the scheduler,
+//! which picks the next thread to run — following the replay script of
+//! the current schedule, or branching into a fresh one. Between visible
+//! operations a thread runs ordinary Rust code while every other thread
+//! is parked, so executions are fully deterministic and replayable.
+//!
+//! # Exploration
+//!
+//! The explorer performs a depth-first search over schedules. Each
+//! decision point records the set of enabled threads; after an
+//! execution completes, the deepest decision with an untried
+//! alternative is advanced and the prefix replayed. Pruning uses
+//! *sleep sets* (Godefroid): once a thread's continuation has been
+//! fully explored from a state, that thread is put to sleep for the
+//! sibling subtrees and only woken by a *dependent* operation —
+//! two operations are dependent when they touch the same object and at
+//! least one mutates it. Combined with branching over every enabled
+//! thread this visits every Mazurkiewicz trace at least once (so every
+//! reachable state, deadlock, race, and assertion failure is found)
+//! while skipping schedules that only reorder independent operations.
+//!
+//! An optional *preemption bound* (CHESS-style) caps how many times a
+//! schedule may switch away from a runnable thread; with the bound hit
+//! the search is no longer exhaustive and the report says so.
+//!
+//! # Verdicts
+//!
+//! An execution ends in one of: completion, *deadlock* (live threads,
+//! none enabled — this is how lost wakeups surface), *data race*
+//! (vector-clock epoch violation on a `RaceCell`), *assertion panic*
+//! (any panic in model code), or *step-limit exhaustion* (livelock
+//! guard). The first violating schedule is reported with its full
+//! interleaving trace.
+
+use crate::vc::VecClock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Model-thread id (0 is the scenario's root thread).
+pub(crate) type Tid = usize;
+/// Model-object id (atomics, mutexes, condvars, cells, thread tokens).
+pub(crate) type ObjId = usize;
+
+/// How long a parked OS thread or the harness waits before declaring
+/// the checker itself wedged. Generous: this only fires on an internal
+/// checker bug, never on a model deadlock (those are detected
+/// logically, not by timeout).
+const WEDGE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Visible-operation kinds, the alphabet of the dependence relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// First scheduling point of a spawned thread (runs no user code
+    /// before it).
+    Start,
+    /// Atomic load.
+    ALoad,
+    /// Atomic store.
+    AStore,
+    /// Atomic read-modify-write.
+    ARmw,
+    /// Mutex acquisition (also a woken condvar waiter's reacquire).
+    Lock,
+    /// Mutex release.
+    Unlock,
+    /// Atomic unlock-and-block on a condvar.
+    CvWait,
+    /// Condvar notify (one or all).
+    Notify,
+    /// `RaceCell` read.
+    CellRead,
+    /// `RaceCell` write.
+    CellWrite,
+    /// Join on another model thread.
+    Join,
+    /// A thread's final scheduling point.
+    Finish,
+}
+
+impl OpKind {
+    /// Read-only operations are mutually independent on the same
+    /// object.
+    fn is_read(self) -> bool {
+        matches!(self, OpKind::ALoad | OpKind::CellRead)
+    }
+}
+
+/// One visible operation: kind plus the object(s) it touches
+/// (`CvWait` touches both the condvar and the guard mutex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Op {
+    pub(crate) kind: OpKind,
+    pub(crate) obj: ObjId,
+    pub(crate) obj2: Option<ObjId>,
+}
+
+impl Op {
+    pub(crate) fn new(kind: OpKind, obj: ObjId) -> Op {
+        Op {
+            kind,
+            obj,
+            obj2: None,
+        }
+    }
+
+    fn touches(&self, id: ObjId) -> bool {
+        self.obj == id || self.obj2 == Some(id)
+    }
+}
+
+/// The dependence relation for sleep-set pruning: two operations
+/// conflict when they share an object and are not both reads.
+/// Conservative over-approximation is safe (it only costs pruning).
+pub(crate) fn conflicts(a: &Op, b: &Op) -> bool {
+    let both_reads = a.kind.is_read() && b.kind.is_read();
+    if both_reads {
+        return false;
+    }
+    [Some(a.obj), a.obj2]
+        .into_iter()
+        .flatten()
+        .any(|id| b.touches(id))
+}
+
+/// Model-thread lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TState {
+    /// Parked at a scheduling point with a declared pending op.
+    AtPoint,
+    /// Holding the turn, executing user code.
+    Running,
+    /// Blocked on a model condvar (no pending op until notified).
+    BlockedCv,
+    /// User closure returned; `Finish` op executed.
+    Finished,
+    /// Unwound by an execution abort (or a panic already reported).
+    Dead,
+}
+
+/// Per-model-thread bookkeeping.
+#[derive(Debug)]
+pub(crate) struct ThreadSt {
+    pub(crate) state: TState,
+    pub(crate) pending: Option<Op>,
+    pub(crate) vc: VecClock,
+    pub(crate) final_vc: Option<VecClock>,
+    pub(crate) name: String,
+    /// The thread's token object (spawn/join/finish dependence anchor).
+    pub(crate) token: ObjId,
+}
+
+/// Kernel-side state of one model object.
+#[derive(Debug)]
+pub(crate) enum ObjState {
+    /// An atomic cell: current value plus its release clock.
+    Atomic { val: u64, vc: VecClock },
+    /// A mutex: holder plus its release clock.
+    Mutex { held: Option<Tid>, vc: VecClock },
+    /// A condvar: blocked waiters `(tid, guard mutex)` in FIFO order.
+    Condvar { waiters: Vec<(Tid, ObjId)> },
+    /// A racy data cell: last-write epoch plus unordered read epochs.
+    Cell {
+        write: Option<(Tid, u64)>,
+        reads: Vec<(Tid, u64)>,
+    },
+    /// A thread token (spawn/join/finish dependence anchor).
+    Token,
+}
+
+/// One registered model object.
+#[derive(Debug)]
+pub(crate) struct Obj {
+    pub(crate) state: ObjState,
+    pub(crate) label: String,
+}
+
+/// Why an execution stopped.
+#[derive(Debug, Clone)]
+pub(crate) enum Outcome {
+    /// All threads finished.
+    Done,
+    /// Sleep-set pruned: every continuation is covered elsewhere.
+    Pruned,
+    /// A violation was found; exploration stops.
+    Violation(Violation),
+}
+
+/// The kind of property violation found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Live threads remain but none is enabled (includes lost wakeups:
+    /// a waiter whose notify was dropped blocks forever).
+    Deadlock,
+    /// Unsynchronized conflicting accesses to a
+    /// [`RaceCell`](crate::sync::RaceCell).
+    DataRace,
+    /// Model code panicked (assertion failure).
+    Panic,
+    /// The per-execution step budget was exhausted (livelock guard).
+    StepLimit,
+}
+
+/// A property violation plus the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Human-readable detail (panic message, racing accesses, …).
+    pub detail: String,
+    /// The violating interleaving, one rendered line per visible op.
+    pub trace: Vec<String>,
+}
+
+/// The result of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub executions: u64,
+    /// Schedules abandoned by sleep-set pruning.
+    pub pruned: u64,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+    /// True when the search space was fully explored (budget not
+    /// exhausted and no preemption bound was ever hit).
+    pub complete: bool,
+    /// True when the preemption bound restricted at least one decision.
+    pub bound_hit: bool,
+}
+
+impl Report {
+    /// Panics with the violating trace unless the exploration was clean
+    /// **and** complete.
+    pub fn assert_ok(&self) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "sim-check violation ({:?}): {}\ntrace:\n  {}",
+                v.kind,
+                v.detail,
+                v.trace.join("\n  ")
+            );
+        }
+        assert!(
+            self.complete,
+            "sim-check exploration incomplete (executions={}, pruned={})",
+            self.executions, self.pruned
+        );
+    }
+}
+
+/// One decision point of the current DFS path.
+#[derive(Debug)]
+struct Node {
+    /// Threads this node branches over (enabled minus sleeping, after
+    /// any preemption-bound restriction), ascending.
+    options: Vec<Tid>,
+    /// Pending op of each option at this node.
+    ops: Vec<Op>,
+    /// Options explored so far, in order; the last is in flight.
+    tried: Vec<Tid>,
+    /// The sleep set inherited on entry.
+    sleep_in: Vec<(Tid, Op)>,
+}
+
+impl Node {
+    fn op_of(&self, tid: Tid) -> Op {
+        let i = self
+            .options
+            .iter()
+            .position(|&t| t == tid)
+            .expect("tried thread not among options");
+        self.ops[i]
+    }
+
+    fn chosen(&self) -> Tid {
+        *self.tried.last().expect("node with no choice")
+    }
+}
+
+/// Exploration limits and knobs.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Hard cap on executed schedules; exceeding it makes the report
+    /// incomplete rather than running forever.
+    pub max_executions: u64,
+    /// Per-execution visible-op budget (livelock guard).
+    pub max_steps: usize,
+    /// CHESS-style preemption bound; `None` explores exhaustively.
+    pub preemption_bound: Option<u32>,
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer {
+            max_executions: 4_000_000,
+            max_steps: 50_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+/// Per-execution mutable state.
+pub(crate) struct Exec {
+    pub(crate) threads: Vec<ThreadSt>,
+    pub(crate) objs: Vec<Obj>,
+    pub(crate) active: Option<Tid>,
+    pub(crate) step: usize,
+    trace: Vec<(Tid, Op)>,
+    cur_sleep: Vec<(Tid, Op)>,
+    preemptions: u32,
+    pub(crate) outcome: Option<Outcome>,
+    pub(crate) abort: bool,
+    /// Model threads whose pooled OS bodies have not returned yet; the
+    /// harness waits for zero before resetting for the next execution
+    /// (the pool's replacement for joining per-execution handles).
+    inflight: usize,
+}
+
+impl Exec {
+    fn new() -> Exec {
+        Exec {
+            threads: Vec::new(),
+            objs: Vec::new(),
+            active: None,
+            step: 0,
+            trace: Vec::new(),
+            cur_sleep: Vec::new(),
+            preemptions: 0,
+            outcome: None,
+            abort: false,
+            inflight: 0,
+        }
+    }
+
+    fn enabled(&self, tid: Tid) -> bool {
+        let t = &self.threads[tid];
+        if t.state != TState::AtPoint {
+            return false;
+        }
+        match t.pending.expect("AtPoint thread without pending op") {
+            Op {
+                kind: OpKind::Lock,
+                obj,
+                ..
+            } => match &self.objs[obj].state {
+                ObjState::Mutex { held, .. } => held.is_none(),
+                _ => unreachable!("Lock on non-mutex"),
+            },
+            Op {
+                kind: OpKind::Join,
+                obj,
+                ..
+            } => self
+                .threads
+                .iter()
+                .any(|t| t.token == obj && t.state == TState::Finished),
+            _ => true,
+        }
+    }
+
+    fn render_op(&self, tid: Tid, op: &Op) -> String {
+        let name = &self.threads[tid].name;
+        let obj = &self.objs[op.obj].label;
+        match op.obj2 {
+            Some(o2) => format!(
+                "T{tid}({name}) {:?} {obj} / {}",
+                op.kind, self.objs[o2].label
+            ),
+            None => format!("T{tid}({name}) {:?} {obj}", op.kind),
+        }
+    }
+
+    fn render_trace(&self) -> Vec<String> {
+        self.trace
+            .iter()
+            .map(|(tid, op)| self.render_op(*tid, op))
+            .collect()
+    }
+}
+
+/// The shared engine: one lock, one condvar, everything inside.
+pub(crate) struct Engine {
+    pub(crate) m: Mutex<State>,
+    pub(crate) cv: Condvar,
+}
+
+/// Everything behind the engine lock.
+pub(crate) struct State {
+    pub(crate) exec: Exec,
+    path: Vec<Node>,
+    executions: u64,
+    pruned: u64,
+    bound_hit: bool,
+    opts: Explorer,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Engine>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Marker payload for abort-unwinding parked threads.
+pub(crate) struct Aborted;
+
+/// The panic payload used to unwind a model thread during an abort.
+pub(crate) fn abort_payload() -> Aborted {
+    Aborted
+}
+
+pub(crate) fn current() -> (Arc<Engine>, Tid) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("sim-check primitive used outside Explorer::check")
+    })
+}
+
+pub(crate) fn lock_engine(engine: &Engine) -> MutexGuard<'_, State> {
+    lock(engine)
+}
+
+pub(crate) fn wait_engine<'a>(
+    engine: &'a Engine,
+    g: MutexGuard<'a, State>,
+) -> MutexGuard<'a, State> {
+    wait(engine, g)
+}
+
+fn lock(engine: &Engine) -> MutexGuard<'_, State> {
+    // Poisoning is expected during aborts (threads unwind while other
+    // threads hold no inconsistent state); recover the guard.
+    engine
+        .m
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn wait<'a>(engine: &'a Engine, g: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    let (g, timeout) = engine
+        .cv
+        .wait_timeout(g, WEDGE_TIMEOUT)
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert!(!timeout.timed_out(), "sim-check internal wedge (bug)");
+    g
+}
+
+/// Registers a model object from the running thread; allocation order
+/// is deterministic because execution is serialized.
+pub(crate) fn alloc_obj(state: ObjState, label: impl Into<String>) -> ObjId {
+    let (engine, _) = current();
+    let mut st = lock(&engine);
+    let id = st.exec.objs.len();
+    st.exec.objs.push(Obj {
+        state,
+        label: label.into(),
+    });
+    id
+}
+
+/// Mutates an object's kernel state from op-execution code.
+pub(crate) fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
+    let (engine, _) = current();
+    let mut st = lock(&engine);
+    f(&mut st)
+}
+
+/// Raises a violation from op-execution code (e.g. a detected race),
+/// then unwinds the calling thread.
+pub(crate) fn raise_violation(kind: ViolationKind, detail: String) -> ! {
+    let (engine, tid) = current();
+    {
+        let mut st = lock(&engine);
+        if st.exec.outcome.is_none() {
+            let trace = st.exec.render_trace();
+            st.exec.outcome = Some(Outcome::Violation(Violation {
+                kind,
+                detail,
+                trace,
+            }));
+        }
+        st.exec.abort = true;
+        st.exec.threads[tid].state = TState::Dead;
+        st.exec.active = None;
+        engine.cv.notify_all();
+    }
+    std::panic::panic_any(Aborted);
+}
+
+/// Declares `op` as the calling thread's next visible operation, hands
+/// control to the scheduler, and returns once the operation has been
+/// *granted* (chosen by the schedule). The caller then executes the
+/// operation's semantics via [`with_state`] and continues running.
+pub(crate) fn yield_op(op: Op) {
+    let (engine, me) = current();
+    let mut st = lock(&engine);
+    if st.exec.abort {
+        drop(st);
+        std::panic::panic_any(Aborted);
+    }
+    st.exec.threads[me].pending = Some(op);
+    st.exec.threads[me].state = TState::AtPoint;
+    if st.exec.active == Some(me) {
+        st.exec.active = None;
+        schedule_next(&mut st, Some(me));
+        engine.cv.notify_all();
+    } else {
+        // A freshly spawned thread declaring its Start op: the parent
+        // holds the turn and is waiting for this declaration.
+        engine.cv.notify_all();
+    }
+    park_for_grant(&engine, st, me);
+}
+
+/// Parks until the scheduler grants this thread's pending op (used by
+/// both [`yield_op`] and the condvar-wakeup path, where the pending op
+/// is installed by the notifier).
+pub(crate) fn park_for_grant<'a>(engine: &'a Engine, mut st: MutexGuard<'a, State>, me: Tid) {
+    loop {
+        if st.exec.abort {
+            drop(st);
+            std::panic::panic_any(Aborted);
+        }
+        if st.exec.active == Some(me) {
+            break;
+        }
+        st = wait(engine, st);
+    }
+    st.exec.threads[me].pending = None;
+    st.exec.threads[me].state = TState::Running;
+}
+
+/// Hands the turn off without declaring a new op (the caller just
+/// blocked or finished). `declarer` is `None`: switching away from a
+/// blocked thread is not a preemption.
+pub(crate) fn hand_off() {
+    let (engine, _) = current();
+    let mut st = lock(&engine);
+    if st.exec.abort {
+        drop(st);
+        std::panic::panic_any(Aborted);
+    }
+    st.exec.active = None;
+    schedule_next(&mut st, None);
+    engine.cv.notify_all();
+}
+
+/// The scheduler: picks the next thread at a decision point. Called
+/// with the lock held, `exec.active == None`.
+fn schedule_next(st: &mut State, declarer: Option<Tid>) {
+    debug_assert!(st.exec.active.is_none());
+    if st.exec.outcome.is_some() {
+        return;
+    }
+    let enabled: Vec<Tid> = (0..st.exec.threads.len())
+        .filter(|&t| st.exec.enabled(t))
+        .collect();
+    if enabled.is_empty() {
+        let live = st.exec.threads.iter().any(|t| {
+            matches!(
+                t.state,
+                TState::AtPoint | TState::BlockedCv | TState::Running
+            )
+        });
+        if live {
+            let detail = st
+                .exec
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.state, TState::Finished | TState::Dead))
+                .map(|(i, t)| format!("T{i}({}) {:?}", t.name, t.state))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let trace = st.exec.render_trace();
+            st.exec.outcome = Some(Outcome::Violation(Violation {
+                kind: ViolationKind::Deadlock,
+                detail: format!("no enabled thread; live: {detail}"),
+                trace,
+            }));
+            st.exec.abort = true;
+        } else {
+            st.exec.outcome = Some(Outcome::Done);
+        }
+        return;
+    }
+
+    let depth = st.exec.step;
+    let chosen = if depth < st.path.len() {
+        // Replay: follow the scripted choice and rebuild the sleep set.
+        let node = &st.path[depth];
+        let c = node.chosen();
+        assert!(
+            enabled.contains(&c),
+            "sim-check replay divergence: T{c} not enabled (bug)"
+        );
+        c
+    } else {
+        // Fresh decision point.
+        let sleeping: Vec<Tid> = st.exec.cur_sleep.iter().map(|&(t, _)| t).collect();
+        let mut options: Vec<Tid> = enabled
+            .iter()
+            .copied()
+            .filter(|t| !sleeping.contains(t))
+            .collect();
+        if options.is_empty() {
+            // Everything enabled is asleep: all continuations are
+            // covered by sibling subtrees.
+            st.exec.outcome = Some(Outcome::Pruned);
+            st.exec.abort = true;
+            st.pruned += 1;
+            return;
+        }
+        if let (Some(bound), Some(d)) = (st.opts.preemption_bound, declarer) {
+            if st.exec.preemptions >= bound && options.contains(&d) {
+                options = vec![d];
+                st.bound_hit = true;
+            }
+        }
+        let ops: Vec<Op> = options
+            .iter()
+            .map(|&t| st.exec.threads[t].pending.expect("enabled without pending"))
+            .collect();
+        let c = options[0];
+        st.path.push(Node {
+            options,
+            ops,
+            tried: vec![c],
+            sleep_in: st.exec.cur_sleep.clone(),
+        });
+        c
+    };
+
+    // Sleep-set propagation into the chosen child: inherited sleepers
+    // plus previously-explored siblings, minus anything dependent on
+    // the op we are about to execute.
+    let node = &st.path[depth];
+    let chosen_op = node.op_of(chosen);
+    let mut sleep = node.sleep_in.clone();
+    for &t in &node.tried {
+        if t == chosen {
+            break;
+        }
+        sleep.push((t, node.op_of(t)));
+    }
+    sleep.retain(|(t, op)| *t != chosen && !conflicts(op, &chosen_op));
+    st.exec.cur_sleep = sleep;
+
+    if let Some(d) = declarer {
+        if chosen != d && enabled.contains(&d) {
+            st.exec.preemptions += 1;
+        }
+    }
+    st.exec.trace.push((chosen, chosen_op));
+    st.exec.step += 1;
+    if st.exec.step > st.opts.max_steps {
+        let trace = st.exec.render_trace();
+        st.exec.outcome = Some(Outcome::Violation(Violation {
+            kind: ViolationKind::StepLimit,
+            detail: format!("execution exceeded {} visible ops", st.opts.max_steps),
+            trace,
+        }));
+        st.exec.abort = true;
+        return;
+    }
+    st.exec.active = Some(chosen);
+}
+
+/// Registers a new model thread (called by `spawn` with the turn held),
+/// returning `(tid, token object id)`.
+pub(crate) fn register_thread(name: String, parent: Option<Tid>) -> (Tid, ObjId) {
+    let (engine, _) = current();
+    let mut st = lock(&engine);
+    let tid = st.exec.threads.len();
+    let mut vc = match parent {
+        Some(p) => {
+            let pv = st.exec.threads[p].vc.clone();
+            st.exec.threads[p].vc.bump(p);
+            pv
+        }
+        None => VecClock::new(),
+    };
+    vc.bump(tid);
+    let token = st.exec.objs.len();
+    st.exec.objs.push(Obj {
+        state: ObjState::Token,
+        label: format!("thread:{name}"),
+    });
+    st.exec.threads.push(ThreadSt {
+        state: TState::Running, // becomes AtPoint at its Start op
+        pending: None,
+        vc,
+        final_vc: None,
+        name,
+        token,
+    });
+    (tid, token)
+}
+
+/// A process-global pool of reusable OS threads. Exploration runs one
+/// short-lived model-thread body per model thread per execution —
+/// easily millions per test — and handing a parked worker the next body
+/// is an order of magnitude cheaper than a fresh `thread::spawn` each
+/// time. Workers never die; a worker whose job is blocked never blocks
+/// dispatch (an empty pool spawns a fresh worker).
+mod pool {
+    use std::sync::mpsc::{channel, Sender};
+    use std::sync::Mutex;
+
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    static IDLE: Mutex<Vec<Sender<Job>>> = Mutex::new(Vec::new());
+
+    fn idle() -> std::sync::MutexGuard<'static, Vec<Sender<Job>>> {
+        IDLE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs `job` on an idle pooled worker, spawning one if none is
+    /// parked; the worker re-registers itself once the job returns.
+    pub(super) fn run(job: Job) {
+        if let Some(tx) = idle().pop() {
+            tx.send(job).expect("pooled worker channel closed");
+            return;
+        }
+        let (tx, rx) = channel::<Job>();
+        tx.send(job).expect("fresh pooled worker channel");
+        let tx2 = tx.clone();
+        std::thread::Builder::new()
+            .name("sim-check-worker".into())
+            .spawn(move || loop {
+                let Ok(job) = rx.recv() else { return };
+                // Jobs contain their own catch_unwind (`run_thread`);
+                // this one only guards the pool against a future job
+                // type that leaks a panic.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                idle().push(tx2.clone());
+            })
+            .expect("spawn pooled worker");
+    }
+}
+
+/// Launches a model thread's body on the pool, tracked by the
+/// execution's in-flight count.
+pub(crate) fn dispatch_thread(
+    engine: &Arc<Engine>,
+    tid: Tid,
+    token: ObjId,
+    f: impl FnOnce() + Send + 'static,
+) {
+    {
+        let mut st = lock(engine);
+        st.exec.inflight += 1;
+    }
+    let eng = engine.clone();
+    pool::run(Box::new(move || {
+        run_thread(eng.clone(), tid, token, f);
+        let mut st = lock(&eng);
+        st.exec.inflight -= 1;
+        eng.cv.notify_all();
+    }));
+}
+
+/// The body wrapper every model OS thread runs.
+pub(crate) fn run_thread(engine: Arc<Engine>, tid: Tid, token: ObjId, f: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((engine.clone(), tid)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // First scheduling point: no user code before the Start grant.
+        yield_op(Op::new(OpKind::Start, token));
+        with_state(|st| st.exec.threads[tid].vc.bump(tid));
+        f();
+        // Final scheduling point: Finish, then hand off for good.
+        yield_op(Op::new(OpKind::Finish, token));
+        with_state(|st| {
+            st.exec.threads[tid].vc.bump(tid);
+            let vc = st.exec.threads[tid].vc.clone();
+            st.exec.threads[tid].final_vc = Some(vc);
+            st.exec.threads[tid].state = TState::Finished;
+        });
+        hand_off();
+    }));
+    match result {
+        Ok(()) => {}
+        Err(payload) => {
+            if payload.downcast_ref::<Aborted>().is_some() {
+                let mut st = lock(&engine);
+                st.exec.threads[tid].state = TState::Dead;
+                engine.cv.notify_all();
+            } else {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                let mut st = lock(&engine);
+                if st.exec.outcome.is_none() {
+                    let trace = st.exec.render_trace();
+                    st.exec.outcome = Some(Outcome::Violation(Violation {
+                        kind: ViolationKind::Panic,
+                        detail: format!("thread T{tid} panicked: {msg}"),
+                        trace,
+                    }));
+                }
+                st.exec.abort = true;
+                st.exec.threads[tid].state = TState::Dead;
+                st.exec.active = None;
+                engine.cv.notify_all();
+            }
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Explorer {
+    /// Explores every schedule of `scenario` (up to the configured
+    /// budget/bound). The scenario runs once per schedule as model
+    /// thread 0; it creates model objects, spawns model threads, and
+    /// asserts its invariants with ordinary `assert!`s.
+    pub fn check(&self, scenario: impl Fn() + Send + Sync + 'static) -> Report {
+        // Abort-unwinds are control flow, not failures: keep the
+        // default panic hook from spamming a backtrace for every
+        // pruned/aborted execution (a real model panic still prints).
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<Aborted>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
+        let engine = Arc::new(Engine {
+            m: Mutex::new(State {
+                exec: Exec::new(),
+                path: Vec::new(),
+                executions: 0,
+                pruned: 0,
+                bound_hit: false,
+                opts: self.clone(),
+            }),
+            cv: Condvar::new(),
+        });
+        let scenario = Arc::new(scenario);
+        loop {
+            // Fresh execution.
+            {
+                let mut st = lock(&engine);
+                st.exec = Exec::new();
+                st.executions += 1;
+            }
+            let scen = scenario.clone();
+            // Root-thread registration needs a thread-local context.
+            CURRENT.with(|c| *c.borrow_mut() = Some((engine.clone(), usize::MAX)));
+            let (tid0, token0) = register_thread("main".to_string(), None);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            debug_assert_eq!(tid0, 0);
+            {
+                let mut st = lock(&engine);
+                st.exec.active = Some(tid0);
+            }
+            dispatch_thread(&engine, tid0, token0, move || scen());
+            // Wait for the execution to settle, then for every model
+            // OS body to return (completion and abort both unwind
+            // everything), so the reset below cannot race a straggler.
+            let mut st = lock(&engine);
+            let outcome = loop {
+                if let Some(o) = st.exec.outcome.clone() {
+                    break o;
+                }
+                st = wait(&engine, st);
+            };
+            while st.exec.inflight != 0 {
+                st = wait(&engine, st);
+            }
+            if let Outcome::Violation(v) = outcome {
+                return Report {
+                    executions: st.executions,
+                    pruned: st.pruned,
+                    violation: Some(v),
+                    complete: false,
+                    bound_hit: st.bound_hit,
+                };
+            }
+            if st.executions >= st.opts.max_executions {
+                return Report {
+                    executions: st.executions,
+                    pruned: st.pruned,
+                    violation: None,
+                    complete: false,
+                    bound_hit: st.bound_hit,
+                };
+            }
+            // Backtrack to the deepest decision with an untried option.
+            let advanced = loop {
+                match st.path.last_mut() {
+                    None => break false,
+                    Some(node) => {
+                        let next = node
+                            .options
+                            .iter()
+                            .copied()
+                            .find(|t| !node.tried.contains(t));
+                        match next {
+                            Some(t) => {
+                                node.tried.push(t);
+                                break true;
+                            }
+                            None => {
+                                st.path.pop();
+                            }
+                        }
+                    }
+                }
+            };
+            if !advanced {
+                return Report {
+                    executions: st.executions,
+                    pruned: st.pruned,
+                    violation: None,
+                    complete: !st.bound_hit,
+                    bound_hit: st.bound_hit,
+                };
+            }
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! Modeled synchronization primitives: drop-in lookalikes of
+//! `std::sync::atomic`, `Mutex`, and `Condvar` whose every operation is
+//! a scheduling point of the [explorer](crate::Explorer), plus
+//! [`RaceCell`] for plain shared data under vector-clock race
+//! detection, and [`spawn`]/[`JoinHandle`] for model threads.
+//!
+//! Semantics notes (documented deviations from the hardware/libstd):
+//!
+//! * Atomics are sequentially consistent in *value* (the interleaving
+//!   is explicit), but memory-`Ordering` arguments still matter: they
+//!   drive the happens-before edges used by race detection. `Relaxed`
+//!   operations exchange no clocks; acquire-flavored reads join the
+//!   object's release clock; release-flavored writes publish into it.
+//!   Release clocks accumulate across writers (release-sequence
+//!   semantics, slightly conservative for plain `Release` stores).
+//! * `Condvar` has no spurious wakeups: a wait returns only after a
+//!   notify. A `notify_one` with no parked waiter is a no-op — exactly
+//!   the semantics that make *lost wakeups* observable as deadlocks.
+//! * `Condvar::wait` releases the mutex and blocks atomically (as the
+//!   real one does); the reacquire after wakeup is its own scheduling
+//!   point.
+
+use crate::sched::{
+    alloc_obj, current, hand_off, park_for_grant, raise_violation, with_state, yield_op, ObjId,
+    ObjState, Op, OpKind, TState, ViolationKind,
+};
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering;
+
+fn acquire_flavored(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn release_flavored(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Shared raw-atomic core: a `u64` slot in the kernel.
+#[derive(Debug)]
+struct RawAtomic {
+    id: ObjId,
+}
+
+impl RawAtomic {
+    fn new(val: u64, label: &str) -> RawAtomic {
+        RawAtomic {
+            id: alloc_obj(
+                ObjState::Atomic {
+                    val,
+                    vc: crate::vc::VecClock::new(),
+                },
+                label,
+            ),
+        }
+    }
+
+    fn load(&self, ord: Ordering) -> u64 {
+        yield_op(Op::new(OpKind::ALoad, self.id));
+        let (_, me) = current();
+        with_state(|st| {
+            let (val, ovc) = match &st.exec.objs[self.id].state {
+                ObjState::Atomic { val, vc } => (*val, vc.clone()),
+                _ => unreachable!("atomic op on non-atomic"),
+            };
+            if acquire_flavored(ord) {
+                st.exec.threads[me].vc.join(&ovc);
+            }
+            st.exec.threads[me].vc.bump(me);
+            val
+        })
+    }
+
+    fn store(&self, v: u64, ord: Ordering) {
+        yield_op(Op::new(OpKind::AStore, self.id));
+        let (_, me) = current();
+        with_state(|st| {
+            let tvc = st.exec.threads[me].vc.clone();
+            match &mut st.exec.objs[self.id].state {
+                ObjState::Atomic { val, vc } => {
+                    *val = v;
+                    if release_flavored(ord) {
+                        vc.join(&tvc);
+                    }
+                }
+                _ => unreachable!("atomic op on non-atomic"),
+            }
+            st.exec.threads[me].vc.bump(me);
+        });
+    }
+
+    fn rmw(&self, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        yield_op(Op::new(OpKind::ARmw, self.id));
+        let (_, me) = current();
+        with_state(|st| {
+            let ovc = match &st.exec.objs[self.id].state {
+                ObjState::Atomic { vc, .. } => vc.clone(),
+                _ => unreachable!("atomic op on non-atomic"),
+            };
+            if acquire_flavored(ord) {
+                st.exec.threads[me].vc.join(&ovc);
+            }
+            let tvc = st.exec.threads[me].vc.clone();
+            let old = match &mut st.exec.objs[self.id].state {
+                ObjState::Atomic { val, vc } => {
+                    let old = *val;
+                    *val = f(old);
+                    if release_flavored(ord) {
+                        vc.join(&tvc);
+                    }
+                    old
+                }
+                _ => unreachable!("atomic op on non-atomic"),
+            };
+            st.exec.threads[me].vc.bump(me);
+            old
+        })
+    }
+}
+
+/// Modeled `AtomicU64`.
+#[derive(Debug)]
+pub struct AtomicU64(RawAtomic);
+
+impl AtomicU64 {
+    /// A fresh atomic with a diagnostic label (shown in violation
+    /// traces).
+    pub fn new(v: u64, label: &str) -> AtomicU64 {
+        AtomicU64(RawAtomic::new(v, label))
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> u64 {
+        self.0.load(ord)
+    }
+
+    /// Atomic store.
+    pub fn store(&self, v: u64, ord: Ordering) {
+        self.0.store(v, ord)
+    }
+
+    /// Atomic add, returning the previous value.
+    pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        self.0.rmw(ord, |x| x.wrapping_add(v))
+    }
+
+    /// Atomic subtract, returning the previous value.
+    pub fn fetch_sub(&self, v: u64, ord: Ordering) -> u64 {
+        self.0.rmw(ord, |x| x.wrapping_sub(v))
+    }
+
+    /// Atomic swap, returning the previous value.
+    pub fn swap(&self, v: u64, ord: Ordering) -> u64 {
+        self.0.rmw(ord, |_| v)
+    }
+}
+
+/// Modeled `AtomicUsize`.
+#[derive(Debug)]
+pub struct AtomicUsize(RawAtomic);
+
+impl AtomicUsize {
+    /// A fresh atomic with a diagnostic label.
+    pub fn new(v: usize, label: &str) -> AtomicUsize {
+        AtomicUsize(RawAtomic::new(v as u64, label))
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.0.load(ord) as usize
+    }
+
+    /// Atomic store.
+    pub fn store(&self, v: usize, ord: Ordering) {
+        self.0.store(v as u64, ord)
+    }
+
+    /// Atomic add, returning the previous value.
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        self.0.rmw(ord, |x| x.wrapping_add(v as u64)) as usize
+    }
+
+    /// Atomic subtract, returning the previous value.
+    pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+        self.0.rmw(ord, |x| x.wrapping_sub(v as u64)) as usize
+    }
+}
+
+/// Modeled `AtomicBool`.
+#[derive(Debug)]
+pub struct AtomicBool(RawAtomic);
+
+impl AtomicBool {
+    /// A fresh atomic with a diagnostic label.
+    pub fn new(v: bool, label: &str) -> AtomicBool {
+        AtomicBool(RawAtomic::new(u64::from(v), label))
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.0.load(ord) != 0
+    }
+
+    /// Atomic store.
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.0.store(u64::from(v), ord)
+    }
+}
+
+/// Modeled `Mutex<T>`. The payload lives host-side; access is
+/// serialized by the model's hold-exclusivity (asserted in the kernel).
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: ObjId,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the payload is only reachable through `lock()`, and the
+// kernel enforces at most one holder at a time; the explorer runs at
+// most one model thread at any instant, and hand-offs go through the
+// engine mutex, which provides the host-level happens-before edges.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex<T>` only exposes the payload through the
+// single-holder `lock()` protocol.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// A fresh mutex with a diagnostic label.
+    pub fn new(data: T, label: &str) -> Mutex<T> {
+        Mutex {
+            id: alloc_obj(
+                ObjState::Mutex {
+                    held: None,
+                    vc: crate::vc::VecClock::new(),
+                },
+                label,
+            ),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Blocks until the mutex is acquired (a scheduling point; the
+    /// explorer only grants the op when the mutex is free).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        yield_op(Op::new(OpKind::Lock, self.id));
+        let (_, me) = current();
+        with_state(|st| {
+            let ovc = match &mut st.exec.objs[self.id].state {
+                ObjState::Mutex { held, vc } => {
+                    assert!(held.is_none(), "mutex granted while held (bug)");
+                    *held = Some(me);
+                    vc.clone()
+                }
+                _ => unreachable!("lock on non-mutex"),
+            };
+            st.exec.threads[me].vc.join(&ovc);
+            st.exec.threads[me].vc.bump(me);
+        });
+        MutexGuard { m: self }
+    }
+}
+
+/// RAII guard for a modeled [`Mutex`]; releasing it is a scheduling
+/// point.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    m: &'a Mutex<T>,
+}
+
+impl<T> MutexGuard<'_, T> {
+    fn unlock_op(&self) {
+        yield_op(Op::new(OpKind::Unlock, self.m.id));
+        let (_, me) = current();
+        with_state(|st| {
+            let tvc = st.exec.threads[me].vc.clone();
+            match &mut st.exec.objs[self.m.id].state {
+                ObjState::Mutex { held, vc } => {
+                    assert_eq!(*held, Some(me), "unlock by non-holder (bug)");
+                    *held = None;
+                    vc.join(&tvc);
+                }
+                _ => unreachable!("unlock on non-mutex"),
+            }
+            st.exec.threads[me].vc.bump(me);
+        });
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the kernel guarantees this thread is the unique
+        // holder for the guard's lifetime.
+        unsafe { &*self.m.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — unique holder.
+        unsafe { &mut *self.m.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // During an abort (or a model assertion failure) the guard is
+        // dropped while unwinding; performing a scheduling point there
+        // would panic inside a panic. The execution is being torn down
+        // wholesale, so skipping the model unlock is sound.
+        if std::thread::panicking() {
+            return;
+        }
+        self.unlock_op();
+    }
+}
+
+/// Modeled `Condvar`. No spurious wakeups; `notify_one` with no parked
+/// waiter is a no-op (this is what makes lost wakeups detectable).
+#[derive(Debug)]
+pub struct Condvar {
+    id: ObjId,
+}
+
+impl Condvar {
+    /// A fresh condvar with a diagnostic label.
+    pub fn new(label: &str) -> Condvar {
+        Condvar {
+            id: alloc_obj(
+                ObjState::Condvar {
+                    waiters: Vec::new(),
+                },
+                label,
+            ),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified;
+    /// reacquires before returning (its own scheduling point).
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.m;
+        // The release is part of the CvWait op; forget the guard so its
+        // Drop does not issue a second unlock.
+        std::mem::forget(guard);
+        yield_op(Op {
+            kind: OpKind::CvWait,
+            obj: self.id,
+            obj2: Some(mutex.id),
+        });
+        let (engine, me) = current();
+        with_state(|st| {
+            let tvc = st.exec.threads[me].vc.clone();
+            match &mut st.exec.objs[mutex.id].state {
+                ObjState::Mutex { held, vc } => {
+                    assert_eq!(*held, Some(me), "cv wait without holding the mutex");
+                    *held = None;
+                    vc.join(&tvc);
+                }
+                _ => unreachable!("cv wait guard on non-mutex"),
+            }
+            match &mut st.exec.objs[self.id].state {
+                ObjState::Condvar { waiters } => waiters.push((me, mutex.id)),
+                _ => unreachable!("cv wait on non-condvar"),
+            }
+            st.exec.threads[me].state = TState::BlockedCv;
+            st.exec.threads[me].vc.bump(me);
+        });
+        hand_off();
+        // Park until a notifier re-arms us with a Lock op and the
+        // scheduler grants it.
+        {
+            let st = crate::sched::lock_engine(&engine);
+            park_for_grant(&engine, st, me);
+        }
+        // Granted: perform the reacquire.
+        with_state(|st| {
+            let ovc = match &mut st.exec.objs[mutex.id].state {
+                ObjState::Mutex { held, vc } => {
+                    assert!(held.is_none(), "cv reacquire granted while held (bug)");
+                    *held = Some(me);
+                    vc.clone()
+                }
+                _ => unreachable!(),
+            };
+            st.exec.threads[me].vc.join(&ovc);
+            st.exec.threads[me].vc.bump(me);
+        });
+        MutexGuard { m: mutex }
+    }
+
+    /// Wakes the longest-parked waiter, if any (FIFO — a documented
+    /// determinism restriction of the model).
+    pub fn notify_one(&self) {
+        self.notify(false)
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.notify(true)
+    }
+
+    fn notify(&self, all: bool) {
+        yield_op(Op::new(OpKind::Notify, self.id));
+        let (_, me) = current();
+        with_state(|st| {
+            let woken: Vec<(crate::sched::Tid, ObjId)> = match &mut st.exec.objs[self.id].state {
+                ObjState::Condvar { waiters } => {
+                    if all {
+                        std::mem::take(waiters)
+                    } else if waiters.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![waiters.remove(0)]
+                    }
+                }
+                _ => unreachable!("notify on non-condvar"),
+            };
+            for (t, m) in woken {
+                debug_assert_eq!(st.exec.threads[t].state, TState::BlockedCv);
+                st.exec.threads[t].state = TState::AtPoint;
+                st.exec.threads[t].pending = Some(Op::new(OpKind::Lock, m));
+            }
+            st.exec.threads[me].vc.bump(me);
+        });
+    }
+}
+
+/// Plain shared data under vector-clock data-race detection: any pair
+/// of unordered conflicting accesses (at least one write, no
+/// happens-before edge between them) fails the execution with
+/// [`ViolationKind::DataRace`]. This is what "no data race on
+/// tile-disjoint lanes" is checked with.
+#[derive(Debug)]
+pub struct RaceCell<T> {
+    id: ObjId,
+    val: UnsafeCell<T>,
+}
+
+// SAFETY: the explorer runs at most one model thread at a time and
+// every access goes through a scheduling point, so host-level accesses
+// to `val` are serialized (races are detected *logically* via vector
+// clocks, not by actual unsynchronized access).
+unsafe impl<T: Send> Send for RaceCell<T> {}
+// SAFETY: as above — accesses are kernel-serialized; `Sync` exposes no
+// unserialized path to `val`.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    /// A fresh cell with a diagnostic label.
+    pub fn new(val: T, label: &str) -> RaceCell<T> {
+        RaceCell {
+            id: alloc_obj(
+                ObjState::Cell {
+                    write: None,
+                    reads: Vec::new(),
+                },
+                label,
+            ),
+            val: UnsafeCell::new(val),
+        }
+    }
+
+    /// Reads the cell (a racy read if unordered with the last write).
+    pub fn get(&self) -> T {
+        yield_op(Op::new(OpKind::CellRead, self.id));
+        let (_, me) = current();
+        let race: Option<String> = with_state(|st| {
+            let tvc = st.exec.threads[me].vc.clone();
+            let label = st.exec.objs[self.id].label.clone();
+            match &mut st.exec.objs[self.id].state {
+                ObjState::Cell { write, reads } => {
+                    if let Some((wt, wc)) = *write {
+                        if wt != me && tvc.get(wt) < wc {
+                            return Some(format!(
+                                "read of {label} by T{me} races with write by T{wt}"
+                            ));
+                        }
+                    }
+                    let epoch = tvc.get(me);
+                    match reads.iter_mut().find(|(t, _)| *t == me) {
+                        Some(r) => r.1 = epoch,
+                        None => reads.push((me, epoch)),
+                    }
+                    None
+                }
+                _ => unreachable!("cell op on non-cell"),
+            }
+        });
+        if let Some(detail) = race {
+            raise_violation(ViolationKind::DataRace, detail);
+        }
+        with_state(|st| st.exec.threads[me].vc.bump(me));
+        // SAFETY: model threads are serialized; the race above is a
+        // logical finding, not a host-level one.
+        unsafe { *self.val.get() }
+    }
+
+    /// Writes the cell (racy if unordered with any prior access).
+    pub fn set(&self, v: T) {
+        yield_op(Op::new(OpKind::CellWrite, self.id));
+        let (_, me) = current();
+        let race: Option<String> = with_state(|st| {
+            let tvc = st.exec.threads[me].vc.clone();
+            let label = st.exec.objs[self.id].label.clone();
+            match &mut st.exec.objs[self.id].state {
+                ObjState::Cell { write, reads } => {
+                    if let Some((wt, wc)) = *write {
+                        if wt != me && tvc.get(wt) < wc {
+                            return Some(format!(
+                                "write of {label} by T{me} races with write by T{wt}"
+                            ));
+                        }
+                    }
+                    for &(rt, rc) in reads.iter() {
+                        if rt != me && tvc.get(rt) < rc {
+                            return Some(format!(
+                                "write of {label} by T{me} races with read by T{rt}"
+                            ));
+                        }
+                    }
+                    *write = Some((me, tvc.get(me)));
+                    reads.clear();
+                    None
+                }
+                _ => unreachable!("cell op on non-cell"),
+            }
+        });
+        if let Some(detail) = race {
+            raise_violation(ViolationKind::DataRace, detail);
+        }
+        with_state(|st| st.exec.threads[me].vc.bump(me));
+        // SAFETY: as in `get` — serialized host access.
+        unsafe {
+            *self.val.get() = v;
+        }
+    }
+}
+
+/// Handle to a spawned model thread.
+#[derive(Debug)]
+pub struct JoinHandle {
+    token: ObjId,
+}
+
+impl JoinHandle {
+    /// Blocks until the thread finishes (enabled only once its `Finish`
+    /// op has executed); joins its clock into the caller's.
+    pub fn join(self) {
+        yield_op(Op::new(OpKind::Join, self.token));
+        let (_, me) = current();
+        with_state(|st| {
+            let target_vc = st
+                .exec
+                .threads
+                .iter()
+                .find(|t| t.token == self.token && t.state == TState::Finished)
+                .and_then(|t| t.final_vc.clone())
+                .expect("join granted on unfinished thread (bug)");
+            st.exec.threads[me].vc.join(&target_vc);
+            st.exec.threads[me].vc.bump(me);
+        });
+    }
+}
+
+/// Spawns a named model thread running `f`. The child runs no user
+/// code until the scheduler grants its `Start` op, so spawning is
+/// deterministic; the parent resumes once the child has parked at that
+/// first scheduling point.
+pub fn spawn(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle {
+    let (engine, me) = current();
+    let (tid, token) = crate::sched::register_thread(name.to_string(), Some(me));
+    crate::sched::dispatch_thread(&engine, tid, token, f);
+    // Wait for the child to park at its Start op (it runs no user code
+    // before that), so spawn order stays deterministic.
+    let mut st = crate::sched::lock_engine(&engine);
+    loop {
+        if st.exec.abort {
+            drop(st);
+            std::panic::panic_any(crate::sched::abort_payload());
+        }
+        let s = st.exec.threads[tid].state;
+        if s == TState::AtPoint || s == TState::Dead {
+            break;
+        }
+        st = crate::sched::wait_engine(&engine, st);
+    }
+    drop(st);
+    JoinHandle { token }
+}

@@ -1,0 +1,70 @@
+//! Vector clocks for the checker's happens-before tracking.
+//!
+//! Every model thread carries a [`VecClock`]; synchronization objects
+//! (atomics, mutexes) carry one as well. Release-flavored operations
+//! publish the acting thread's clock into the object, acquire-flavored
+//! operations join the object's clock into the thread — the standard
+//! FastTrack-style construction, specialized to the checker's
+//! sequentially-interleaved executions. Data-race detection on
+//! [`RaceCell`](crate::sync::RaceCell)s compares access epochs against
+//! these clocks.
+
+/// A grow-on-demand vector clock, indexed by model-thread id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VecClock {
+    t: Vec<u64>,
+}
+
+impl VecClock {
+    /// The zero clock.
+    pub(crate) fn new() -> VecClock {
+        VecClock::default()
+    }
+
+    /// This clock's component for thread `tid`.
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.t.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Increments thread `tid`'s own component (a new epoch).
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.t.len() <= tid {
+            self.t.resize(tid + 1, 0);
+        }
+        self.t[tid] += 1;
+    }
+
+    /// Componentwise maximum: `self := self ⊔ other`.
+    pub(crate) fn join(&mut self, other: &VecClock) {
+        if self.t.len() < other.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (s, &o) in self.t.iter_mut().zip(other.t.iter()) {
+            *s = (*s).max(o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VecClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VecClock::new();
+        b.bump(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn get_out_of_range_is_zero() {
+        let c = VecClock::new();
+        assert_eq!(c.get(7), 0);
+    }
+}

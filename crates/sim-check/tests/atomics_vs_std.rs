@@ -1,0 +1,177 @@
+//! Property tests pinning the modeled atomics to `std::sync::atomic`
+//! on single-threaded schedules.
+//!
+//! On one thread there is exactly one schedule, so the model's only
+//! defensible behavior is *bit-for-bit agreement with std*: same return
+//! value from every operation, same final value, for every valid
+//! ordering. Each case replays one random operation sequence against a
+//! modeled atomic (inside the explorer, which must report exactly one
+//! execution) and a std atomic side by side.
+//!
+//! Orderings are drawn from the valid sets only — std panics on
+//! `load(Release)` / `store(Acquire)` and so would the comparison.
+
+use sim_base::check::forall;
+use sim_base::rng::SplitMix64;
+use sim_check::sync::{AtomicBool, AtomicU64, AtomicUsize};
+use sim_check::Explorer;
+use std::sync::atomic::Ordering;
+
+const LOAD_ORDS: [Ordering; 3] = [Ordering::Relaxed, Ordering::Acquire, Ordering::SeqCst];
+const STORE_ORDS: [Ordering; 3] = [Ordering::Relaxed, Ordering::Release, Ordering::SeqCst];
+const RMW_ORDS: [Ordering; 5] = [
+    Ordering::Relaxed,
+    Ordering::Acquire,
+    Ordering::Release,
+    Ordering::AcqRel,
+    Ordering::SeqCst,
+];
+
+fn pick<T: Copy>(rng: &mut SplitMix64, xs: &[T]) -> T {
+    xs[rng.next_below(xs.len() as u64) as usize]
+}
+
+#[derive(Clone, Copy, Debug)]
+enum OpU64 {
+    Load(Ordering),
+    Store(u64, Ordering),
+    FetchAdd(u64, Ordering),
+    FetchSub(u64, Ordering),
+    Swap(u64, Ordering),
+}
+
+#[test]
+fn modeled_u64_matches_std_on_serial_schedules() {
+    forall("atomics-vs-std/u64", |rng| {
+        let init = rng.next_u64();
+        let plan: Vec<OpU64> = (0..16)
+            .map(|_| match rng.next_below(5) {
+                0 => OpU64::Load(pick(rng, &LOAD_ORDS)),
+                1 => OpU64::Store(rng.next_u64(), pick(rng, &STORE_ORDS)),
+                2 => OpU64::FetchAdd(rng.next_u64(), pick(rng, &RMW_ORDS)),
+                3 => OpU64::FetchSub(rng.next_u64(), pick(rng, &RMW_ORDS)),
+                _ => OpU64::Swap(rng.next_u64(), pick(rng, &RMW_ORDS)),
+            })
+            .collect();
+        let r = Explorer::default().check(move || {
+            let model = AtomicU64::new(init, "model");
+            let std = std::sync::atomic::AtomicU64::new(init);
+            for (i, op) in plan.iter().enumerate() {
+                match *op {
+                    OpU64::Load(o) => assert_eq!(model.load(o), std.load(o), "op {i}: {op:?}"),
+                    OpU64::Store(v, o) => {
+                        model.store(v, o);
+                        std.store(v, o);
+                    }
+                    OpU64::FetchAdd(v, o) => {
+                        assert_eq!(model.fetch_add(v, o), std.fetch_add(v, o), "op {i}: {op:?}");
+                    }
+                    OpU64::FetchSub(v, o) => {
+                        assert_eq!(model.fetch_sub(v, o), std.fetch_sub(v, o), "op {i}: {op:?}");
+                    }
+                    OpU64::Swap(v, o) => {
+                        assert_eq!(model.swap(v, o), std.swap(v, o), "op {i}: {op:?}");
+                    }
+                }
+            }
+            assert_eq!(
+                model.load(Ordering::SeqCst),
+                std.load(Ordering::SeqCst),
+                "final values diverged"
+            );
+        });
+        r.assert_ok();
+        assert_eq!(r.executions, 1, "one thread must mean one schedule");
+    });
+}
+
+#[derive(Clone, Copy, Debug)]
+enum OpUsize {
+    Load(Ordering),
+    Store(usize, Ordering),
+    FetchAdd(usize, Ordering),
+    FetchSub(usize, Ordering),
+}
+
+#[test]
+fn modeled_usize_matches_std_on_serial_schedules() {
+    forall("atomics-vs-std/usize", |rng| {
+        let init = rng.next_u64() as usize;
+        let plan: Vec<OpUsize> = (0..16)
+            .map(|_| match rng.next_below(4) {
+                0 => OpUsize::Load(pick(rng, &LOAD_ORDS)),
+                1 => OpUsize::Store(rng.next_u64() as usize, pick(rng, &STORE_ORDS)),
+                2 => OpUsize::FetchAdd(rng.next_u64() as usize, pick(rng, &RMW_ORDS)),
+                _ => OpUsize::FetchSub(rng.next_u64() as usize, pick(rng, &RMW_ORDS)),
+            })
+            .collect();
+        let r = Explorer::default().check(move || {
+            let model = AtomicUsize::new(init, "model");
+            let std = std::sync::atomic::AtomicUsize::new(init);
+            for (i, op) in plan.iter().enumerate() {
+                match *op {
+                    OpUsize::Load(o) => assert_eq!(model.load(o), std.load(o), "op {i}: {op:?}"),
+                    OpUsize::Store(v, o) => {
+                        model.store(v, o);
+                        std.store(v, o);
+                    }
+                    OpUsize::FetchAdd(v, o) => {
+                        assert_eq!(model.fetch_add(v, o), std.fetch_add(v, o), "op {i}: {op:?}");
+                    }
+                    OpUsize::FetchSub(v, o) => {
+                        assert_eq!(model.fetch_sub(v, o), std.fetch_sub(v, o), "op {i}: {op:?}");
+                    }
+                }
+            }
+            assert_eq!(
+                model.load(Ordering::SeqCst),
+                std.load(Ordering::SeqCst),
+                "final values diverged"
+            );
+        });
+        r.assert_ok();
+        assert_eq!(r.executions, 1, "one thread must mean one schedule");
+    });
+}
+
+#[derive(Clone, Copy, Debug)]
+enum OpBool {
+    Load(Ordering),
+    Store(bool, Ordering),
+}
+
+#[test]
+fn modeled_bool_matches_std_on_serial_schedules() {
+    forall("atomics-vs-std/bool", |rng| {
+        let init = rng.chance(0.5);
+        let plan: Vec<OpBool> = (0..16)
+            .map(|_| {
+                if rng.chance(0.5) {
+                    OpBool::Load(pick(rng, &LOAD_ORDS))
+                } else {
+                    OpBool::Store(rng.chance(0.5), pick(rng, &STORE_ORDS))
+                }
+            })
+            .collect();
+        let r = Explorer::default().check(move || {
+            let model = AtomicBool::new(init, "model");
+            let std = std::sync::atomic::AtomicBool::new(init);
+            for (i, op) in plan.iter().enumerate() {
+                match *op {
+                    OpBool::Load(o) => assert_eq!(model.load(o), std.load(o), "op {i}: {op:?}"),
+                    OpBool::Store(v, o) => {
+                        model.store(v, o);
+                        std.store(v, o);
+                    }
+                }
+            }
+            assert_eq!(
+                model.load(Ordering::SeqCst),
+                std.load(Ordering::SeqCst),
+                "final values diverged"
+            );
+        });
+        r.assert_ok();
+        assert_eq!(r.executions, 1, "one thread must mean one schedule");
+    });
+}

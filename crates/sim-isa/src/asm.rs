@@ -20,7 +20,7 @@
 
 use crate::inst::{AluOp, AmoOp, BranchCond, Inst, Program, Region};
 use crate::reg::Reg;
-use std::collections::HashMap;
+use sim_base::fxmap::FxHashMap;
 use std::fmt;
 
 /// An assembly error with its 1-based source line.
@@ -131,7 +131,7 @@ enum PendingTarget {
 /// Assembles source text into a [`Program`].
 pub fn assemble(src: &str) -> Result<Program, AsmError> {
     let mut insts: Vec<Inst> = Vec::new();
-    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut labels: FxHashMap<String, usize> = FxHashMap::default();
     // (inst index, label, source line) to patch after the label pass.
     let mut fixups: Vec<(usize, String, usize)> = Vec::new();
 

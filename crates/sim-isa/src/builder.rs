@@ -23,13 +23,13 @@
 
 use crate::inst::{AluOp, AmoOp, BranchCond, Inst, Program, Region};
 use crate::reg::Reg;
-use std::collections::HashMap;
+use sim_base::fxmap::FxHashMap;
 
 /// Builder for [`Program`]s with named labels.
 #[derive(Debug, Default)]
 pub struct ProgBuilder {
     insts: Vec<Inst>,
-    labels: HashMap<String, usize>,
+    labels: FxHashMap<String, usize>,
     fixups: Vec<(usize, String)>,
 }
 

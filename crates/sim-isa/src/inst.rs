@@ -1,7 +1,7 @@
 //! Instruction and program types.
 
 use crate::reg::Reg;
-use std::collections::HashMap;
+use sim_base::fxmap::FxHashMap;
 use std::fmt;
 
 /// Binary ALU operation selector, shared by the register-register and
@@ -326,7 +326,7 @@ impl Inst {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Program {
     insts: Vec<Inst>,
-    labels: HashMap<String, usize>,
+    labels: FxHashMap<String, usize>,
 }
 
 impl Program {
@@ -334,12 +334,12 @@ impl Program {
     pub fn from_insts(insts: Vec<Inst>) -> Program {
         Program {
             insts,
-            labels: HashMap::new(),
+            labels: FxHashMap::default(),
         }
     }
 
     /// Wraps instructions with a label map; validates label targets.
-    pub fn with_labels(insts: Vec<Inst>, labels: HashMap<String, usize>) -> Program {
+    pub fn with_labels(insts: Vec<Inst>, labels: FxHashMap<String, usize>) -> Program {
         for (name, &idx) in &labels {
             assert!(idx <= insts.len(), "label {name} points past the end");
         }
@@ -368,7 +368,7 @@ impl Program {
     }
 
     /// The label map.
-    pub fn labels(&self) -> &HashMap<String, usize> {
+    pub fn labels(&self) -> &FxHashMap<String, usize> {
         &self.labels
     }
 
@@ -452,7 +452,7 @@ mod tests {
 
     #[test]
     fn program_fetch_and_labels() {
-        let mut labels = HashMap::new();
+        let mut labels = FxHashMap::default();
         labels.insert("start".to_string(), 0);
         let p = Program::with_labels(vec![Inst::Nop, Inst::Halt], labels);
         assert_eq!(p.fetch(0), Some(Inst::Nop));
@@ -466,7 +466,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "points past the end")]
     fn bad_label_rejected() {
-        let mut labels = HashMap::new();
+        let mut labels = FxHashMap::default();
         labels.insert("x".to_string(), 9);
         let _ = Program::with_labels(vec![Inst::Halt], labels);
     }

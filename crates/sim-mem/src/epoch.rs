@@ -82,10 +82,14 @@ pub struct EpochTiles<S: TraceSink> {
 }
 
 // SAFETY: the pointers target `Vec` storage owned by `MemorySystem`,
-// and the contract above restricts every dereference to disjoint
-// indices synchronized by the engine's epoch gate (which provides the
-// happens-before edges between epochs).
+// which outlives the epoch (the engine joins every rung worker before
+// the owner moves); sending the handle moves only the pointers, never
+// the storage.
 unsafe impl<S: TraceSink> Send for EpochTiles<S> {}
+// SAFETY: the contract above restricts every dereference to disjoint
+// indices synchronized by the engine's epoch gate (which provides the
+// happens-before edges between epochs), so shared references never
+// race.
 unsafe impl<S: TraceSink> Sync for EpochTiles<S> {}
 
 impl<S: TraceSink> EpochTiles<S> {

@@ -150,10 +150,14 @@ pub struct TileLanes<S: TraceSink> {
 }
 
 // SAFETY: the pointers target `Vec` storage owned by `MemorySystem`,
-// and the contract above restricts every dereference to disjoint
-// indices synchronized by the engine's phase barrier (which provides
-// the happens-before edges between phases).
+// which outlives the phase (the engine joins every worker before the
+// owner moves); sending the handle moves only the pointers, never the
+// storage.
 unsafe impl<S: TraceSink> Send for TileLanes<S> {}
+// SAFETY: the contract above restricts every dereference to disjoint
+// indices synchronized by the engine's phase barrier (which provides
+// the happens-before edges between phases), so shared references never
+// race.
 unsafe impl<S: TraceSink> Sync for TileLanes<S> {}
 
 impl<S: TraceSink> TileLanes<S> {

@@ -10,11 +10,11 @@
 
 use sim_base::check::forall_cases;
 use sim_base::config::CmpConfig;
+use sim_base::fxmap::FxHashMap;
 use sim_base::rng::SplitMix64;
 use sim_base::CoreId;
 use sim_isa::inst::AmoOp;
 use sim_mem::{CoreReq, CoreResp, MemorySystem};
-use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -81,7 +81,7 @@ fn serialized_accesses_match_flat_memory() {
         let ops: Vec<Op> = (0..n_ops).map(|_| arb_op(rng, 8, 24)).collect();
         let cfg = CmpConfig::icpp2010_with_cores(8);
         let mut sys = MemorySystem::new(&cfg);
-        let mut flat: HashMap<u64, u64> = HashMap::new();
+        let mut flat: FxHashMap<u64, u64> = FxHashMap::default();
         for op in &ops {
             match *op {
                 Op::Load { core, slot } => {

@@ -70,7 +70,7 @@ fn every_message_delivered_exactly_once() {
             assert!(guard < 1_000_000, "network failed to drain");
         }
         let mut got = 0;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = sim_base::fxmap::FxHashSet::default();
         for d in 0..tiles {
             let mut count = 0;
             while let Some(m) = noc.recv(CoreId::from(d)) {

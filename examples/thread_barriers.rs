@@ -17,6 +17,8 @@ use std::time::Instant;
 fn bench<B: ThreadBarrier + 'static>(name: &str, bar: B, episodes: u64) {
     let n = bar.num_threads();
     let bar = Arc::new(bar);
+    // simlint: allow(wall-clock) — this example times real OS threads;
+    // nothing here feeds the deterministic simulation.
     let start = Instant::now();
     let handles: Vec<_> = (0..n)
         .map(|tid| {

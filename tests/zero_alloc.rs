@@ -19,20 +19,28 @@ struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System`; the counter bump allocates
+// nothing and every layout contract is forwarded unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller obligations are exactly `System.alloc`'s.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) != 0 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `layout` is forwarded verbatim from our caller.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: caller obligations are exactly `System.dealloc`'s.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` are forwarded verbatim from our caller.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: caller obligations are exactly `System.realloc`'s.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) != 0 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: arguments are forwarded verbatim from our caller.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
