@@ -177,25 +177,18 @@ impl BarrierHw for ClusteredBarrierNetwork {
     }
 
     fn all_released(&self, ctx: CtxId) -> bool {
-        self.clusters.iter().all(|c| c.net.all_released(ctx))
+        // `outstanding` mirrors the sum of the sub-networks' counters
+        // (incremented together in `write_bar_reg`, decremented by the
+        // released delta each tick), so this is O(1).
+        self.outstanding[ctx] == 0
     }
 
     fn tick(&mut self) {
         // Snapshot per-context outstanding before the tick to detect the
-        // cores released during this cycle.
-        let before: Vec<usize> = (0..self.num_contexts)
-            .map(|ctx| {
-                self.clusters
-                    .iter()
-                    .map(|c| {
-                        c.net
-                            .mesh()
-                            .tiles()
-                            .filter(|&t| c.net.bar_reg(t, ctx) != 0)
-                            .count()
-                    })
-                    .sum()
-            })
+        // cores released during this cycle. O(clusters × contexts), not
+        // O(cores): each flat sub-network tracks its own counter.
+        let before: Vec<u32> = (0..self.num_contexts)
+            .map(|ctx| self.clusters.iter().map(|c| c.net.outstanding(ctx)).sum())
             .collect();
 
         // Level-1 networks advance first.
@@ -227,18 +220,8 @@ impl BarrierHw for ClusteredBarrierNetwork {
         // Episode accounting.
         #[allow(clippy::needless_range_loop)] // ctx indexes several parallel arrays
         for ctx in 0..self.num_contexts {
-            let after: usize = self
-                .clusters
-                .iter()
-                .map(|c| {
-                    c.net
-                        .mesh()
-                        .tiles()
-                        .filter(|&t| c.net.bar_reg(t, ctx) != 0)
-                        .count()
-                })
-                .sum();
-            let released = before[ctx].saturating_sub(after) as u32;
+            let after: u32 = self.clusters.iter().map(|c| c.net.outstanding(ctx)).sum();
+            let released = before[ctx].saturating_sub(after);
             self.outstanding[ctx] = self.outstanding[ctx].saturating_sub(released);
             if self.arrived[ctx] as usize == self.mesh.num_tiles() && self.outstanding[ctx] == 0 {
                 self.stats[ctx].record(self.first_arrival[ctx], self.last_arrival[ctx], self.now);
@@ -250,6 +233,69 @@ impl BarrierHw for ClusteredBarrierNetwork {
 
     fn now(&self) -> Cycle {
         self.now
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        // The composition can change state on its own while either level
+        // is non-quiescent, or while an inter-level handshake is pending:
+        // a root-ready cluster not yet announced on level 2 (the forward
+        // happens in the next tick), or — defensively — a forwarded
+        // cluster whose level-2 register has already cleared (the release
+        // trigger lands in the next tick; in practice the same tick that
+        // clears the register also triggers).
+        let handshake_pending = self.clusters.iter().enumerate().any(|(i, c)| {
+            (0..self.num_contexts).any(|ctx| {
+                (!c.forwarded[ctx] && c.net.root_ready(ctx))
+                    || (c.forwarded[ctx] && self.level2.bar_reg(CoreId::from(i), ctx) == 0)
+            })
+        });
+        if handshake_pending
+            || self.level2.next_event().is_some()
+            || self.clusters.iter().any(|c| c.net.next_event().is_some())
+        {
+            Some(self.now + 1)
+        } else {
+            None
+        }
+    }
+
+    fn skip_to(&mut self, t: Cycle) {
+        debug_assert!(t >= self.now, "cannot skip backwards");
+        debug_assert!(
+            self.next_event().is_none(),
+            "clustered-network skip while an episode is in flight"
+        );
+        for c in &mut self.clusters {
+            c.net.skip_to(t);
+        }
+        self.level2.skip_to(t);
+        self.now = t;
+    }
+
+    fn min_notify_latency(&self) -> u64 {
+        // 2 cycles in-cluster gather to the root, the 4-cycle level-2
+        // floor with its first cycle overlapping the root announcement,
+        // and 2 more for the gated release cascade (release-column +
+        // release-row): the module-level 7-cycle constant. No core can
+        // observe any effect of an arrival sooner.
+        7
+    }
+
+    fn release_bound(&self) -> u64 {
+        // Same shape as the flat network's bound: while a context still
+        // misses arrivals, even an immediate last arrival needs the full
+        // two-level propagation floor before any `bar_reg` can clear;
+        // once every core has arrived the cascade may be in flight.
+        (0..self.num_contexts)
+            .map(|ctx| {
+                if self.arrived[ctx] as usize >= self.mesh.num_tiles() {
+                    1
+                } else {
+                    BarrierHw::min_notify_latency(self)
+                }
+            })
+            .min()
+            .unwrap_or(1)
     }
 }
 
@@ -379,6 +425,60 @@ mod tests {
     #[should_panic(expected = "more than two G-line levels")]
     fn three_level_meshes_rejected() {
         let _ = ClusteredBarrierNetwork::new(Mesh2D::new(70, 70), cfg());
+    }
+
+    #[test]
+    fn quiescent_network_skips_and_wakes() {
+        let mesh = Mesh2D::new(9, 9);
+        let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
+        assert_eq!(net.next_event(), None, "fresh network is quiescent");
+        assert_eq!(BarrierHw::release_bound(&net), 7);
+        net.skip_to(1000);
+        assert_eq!(net.now(), 1000);
+
+        // A skipped network behaves identically to a ticked one.
+        let lat = net.run_single_barrier(&vec![0; 81]);
+        assert_eq!(lat, 7);
+        // The controllers drain for a few cycles after the release; the
+        // network must then report quiescence again.
+        let mut settle = 0;
+        while net.next_event().is_some() {
+            net.tick();
+            settle += 1;
+            assert!(settle < 16, "network never settled after release");
+        }
+        net.skip_to(5000);
+        assert_eq!(net.run_single_barrier(&vec![0; 81]), 7);
+        assert_eq!(net.stats(0).barriers_completed, 2);
+    }
+
+    #[test]
+    fn release_bound_collapses_once_all_arrived() {
+        let mesh = Mesh2D::new(9, 9);
+        let mut net = ClusteredBarrierNetwork::new(mesh, cfg());
+        for i in 0..80 {
+            net.write_bar_reg(CoreId(i), 0, 1);
+        }
+        for _ in 0..20 {
+            net.tick();
+        }
+        // One arrival missing: no clear can land within the 7-cycle floor.
+        assert_eq!(BarrierHw::release_bound(&net), 7);
+        assert!(
+            net.next_event().is_some() || !net.all_released(0),
+            "registers still held"
+        );
+        net.write_bar_reg(CoreId(80), 0, 1);
+        assert_eq!(
+            BarrierHw::release_bound(&net),
+            1,
+            "release may be in flight"
+        );
+        for _ in 0..7 {
+            assert!(net.next_event().is_some(), "episode in flight every cycle");
+            net.tick();
+        }
+        assert!(net.all_released(0));
     }
 
     #[test]

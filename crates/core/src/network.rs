@@ -698,8 +698,18 @@ impl<S: TraceSink> BarrierNetwork<S> {
     }
 
     /// True iff every core has a cleared `bar_reg` in context `ctx`.
+    /// O(1): the episode accounting counts set registers exactly (a
+    /// register is set only through [`write_bar_reg`](Self::write_bar_reg)
+    /// and cleared only through the release wave, both of which maintain
+    /// the counter).
     pub fn all_released(&self, ctx: CtxId) -> bool {
-        self.contexts[ctx].bar_reg.iter().all(|&v| v == 0)
+        self.contexts[ctx].outstanding == 0
+    }
+
+    /// Number of currently set `bar_reg`s in context `ctx` (cores that
+    /// arrived and are not yet released).
+    pub fn outstanding(&self, ctx: CtxId) -> u32 {
+        self.contexts[ctx].outstanding
     }
 
     /// True iff a gated-root context has gathered every core and is
@@ -829,6 +839,19 @@ pub trait BarrierHw {
         1
     }
 
+    /// Lower bound on the number of cycles before *any* core's set
+    /// `bar_reg` can clear, as of now. An epoch-batched simulator uses
+    /// this to size its gather window: arrivals *within* the window are
+    /// fine (they only set registers), but a clear must not land
+    /// mid-window. While a context still misses arrivals, a release is
+    /// at least the hardware's propagation floor away even if the last
+    /// arrival happens immediately; once every member has arrived the
+    /// release wave may already be in flight, so the bound collapses to
+    /// 1. The conservative default is 1.
+    fn release_bound(&self) -> u64 {
+        1
+    }
+
     /// Convenience driver for tests and benchmarks: runs one complete
     /// barrier on context 0 where core `i` arrives at `arrivals[i]`
     /// (relative to the current cycle), and returns the cycle count from
@@ -903,6 +926,23 @@ impl<S: TraceSink> BarrierHw for BarrierNetwork<S> {
         // (`four_cycles_on_every_mesh_up_to_8x8`). No other core can
         // observe a state change sooner.
         4
+    }
+    fn release_bound(&self) -> u64 {
+        // Per context: once every member has arrived the release wave
+        // may complete on any cycle (1); before that, the wave cannot
+        // even start until the last arrival, and then needs the full
+        // 4-cycle propagation floor.
+        self.contexts
+            .iter()
+            .map(|c| {
+                if c.arrived >= c.num_members {
+                    1
+                } else {
+                    BarrierHw::min_notify_latency(self)
+                }
+            })
+            .min()
+            .unwrap_or(1)
     }
 }
 

@@ -211,6 +211,89 @@ impl CmpConfig {
     pub fn glines_per_barrier(&self) -> u32 {
         2 * (self.mesh.rows as u32 + 1)
     }
+
+    /// True when the mesh exceeds the flat single-level G-line budget and
+    /// barrier hardware must be the two-level clustered composition
+    /// (`max_transmitters` slave transmitters plus the master per line).
+    pub fn needs_clustered_gline(&self) -> bool {
+        let dim = self.gline.max_transmitters + 1;
+        self.mesh.rows as u32 > dim || self.mesh.cols as u32 > dim
+    }
+
+    /// Structural consistency check, run automatically by
+    /// [`from_json`](Self::from_json). Errors name the offending config
+    /// field so front ends can surface them without a backtrace.
+    pub fn validate(&self) -> Result<(), String> {
+        // `Mesh2D` itself guarantees nonzero dimensions; re-check here so
+        // hand-built configs get the same named error as JSON ones.
+        if self.mesh.rows == 0 || self.mesh.cols == 0 {
+            return Err(format!(
+                "mesh.rows and mesh.cols must be nonzero (got {}x{})",
+                self.mesh.rows, self.mesh.cols
+            ));
+        }
+        if self.core.issue_width == 0 {
+            return Err("core.issue_width must be at least 1".into());
+        }
+        validate_cache("l1", &self.l1)?;
+        validate_cache("l2", &self.l2)?;
+        if self.gline.line_latency == 0 {
+            return Err("gline.line_latency must be at least 1".into());
+        }
+        if self.gline.max_transmitters == 0 {
+            return Err("gline.max_transmitters must be at least 1".into());
+        }
+        if self.gline.contexts == 0 {
+            return Err("gline.contexts must be at least 1".into());
+        }
+        // Two G-line levels span at most (max_transmitters + 1)² tiles
+        // per dimension; beyond that a third level would be required.
+        let dim = self.gline.max_transmitters + 1;
+        let span = dim * dim;
+        if self.mesh.rows as u32 > span || self.mesh.cols as u32 > span {
+            return Err(format!(
+                "{}x{} mesh needs more than two G-line levels at \
+                 gline.max_transmitters = {} (limit {span} rows/cols; \
+                 raise gline.max_transmitters or shrink the mesh)",
+                self.mesh.rows, self.mesh.cols, self.gline.max_transmitters
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn validate_cache(name: &str, c: &CacheConfig) -> Result<(), String> {
+    if c.line_bytes == 0 || !c.line_bytes.is_power_of_two() {
+        return Err(format!(
+            "{name}.line_bytes must be a nonzero power of two (got {})",
+            c.line_bytes
+        ));
+    }
+    if c.ways == 0 {
+        return Err(format!("{name}.ways must be at least 1"));
+    }
+    if c.size_bytes == 0 || !c.size_bytes.is_multiple_of(c.line_bytes) {
+        return Err(format!(
+            "{name}.size_bytes must be a nonzero multiple of {name}.line_bytes \
+             (got {} / {})",
+            c.size_bytes, c.line_bytes
+        ));
+    }
+    let lines = c.size_bytes / c.line_bytes;
+    if !lines.is_multiple_of(c.ways as u64) {
+        return Err(format!(
+            "{name}: {lines} cache lines not divisible by {name}.ways = {}",
+            c.ways
+        ));
+    }
+    let sets = lines / c.ways as u64;
+    if !sets.is_power_of_two() {
+        return Err(format!(
+            "{name}: set count {sets} must be a power of two \
+             (adjust {name}.size_bytes or {name}.ways)"
+        ));
+    }
+    Ok(())
 }
 
 /// Reading a config back from JSON can fail on missing or mistyped keys.
@@ -293,8 +376,16 @@ impl CmpConfig {
         let core = sub("core")?;
         let noc = sub("noc")?;
         let gline = sub("gline")?;
-        Ok(CmpConfig {
-            mesh: Mesh2D::new(field(mesh, "rows")? as u16, field(mesh, "cols")? as u16),
+        let rows = field(mesh, "rows")? as u16;
+        let cols = field(mesh, "cols")? as u16;
+        if rows == 0 || cols == 0 {
+            // Checked before `Mesh2D::new`, which would panic.
+            return Err(format!(
+                "mesh.rows and mesh.cols must be nonzero (got {rows}x{cols})"
+            ));
+        }
+        let cfg = CmpConfig {
+            mesh: Mesh2D::new(rows, cols),
             core: CoreConfig {
                 freq_ghz: field(core, "freq_ghz")?,
                 issue_width: field(core, "issue_width")? as u8,
@@ -316,7 +407,9 @@ impl CmpConfig {
                 max_transmitters: field(gline, "max_transmitters")? as u32,
                 contexts: field(gline, "contexts")? as u32,
             },
-        })
+        };
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -377,5 +470,43 @@ mod tests {
         let v = crate::json::parse("{}").unwrap();
         let e = CmpConfig::from_json(&v).unwrap_err();
         assert!(e.contains("mesh"), "{e}");
+    }
+
+    #[test]
+    fn from_json_rejects_zero_mesh_dims_without_panicking() {
+        let mut c = CmpConfig::icpp2010();
+        let s = c.to_json().pretty().replace("\"rows\": 4", "\"rows\": 0");
+        let e = CmpConfig::from_json(&crate::json::parse(&s).unwrap()).unwrap_err();
+        assert!(e.contains("mesh.rows"), "{e}");
+        c.mesh.cols = 0; // hand-built configs get the same named error
+        assert!(c.validate().unwrap_err().contains("mesh.cols"));
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let mut c = CmpConfig::icpp2010();
+        assert_eq!(c.validate(), Ok(()));
+        c.gline.contexts = 0;
+        assert!(c.validate().unwrap_err().contains("gline.contexts"));
+        c = CmpConfig::icpp2010();
+        c.l1.ways = 3;
+        assert!(c.validate().unwrap_err().contains("l1"));
+        c = CmpConfig::icpp2010();
+        c.l2.size_bytes = 100;
+        assert!(c.validate().unwrap_err().contains("l2.size_bytes"));
+    }
+
+    #[test]
+    fn validate_rejects_three_level_meshes_and_flags_clustering() {
+        let mut c = CmpConfig::icpp2010_with_cores(1024);
+        assert_eq!(c.mesh, Mesh2D::new(32, 32));
+        assert!(c.needs_clustered_gline(), "32x32 exceeds the flat budget");
+        assert_eq!(c.validate(), Ok(()), "two levels span 64x64");
+        assert!(!CmpConfig::icpp2010().needs_clustered_gline());
+
+        c.mesh = Mesh2D::new(65, 65);
+        let e = c.validate().unwrap_err();
+        assert!(e.contains("more than two G-line levels"), "{e}");
+        assert!(e.contains("gline.max_transmitters"), "{e}");
     }
 }

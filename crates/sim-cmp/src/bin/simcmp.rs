@@ -9,6 +9,14 @@
 //! Options:
 //!   --cores N          number of cores (default 4; mesh is the squarest
 //!                      factorization)
+//!   --mesh RxC         explicit mesh geometry, e.g. --mesh 16x16 (the
+//!                      core count is R*C; combined with --cores the two
+//!                      must agree). Meshes beyond the flat G-line budget
+//!                      automatically use the two-level clustered barrier
+//!                      network
+//!   --gl-transmitters N  transmitters per G-line (default 7; sets the
+//!                      flat-network limit and the clustered network's
+//!                      cluster dimension N+1)
 //!   --max-cycles N     deadlock guard (default 100_000_000)
 //!   --poke ADDR=VAL    pre-load a memory word (repeatable; hex or dec)
 //!   --peek ADDR        print a memory word after the run (repeatable)
@@ -55,11 +63,12 @@
 //! Exit code 0 on success, 1 on assembly/trace errors, 2 on a run that
 //! does not halt.
 
-use gline_core::BarrierNetwork;
+use gline_core::{BarrierHw, ClusteredBarrierNetwork};
 use sim_base::config::CmpConfig;
 use sim_base::json::ToJson;
 use sim_base::stats::TimeCat;
 use sim_base::trace::{ChromeTraceSink, RingSink, TraceSink, Tracer};
+use sim_base::Mesh2D;
 use sim_cmp::System;
 use sim_isa::{assemble, Program};
 use sim_trace::TraceSet;
@@ -76,6 +85,54 @@ fn parse_num(s: &str) -> Option<u64> {
 fn die(msg: &str) -> ! {
     eprintln!("simcmp: {msg}");
     std::process::exit(1);
+}
+
+/// Parses `RxC` (e.g. `16x16`) into nonzero mesh dimensions.
+fn parse_mesh(s: &str) -> Option<(u16, u16)> {
+    let (r, c) = s.split_once(['x', 'X'])?;
+    let (r, c) = (r.parse().ok()?, c.parse().ok()?);
+    (r > 0 && c > 0).then_some((r, c))
+}
+
+/// Builds the run configuration from the geometry flags, exiting with a
+/// named-field diagnostic instead of a panic on an inconsistent request.
+fn build_config(
+    cores: usize,
+    cores_explicit: bool,
+    mesh: Option<(u16, u16)>,
+    gl_transmitters: Option<u32>,
+) -> CmpConfig {
+    let mut cfg = match mesh {
+        Some((r, c)) => {
+            let n = r as usize * c as usize;
+            if cores_explicit && n != cores {
+                die(&format!(
+                    "--mesh {r}x{c} is {n} cores but the run has {cores} cores"
+                ));
+            }
+            let mut cfg = CmpConfig::icpp2010();
+            cfg.mesh = Mesh2D::new(r, c);
+            cfg
+        }
+        None => CmpConfig::icpp2010_with_cores(cores),
+    };
+    if let Some(t) = gl_transmitters {
+        cfg.gline.max_transmitters = t;
+    }
+    cfg.validate().unwrap_or_else(|e| die(&e));
+    cfg
+}
+
+/// Exit for trace requests on meshes that need the clustered network,
+/// which has no traced variant.
+fn clustered_trace_unsupported(cfg: &CmpConfig) -> ! {
+    let dim = cfg.gline.max_transmitters + 1;
+    die(&format!(
+        "{}x{} mesh exceeds the flat G-line budget (gline.max_transmitters = {}, \
+         max {dim}x{dim} flat) and event tracing supports only the flat network; \
+         drop --trace/--trace-last, raise --gl-transmitters, or shrink the mesh",
+        cfg.mesh.rows, cfg.mesh.cols, cfg.gline.max_transmitters
+    ));
 }
 
 /// Everything main() parsed that the run loop needs.
@@ -95,8 +152,9 @@ struct Opts {
 }
 
 /// Runs the system to completion and prints the report. Monomorphized
-/// per trace sink so the untraced path stays zero-cost.
-fn run_system<S: TraceSink>(mut sys: System<BarrierNetwork<S>, S>, opts: &Opts) {
+/// per barrier hardware and trace sink so the untraced path stays
+/// zero-cost.
+fn run_system<B: BarrierHw, S: TraceSink>(mut sys: System<B, S>, opts: &Opts) {
     sys.set_skip_enabled(!opts.no_skip);
     sys.set_active_set_enabled(!opts.no_active_set);
     if opts.per_cycle_sync {
@@ -132,7 +190,7 @@ fn run_system<S: TraceSink>(mut sys: System<BarrierNetwork<S>, S>, opts: &Opts) 
 /// Runs the system dense and cycle-exact while recording every core's
 /// issue groups, prints the usual report, and writes the trace set into
 /// `dir`.
-fn record_system(mut sys: System, opts: &Opts, dir: &str, workload: String) {
+fn record_system<B: BarrierHw>(mut sys: System<B>, opts: &Opts, dir: &str, workload: String) {
     if opts.workers > 1 {
         eprintln!(
             "simcmp: --record-trace uses the dense serial engine (--workers {} ignored)",
@@ -161,8 +219,8 @@ fn record_system(mut sys: System, opts: &Opts, dir: &str, workload: String) {
 }
 
 /// Prints the report (or the deadlock diagnostic) for a finished run.
-fn finish<S: TraceSink>(
-    sys: &System<BarrierNetwork<S>, S>,
+fn finish<B: BarrierHw, S: TraceSink>(
+    sys: &System<B, S>,
     outcome: Result<u64, String>,
     opts: &Opts,
 ) {
@@ -240,7 +298,8 @@ fn finish<S: TraceSink>(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: simcmp PROGRAM.s [PROGRAM2.s …] [--cores N] [--max-cycles N]");
+        eprintln!("usage: simcmp PROGRAM.s [PROGRAM2.s …] [--cores N] [--mesh RxC]");
+        eprintln!("              [--gl-transmitters N] [--max-cycles N]");
         eprintln!("              [--poke ADDR=VAL]… [--peek ADDR]… [--json] [--breakdown]");
         eprintln!("              [--no-skip] [--no-active-set] [--sched-stats] [--workers N]");
         eprintln!("              [--per-cycle-sync]");
@@ -268,6 +327,8 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1usize);
+    let mut mesh: Option<(u16, u16)> = None;
+    let mut gl_transmitters: Option<u32> = None;
     let mut trace_file: Option<String> = None;
     let mut trace_last: Option<usize> = None;
     let mut record_dir: Option<String> = None;
@@ -282,6 +343,21 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--cores needs a number"));
                 cores_explicit = true;
+            }
+            "--mesh" => {
+                mesh = Some(
+                    it.next()
+                        .as_deref()
+                        .and_then(parse_mesh)
+                        .unwrap_or_else(|| die("--mesh needs RxC with nonzero dimensions")),
+                );
+            }
+            "--gl-transmitters" => {
+                gl_transmitters = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--gl-transmitters needs a number")),
+                );
             }
             "--max-cycles" => {
                 max_cycles = it
@@ -374,7 +450,7 @@ fn main() {
                 "--cores {cores} but the trace set holds {n} cores"
             ));
         }
-        let cfg = CmpConfig::icpp2010_with_cores(n);
+        let cfg = build_config(n, true, mesh, gl_transmitters);
         let opts = Opts {
             max_cycles,
             pokes,
@@ -389,7 +465,13 @@ fn main() {
             workers,
             per_cycle_sync,
         };
-        if let Some(path) = trace_file {
+        if cfg.needs_clustered_gline() {
+            if trace_file.is_some() || trace_last.is_some() {
+                clustered_trace_unsupported(&cfg);
+            }
+            let hw = ClusteredBarrierNetwork::new(cfg.mesh, cfg.gline);
+            run_system(System::replay_with_barrier_hw(cfg, &set, hw), &opts);
+        } else if let Some(path) = trace_file {
             let tracer = Tracer::new(ChromeTraceSink::new());
             run_system(System::replay_traced(cfg, &set, tracer.clone()), &opts);
             let (count, out) = tracer.with_sink(|s| (s.events().len(), s.to_json_string()));
@@ -429,18 +511,19 @@ fn main() {
         })
         .collect();
 
+    let cfg = build_config(cores, cores_explicit, mesh, gl_transmitters);
+    let cores = cfg.num_cores();
     let progs = if progs.len() == 1 {
         vec![progs[0].clone(); cores]
     } else if progs.len() == cores {
         progs
     } else {
         die(&format!(
-            "{} program files but --cores {cores}",
+            "{} program files but the run has {cores} cores",
             progs.len()
         ));
     };
 
-    let cfg = CmpConfig::icpp2010_with_cores(cores);
     let opts = Opts {
         max_cycles,
         pokes,
@@ -456,7 +539,22 @@ fn main() {
         per_cycle_sync,
     };
 
-    if let Some(dir) = record_dir {
+    if cfg.needs_clustered_gline() {
+        if trace_file.is_some() || trace_last.is_some() {
+            clustered_trace_unsupported(&cfg);
+        }
+        let hw = ClusteredBarrierNetwork::new(cfg.mesh, cfg.gline);
+        if let Some(dir) = record_dir {
+            record_system(
+                System::with_barrier_hw(cfg, progs, hw),
+                &opts,
+                &dir,
+                files.join(" "),
+            );
+        } else {
+            run_system(System::with_barrier_hw(cfg, progs, hw), &opts);
+        }
+    } else if let Some(dir) = record_dir {
         record_system(System::new(cfg, progs), &opts, &dir, files.join(" "));
     } else if let Some(path) = trace_file {
         let tracer = Tracer::new(ChromeTraceSink::new());

@@ -1194,7 +1194,7 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
             self.gline.tick();
         }
         debug_assert_eq!(cursor, scratch.latch.len(), "latched write outside window");
-        self.mem.epoch_sync_homes();
+        self.mem.epoch_sync_homes(&scratch.active);
         self.mem
             .add_epoch_sched_visits(home_visits, delivery_visits);
         self.sched.ticks += w;
@@ -1211,12 +1211,18 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
     /// full safety argument). Every clamp is an *exclusive* end bound:
     ///
     /// * `limit` — the caller's horizon (deadline, backoff boundary).
-    /// * G-line visibility: barrier state is shared by wire. Mid-flight
-    ///   episodes (`next_event` pending) force single-cycle windows; on
-    ///   a quiescent network the earliest in-window arrival write still
-    ///   takes [`BarrierHw::min_notify_latency`] cycles to become
-    ///   visible to any other core. Software-barrier programs never
-    ///   touch the network (`uses_gline` is false) and skip the clamp.
+    /// * G-line visibility: barrier state is shared by wire, but the
+    ///   only cross-core observable is a core's own `bar_reg` clearing
+    ///   (arrivals by others are invisible until the release). So the
+    ///   window only has to stop before the earliest possible *clear*,
+    ///   which [`BarrierHw::release_bound`] lower-bounds: the hardware's
+    ///   propagation floor while any member is still missing — even if
+    ///   the last arrival lands on the window's first cycle — collapsing
+    ///   to 1 once every member has arrived and the release wave may be
+    ///   in flight. Arrival writes inside the window are latched and
+    ///   applied in the serialized phase, so gather progress mid-window
+    ///   is safe. Software-barrier programs never touch the network
+    ///   (`uses_gline` is false) and skip the clamp.
     /// * In-flight NoC deliveries: a message maturing at the end of
     ///   cycle `m` is handled at `m + 1`, which must be the first cycle
     ///   of some later epoch (its pre-drain picks it up).
@@ -1230,10 +1236,7 @@ impl<B: BarrierHw, S: TraceSink> System<B, S> {
         let s = self.now;
         let mut end = limit;
         if self.uses_gline {
-            end = end.min(match self.gline.next_event() {
-                None => s + self.gline.min_notify_latency().max(1),
-                Some(_) => s + 1,
-            });
+            end = end.min(s + self.gline.release_bound().max(1));
         }
         if let Some(m) = self.mem.earliest_delivery_maturation() {
             end = end.min(m + 1);

@@ -92,7 +92,6 @@ impl<S: TraceSink> MemorySystem<S> {
     /// events into (clones of) `tracer`.
     pub fn traced(cfg: &CmpConfig, tracer: Tracer<S>) -> MemorySystem<S> {
         let n = cfg.num_cores();
-        assert!(n <= 64, "SharerSet packs sharers into 64 bits");
         MemorySystem {
             cfg: *cfg,
             l1s: (0..n)
@@ -100,7 +99,7 @@ impl<S: TraceSink> MemorySystem<S> {
                 .collect(),
             homes: (0..n)
                 .map(|i| {
-                    HomeCtrl::traced(CoreId::from(i), &cfg.l2, cfg.mem.latency, tracer.clone())
+                    HomeCtrl::traced(CoreId::from(i), n, &cfg.l2, cfg.mem.latency, tracer.clone())
                 })
                 .collect(),
             noc: Noc::traced(cfg.mesh, cfg.noc, tracer),
@@ -424,6 +423,12 @@ impl<S: TraceSink> MemorySystem<S> {
     /// during the compute phase cannot mature until a later tick.
     pub fn delivery_flags(&self, flags: &mut Vec<bool>) {
         flags.clear();
+        if !self.noc.has_deliveries() {
+            // Common case on spin-heavy cycles: one memset, no per-tile
+            // queue probes.
+            flags.resize(self.l1s.len(), false);
+            return;
+        }
         flags.extend((0..self.l1s.len()).map(|i| self.noc.has_delivery_for(CoreId::from(i))));
     }
 
@@ -447,13 +452,23 @@ impl<S: TraceSink> MemorySystem<S> {
     /// when the serial tick's delivery scan would hand it over. Called
     /// once at the top of each epoch, before the window is computed.
     pub fn epoch_predrain(&mut self) {
+        if !self.noc.has_deliveries() {
+            return;
+        }
         let stamp = self.now.saturating_sub(1);
-        for i in 0..self.l1s.len() {
+        // Only the tiles the NoC actually holds messages for — O(active),
+        // not O(cores). Per-tile drain order is unchanged, so the inbox
+        // contents are bit-identical to the dense scan.
+        let mut tiles = std::mem::take(&mut self.sched_scratch);
+        self.noc.collect_delivery_tiles(&mut tiles);
+        for &i in &tiles {
+            let i = i as usize;
             let tile = CoreId::from(i);
             while let Some(m) = self.noc.recv(tile) {
                 self.epoch_bufs[i].inbox.push_back((stamp, m));
             }
         }
+        self.sched_scratch = tiles;
     }
 
     /// True when tile `i` has tile-local memory work pending: a stamped
@@ -553,13 +568,20 @@ impl<S: TraceSink> MemorySystem<S> {
         );
     }
 
-    /// Re-derives every home's busy-set membership after an epoch's
-    /// free-run mutated the banks outside the serial tick path.
-    /// Membership is a pure function of bank state, so the rebuild is
-    /// order-independent.
-    pub fn epoch_sync_homes(&mut self) {
-        for i in 0..self.homes.len() {
-            self.sync_home(i);
+    /// Re-derives home busy-set membership after an epoch's free-run
+    /// mutated the banks outside the serial tick path. Membership is a
+    /// pure function of bank state, so the rebuild is order-independent.
+    ///
+    /// `active[i]` is the epoch's per-tile activity flag: a parked tile's
+    /// bank was untouched by the free-run (a busy bank forces its tile
+    /// active via [`epoch_tile_has_work`](Self::epoch_tile_has_work)), so
+    /// only active tiles need re-deriving.
+    pub fn epoch_sync_homes(&mut self, active: &[bool]) {
+        debug_assert_eq!(active.len(), self.homes.len(), "one flag per tile");
+        for (i, &a) in active.iter().enumerate() {
+            if a {
+                self.sync_home(i);
+            }
         }
     }
 

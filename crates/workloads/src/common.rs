@@ -1,5 +1,6 @@
 //! Shared plumbing for workload generators.
 
+use gline_core::BarrierHw;
 use sim_base::config::CmpConfig;
 use sim_cmp::runtime::{BarrierEnv, BarrierKind};
 use sim_cmp::System;
@@ -31,12 +32,24 @@ impl Workload {
     /// Instantiates the workload on a machine. `cfg.num_cores()` must
     /// match the core count the workload was generated for.
     pub fn into_system(&self, cfg: CmpConfig) -> System {
+        assert!(
+            !cfg.needs_clustered_gline(),
+            "mesh exceeds the flat G-line budget; use into_system_with_hw \
+             with a ClusteredBarrierNetwork"
+        );
+        self.into_system_with_hw(cfg, gline_core::BarrierNetwork::new(cfg.mesh, cfg.gline))
+    }
+
+    /// Instantiates the workload on a machine with explicit barrier
+    /// hardware — the clustered network for meshes beyond the flat
+    /// G-line budget, or any other [`BarrierHw`] implementation.
+    pub fn into_system_with_hw<B: BarrierHw>(&self, cfg: CmpConfig, hw: B) -> System<B> {
         assert_eq!(
             cfg.num_cores(),
             self.progs.len(),
             "workload built for a different core count"
         );
-        let mut sys = System::new(cfg, self.progs.clone());
+        let mut sys = System::with_barrier_hw(cfg, self.progs.clone(), hw);
         for &(addr, val) in &self.pokes {
             sys.poke_word(addr, val);
         }

@@ -15,6 +15,7 @@
 //! and both the worker count and the protocol may change between calls
 //! mid-run without perturbing the machine.
 
+use gline_core::ClusteredBarrierNetwork;
 use sim_base::config::CmpConfig;
 use sim_base::trace::{ChromeTraceSink, Tracer};
 use sim_cmp::runtime::BarrierKind;
@@ -337,6 +338,45 @@ fn replay_mid_run_worker_count_switching_is_invariant() {
         exec.report(),
         switched.report(),
         "switched replay diverged from exec"
+    );
+}
+
+/// A 256-core (16×16) machine exceeds the flat G-line transmitter
+/// budget, so the two-level [`ClusteredBarrierNetwork`] carries the
+/// barriers — and the parallel engine must stay bit-identical on it
+/// too. This is the largest determinism case in the suite: every
+/// O(active) path added for the many-core scaling work (clustered
+/// episode accounting, sparse epoch pre-drain, active-tile home sync)
+/// runs under both engines here.
+#[test]
+fn clustered_256_core_parallel_invariant() {
+    let w = synthetic::build(256, BarrierKind::Gl, 2);
+    let cfg = CmpConfig::icpp2010_with_cores(256);
+    assert!(
+        cfg.needs_clustered_gline(),
+        "16x16 must exceed the flat G-line budget"
+    );
+    let hw = || ClusteredBarrierNetwork::new(cfg.mesh, cfg.gline);
+
+    let mut serial = w.into_system_with_hw(cfg, hw());
+    let cs = serial.run(50_000_000).expect("serial run must complete");
+
+    let mut par = w.into_system_with_hw(cfg, hw());
+    let cp = par
+        .run_with_workers(50_000_000, 4)
+        .expect("parallel run must complete");
+
+    assert_eq!(cs, cp, "256-core clustered: cycle counts");
+    assert_eq!(serial.report(), par.report(), "256-core clustered: reports");
+    assert_eq!(
+        serial.skip_stats(),
+        par.skip_stats(),
+        "256-core clustered: skip stats"
+    );
+    assert_eq!(
+        serial.core_sched_stats(),
+        par.core_sched_stats(),
+        "256-core clustered: core sched stats"
     );
 }
 
